@@ -1,0 +1,132 @@
+//! Property-based tests of the annotation bridge: conservation across
+//! annotation policies and agreement with the cycle-accurate caches.
+
+use mesh_annotate::{annotate_task, assemble, AnnotationPolicy};
+use mesh_arch::{BusConfig, CacheConfig, MachineConfig, ProcConfig};
+use mesh_core::model::NoContention;
+use mesh_core::{SharedId, SyncId};
+use mesh_workloads::{MemPattern, Segment, TaskProgram, Workload};
+use proptest::prelude::*;
+
+/// (ops, strided refs, random refs, idle cycles)
+type SegSpec = (u64, u64, u64, u64);
+
+fn arb_segments() -> impl Strategy<Value = Vec<SegSpec>> {
+    prop::collection::vec((1u64..300, 0u64..30, 0u64..30, 0u64..50), 1..12)
+}
+
+fn build_task(segs: &[SegSpec]) -> TaskProgram {
+    let mut task = TaskProgram::new("t");
+    for (si, &(ops, strided, random, idle)) in segs.iter().enumerate() {
+        let mut seg = Segment::work(ops);
+        if strided > 0 {
+            seg = seg.with_pattern(MemPattern::Strided {
+                base: (si as u64) * 8192,
+                stride: 32,
+                count: strided,
+            });
+        }
+        if random > 0 {
+            seg = seg.with_pattern(MemPattern::Random {
+                base: 1 << 20,
+                span: 32 * 1024,
+                count: random,
+                seed: si as u64,
+            });
+        }
+        task.push(seg);
+        if idle > 0 {
+            task.push(Segment::idle(idle));
+        }
+    }
+    task
+}
+
+fn proc() -> ProcConfig {
+    ProcConfig::new(CacheConfig::new(4 * 1024, 32, 2).unwrap())
+}
+
+fn annotate(task: &TaskProgram, policy: AnnotationPolicy) -> (Vec<mesh_core::Annotation>, mesh_annotate::TaskStats) {
+    annotate_task(
+        task,
+        proc(),
+        4,
+        SharedId::from_index(0),
+        &[SyncId::from_index(0)],
+        policy,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Totals (work cycles, idle, hits, misses) are invariant under the
+    /// annotation policy — coarser regions merely redistribute them.
+    #[test]
+    fn policies_conserve_totals(segs in arb_segments(), n in 1usize..6) {
+        let task = build_task(&segs);
+        let (_, fine) = annotate(&task, AnnotationPolicy::PerSegment);
+        let (_, grouped) = annotate(&task, AnnotationPolicy::EverySegments(n));
+        let (_, coarse) = annotate(&task, AnnotationPolicy::AtBarriers);
+        for stats in [&grouped, &coarse] {
+            prop_assert_eq!(stats.work_cycles, fine.work_cycles);
+            prop_assert_eq!(stats.idle_cycles, fine.idle_cycles);
+            prop_assert_eq!(stats.hits, fine.hits);
+            prop_assert_eq!(stats.misses, fine.misses);
+        }
+        // Region counts are ordered by coarseness.
+        prop_assert!(fine.regions >= grouped.regions);
+        prop_assert!(grouped.regions >= coarse.regions);
+    }
+
+    /// The annotated access mass equals the miss count exactly, and the
+    /// region complexities resolve to exactly the work+idle cycles.
+    #[test]
+    fn regions_account_for_every_miss_and_cycle(segs in arb_segments()) {
+        let task = build_task(&segs);
+        let (regions, stats) = annotate(&task, AnnotationPolicy::PerSegment);
+        let bus = SharedId::from_index(0);
+        let mass: f64 = regions.iter().map(|r| r.accesses.count(bus)).sum();
+        prop_assert!((mass - stats.misses as f64).abs() < 1e-9);
+        let cycles: f64 = regions
+            .iter()
+            .map(|r| r.complexity.resolve(mesh_core::Power::default()).as_cycles())
+            .sum();
+        prop_assert!((cycles - (stats.work_cycles + stats.idle_cycles) as f64).abs() < 1e-6);
+    }
+
+    /// The bridge's cache pass and the cycle-accurate simulator observe the
+    /// same miss stream on the same machine.
+    #[test]
+    fn bridge_and_cyclesim_agree_on_misses(segs in arb_segments()) {
+        let task = build_task(&segs);
+        let mut w = Workload::new();
+        w.add_task(task);
+        let machine = MachineConfig::homogeneous(1, proc(), BusConfig::new(4));
+        let iss = mesh_cyclesim::simulate(&w, &machine).unwrap();
+        let setup = assemble(&w, &machine, NoContention, AnnotationPolicy::PerSegment).unwrap();
+        prop_assert_eq!(setup.tasks[0].misses, iss.procs[0].misses);
+        prop_assert_eq!(setup.tasks[0].hits, iss.procs[0].hits);
+        // And the hybrid's contention-free run time matches the reference.
+        let outcome = setup.builder.build().unwrap().run().unwrap();
+        prop_assert!(
+            (outcome.report.total_time.as_cycles() - iss.total_cycles as f64).abs() < 1e-6
+        );
+    }
+
+    /// Every produced region is well-formed: non-negative complexity, access
+    /// mass only on the bus, sync only at barrier positions (none here).
+    #[test]
+    fn regions_are_well_formed(segs in arb_segments(), n in 1usize..5) {
+        let task = build_task(&segs);
+        let (regions, _) = annotate(&task, AnnotationPolicy::EverySegments(n));
+        for r in &regions {
+            prop_assert!(r.complexity.as_units() >= 0.0);
+            prop_assert!(r.sync.is_none());
+            for (sid, count) in r.accesses.iter() {
+                prop_assert_eq!(sid, SharedId::from_index(0));
+                prop_assert!(count > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # mesh-arch — architectural substrate shared by all simulators
+//!
+//! Cache models and machine descriptions used by both the cycle-accurate
+//! reference simulator (`mesh-cyclesim`) and the annotation bridge
+//! (`mesh-annotate`). Keeping them in one crate guarantees that the two
+//! fidelities being compared in every experiment model the *same* hardware
+//! and observe the *same* cache-miss streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod machine;
+
+pub use cache::{Access, Cache, CacheConfig, CacheGeometryError, CacheStats};
+pub use machine::{Arbitration, BusConfig, IoConfig, MachineConfig, ProcConfig};

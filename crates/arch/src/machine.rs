@@ -1,0 +1,217 @@
+//! Machine descriptions shared by every simulator in the repository.
+//!
+//! A [`MachineConfig`] describes the hardware platform of an experiment — the
+//! processors with their relative speeds and private caches, and the shared
+//! bus. The cycle-accurate simulator executes on it directly; the annotation
+//! bridge uses the same description to resolve workload segments into MESH
+//! annotation tuples, so that both fidelities model the *same* machine.
+
+use crate::cache::CacheConfig;
+
+/// One processing element.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProcConfig {
+    /// Relative computational power: operations retired per cycle. The
+    /// reference processor has power 1.0; an embedded core might have 0.8.
+    pub power: f64,
+    /// Geometry of the processor's private cache.
+    pub cache: CacheConfig,
+    /// Cycles a cache hit costs (the reference access time).
+    pub hit_cycles: u64,
+}
+
+impl ProcConfig {
+    /// Creates a unit-power processor with the given cache and 1-cycle hits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` is not finite and positive.
+    pub fn new(cache: CacheConfig) -> ProcConfig {
+        ProcConfig {
+            power: 1.0,
+            cache,
+            hit_cycles: 1,
+        }
+    }
+
+    /// Sets the relative power (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` is not finite and positive.
+    #[must_use]
+    pub fn with_power(mut self, power: f64) -> ProcConfig {
+        assert!(
+            power.is_finite() && power > 0.0,
+            "power must be finite and positive"
+        );
+        self.power = power;
+        self
+    }
+
+    /// Sets the hit cost (builder style).
+    #[must_use]
+    pub fn with_hit_cycles(mut self, hit_cycles: u64) -> ProcConfig {
+        self.hit_cycles = hit_cycles;
+        self
+    }
+
+    /// Cycles one operation takes on this processor.
+    pub fn cycles_per_op(&self) -> f64 {
+        1.0 / self.power
+    }
+}
+
+/// Bus arbitration policy of the cycle-accurate simulator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Arbitration {
+    /// Rotating grant among requesters (fair).
+    #[default]
+    RoundRobin,
+    /// Lowest processor index wins.
+    FixedPriority,
+}
+
+/// The shared bus connecting all processors to memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Cycles the bus is occupied by one transaction (one cache miss) — the
+    /// "bus access time" swept in the paper's Figure 5.
+    pub delay_cycles: u64,
+    /// Arbitration policy.
+    pub arbitration: Arbitration,
+}
+
+impl BusConfig {
+    /// Creates a bus with the given per-transaction delay and round-robin
+    /// arbitration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_cycles` is zero (a zero-cost bus cannot contend).
+    pub fn new(delay_cycles: u64) -> BusConfig {
+        assert!(delay_cycles > 0, "bus delay must be at least one cycle");
+        BusConfig {
+            delay_cycles,
+            arbitration: Arbitration::RoundRobin,
+        }
+    }
+
+    /// Sets the arbitration policy (builder style).
+    #[must_use]
+    pub fn with_arbitration(mut self, arbitration: Arbitration) -> BusConfig {
+        self.arbitration = arbitration;
+        self
+    }
+}
+
+/// A shared I/O device (DMA engine, peripheral port, accelerator queue):
+/// the second kind of shared resource of the paper's §4.1 list. One
+/// operation occupies the device for `delay_cycles`; contention is resolved
+/// by round-robin among requesting processors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoConfig {
+    /// Cycles the device is occupied by one operation.
+    pub delay_cycles: u64,
+}
+
+impl IoConfig {
+    /// Creates a device with the given per-operation service time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_cycles` is zero.
+    pub fn new(delay_cycles: u64) -> IoConfig {
+        assert!(delay_cycles > 0, "I/O delay must be at least one cycle");
+        IoConfig { delay_cycles }
+    }
+}
+
+/// A complete machine: processors plus the shared bus.
+///
+/// # Examples
+///
+/// The paper's FFT platform: `n` identical processors with 512 KB caches on
+/// a 4-cycle bus.
+///
+/// ```
+/// use mesh_arch::{BusConfig, CacheConfig, MachineConfig, ProcConfig};
+///
+/// let cache = CacheConfig::new(512 * 1024, 32, 4).unwrap();
+/// let machine = MachineConfig::homogeneous(4, ProcConfig::new(cache), BusConfig::new(4));
+/// assert_eq!(machine.procs.len(), 4);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineConfig {
+    /// The processing elements, index-aligned with workload tasks.
+    pub procs: Vec<ProcConfig>,
+    /// The shared bus.
+    pub bus: BusConfig,
+    /// An optional shared I/O device (required when the workload issues
+    /// I/O operations).
+    pub io: Option<IoConfig>,
+}
+
+impl MachineConfig {
+    /// Creates a machine from explicit processor list.
+    pub fn new(procs: Vec<ProcConfig>, bus: BusConfig) -> MachineConfig {
+        MachineConfig {
+            procs,
+            bus,
+            io: None,
+        }
+    }
+
+    /// Creates `n` identical processors on one bus.
+    pub fn homogeneous(n: usize, proc: ProcConfig, bus: BusConfig) -> MachineConfig {
+        MachineConfig {
+            procs: vec![proc; n],
+            bus,
+            io: None,
+        }
+    }
+
+    /// Attaches a shared I/O device (builder style).
+    #[must_use]
+    pub fn with_io(mut self, io: IoConfig) -> MachineConfig {
+        self.io = Some(io);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> CacheConfig {
+        CacheConfig::direct_mapped(8 * 1024, 32).unwrap()
+    }
+
+    #[test]
+    fn proc_builder() {
+        let p = ProcConfig::new(cache()).with_power(0.8).with_hit_cycles(2);
+        assert_eq!(p.power, 0.8);
+        assert_eq!(p.hit_cycles, 2);
+        assert!((p.cycles_per_op() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power")]
+    fn zero_power_rejected() {
+        let _ = ProcConfig::new(cache()).with_power(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bus delay")]
+    fn zero_bus_delay_rejected() {
+        let _ = BusConfig::new(0);
+    }
+
+    #[test]
+    fn homogeneous_machine_replicates() {
+        let m = MachineConfig::homogeneous(8, ProcConfig::new(cache()), BusConfig::new(2));
+        assert_eq!(m.procs.len(), 8);
+        assert!(m.procs.iter().all(|p| p.power == 1.0));
+        assert_eq!(m.bus.arbitration, Arbitration::RoundRobin);
+    }
+}

@@ -1,0 +1,81 @@
+//! Microbenchmarks of the hybrid kernel and the analytical models: the cost
+//! per committed region and the cost per model evaluation, the two
+//! quantities the paper's speedup argument rests on (the hybrid does
+//! O(regions + timeslices) work instead of O(cycles)).
+//!
+//! ```bash
+//! cargo bench -p mesh-bench --bench kernel
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+use mesh_core::{Annotation, Power, SharedId, SimTime, SystemBuilder, ThreadId, VecProgram};
+use mesh_models::{ChenLinBus, Md1Queue, Mm1Queue, PriorityBus, RoundRobinBus};
+
+/// Builds a two-thread system with `regions` contended regions per thread.
+fn contended_system(regions: usize) -> mesh_core::System {
+    let mut b = SystemBuilder::new();
+    let p0 = b.add_proc("p0", Power::default());
+    let p1 = b.add_proc("p1", Power::default());
+    let bus = b.add_shared_resource("bus", SimTime::from_cycles(4.0), ChenLinBus::new());
+    let mk = |phase: f64| {
+        VecProgram::new(
+            (0..regions)
+                .map(|i| Annotation::compute(90.0 + phase * (i % 7) as f64).with_accesses(bus, 5.0))
+                .collect(),
+        )
+    };
+    let t0 = b.add_thread("t0", mk(1.0));
+    let t1 = b.add_thread("t1", mk(1.7));
+    b.pin_thread(t0, &[p0]);
+    b.pin_thread(t1, &[p1]);
+    b.build().expect("build")
+}
+
+fn kernel_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_regions");
+    for &regions in &[100usize, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(2 * regions as u64));
+        group.bench_function(format!("commit_{regions}x2"), |b| {
+            b.iter_batched(
+                || contended_system(regions),
+                |system| system.run().expect("run"),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn model_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_penalties");
+    let slice = Slice {
+        start: SimTime::ZERO,
+        duration: SimTime::from_cycles(10_000.0),
+        service_time: SimTime::from_cycles(4.0),
+        shared: SharedId::from_index(0),
+    };
+    let requests: Vec<SliceRequest> = (0..16)
+        .map(|i| SliceRequest {
+            thread: ThreadId::from_index(i),
+            accesses: 10.0 + i as f64,
+            priority: (i % 4) as u32,
+        })
+        .collect();
+    let models: Vec<(&str, Box<dyn ContentionModel>)> = vec![
+        ("chen_lin", Box::new(ChenLinBus::new())),
+        ("md1", Box::new(Md1Queue::new())),
+        ("mm1", Box::new(Mm1Queue::new())),
+        ("round_robin", Box::new(RoundRobinBus::new())),
+        ("priority", Box::new(PriorityBus::new())),
+    ];
+    for (name, model) in models {
+        group.bench_function(format!("{name}_16_contenders"), |b| {
+            b.iter(|| model.penalties(&slice, &requests));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(kernel, kernel_throughput, model_evaluation);
+criterion_main!(kernel);

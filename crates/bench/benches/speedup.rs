@@ -1,0 +1,97 @@
+//! Criterion bench behind **Table 1**: hybrid-kernel run time versus
+//! cycle-accurate run time on identical scenarios.
+//!
+//! The figure binaries measure the full-size workloads once; this bench
+//! measures statistically robust times on reduced configurations, so the
+//! speedup ratio can be tracked against regressions.
+//!
+//! ```bash
+//! cargo bench -p mesh-bench --bench speedup
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mesh_annotate::{assemble, AnnotationPolicy};
+use mesh_bench::{fft_machine, phm_machine};
+use mesh_models::ChenLinBus;
+use mesh_workloads::fft::{build as build_fft, FftConfig};
+use mesh_workloads::scenario::{build as build_phm, PhmConfig};
+use mesh_workloads::Workload;
+
+/// A reduced FFT: 16 K points (256 KB of data) on 4 processors with 8 KB
+/// caches — small enough for a cycle-accurate iteration per sample.
+fn small_fft() -> (Workload, mesh_arch::MachineConfig) {
+    let cfg = FftConfig {
+        points: 16_384,
+        threads: 4,
+        ..FftConfig::default()
+    };
+    (build_fft(&cfg), fft_machine(4, 8 * 1024, 4))
+}
+
+/// A reduced PHM scenario.
+fn small_phm() -> (Workload, mesh_arch::MachineConfig) {
+    let cfg = PhmConfig {
+        target_ops: 200_000,
+        ..PhmConfig::with_second_idle(0.90)
+    };
+    (build_phm(&cfg), phm_machine(8))
+}
+
+fn bench_pair(c: &mut Criterion, name: &str, workload: Workload, machine: mesh_arch::MachineConfig) {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+
+    group.bench_function("iss_cycle_accurate", |b| {
+        b.iter(|| mesh_cyclesim::simulate(&workload, &machine).expect("iss run"));
+    });
+
+    group.bench_function("mesh_hybrid", |b| {
+        b.iter_batched(
+            || {
+                assemble(
+                    &workload,
+                    &machine,
+                    ChenLinBus::new(),
+                    AnnotationPolicy::PerSegment,
+                )
+                .expect("assemble")
+                .builder
+                .build()
+                .expect("build")
+            },
+            |system| system.run().expect("hybrid run"),
+            BatchSize::SmallInput,
+        );
+    });
+
+    // The full hybrid flow including annotation (cache pass over the
+    // reference streams) — the honest end-to-end cost of the fast path.
+    group.bench_function("mesh_hybrid_with_annotation", |b| {
+        b.iter(|| {
+            assemble(
+                &workload,
+                &machine,
+                ChenLinBus::new(),
+                AnnotationPolicy::PerSegment,
+            )
+            .expect("assemble")
+            .builder
+            .build()
+            .expect("build")
+            .run()
+            .expect("hybrid run")
+        });
+    });
+
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let (w, m) = small_fft();
+    bench_pair(c, "table1_fft_small", w, m);
+    let (w, m) = small_phm();
+    bench_pair(c, "table1_phm_small", w, m);
+}
+
+criterion_group!(table1, benches);
+criterion_main!(table1);

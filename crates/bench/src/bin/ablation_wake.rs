@@ -1,0 +1,120 @@
+//! **Ablation D** (paper §4.3 future work): the synchronization wake policy
+//! under coarse annotation.
+//!
+//! When annotations are placed exactly at synchronization points — as the
+//! paper recommends and as `mesh-annotate` always does — the unblocking
+//! event sits at its region's end and the pessimistic policy is *exact*.
+//! The §4.3 concern ("a pessimistic assumption \[that\] can cause errors with
+//! coarsely annotated threads requiring continuous synchronization") arises
+//! when a designer annotates *coarsely*, burying the event inside a long
+//! region. This ablation constructs exactly that case:
+//!
+//! * **fine** — the producer's `post` is annotated where it happens
+//!   (ground truth within the hybrid's own semantics);
+//! * **coarse/pessimistic** — one region swallows the post; the consumer
+//!   resumes at the region's end (the paper's default);
+//! * **coarse/optimistic** — same region; the consumer resumes at the
+//!   region's start ([`WakePolicy::StartOfRegion`]).
+//!
+//! The two coarse policies bracket the fine truth, giving designers an
+//! error bar instead of a one-sided bias.
+//!
+//! ```bash
+//! cargo run -p mesh-bench --bin ablation_wake --release
+//! ```
+
+use mesh_core::{Annotation, Power, SyncOp, SystemBuilder, VecProgram, WakePolicy};
+use mesh_metrics::Table;
+
+/// The producer performs `pre` work, posts the semaphore, then `post_work`
+/// more; the consumer waits for the post, then runs `tail`. The consumer's
+/// finish time is the measurement.
+struct Scenario {
+    pre: f64,
+    post_work: f64,
+    tail: f64,
+}
+
+impl Scenario {
+    /// Fine annotation: the post gets its own boundary.
+    fn run_fine(&self) -> f64 {
+        self.run(true, WakePolicy::EndOfRegion)
+    }
+
+    /// Coarse annotation: one region swallows the post.
+    fn run_coarse(&self, policy: WakePolicy) -> f64 {
+        self.run(false, policy)
+    }
+
+    fn run(&self, fine: bool, policy: WakePolicy) -> f64 {
+        let mut b = SystemBuilder::new();
+        let p0 = b.add_proc("p0", Power::default());
+        let p1 = b.add_proc("p1", Power::default());
+        let sem = b.add_semaphore(0);
+        let producer_program = if fine {
+            vec![
+                Annotation::compute(self.pre).with_sync(SyncOp::SemPost(sem)),
+                Annotation::compute(self.post_work),
+            ]
+        } else {
+            // The post "really" happens after `pre`, but the coarse
+            // annotation only exposes it at region scope.
+            vec![Annotation::compute(self.pre + self.post_work).with_sync(SyncOp::SemPost(sem))]
+        };
+        let producer = b.add_thread("producer", VecProgram::new(producer_program));
+        let consumer = b.add_thread(
+            "consumer",
+            VecProgram::new(vec![
+                Annotation::sync(SyncOp::SemWait(sem)),
+                Annotation::compute(self.tail),
+            ]),
+        );
+        b.pin_thread(producer, &[p0]);
+        b.pin_thread(consumer, &[p1]);
+        b.set_wake_policy(policy);
+        let report = b.build().expect("build").run().expect("run").report;
+        report.threads[consumer.index()]
+            .finished_at
+            .expect("consumer finished")
+            .as_cycles()
+    }
+}
+
+fn main() {
+    println!("Ablation — wake policy under coarse annotation (paper §4.3)");
+    println!("producer: [pre work | post | post work], consumer: [wait | tail]\n");
+
+    let mut table = Table::new(vec![
+        "pre/post split",
+        "fine (truth)",
+        "coarse pessimistic",
+        "coarse optimistic",
+        "pessimistic bias %",
+        "optimistic bias %",
+    ]);
+    for (pre, post_work) in [(200.0, 800.0), (500.0, 500.0), (800.0, 200.0)] {
+        let s = Scenario {
+            pre,
+            post_work,
+            tail: 400.0,
+        };
+        let fine = s.run_fine();
+        let pess = s.run_coarse(WakePolicy::EndOfRegion);
+        let opt = s.run_coarse(WakePolicy::StartOfRegion);
+        assert!(opt <= fine && fine <= pess, "policies must bracket the truth");
+        table.row(vec![
+            format!("{pre:.0}/{post_work:.0}"),
+            format!("{fine:.0}"),
+            format!("{pess:.0}"),
+            format!("{opt:.0}"),
+            format!("{:+.1}", 100.0 * (pess - fine) / fine),
+            format!("{:+.1}", 100.0 * (opt - fine) / fine),
+        ]);
+    }
+    println!("{table}");
+    println!("(consumer finish time, cycles. The pessimistic default over-predicts");
+    println!(" by up to the unblocking region's length; the optimistic policy");
+    println!(" under-predicts; together they bound the truth — and the bias");
+    println!(" vanishes when annotations are placed at synchronization points,");
+    println!(" which is exactly what mesh-annotate does.)");
+}

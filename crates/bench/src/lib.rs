@@ -1,0 +1,270 @@
+//! # mesh-bench — experiment runners for regenerating the paper's results
+//!
+//! Shared machinery behind the figure/table binaries (`fig4`, `table1`,
+//! `fig5`, `fig6`, `ablation_minslice`, `ablation_granularity`) and the
+//! repository's integration tests: each experiment runs the *same workload*
+//! through three estimators and collects comparable queuing-cycle
+//! percentages:
+//!
+//! 1. **ISS** — the cycle-accurate reference (`mesh-cyclesim`), the ground
+//!    truth;
+//! 2. **MESH** — the hybrid kernel with the Chen–Lin-style model evaluated
+//!    piecewise per timeslice;
+//! 3. **Analytical** — the identical model applied once over the whole
+//!    program (`mesh_models::AnalyticalEstimator`).
+//!
+//! All three report queuing cycles as a percentage of contention-free work
+//! cycles, so errors are directly comparable with the paper's Figures 4–6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mesh_annotate::{assemble, AnnotationPolicy, HybridSetup};
+use mesh_arch::{BusConfig, CacheConfig, MachineConfig, ProcConfig};
+use mesh_cyclesim::CycleReport;
+use mesh_metrics::abs_percent_error;
+use mesh_models::{AnalyticalEstimator, ChenLinBus, ThreadProfile};
+use mesh_workloads::fft::{self, FftConfig};
+use mesh_workloads::scenario::{self, PhmConfig};
+use mesh_workloads::Workload;
+use std::time::Duration;
+
+/// One comparison of the three estimators on one workload/machine point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComparisonPoint {
+    /// Queuing percentage measured by the cycle-accurate reference.
+    pub iss_pct: f64,
+    /// Queuing percentage predicted by the hybrid MESH kernel.
+    pub mesh_pct: f64,
+    /// Queuing percentage predicted by the whole-program analytical model.
+    pub analytical_pct: f64,
+    /// Wall-clock time of the cycle-accurate run.
+    pub iss_wall: Duration,
+    /// Wall-clock time of the hybrid run.
+    pub mesh_wall: Duration,
+    /// Simulated cycles of the reference run.
+    pub iss_cycles: u64,
+    /// Total simulated time of the hybrid run, in cycles.
+    pub mesh_cycles: f64,
+    /// Annotation regions committed by the hybrid run.
+    pub mesh_regions: u64,
+    /// Timeslices analyzed by the hybrid run.
+    pub mesh_slices: u64,
+    /// Contention-free work cycles (the percentage denominator).
+    pub work_cycles: u64,
+    /// Shared bus accesses (cache misses).
+    pub misses: u64,
+}
+
+impl ComparisonPoint {
+    /// Absolute percent error of the hybrid prediction against the
+    /// reference.
+    pub fn mesh_error(&self) -> f64 {
+        abs_percent_error(self.mesh_pct, self.iss_pct)
+    }
+
+    /// Absolute percent error of the whole-program analytical prediction
+    /// against the reference.
+    pub fn analytical_error(&self) -> f64 {
+        abs_percent_error(self.analytical_pct, self.iss_pct)
+    }
+
+    /// Wall-clock speedup of the hybrid run over the cycle-accurate run.
+    pub fn speedup(&self) -> f64 {
+        let mesh = self.mesh_wall.as_secs_f64().max(1e-9);
+        self.iss_wall.as_secs_f64() / mesh
+    }
+}
+
+/// Experiment-wide knobs for the hybrid simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HybridOptions {
+    /// Annotation placement policy.
+    pub policy: AnnotationPolicy,
+    /// Minimum timeslice in cycles (paper §4.3); zero analyzes every slice.
+    pub min_timeslice: f64,
+}
+
+impl Default for HybridOptions {
+    fn default() -> HybridOptions {
+        HybridOptions {
+            policy: AnnotationPolicy::PerSegment,
+            min_timeslice: 0.0,
+        }
+    }
+}
+
+/// Runs all three estimators on a workload/machine pair.
+///
+/// # Panics
+///
+/// Panics if the workload is invalid for the machine (the experiment
+/// definitions in this crate always produce matching pairs).
+pub fn compare(workload: &Workload, machine: &MachineConfig, options: HybridOptions) -> ComparisonPoint {
+    // Ground truth.
+    let iss: CycleReport = mesh_cyclesim::simulate(workload, machine)
+        .expect("cycle-accurate simulation failed");
+
+    // Hybrid (piecewise Chen-Lin).
+    let setup: HybridSetup = assemble(workload, machine, ChenLinBus::new(), options.policy)
+        .expect("hybrid assembly failed");
+    let work_cycles = setup.work_total();
+    let misses = setup.misses_total();
+    let profiles: Vec<ThreadProfile> = setup
+        .tasks
+        .iter()
+        .map(|t| ThreadProfile::new(
+            mesh_core::SimTime::from_cycles(t.work_cycles as f64),
+            t.misses as f64,
+        ))
+        .collect();
+    let mut builder = setup.builder;
+    builder.set_min_timeslice(mesh_core::SimTime::from_cycles(options.min_timeslice));
+    let outcome = builder
+        .build()
+        .expect("hybrid build failed")
+        .run()
+        .expect("hybrid run failed");
+    let mesh_queuing = outcome.report.queuing_total().as_cycles();
+    let mesh_pct = if work_cycles == 0 {
+        0.0
+    } else {
+        100.0 * mesh_queuing / work_cycles as f64
+    };
+
+    // Whole-program analytical baseline (identical model, one step).
+    let estimator = AnalyticalEstimator::new(
+        ChenLinBus::new(),
+        mesh_core::SimTime::from_cycles(machine.bus.delay_cycles as f64),
+    );
+    let analytical_pct = estimator.estimate(&profiles).queuing_percent();
+
+    ComparisonPoint {
+        iss_pct: iss.queuing_percent(),
+        mesh_pct,
+        analytical_pct,
+        iss_wall: iss.wall_clock,
+        mesh_wall: outcome.report.wall_clock,
+        iss_cycles: iss.total_cycles,
+        mesh_cycles: outcome.report.total_time.as_cycles(),
+        mesh_regions: outcome.report.commits,
+        mesh_slices: outcome.report.slices_analyzed,
+        work_cycles,
+        misses,
+    }
+}
+
+/// The machine of the §5.1 FFT experiment: `n` unit-power processors with
+/// private caches of `cache_bytes` (4-way, 32-byte lines) on a shared bus.
+pub fn fft_machine(procs: usize, cache_bytes: u64, bus_delay: u64) -> MachineConfig {
+    let cache = CacheConfig::new(cache_bytes, 32, 4).expect("valid cache geometry");
+    MachineConfig::homogeneous(procs, ProcConfig::new(cache), BusConfig::new(bus_delay))
+}
+
+/// The heterogeneous two-processor PHM SoC of §5.2: an ARM-like unit-power
+/// core and a slower M32R-like core, 8 KB private caches, shared bus.
+pub fn phm_machine(bus_delay: u64) -> MachineConfig {
+    let cache = CacheConfig::new(8 * 1024, 32, 4).expect("valid cache geometry");
+    MachineConfig::new(
+        vec![
+            ProcConfig::new(cache),                      // ARM-like
+            ProcConfig::new(cache).with_power(0.8),      // M32R-like
+        ],
+        BusConfig::new(bus_delay),
+    )
+}
+
+/// Runs one Figure-4 point: the FFT on `procs` processors with the given
+/// cache size. Annotations at barriers, exactly as in the paper.
+pub fn run_fft_point(procs: usize, cache_bytes: u64, bus_delay: u64) -> ComparisonPoint {
+    let workload = fft::build(&FftConfig::with_threads(procs));
+    let machine = fft_machine(procs, cache_bytes, bus_delay);
+    compare(
+        &workload,
+        &machine,
+        HybridOptions {
+            policy: AnnotationPolicy::AtBarriers,
+            min_timeslice: 0.0,
+        },
+    )
+}
+
+/// Runs one Figure-5/6 point: the sporadic PHM scenario with the second
+/// processor idle for the given fraction, at the given bus delay.
+pub fn run_phm_point(idle1: f64, bus_delay: u64, seed: u64) -> ComparisonPoint {
+    let workload = scenario::build(&PhmConfig {
+        seed,
+        ..PhmConfig::with_second_idle(idle1)
+    });
+    let machine = phm_machine(bus_delay);
+    compare(&workload, &machine, HybridOptions::default())
+}
+
+/// The processor counts of the Figure 4 sweep.
+pub const FFT_PROC_SWEEP: [usize; 4] = [2, 4, 8, 16];
+/// The paper's two cache configurations (Figure 4 / Table 1).
+pub const FFT_CACHES: [(u64, &str); 2] = [(512 * 1024, "512KB"), (8 * 1024, "8KB")];
+/// The bus delays of the Figure 5 sweep, in cycles.
+pub const FIG5_BUS_DELAYS: [u64; 5] = [2, 4, 8, 12, 16];
+/// The idle fractions of the Figure 6 sweep.
+pub const FIG6_IDLE_SWEEP: [f64; 7] = [0.0, 0.15, 0.30, 0.45, 0.60, 0.75, 0.90];
+/// The bus delay used by the FFT experiments.
+pub const FFT_BUS_DELAY: u64 = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_point_derived_metrics() {
+        let p = ComparisonPoint {
+            iss_pct: 10.0,
+            mesh_pct: 11.0,
+            analytical_pct: 17.0,
+            iss_wall: Duration::from_millis(100),
+            mesh_wall: Duration::from_millis(1),
+            iss_cycles: 1000,
+            mesh_cycles: 1000.0,
+            mesh_regions: 10,
+            mesh_slices: 9,
+            work_cycles: 900,
+            misses: 100,
+        };
+        assert!((p.mesh_error() - 10.0).abs() < 1e-9);
+        assert!((p.analytical_error() - 70.0).abs() < 1e-9);
+        assert!((p.speedup() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn machines_are_well_formed() {
+        let m = fft_machine(4, 512 * 1024, 4);
+        assert_eq!(m.procs.len(), 4);
+        let m = phm_machine(8);
+        assert_eq!(m.procs.len(), 2);
+        assert!(m.procs[1].power < m.procs[0].power);
+    }
+
+    #[test]
+    fn small_fft_comparison_runs() {
+        // A tiny FFT so the test stays fast in debug builds.
+        let cfg = FftConfig {
+            points: 4096,
+            threads: 2,
+            ..FftConfig::default()
+        };
+        let workload = fft::build(&cfg);
+        let machine = fft_machine(2, 8 * 1024, 4);
+        let point = compare(
+            &workload,
+            &machine,
+            HybridOptions {
+                policy: AnnotationPolicy::AtBarriers,
+                min_timeslice: 0.0,
+            },
+        );
+        assert!(point.iss_pct > 0.0, "reference saw contention");
+        assert!(point.mesh_pct > 0.0, "hybrid predicted contention");
+        assert!(point.work_cycles > 0);
+        assert!(point.misses > 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Annotation regions: the quantum of logical-thread execution.
+//!
+//! In MESH, software is arbitrary code annotated with `consume()` calls; the
+//! code between two annotations is an *annotation region* executed in zero
+//! virtual time, after which the annotation's complexity value is resolved to
+//! physical time (paper §3). With shared-resource modeling, each annotation
+//! becomes a *tuple*: one complexity value for the execution scheduler `UE`
+//! plus one access count per shared-resource scheduler `US` the thread uses
+//! (paper §4.1 — "a major break from the discrete event approach").
+//!
+//! This crate represents a region's annotation as an [`Annotation`] value: the
+//! complexity, the set of shared-resource access counts, and optionally a
+//! synchronization operation performed when the region completes.
+
+use crate::ids::SharedId;
+use crate::sync::SyncOp;
+use crate::time::Complexity;
+
+/// Shared-resource access counts attached to one annotation region.
+///
+/// Counts are fractional `f64`s because workload aggregation (e.g. splitting
+/// cache-miss streams at annotation boundaries) and proportional timeslice
+/// division both produce non-integral access mass.
+///
+/// The set is a small sorted vector: regions typically touch zero, one or two
+/// shared resources, so a map would be wasteful.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AccessSet {
+    entries: Vec<(SharedId, f64)>,
+}
+
+impl AccessSet {
+    /// Creates an empty access set (a region touching no shared resource).
+    pub fn new() -> AccessSet {
+        AccessSet::default()
+    }
+
+    /// Adds `count` accesses to shared resource `shared`, merging with any
+    /// existing entry for the same resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is NaN, infinite or negative.
+    pub fn add(&mut self, shared: SharedId, count: f64) {
+        assert!(
+            count.is_finite() && count >= 0.0,
+            "access count must be finite and non-negative"
+        );
+        if count == 0.0 {
+            return;
+        }
+        match self.entries.binary_search_by_key(&shared, |&(s, _)| s) {
+            Ok(i) => self.entries[i].1 += count,
+            Err(i) => self.entries.insert(i, (shared, count)),
+        }
+    }
+
+    /// Returns the access count recorded for `shared` (zero if absent).
+    pub fn count(&self, shared: SharedId) -> f64 {
+        self.entries
+            .binary_search_by_key(&shared, |&(s, _)| s)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Returns `true` if no resource has a non-zero count.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(shared resource, access count)` pairs in resource
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (SharedId, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Total access count across all shared resources.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+impl FromIterator<(SharedId, f64)> for AccessSet {
+    fn from_iter<T: IntoIterator<Item = (SharedId, f64)>>(iter: T) -> AccessSet {
+        let mut set = AccessSet::new();
+        for (s, c) in iter {
+            set.add(s, c);
+        }
+        set
+    }
+}
+
+impl Extend<(SharedId, f64)> for AccessSet {
+    fn extend<T: IntoIterator<Item = (SharedId, f64)>>(&mut self, iter: T) {
+        for (s, c) in iter {
+            self.add(s, c);
+        }
+    }
+}
+
+/// One annotation region of a logical thread: the tuple passed to the
+/// schedulers when the region has executed (paper §4.1).
+///
+/// # Examples
+///
+/// Building a region that performs 5 000 units of work, makes 120 accesses to
+/// a shared bus, and then waits on a barrier:
+///
+/// ```
+/// use mesh_core::{Annotation, Complexity, SyncOp, SystemBuilder};
+/// use mesh_core::model::NoContention;
+/// use mesh_core::SimTime;
+///
+/// let mut b = SystemBuilder::new();
+/// let bus = b.add_shared_resource("bus", SimTime::from_cycles(2.0), NoContention);
+/// let barrier = b.add_barrier(4);
+///
+/// let region = Annotation::compute(5_000.0)
+///     .with_accesses(bus, 120.0)
+///     .with_sync(SyncOp::Barrier(barrier));
+/// assert_eq!(region.accesses.count(bus), 120.0);
+/// assert!(region.sync.is_some());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Annotation {
+    /// Computational complexity consumed by the region, resolved to physical
+    /// time by the power of the physical resource the region runs on.
+    pub complexity: Complexity,
+    /// Shared-resource accesses performed somewhere within the region. The
+    /// kernel spreads them uniformly over the region's annotated duration
+    /// when dividing the region across timeslices (paper §4.2).
+    pub accesses: AccessSet,
+    /// Synchronization operation performed at the *end* of the region, after
+    /// its complexity has elapsed. `None` for plain compute regions.
+    pub sync: Option<SyncOp>,
+}
+
+impl Annotation {
+    /// Creates a pure compute region of the given complexity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `complexity` is NaN, infinite or negative.
+    pub fn compute(complexity: f64) -> Annotation {
+        Annotation {
+            complexity: Complexity::from_units(complexity),
+            accesses: AccessSet::new(),
+            sync: None,
+        }
+    }
+
+    /// Creates a zero-complexity region that only performs a synchronization
+    /// operation — the MESH equivalent of a bare `lock()` / `wait()` call.
+    pub fn sync(op: SyncOp) -> Annotation {
+        Annotation {
+            complexity: Complexity::ZERO,
+            accesses: AccessSet::new(),
+            sync: Some(op),
+        }
+    }
+
+    /// Adds `count` accesses to `shared` and returns the region (builder
+    /// style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is NaN, infinite or negative.
+    #[must_use]
+    pub fn with_accesses(mut self, shared: SharedId, count: f64) -> Annotation {
+        self.accesses.add(shared, count);
+        self
+    }
+
+    /// Attaches a synchronization operation to the end of the region and
+    /// returns it (builder style).
+    #[must_use]
+    pub fn with_sync(mut self, op: SyncOp) -> Annotation {
+        self.sync = Some(op);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(i: usize) -> SharedId {
+        SharedId(i)
+    }
+
+    #[test]
+    fn access_set_merges_duplicates() {
+        let mut s = AccessSet::new();
+        s.add(sid(1), 10.0);
+        s.add(sid(0), 5.0);
+        s.add(sid(1), 2.5);
+        assert_eq!(s.count(sid(1)), 12.5);
+        assert_eq!(s.count(sid(0)), 5.0);
+        assert_eq!(s.count(sid(2)), 0.0);
+        assert_eq!(s.total(), 17.5);
+    }
+
+    #[test]
+    fn access_set_iterates_in_resource_order() {
+        let s: AccessSet = vec![(sid(2), 1.0), (sid(0), 2.0), (sid(1), 3.0)]
+            .into_iter()
+            .collect();
+        let order: Vec<usize> = s.iter().map(|(r, _)| r.index()).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn access_set_ignores_zero_counts() {
+        let mut s = AccessSet::new();
+        s.add(sid(0), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "access count")]
+    fn access_set_rejects_negative() {
+        AccessSet::new().add(sid(0), -1.0);
+    }
+
+    #[test]
+    fn annotation_builders() {
+        let a = Annotation::compute(10.0).with_accesses(sid(0), 3.0);
+        assert_eq!(a.complexity.as_units(), 10.0);
+        assert_eq!(a.accesses.count(sid(0)), 3.0);
+        assert!(a.sync.is_none());
+
+        let s = Annotation::sync(SyncOp::MutexUnlock(crate::ids::SyncId(0)));
+        assert_eq!(s.complexity.as_units(), 0.0);
+        assert!(s.sync.is_some());
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut s = AccessSet::new();
+        s.extend(vec![(sid(0), 1.0), (sid(0), 2.0)]);
+        assert_eq!(s.count(sid(0)), 3.0);
+    }
+}

@@ -1,0 +1,416 @@
+//! System construction: declaring resources, threads and models.
+//!
+//! A [`SystemBuilder`] assembles the layered MESH view of Figure 1b: logical
+//! threads (`ThL`) on top of an execution scheduler (`UE`) mapping them onto
+//! physical threads (`ThP`), alongside shared-resource threads (`ThS`) whose
+//! contention is resolved post-access by analytical models under the
+//! shared-resource schedulers (`US`).
+
+use crate::error::BuildError;
+use crate::ids::{ProcId, SharedId, SyncId, ThreadId};
+use crate::model::ContentionModel;
+use crate::program::ThreadProgram;
+use crate::sched::{ExecScheduler, FifoScheduler};
+use crate::sync::SyncTable;
+use crate::time::{Power, SimTime};
+
+pub(crate) struct ProcSpec {
+    pub(crate) name: String,
+    pub(crate) power: Power,
+}
+
+pub(crate) struct SharedSpec {
+    pub(crate) name: String,
+    pub(crate) service_time: SimTime,
+    pub(crate) model: Box<dyn ContentionModel>,
+}
+
+pub(crate) struct ThreadSpec {
+    pub(crate) name: String,
+    pub(crate) program: Box<dyn ThreadProgram>,
+    pub(crate) priority: u32,
+    /// Allowed physical resources; `None` means any.
+    pub(crate) affinity: Option<Vec<ProcId>>,
+    /// Dormant threads only become schedulable when spawned via
+    /// [`SyncOp::Spawn`](crate::SyncOp::Spawn).
+    pub(crate) dormant: bool,
+}
+
+/// Builder for a MESH [`System`].
+///
+/// # Examples
+///
+/// A two-processor system sharing one bus, with each thread pinned to its own
+/// processor (the configuration of the paper's PHM SoC example, §5.2):
+///
+/// ```
+/// use mesh_core::model::NoContention;
+/// use mesh_core::{Annotation, Power, SimTime, SystemBuilder, VecProgram};
+///
+/// let mut b = SystemBuilder::new();
+/// let arm = b.add_proc("arm", Power::from_units_per_cycle(1.0));
+/// let m32r = b.add_proc("m32r", Power::from_units_per_cycle(0.8));
+/// let bus = b.add_shared_resource("bus", SimTime::from_cycles(4.0), NoContention);
+///
+/// let t0 = b.add_thread(
+///     "gsm",
+///     VecProgram::new(vec![Annotation::compute(1000.0).with_accesses(bus, 40.0)]),
+/// );
+/// let t1 = b.add_thread(
+///     "mp3",
+///     VecProgram::new(vec![Annotation::compute(800.0).with_accesses(bus, 25.0)]),
+/// );
+/// b.pin_thread(t0, &[arm]);
+/// b.pin_thread(t1, &[m32r]);
+///
+/// let outcome = b.build().unwrap().run().unwrap();
+/// assert_eq!(outcome.report.commits, 2);
+/// ```
+pub struct SystemBuilder {
+    pub(crate) procs: Vec<ProcSpec>,
+    pub(crate) shared: Vec<SharedSpec>,
+    pub(crate) threads: Vec<ThreadSpec>,
+    pub(crate) scheduler: Box<dyn ExecScheduler>,
+    pub(crate) sync: SyncTable,
+    pub(crate) min_timeslice: SimTime,
+    pub(crate) wake_policy: crate::kernel::WakePolicy,
+    pub(crate) trace: bool,
+    pub(crate) step_limit: u64,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> SystemBuilder {
+        SystemBuilder::new()
+    }
+}
+
+impl SystemBuilder {
+    /// Creates an empty builder with a FIFO execution scheduler, no minimum
+    /// timeslice, tracing off and a generous step limit.
+    pub fn new() -> SystemBuilder {
+        SystemBuilder {
+            procs: Vec::new(),
+            shared: Vec::new(),
+            threads: Vec::new(),
+            scheduler: Box::new(FifoScheduler),
+            sync: SyncTable::new(),
+            min_timeslice: SimTime::ZERO,
+            wake_policy: crate::kernel::WakePolicy::default(),
+            trace: false,
+            step_limit: u64::MAX,
+        }
+    }
+
+    /// Registers a physical execution resource (`ThP`) with the given
+    /// computational power.
+    pub fn add_proc(&mut self, name: impl Into<String>, power: Power) -> ProcId {
+        self.procs.push(ProcSpec {
+            name: name.into(),
+            power,
+        });
+        ProcId(self.procs.len() - 1)
+    }
+
+    /// Registers a shared resource (`ThS`): a bus, memory or device taking
+    /// `service_time` per access, with contention resolved by `model`.
+    pub fn add_shared_resource<M>(
+        &mut self,
+        name: impl Into<String>,
+        service_time: SimTime,
+        model: M,
+    ) -> SharedId
+    where
+        M: ContentionModel + 'static,
+    {
+        self.shared.push(SharedSpec {
+            name: name.into(),
+            service_time,
+            model: Box::new(model),
+        });
+        SharedId(self.shared.len() - 1)
+    }
+
+    /// Registers a logical thread (`ThL`) with default priority and no
+    /// affinity restriction. The thread is schedulable from time zero.
+    pub fn add_thread<P>(&mut self, name: impl Into<String>, program: P) -> ThreadId
+    where
+        P: ThreadProgram + 'static,
+    {
+        self.threads.push(ThreadSpec {
+            name: name.into(),
+            program: Box::new(program),
+            priority: 0,
+            affinity: None,
+            dormant: false,
+        });
+        ThreadId(self.threads.len() - 1)
+    }
+
+    /// Registers a *dormant* logical thread: it becomes schedulable only
+    /// when another thread executes [`SyncOp::Spawn`](crate::SyncOp::Spawn)
+    /// on it. This is how MESH's dynamic thread set (paper §3) is expressed:
+    /// fork/join software structures register their children dormant and
+    /// spawn them mid-run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mesh_core::{Annotation, Power, SyncOp, SystemBuilder, VecProgram};
+    ///
+    /// let mut b = SystemBuilder::new();
+    /// b.add_proc("cpu0", Power::default());
+    /// b.add_proc("cpu1", Power::default());
+    /// let child = b.add_dormant_thread("child", VecProgram::new(vec![
+    ///     Annotation::compute(50.0),
+    /// ]));
+    /// b.add_thread("parent", VecProgram::new(vec![
+    ///     Annotation::compute(100.0).with_sync(SyncOp::Spawn(child)),
+    ///     Annotation::compute(10.0).with_sync(SyncOp::Join(child)),
+    /// ]));
+    /// let report = b.build().unwrap().run().unwrap().report;
+    /// // Child runs [100,150] on cpu1; the parent's join region ends at 110
+    /// // and waits for it.
+    /// assert_eq!(report.total_time.as_cycles(), 150.0);
+    /// ```
+    pub fn add_dormant_thread<P>(&mut self, name: impl Into<String>, program: P) -> ThreadId
+    where
+        P: ThreadProgram + 'static,
+    {
+        self.threads.push(ThreadSpec {
+            name: name.into(),
+            program: Box::new(program),
+            priority: 0,
+            affinity: None,
+            dormant: true,
+        });
+        ThreadId(self.threads.len() - 1)
+    }
+
+    /// Selects how blocked threads resume relative to the region containing
+    /// the unblocking event (paper §4.3 and its stated future work). The
+    /// default is the paper's pessimistic
+    /// [`WakePolicy::EndOfRegion`](crate::kernel::WakePolicy::EndOfRegion).
+    pub fn set_wake_policy(&mut self, policy: crate::kernel::WakePolicy) {
+        self.wake_policy = policy;
+    }
+
+    /// Sets a thread's arbitration priority (higher = more important). Used
+    /// by priority execution schedulers and priority contention models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` was not issued by this builder.
+    pub fn set_priority(&mut self, thread: ThreadId, priority: u32) {
+        self.threads[thread.index()].priority = priority;
+    }
+
+    /// Restricts a thread to the given physical resources (processor
+    /// affinity). In the paper's experiments every thread is pinned to its
+    /// own processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` was not issued by this builder.
+    pub fn pin_thread(&mut self, thread: ThreadId, procs: &[ProcId]) {
+        self.threads[thread.index()].affinity = Some(procs.to_vec());
+    }
+
+    /// Replaces the execution scheduler (`UE`). The default is
+    /// [`FifoScheduler`].
+    pub fn set_scheduler<S>(&mut self, scheduler: S)
+    where
+        S: ExecScheduler + 'static,
+    {
+        self.scheduler = Box::new(scheduler);
+    }
+
+    /// Sets the minimum timeslice (paper §4.3): analysis windows shorter than
+    /// this accumulate their accesses into the next sufficiently long window,
+    /// trading a little accuracy for fewer model evaluations.
+    pub fn set_min_timeslice(&mut self, min: SimTime) {
+        self.min_timeslice = min;
+    }
+
+    /// Enables event tracing (off by default; tracing allocates per event).
+    pub fn enable_trace(&mut self) {
+        self.trace = true;
+    }
+
+    /// Caps the number of kernel steps, guarding against runaway programs.
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// Creates a mutex usable in [`SyncOp`](crate::SyncOp) operations.
+    pub fn add_mutex(&mut self) -> SyncId {
+        self.sync.add_mutex()
+    }
+
+    /// Creates a counting semaphore with the given initial count.
+    pub fn add_semaphore(&mut self, initial: u64) -> SyncId {
+        self.sync.add_semaphore(initial)
+    }
+
+    /// Creates a condition variable.
+    pub fn add_condvar(&mut self) -> SyncId {
+        self.sync.add_condvar()
+    }
+
+    /// Creates a barrier released when `parties` threads arrive.
+    pub fn add_barrier(&mut self, parties: usize) -> SyncId {
+        self.sync.add_barrier(parties)
+    }
+
+    /// Validates the configuration and produces a runnable [`System`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if there are no physical resources, or if a
+    /// thread's affinity set is empty or names an unknown resource.
+    pub fn build(self) -> Result<System, BuildError> {
+        if self.procs.is_empty() {
+            return Err(BuildError::NoProcs);
+        }
+        for (i, t) in self.threads.iter().enumerate() {
+            if let Some(aff) = &t.affinity {
+                if aff.is_empty() {
+                    return Err(BuildError::EmptyAffinity {
+                        thread: ThreadId(i),
+                    });
+                }
+                for &p in aff {
+                    if p.index() >= self.procs.len() {
+                        return Err(BuildError::UnknownAffinityProc {
+                            thread: ThreadId(i),
+                            proc: p,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(System { spec: self })
+    }
+}
+
+impl std::fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("procs", &self.procs.len())
+            .field("shared", &self.shared.len())
+            .field("threads", &self.threads.len())
+            .field("min_timeslice", &self.min_timeslice)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A fully specified MESH system, ready to simulate.
+///
+/// Produced by [`SystemBuilder::build`]; consumed by [`System::run`], which
+/// executes the hybrid kernel of Figure 2 and returns a
+/// [`SimOutcome`](crate::SimOutcome).
+pub struct System {
+    pub(crate) spec: SystemBuilder,
+}
+
+impl System {
+    /// Name of a physical resource.
+    pub fn proc_name(&self, proc: ProcId) -> &str {
+        &self.spec.procs[proc.index()].name
+    }
+
+    /// Name of a shared resource.
+    pub fn shared_name(&self, shared: SharedId) -> &str {
+        &self.spec.shared[shared.index()].name
+    }
+
+    /// Name of a logical thread.
+    pub fn thread_name(&self, thread: ThreadId) -> &str {
+        &self.spec.threads[thread.index()].name
+    }
+
+    /// Number of physical resources.
+    pub fn proc_count(&self) -> usize {
+        self.spec.procs.len()
+    }
+
+    /// Number of shared resources.
+    pub fn shared_count(&self) -> usize {
+        self.spec.shared.len()
+    }
+
+    /// Number of logical threads.
+    pub fn thread_count(&self) -> usize {
+        self.spec.threads.len()
+    }
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("procs", &self.spec.procs.len())
+            .field("shared", &self.spec.shared.len())
+            .field("threads", &self.spec.threads.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::Annotation;
+    use crate::model::NoContention;
+    use crate::program::VecProgram;
+
+    #[test]
+    fn build_requires_procs() {
+        let b = SystemBuilder::new();
+        assert_eq!(b.build().unwrap_err(), BuildError::NoProcs);
+    }
+
+    #[test]
+    fn build_checks_affinity() {
+        let mut b = SystemBuilder::new();
+        b.add_proc("p0", Power::default());
+        let t = b.add_thread("t", VecProgram::new(vec![]));
+        b.pin_thread(t, &[]);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::EmptyAffinity { .. }
+        ));
+
+        let mut b = SystemBuilder::new();
+        b.add_proc("p0", Power::default());
+        let t = b.add_thread("t", VecProgram::new(vec![]));
+        b.pin_thread(t, &[ProcId(7)]);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::UnknownAffinityProc { .. }
+        ));
+    }
+
+    #[test]
+    fn names_are_retrievable() {
+        let mut b = SystemBuilder::new();
+        let p = b.add_proc("cpu", Power::default());
+        let s = b.add_shared_resource("bus", SimTime::from_cycles(1.0), NoContention);
+        let t = b.add_thread("app", VecProgram::new(vec![Annotation::compute(1.0)]));
+        let sys = b.build().unwrap();
+        assert_eq!(sys.proc_name(p), "cpu");
+        assert_eq!(sys.shared_name(s), "bus");
+        assert_eq!(sys.thread_name(t), "app");
+        assert_eq!(sys.proc_count(), 1);
+        assert_eq!(sys.shared_count(), 1);
+        assert_eq!(sys.thread_count(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut b = SystemBuilder::new();
+        assert_eq!(b.add_proc("a", Power::default()).index(), 0);
+        assert_eq!(b.add_proc("b", Power::default()).index(), 1);
+        assert_eq!(
+            b.add_shared_resource("s", SimTime::ZERO, NoContention).index(),
+            0
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Error types for system construction and simulation.
+
+use crate::ids::{ProcId, SharedId, ThreadId};
+use crate::sync::SyncMisuseError;
+use std::fmt;
+
+/// An error detected while building a [`System`](crate::System).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The system has no physical resources to execute on.
+    NoProcs,
+    /// A thread's affinity set names a physical resource that does not exist.
+    UnknownAffinityProc {
+        /// The thread with the faulty affinity set.
+        thread: ThreadId,
+        /// The nonexistent resource.
+        proc: ProcId,
+    },
+    /// A thread's affinity set is empty, so it could never be scheduled.
+    EmptyAffinity {
+        /// The thread with the empty affinity set.
+        thread: ThreadId,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NoProcs => write!(f, "system has no physical resources"),
+            BuildError::UnknownAffinityProc { thread, proc } => write!(
+                f,
+                "thread {thread} is pinned to nonexistent physical resource {proc}"
+            ),
+            BuildError::EmptyAffinity { thread } => {
+                write!(f, "thread {thread} has an empty affinity set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// An error that aborts a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Every remaining thread is blocked on a synchronization primitive and
+    /// no region is in flight: the modeled software deadlocked.
+    Deadlock {
+        /// The threads blocked at deadlock.
+        blocked: Vec<ThreadId>,
+    },
+    /// Ready threads exist, resources are free, but the execution scheduler
+    /// refused to place any of them (or affinity makes placement impossible),
+    /// so the simulation cannot advance.
+    Stalled {
+        /// The threads left ready at the stall.
+        ready: Vec<ThreadId>,
+    },
+    /// A synchronization primitive was misused (e.g. unlocking a mutex the
+    /// thread does not hold).
+    SyncMisuse(SyncMisuseError),
+    /// A contention model violated its contract: wrong number of penalties,
+    /// or a NaN / infinite / negative penalty.
+    ModelContract {
+        /// The offending shared resource.
+        shared: SharedId,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// The execution scheduler picked a thread that was not in the ready set
+    /// it was offered.
+    SchedulerContract {
+        /// The thread the scheduler returned.
+        thread: ThreadId,
+    },
+    /// The configured kernel step limit was exceeded — a guard against
+    /// programs that generate regions forever.
+    StepLimit {
+        /// The limit that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => {
+                write!(f, "deadlock: {} thread(s) blocked forever", blocked.len())
+            }
+            SimError::Stalled { ready } => write!(
+                f,
+                "scheduler stall: {} ready thread(s) cannot be placed",
+                ready.len()
+            ),
+            SimError::SyncMisuse(e) => write!(f, "{e}"),
+            SimError::ModelContract { shared, detail } => {
+                write!(f, "contention model contract violated at {shared}: {detail}")
+            }
+            SimError::SchedulerContract { thread } => write!(
+                f,
+                "execution scheduler picked {thread}, which was not ready"
+            ),
+            SimError::StepLimit { limit } => {
+                write!(f, "kernel step limit of {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::SyncMisuse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SyncMisuseError> for SimError {
+    fn from(e: SyncMisuseError) -> SimError {
+        SimError::SyncMisuse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = BuildError::NoProcs;
+        assert!(format!("{e}").contains("no physical resources"));
+        let s = SimError::Deadlock {
+            blocked: vec![ThreadId(0), ThreadId(1)],
+        };
+        assert!(format!("{s}").contains("deadlock"));
+        let s = SimError::StepLimit { limit: 10 };
+        assert!(format!("{s}").contains("10"));
+    }
+
+    #[test]
+    fn sync_misuse_converts() {
+        let m = SyncMisuseError {
+            thread: ThreadId(0),
+            op: crate::sync::SyncOp::MutexLock(crate::ids::SyncId(0)),
+            detail: "x".into(),
+        };
+        let e: SimError = m.clone().into();
+        assert_eq!(e, SimError::SyncMisuse(m));
+    }
+}

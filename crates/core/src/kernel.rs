@@ -1,0 +1,1574 @@
+//! The hybrid simulation kernel (paper §4.2, Figure 2).
+//!
+//! The kernel interleaves three activities:
+//!
+//! 1. **Scheduling** — whenever a physical resource is available, the
+//!    execution scheduler (`UE`) places an eligible logical thread on it; the
+//!    thread's next annotation region is executed (logically, in zero virtual
+//!    time) and its complexity resolved to a physical end time, which enters
+//!    a priority queue (Figure 2, lines 2–7).
+//! 2. **Committing** — the region with the earliest physical end time is
+//!    popped. If it carries unapplied penalty, the penalty is folded into its
+//!    end time and it re-enters the queue *without creating a timeslice*
+//!    (lines 8–12). Otherwise simulation time advances to its end (line 14).
+//! 3. **Timeslice analysis** — the window between the previous commit and the
+//!    new time is analyzed: each in-flight region contributes its
+//!    shared-resource accesses *proportionally to the window's overlap with
+//!    the region's original annotated duration* (penalty extensions carry no
+//!    accesses), and each shared resource's analytical model converts the
+//!    grouped demand into per-thread penalties (lines 15–16). If the
+//!    committing region itself is penalized it re-enters the queue; only a
+//!    penalty-free commit releases its physical resource (lines 17–19).
+//!
+//! Windows shorter than the configured minimum timeslice are not analyzed;
+//! their access mass accumulates into the next sufficiently long window
+//! (paper §4.3).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::annotation::AccessSet;
+use crate::builder::{System, SystemBuilder};
+use crate::error::SimError;
+use crate::ids::{ProcId, SharedId, ThreadId};
+use crate::metrics::{ProcReport, Report, SharedReport, ThreadReport};
+use crate::model::{Slice, SliceRequest};
+use crate::program::ProgramCtx;
+use crate::sched::SchedCtx;
+use crate::sync::{SyncOp, SyncOutcome};
+use crate::time::SimTime;
+use crate::trace::{Event, Trace};
+
+/// Access mass below this threshold is treated as numerical noise and does
+/// not make a thread a contender within a window.
+const MASS_EPS: f64 = 1e-9;
+
+/// The result of a completed simulation: the statistics [`Report`] and, if
+/// enabled, the event [`Trace`].
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// Aggregate statistics of the run.
+    pub report: Report,
+    /// Recorded events (empty unless tracing was enabled on the builder).
+    pub trace: Trace,
+}
+
+/// An annotation region in flight.
+#[derive(Debug)]
+struct Region {
+    thread: ThreadId,
+    proc: ProcId,
+    start: SimTime,
+    /// End of the annotated (penalty-free) duration; access mass is spread
+    /// uniformly over `[start, annotated_end]` and never over penalty tails.
+    annotated_end: SimTime,
+    /// Current end time including all folded penalties.
+    end: SimTime,
+    /// Penalty assigned but not yet folded into `end`.
+    pending: SimTime,
+    accesses: AccessSet,
+    sync: Option<SyncOp>,
+    done: bool,
+    /// For zero-duration regions: whether their access mass has been
+    /// deposited into a window yet.
+    instant_mass_taken: bool,
+}
+
+/// When a thread blocked on a synchronization primitive resumes, relative to
+/// the region in which the unblocking event occurred (paper §4.3).
+///
+/// The simulator only knows the annotation *region* an unblocking event
+/// occurred in, not the exact instruction. The paper resolves the ambiguity
+/// pessimistically; relaxing that assumption is listed as future work, and
+/// [`WakePolicy::StartOfRegion`] implements the optimistic end of the
+/// spectrum: coarsely annotated, synchronization-heavy models bracket the
+/// truth by running under both policies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WakePolicy {
+    /// Resume at the **end** of the unblocking region's physical time — the
+    /// paper's pessimistic assumption and the default.
+    #[default]
+    EndOfRegion,
+    /// Resume at the **start** of the unblocking region (clamped to the
+    /// moment the waiter blocked): optimistic, assumes the unblocking event
+    /// happened as early as possible within its region. The woken thread's
+    /// next region may then be *backdated* — scheduled earlier than the
+    /// current commit frontier — and its access mass is folded into the
+    /// open analysis window.
+    StartOfRegion,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    /// Registered but not yet spawned (see
+    /// [`SystemBuilder::add_dormant_thread`](crate::SystemBuilder::add_dormant_thread)).
+    Dormant,
+    Ready,
+    Running,
+    Blocked,
+    Finished,
+}
+
+struct ThreadRt {
+    state: ThreadState,
+    priority: u32,
+    affinity: Option<Vec<ProcId>>,
+    regions_committed: u64,
+    /// Penalty assigned while the thread had no in-flight region (possible
+    /// under minimum-timeslice accumulation); folded into its next region.
+    carry_penalty: SimTime,
+    ready_since: SimTime,
+    blocked_since: SimTime,
+    /// Earliest physical time the thread's next region may start (commit
+    /// time normally; possibly earlier under the optimistic wake policy).
+    resume_at: SimTime,
+    /// Threads blocked in `SyncOp::Join` on this thread.
+    joiners: Vec<ThreadId>,
+    report: ThreadReport,
+}
+
+struct ProcRt {
+    available: bool,
+    /// Time the resource last became available.
+    free_since: SimTime,
+    report: ProcReport,
+}
+
+pub(crate) struct Kernel {
+    spec: SystemBuilder,
+    threads: Vec<ThreadRt>,
+    procs: Vec<ProcRt>,
+    regions: Vec<Region>,
+    /// Min-heap of (end time, insertion sequence, region index). Entries are
+    /// invalidated lazily: an entry is stale if the region is done or its
+    /// end time moved.
+    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    seq: u64,
+    /// The in-flight region of each thread, if any.
+    inflight_of: Vec<Option<usize>>,
+    /// Threads ready to run, oldest first.
+    ready: Vec<ThreadId>,
+    now: SimTime,
+    /// Start of the current (possibly accumulated) analysis window.
+    window_start: SimTime,
+    /// Last time access mass was integrated up to.
+    boundary: SimTime,
+    /// Access mass per shared resource per thread within the open window.
+    mass: Vec<Vec<f64>>,
+    shared_reports: Vec<SharedReport>,
+    trace: Trace,
+    commits: u64,
+    slices_analyzed: u64,
+    kernel_steps: u64,
+}
+
+impl System {
+    /// Runs the hybrid simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on deadlock, scheduler stall, synchronization
+    /// misuse, a contention-model contract violation, or when the step limit
+    /// is exceeded.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mesh_core::{Annotation, Power, SystemBuilder, VecProgram};
+    ///
+    /// let mut b = SystemBuilder::new();
+    /// b.add_proc("cpu", Power::default());
+    /// b.add_thread("t", VecProgram::new(vec![Annotation::compute(42.0)]));
+    /// let outcome = b.build().unwrap().run().unwrap();
+    /// assert_eq!(outcome.report.total_time.as_cycles(), 42.0);
+    /// ```
+    pub fn run(self) -> Result<SimOutcome, SimError> {
+        Kernel::new(self.spec).run()
+    }
+}
+
+impl Kernel {
+    fn new(spec: SystemBuilder) -> Kernel {
+        let n_threads = spec.threads.len();
+        let n_procs = spec.procs.len();
+        let n_shared = spec.shared.len();
+        let trace = Trace::new(spec.trace);
+        let threads: Vec<ThreadRt> = spec
+            .threads
+            .iter()
+            .map(|t| ThreadRt {
+                state: if t.dormant {
+                    ThreadState::Dormant
+                } else {
+                    ThreadState::Ready
+                },
+                priority: t.priority,
+                affinity: t.affinity.clone(),
+                regions_committed: 0,
+                carry_penalty: SimTime::ZERO,
+                ready_since: SimTime::ZERO,
+                blocked_since: SimTime::ZERO,
+                resume_at: SimTime::ZERO,
+                joiners: Vec::new(),
+                report: ThreadReport::default(),
+            })
+            .collect();
+        let ready = threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == ThreadState::Ready)
+            .map(|(i, _)| ThreadId(i))
+            .collect();
+        Kernel {
+            threads,
+            procs: (0..n_procs)
+                .map(|_| ProcRt {
+                    available: true,
+                    free_since: SimTime::ZERO,
+                    report: ProcReport::default(),
+                })
+                .collect(),
+            regions: Vec::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            inflight_of: vec![None; n_threads],
+            ready,
+            now: SimTime::ZERO,
+            window_start: SimTime::ZERO,
+            boundary: SimTime::ZERO,
+            mass: vec![vec![0.0; n_threads]; n_shared],
+            shared_reports: vec![SharedReport::default(); n_shared],
+            trace,
+            commits: 0,
+            slices_analyzed: 0,
+            kernel_steps: 0,
+            spec,
+        }
+    }
+
+    fn run(mut self) -> Result<SimOutcome, SimError> {
+        let start_wall = std::time::Instant::now();
+        loop {
+            self.schedule_ready()?;
+            match self.pop_next()? {
+                Some(idx) => self.process_commit(idx)?,
+                None => {
+                    if self
+                        .threads
+                        .iter()
+                        .all(|t| t.state == ThreadState::Finished)
+                    {
+                        break;
+                    }
+                    let ready: Vec<ThreadId> = self
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.state == ThreadState::Ready)
+                        .map(|(i, _)| ThreadId(i))
+                        .collect();
+                    if !ready.is_empty() {
+                        return Err(SimError::Stalled { ready });
+                    }
+                    // Blocked threads wait forever; dormant threads that no
+                    // one is left to spawn are equally stuck.
+                    let blocked: Vec<ThreadId> = self
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| {
+                            matches!(t.state, ThreadState::Blocked | ThreadState::Dormant)
+                        })
+                        .map(|(i, _)| ThreadId(i))
+                        .collect();
+                    return Err(SimError::Deadlock { blocked });
+                }
+            }
+        }
+        // Flush any mass still accumulated under the minimum-timeslice rule
+        // so its queuing cost is at least accounted for statistically.
+        self.flush_window()?;
+        let report = self.into_report(start_wall.elapsed());
+        Ok(report)
+    }
+
+    /// Figure 2, lines 2–7: fill every available resource with an eligible
+    /// ready thread.
+    fn schedule_ready(&mut self) -> Result<(), SimError> {
+        loop {
+            let mut progress = false;
+            for p in 0..self.procs.len() {
+                if !self.procs[p].available {
+                    continue;
+                }
+                let proc = ProcId(p);
+                let eligible: Vec<ThreadId> = self
+                    .ready
+                    .iter()
+                    .copied()
+                    .filter(|&t| match &self.threads[t.index()].affinity {
+                        Some(aff) => aff.contains(&proc),
+                        None => true,
+                    })
+                    .collect();
+                if eligible.is_empty() {
+                    continue;
+                }
+                let priorities: Vec<u32> = self.threads.iter().map(|t| t.priority).collect();
+                let ctx = SchedCtx {
+                    now: self.now,
+                    priorities: &priorities,
+                };
+                let Some(pick) = self.spec.scheduler.pick(proc, &eligible, &ctx) else {
+                    continue;
+                };
+                if !eligible.contains(&pick) {
+                    return Err(SimError::SchedulerContract { thread: pick });
+                }
+                self.start_region(pick, proc);
+                progress = true;
+            }
+            if !progress {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Executes the thread's next region on `proc` (or retires the thread if
+    /// its program is done).
+    fn start_region(&mut self, thread: ThreadId, proc: ProcId) {
+        let ti = thread.index();
+        self.ready.retain(|&t| t != thread);
+        // Normally the thread resumed at the current commit time; under the
+        // optimistic wake policy it may resume earlier, bounded below by the
+        // time its resource became free.
+        let start = self.threads[ti]
+            .resume_at
+            .max(self.procs[proc.index()].free_since);
+        let ctx = ProgramCtx {
+            thread,
+            proc,
+            now: start,
+            regions_committed: self.threads[ti].regions_committed,
+        };
+        let next = self.spec.threads[ti].program.next_region(&ctx);
+        match next {
+            None => {
+                self.threads[ti].state = ThreadState::Finished;
+                self.threads[ti].report.finished_at = Some(start);
+                self.trace.push(Event::ThreadFinished { thread, at: start });
+                // Fork/join: release any threads joined on this one.
+                for j in std::mem::take(&mut self.threads[ti].joiners) {
+                    self.wake(j, self.now);
+                }
+            }
+            Some(ann) => {
+                let wait = start.saturating_sub(self.threads[ti].ready_since);
+                self.threads[ti].report.ready_wait += wait;
+                let power = self.spec.procs[proc.index()].power;
+                let duration = ann.complexity.resolve(power);
+                let annotated_end = start + duration;
+                let carry = std::mem::replace(
+                    &mut self.threads[ti].carry_penalty,
+                    SimTime::ZERO,
+                );
+                self.threads[ti].report.accesses += ann.accesses.total();
+                self.threads[ti].state = ThreadState::Running;
+                let region = Region {
+                    thread,
+                    proc,
+                    start,
+                    annotated_end,
+                    end: annotated_end,
+                    pending: carry,
+                    accesses: ann.accesses,
+                    sync: ann.sync,
+                    done: false,
+                    instant_mass_taken: false,
+                };
+                let idx = self.regions.len();
+                self.regions.push(region);
+                self.inflight_of[ti] = Some(idx);
+                self.procs[proc.index()].available = false;
+                self.push_heap(idx);
+                // A backdated region (optimistic wake) partially precedes the
+                // integration boundary; fold that portion's access mass into
+                // the open analysis window immediately so no demand is lost.
+                if start < self.boundary {
+                    let r = &mut self.regions[idx];
+                    if !r.accesses.is_empty() {
+                        let annotated = r.annotated_end - r.start;
+                        if annotated.is_zero() {
+                            r.instant_mass_taken = true;
+                            for (s, c) in r.accesses.iter() {
+                                self.mass[s.index()][ti] += c;
+                            }
+                        } else {
+                            let hi = self.boundary.min(r.annotated_end);
+                            let frac = (hi - r.start) / annotated;
+                            for (s, c) in r.accesses.iter() {
+                                self.mass[s.index()][ti] += c * frac;
+                            }
+                            // Shrink the live window so future integration
+                            // only covers the part past the boundary.
+                            // (Handled naturally: integrate_mass overlaps
+                            // with (boundary, ...], which excludes the
+                            // deposited prefix.)
+                        }
+                    }
+                }
+                self.trace.push(Event::RegionScheduled {
+                    thread,
+                    proc,
+                    start,
+                    annotated_end,
+                });
+            }
+        }
+    }
+
+    fn push_heap(&mut self, idx: usize) {
+        let end = self.regions[idx].end;
+        self.heap.push(Reverse((end, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    /// Figure 2, lines 8–13: pop the earliest region, folding unapplied
+    /// penalties (each fold re-inserts without creating a timeslice).
+    fn pop_next(&mut self) -> Result<Option<usize>, SimError> {
+        loop {
+            let Some(Reverse((end, _seq, idx))) = self.heap.pop() else {
+                return Ok(None);
+            };
+            self.kernel_steps += 1;
+            if self.kernel_steps > self.spec.step_limit {
+                return Err(SimError::StepLimit {
+                    limit: self.spec.step_limit,
+                });
+            }
+            let region = &mut self.regions[idx];
+            if region.done || region.end != end {
+                continue; // stale entry
+            }
+            if !region.pending.is_zero() {
+                let penalty = std::mem::replace(&mut region.pending, SimTime::ZERO);
+                region.end += penalty;
+                let (thread, new_end) = (region.thread, region.end);
+                self.trace.push(Event::PenaltyFolded {
+                    thread,
+                    amount: penalty,
+                    new_end,
+                });
+                self.push_heap(idx);
+                continue;
+            }
+            return Ok(Some(idx));
+        }
+    }
+
+    /// Figure 2, lines 14–19: advance time, analyze the timeslice, and either
+    /// commit the region or re-insert it with its fresh penalty.
+    fn process_commit(&mut self, idx: usize) -> Result<(), SimError> {
+        let end = self.regions[idx].end;
+        // Backdated regions (optimistic wake policy) may end before the
+        // commit frontier; the frontier itself never moves backwards.
+        self.now = self.now.max(end);
+
+        self.integrate_mass(idx);
+        let dur = self.now - self.window_start;
+        if !dur.is_zero() && dur >= self.spec.min_timeslice {
+            self.analyze_window()?;
+        }
+
+        let region = &mut self.regions[idx];
+        if !region.pending.is_zero() {
+            // Lines 17–18: the committing region itself was penalized; fold
+            // immediately and re-insert. Its resource stays busy.
+            let penalty = std::mem::replace(&mut region.pending, SimTime::ZERO);
+            region.end += penalty;
+            let (thread, new_end) = (region.thread, region.end);
+            self.trace.push(Event::PenaltyFolded {
+                thread,
+                amount: penalty,
+                new_end,
+            });
+            self.push_heap(idx);
+            return Ok(());
+        }
+
+        // Line 19: penalty-free commit.
+        let region = &mut self.regions[idx];
+        region.done = true;
+        let thread = region.thread;
+        let proc = region.proc;
+        let region_start = region.start;
+        let busy = region.annotated_end - region.start;
+        let span = region.end - region.start;
+        let sync = region.sync;
+        let ti = thread.index();
+        self.inflight_of[ti] = None;
+        // The resource frees at the region's own end, which under the
+        // optimistic wake policy can precede the commit frontier.
+        self.procs[proc.index()].available = true;
+        self.procs[proc.index()].free_since = end;
+        self.procs[proc.index()].report.busy += span;
+        self.procs[proc.index()].report.regions += 1;
+        self.threads[ti].report.busy += busy;
+        self.threads[ti].report.regions += 1;
+        self.threads[ti].regions_committed += 1;
+        self.commits += 1;
+        self.trace.push(Event::RegionCommitted {
+            thread,
+            proc,
+            at: end,
+        });
+
+        // The physical time a woken thread resumes at, per the configured
+        // policy (paper §4.3 and its stated future work).
+        let wake_at = match self.spec.wake_policy {
+            WakePolicy::EndOfRegion => end,
+            WakePolicy::StartOfRegion => region_start,
+        };
+
+        match sync {
+            None => self.make_ready(thread, end),
+            // Thread-lifecycle operations are resolved by the kernel itself;
+            // everything else goes to the synchronization table.
+            Some(SyncOp::Spawn(child)) => {
+                let ci = child.index();
+                if self
+                    .threads
+                    .get(ci)
+                    .map(|c| c.state != ThreadState::Dormant)
+                    .unwrap_or(true)
+                {
+                    return Err(SimError::SyncMisuse(crate::sync::SyncMisuseError {
+                        thread,
+                        op: SyncOp::Spawn(child),
+                        detail: "spawn target is not a dormant thread".to_string(),
+                    }));
+                }
+                self.make_ready(thread, end);
+                self.make_ready(child, end);
+                self.trace.push(Event::ThreadWoken {
+                    thread: child,
+                    at: end,
+                });
+            }
+            Some(SyncOp::Join(target)) => {
+                let si = target.index();
+                if si >= self.threads.len() || target == thread {
+                    return Err(SimError::SyncMisuse(crate::sync::SyncMisuseError {
+                        thread,
+                        op: SyncOp::Join(target),
+                        detail: "invalid join target".to_string(),
+                    }));
+                }
+                if self.threads[si].state == ThreadState::Finished {
+                    self.make_ready(thread, end);
+                } else {
+                    self.threads[si].joiners.push(thread);
+                    self.threads[ti].state = ThreadState::Blocked;
+                    self.threads[ti].blocked_since = end;
+                    self.trace.push(Event::ThreadBlocked {
+                        thread,
+                        op: SyncOp::Join(target),
+                        at: end,
+                    });
+                }
+            }
+            Some(op) => match self.spec.sync.apply(thread, op)? {
+                SyncOutcome::Proceed { woken } => {
+                    self.make_ready(thread, end);
+                    for w in woken {
+                        self.wake(w, wake_at);
+                    }
+                }
+                SyncOutcome::Block => {
+                    self.threads[ti].state = ThreadState::Blocked;
+                    self.threads[ti].blocked_since = end;
+                    self.trace.push(Event::ThreadBlocked {
+                        thread,
+                        op,
+                        at: end,
+                    });
+                }
+            },
+        }
+        Ok(())
+    }
+
+    fn make_ready(&mut self, thread: ThreadId, at: SimTime) {
+        let ti = thread.index();
+        self.threads[ti].state = ThreadState::Ready;
+        self.threads[ti].ready_since = at;
+        self.threads[ti].resume_at = at;
+        self.ready.push(thread);
+    }
+
+    /// Wakes a thread blocked on a synchronization primitive, resuming it at
+    /// `at` — the end of the unblocking region under the paper's pessimistic
+    /// assumption (§4.3), or its start under the optimistic policy, but never
+    /// before the waiter actually blocked.
+    fn wake(&mut self, thread: ThreadId, at: SimTime) {
+        let ti = thread.index();
+        debug_assert_eq!(self.threads[ti].state, ThreadState::Blocked);
+        let resume = at.max(self.threads[ti].blocked_since);
+        let blocked_for = resume.saturating_sub(self.threads[ti].blocked_since);
+        self.threads[ti].report.blocked += blocked_for;
+        self.trace.push(Event::ThreadWoken { thread, at: resume });
+        self.make_ready(thread, resume);
+    }
+
+    /// Deposits the access mass of every in-flight region (including the one
+    /// being committed) for the span `(boundary, now]` into the open window.
+    ///
+    /// Mass is spread uniformly over the region's *annotated* duration, so
+    /// penalty tails contribute nothing (paper §4.2).
+    fn integrate_mass(&mut self, committing: usize) {
+        let from = self.boundary;
+        let to = self.now;
+        self.boundary = to;
+        let deposit = |region: &mut Region, mass: &mut Vec<Vec<f64>>| {
+            if region.accesses.is_empty() {
+                return;
+            }
+            let ti = region.thread.index();
+            let annotated = region.annotated_end - region.start;
+            if annotated.is_zero() {
+                // Instant region: all mass belongs to the window containing
+                // its start.
+                if !region.instant_mass_taken && region.start >= from && region.start <= to {
+                    region.instant_mass_taken = true;
+                    for (s, c) in region.accesses.iter() {
+                        mass[s.index()][ti] += c;
+                    }
+                }
+                return;
+            }
+            let lo = from.max(region.start);
+            let hi = to.min(region.annotated_end);
+            if hi <= lo {
+                return;
+            }
+            let frac = (hi - lo) / annotated;
+            for (s, c) in region.accesses.iter() {
+                mass[s.index()][ti] += c * frac;
+            }
+        };
+        // Each thread has at most one in-flight region; the committing
+        // region is still registered as in flight here.
+        let mut mass = std::mem::take(&mut self.mass);
+        for t in 0..self.inflight_of.len() {
+            if let Some(idx) = self.inflight_of[t] {
+                deposit(&mut self.regions[idx], &mut mass);
+            }
+        }
+        // Defensive: the committing region must have been covered above.
+        debug_assert!(self.inflight_of[self.regions[committing].thread.index()] == Some(committing));
+        self.mass = mass;
+    }
+
+    /// Figure 2, lines 15–16: evaluate each shared resource's analytical
+    /// model over the window `(window_start, now]` and distribute penalties.
+    fn analyze_window(&mut self) -> Result<(), SimError> {
+        let dur = self.now - self.window_start;
+        debug_assert!(!dur.is_zero());
+        self.slices_analyzed += 1;
+        for s in 0..self.mass.len() {
+            let shared = SharedId(s);
+            let mut requests: Vec<SliceRequest> = Vec::new();
+            for (t, &m) in self.mass[s].iter().enumerate() {
+                if m > MASS_EPS {
+                    requests.push(SliceRequest {
+                        thread: ThreadId(t),
+                        accesses: m,
+                        priority: self.threads[t].priority,
+                    });
+                }
+            }
+            let total_accesses: f64 = requests.iter().map(|r| r.accesses).sum();
+            if total_accesses > 0.0 {
+                self.shared_report_mut(s).accesses += total_accesses;
+            }
+            if requests.len() < 2 {
+                // A lone contender suffers no contention (paper §4.2: "only
+                // thread A accessed the shared resource ... no penalties").
+                self.mass[s].iter_mut().for_each(|m| *m = 0.0);
+                continue;
+            }
+            let slice = Slice {
+                start: self.window_start,
+                duration: dur,
+                service_time: self.spec.shared[s].service_time,
+                shared,
+            };
+            let penalties = self.spec.shared[s].model.penalties(&slice, &requests);
+            if penalties.len() != requests.len() {
+                return Err(SimError::ModelContract {
+                    shared,
+                    detail: format!(
+                        "model returned {} penalties for {} requests",
+                        penalties.len(),
+                        requests.len()
+                    ),
+                });
+            }
+            let mut total_penalty = SimTime::ZERO;
+            for (req, &p) in requests.iter().zip(&penalties) {
+                if !(p.as_cycles().is_finite() && p.as_cycles() >= 0.0) {
+                    return Err(SimError::ModelContract {
+                        shared,
+                        detail: format!("invalid penalty {p:?} for {}", req.thread),
+                    });
+                }
+                if p.is_zero() {
+                    continue;
+                }
+                total_penalty += p;
+                let ti = req.thread.index();
+                self.threads[ti].report.queuing += p;
+                self.trace.push(Event::PenaltyAssigned {
+                    shared,
+                    thread: req.thread,
+                    amount: p,
+                });
+                match self.inflight_of[ti] {
+                    Some(ridx) => self.regions[ridx].pending += p,
+                    // The thread's region already committed inside this
+                    // (accumulated) window; delay its next region instead.
+                    None => self.threads[ti].carry_penalty += p,
+                }
+            }
+            if !total_penalty.is_zero() {
+                self.shared_report_mut(s).queuing += total_penalty;
+                self.shared_report_mut(s).contended_slices += 1;
+            }
+            self.trace.push(Event::SliceAnalyzed {
+                shared,
+                start: self.window_start,
+                end: self.now,
+                contenders: requests.len(),
+                penalty_total: total_penalty,
+            });
+            self.mass[s].iter_mut().for_each(|m| *m = 0.0);
+        }
+        self.window_start = self.now;
+        Ok(())
+    }
+
+    /// Analyzes whatever window remains open at the end of the run, so that
+    /// queuing deferred by the minimum-timeslice rule is still accounted for
+    /// in the statistics.
+    fn flush_window(&mut self) -> Result<(), SimError> {
+        let dur = self.now - self.window_start;
+        let has_mass = self
+            .mass
+            .iter()
+            .any(|per| per.iter().any(|&m| m > MASS_EPS));
+        if !dur.is_zero() && has_mass {
+            self.analyze_window()?;
+            // Any penalties landed in carry_penalty / pending of nothing:
+            // threads are finished, so the amounts are purely statistical.
+        }
+        Ok(())
+    }
+
+    fn shared_report_mut(&mut self, s: usize) -> &mut SharedReport {
+        &mut self.shared_reports[s]
+    }
+
+    fn into_report(self, wall: std::time::Duration) -> SimOutcome {
+        let shared_reports = self.shared_reports;
+        SimOutcome {
+            report: Report {
+                total_time: self.now,
+                threads: self.threads.into_iter().map(|t| t.report).collect(),
+                procs: self.procs.into_iter().map(|p| p.report).collect(),
+                shared: shared_reports,
+                commits: self.commits,
+                slices_analyzed: self.slices_analyzed,
+                kernel_steps: self.kernel_steps,
+                wall_clock: wall,
+            },
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::Annotation;
+    use crate::model::{ContentionModel, NoContention};
+    use crate::program::VecProgram;
+    use crate::time::Power;
+
+    /// Penalizes every contender by a fixed amount whenever the kernel finds
+    /// contention — handy for hand-verifiable walkthroughs.
+    #[derive(Debug)]
+    struct FlatPenalty(f64);
+
+    impl ContentionModel for FlatPenalty {
+        fn penalties(&self, _slice: &Slice, reqs: &[SliceRequest]) -> Vec<SimTime> {
+            vec![SimTime::from_cycles(self.0); reqs.len()]
+        }
+        fn name(&self) -> &str {
+            "flat"
+        }
+    }
+
+    fn two_proc_builder() -> (SystemBuilder, ProcId, ProcId) {
+        let mut b = SystemBuilder::new();
+        let p0 = b.add_proc("p0", Power::default());
+        let p1 = b.add_proc("p1", Power::default());
+        (b, p0, p1)
+    }
+
+    #[test]
+    fn single_thread_resolves_complexity_to_time() {
+        let mut b = SystemBuilder::new();
+        b.add_proc("p", Power::from_units_per_cycle(2.0));
+        b.add_thread(
+            "t",
+            VecProgram::new(vec![Annotation::compute(100.0), Annotation::compute(50.0)]),
+        );
+        let r = b.build().unwrap().run().unwrap().report;
+        assert_eq!(r.total_time.as_cycles(), 75.0);
+        assert_eq!(r.commits, 2);
+        assert_eq!(r.queuing_total(), SimTime::ZERO);
+        assert_eq!(r.threads[0].regions, 2);
+        assert_eq!(r.threads[0].finished_at, Some(SimTime::from_cycles(75.0)));
+    }
+
+    #[test]
+    fn lone_accessor_is_never_penalized() {
+        let mut b = SystemBuilder::new();
+        b.add_proc("p", Power::default());
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(2.0), FlatPenalty(99.0));
+        b.add_thread(
+            "t",
+            VecProgram::new(vec![Annotation::compute(100.0).with_accesses(bus, 50.0)]),
+        );
+        let r = b.build().unwrap().run().unwrap().report;
+        assert_eq!(r.queuing_total(), SimTime::ZERO);
+        assert_eq!(r.total_time.as_cycles(), 100.0);
+        // Accesses are still accounted at the shared resource.
+        assert!((r.shared[bus.index()].accesses - 50.0).abs() < 1e-9);
+    }
+
+    /// The Figure-3-style walkthrough hand-simulated in the design notes:
+    /// thread A runs one 100-cycle region with 10 bus accesses on p0; thread
+    /// B runs two 50-cycle regions with 5 accesses each on p1; the model
+    /// penalizes every contender 10 cycles per contended slice.
+    #[test]
+    fn figure3_walkthrough_penalty_timeline() {
+        let (mut b, p0, p1) = two_proc_builder();
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), FlatPenalty(10.0));
+        let a = b.add_thread(
+            "A",
+            VecProgram::new(vec![Annotation::compute(100.0).with_accesses(bus, 10.0)]),
+        );
+        let bt = b.add_thread(
+            "B",
+            VecProgram::new(vec![
+                Annotation::compute(50.0).with_accesses(bus, 5.0),
+                Annotation::compute(50.0).with_accesses(bus, 5.0),
+            ]),
+        );
+        b.pin_thread(a, &[p0]);
+        b.pin_thread(bt, &[p1]);
+        b.enable_trace();
+        let outcome = b.build().unwrap().run().unwrap();
+        let r = outcome.report;
+        // Hand-derived: B1 penalized at 50 -> ends 60; A accumulates 10 at
+        // slice (0,50], 10 more at (60,110]; B2 runs (60,110], penalized at
+        // 110 -> ends 120; A folds to 110 then 120, commits clean at 120.
+        assert_eq!(r.total_time.as_cycles(), 120.0);
+        assert_eq!(r.threads[a.index()].queuing.as_cycles(), 20.0);
+        assert_eq!(r.threads[bt.index()].queuing.as_cycles(), 20.0);
+        assert_eq!(r.threads[a.index()].busy.as_cycles(), 100.0);
+        assert_eq!(r.threads[bt.index()].busy.as_cycles(), 100.0);
+        assert_eq!(r.commits, 3);
+        assert_eq!(r.procs[p0.index()].busy.as_cycles(), 120.0);
+        assert_eq!(r.procs[p1.index()].busy.as_cycles(), 120.0);
+        // The trace contains folds for both threads.
+        let folds = outcome
+            .trace
+            .iter()
+            .filter(|e| matches!(e, Event::PenaltyFolded { .. }))
+            .count();
+        assert!(folds >= 3, "expected several penalty folds, saw {folds}");
+    }
+
+    #[test]
+    fn penalty_tail_contains_no_accesses() {
+        // Same scenario, but check the bus saw exactly the annotated access
+        // mass: penalties must not amplify demand.
+        let (mut b, p0, p1) = two_proc_builder();
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), FlatPenalty(10.0));
+        let a = b.add_thread(
+            "A",
+            VecProgram::new(vec![Annotation::compute(100.0).with_accesses(bus, 10.0)]),
+        );
+        let bt = b.add_thread(
+            "B",
+            VecProgram::new(vec![Annotation::compute(100.0).with_accesses(bus, 10.0)]),
+        );
+        b.pin_thread(a, &[p0]);
+        b.pin_thread(bt, &[p1]);
+        let r = b.build().unwrap().run().unwrap().report;
+        assert!((r.shared[bus.index()].accesses - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_timeslice_defers_analysis() {
+        let (mut b, p0, p1) = two_proc_builder();
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), FlatPenalty(10.0));
+        let a = b.add_thread(
+            "A",
+            VecProgram::new(vec![Annotation::compute(100.0).with_accesses(bus, 10.0)]),
+        );
+        let bt = b.add_thread(
+            "B",
+            VecProgram::new(vec![
+                Annotation::compute(50.0).with_accesses(bus, 5.0),
+                Annotation::compute(50.0).with_accesses(bus, 5.0),
+            ]),
+        );
+        b.pin_thread(a, &[p0]);
+        b.pin_thread(bt, &[p1]);
+        // A minimum slice longer than the whole run: no mid-run analysis, no
+        // timeline shifts; the final flush still accounts the queuing
+        // statistically.
+        b.set_min_timeslice(SimTime::from_cycles(10_000.0));
+        let r = b.build().unwrap().run().unwrap().report;
+        assert_eq!(r.total_time.as_cycles(), 100.0);
+        assert_eq!(r.slices_analyzed, 1); // the final flush only
+        assert!(r.queuing_total().as_cycles() > 0.0);
+    }
+
+    #[test]
+    fn min_timeslice_reduces_slice_count() {
+        let run = |min: f64| {
+            let (mut b, p0, p1) = two_proc_builder();
+            let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), FlatPenalty(1.0));
+            let mk = |n: usize, c: f64| {
+                VecProgram::new(
+                    (0..n)
+                        .map(|_| Annotation::compute(c).with_accesses(bus, 2.0))
+                        .collect(),
+                )
+            };
+            let a = b.add_thread("A", mk(40, 13.0));
+            let t = b.add_thread("B", mk(40, 17.0));
+            b.pin_thread(a, &[p0]);
+            b.pin_thread(t, &[p1]);
+            b.set_min_timeslice(SimTime::from_cycles(min));
+            b.build().unwrap().run().unwrap().report
+        };
+        let fine = run(0.0);
+        let coarse = run(50.0);
+        assert!(coarse.slices_analyzed < fine.slices_analyzed);
+        // Queuing is still accounted, within a loose band of the fine run.
+        assert!(coarse.queuing_total().as_cycles() > 0.0);
+    }
+
+    #[test]
+    fn barrier_aligns_threads() {
+        let (mut b, p0, p1) = two_proc_builder();
+        let bar = b.add_barrier(2);
+        let fast = b.add_thread(
+            "fast",
+            VecProgram::new(vec![
+                Annotation::compute(30.0).with_sync(SyncOp::Barrier(bar)),
+                Annotation::compute(10.0),
+            ]),
+        );
+        let slow = b.add_thread(
+            "slow",
+            VecProgram::new(vec![
+                Annotation::compute(100.0).with_sync(SyncOp::Barrier(bar)),
+                Annotation::compute(10.0),
+            ]),
+        );
+        b.pin_thread(fast, &[p0]);
+        b.pin_thread(slow, &[p1]);
+        let r = b.build().unwrap().run().unwrap().report;
+        // fast blocks at 30, woken when slow arrives at 100; both finish
+        // their last region at 110.
+        assert_eq!(r.total_time.as_cycles(), 110.0);
+        assert_eq!(r.threads[fast.index()].blocked.as_cycles(), 70.0);
+        assert_eq!(r.threads[slow.index()].blocked.as_cycles(), 0.0);
+    }
+
+    #[test]
+    fn mutex_serializes_critical_sections() {
+        let (mut b, p0, p1) = two_proc_builder();
+        let m = b.add_mutex();
+        let mk = || {
+            VecProgram::new(vec![
+                Annotation::sync(SyncOp::MutexLock(m)),
+                Annotation::compute(50.0).with_sync(SyncOp::MutexUnlock(m)),
+            ])
+        };
+        let t0 = b.add_thread("t0", mk());
+        let t1 = b.add_thread("t1", mk());
+        b.pin_thread(t0, &[p0]);
+        b.pin_thread(t1, &[p1]);
+        let r = b.build().unwrap().run().unwrap().report;
+        // Critical sections cannot overlap: 50 + 50 serialized.
+        assert_eq!(r.total_time.as_cycles(), 100.0);
+        let blocked_total: f64 = r.threads.iter().map(|t| t.blocked.as_cycles()).sum();
+        assert_eq!(blocked_total, 50.0);
+    }
+
+    #[test]
+    fn semaphore_producer_consumer() {
+        let (mut b, p0, p1) = two_proc_builder();
+        let items = b.add_semaphore(0);
+        let producer = b.add_thread(
+            "producer",
+            VecProgram::new(vec![
+                Annotation::compute(40.0).with_sync(SyncOp::SemPost(items)),
+                Annotation::compute(40.0).with_sync(SyncOp::SemPost(items)),
+            ]),
+        );
+        let consumer = b.add_thread(
+            "consumer",
+            VecProgram::new(vec![
+                Annotation::sync(SyncOp::SemWait(items)),
+                Annotation::compute(10.0).with_sync(SyncOp::SemWait(items)),
+                Annotation::compute(10.0),
+            ]),
+        );
+        b.pin_thread(producer, &[p0]);
+        b.pin_thread(consumer, &[p1]);
+        let r = b.build().unwrap().run().unwrap().report;
+        // Consumer waits for item 1 at t=0..40, consumes (10), waits for
+        // item 2 until t=80, consumes (10) -> finishes at 90.
+        assert_eq!(r.total_time.as_cycles(), 90.0);
+        assert_eq!(r.threads[consumer.index()].blocked.as_cycles(), 70.0);
+    }
+
+    #[test]
+    fn condvar_signal_wakes_waiter() {
+        let (mut b, p0, p1) = two_proc_builder();
+        let cv = b.add_condvar();
+        let waiter = b.add_thread(
+            "waiter",
+            VecProgram::new(vec![
+                Annotation::sync(SyncOp::CondWait(cv)),
+                Annotation::compute(5.0),
+            ]),
+        );
+        let signaler = b.add_thread(
+            "signaler",
+            VecProgram::new(vec![Annotation::compute(25.0).with_sync(SyncOp::CondSignal(cv))]),
+        );
+        b.pin_thread(waiter, &[p0]);
+        b.pin_thread(signaler, &[p1]);
+        let r = b.build().unwrap().run().unwrap().report;
+        assert_eq!(r.total_time.as_cycles(), 30.0);
+        assert_eq!(r.threads[waiter.index()].blocked.as_cycles(), 25.0);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let (mut b, p0, p1) = two_proc_builder();
+        let m0 = b.add_mutex();
+        let m1 = b.add_mutex();
+        let t0 = b.add_thread(
+            "t0",
+            VecProgram::new(vec![
+                Annotation::sync(SyncOp::MutexLock(m0)),
+                Annotation::compute(10.0).with_sync(SyncOp::MutexLock(m1)),
+            ]),
+        );
+        let t1 = b.add_thread(
+            "t1",
+            VecProgram::new(vec![
+                Annotation::sync(SyncOp::MutexLock(m1)),
+                Annotation::compute(10.0).with_sync(SyncOp::MutexLock(m0)),
+            ]),
+        );
+        b.pin_thread(t0, &[p0]);
+        b.pin_thread(t1, &[p1]);
+        match b.build().unwrap().run() {
+            Err(SimError::Deadlock { blocked }) => assert_eq!(blocked.len(), 2),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_misuse_aborts() {
+        let mut b = SystemBuilder::new();
+        b.add_proc("p", Power::default());
+        let m = b.add_mutex();
+        b.add_thread(
+            "t",
+            VecProgram::new(vec![Annotation::sync(SyncOp::MutexUnlock(m))]),
+        );
+        assert!(matches!(
+            b.build().unwrap().run(),
+            Err(SimError::SyncMisuse(_))
+        ));
+    }
+
+    #[test]
+    fn model_contract_violation_detected() {
+        #[derive(Debug)]
+        struct BadModel;
+        impl ContentionModel for BadModel {
+            fn penalties(&self, _s: &Slice, _r: &[SliceRequest]) -> Vec<SimTime> {
+                Vec::new() // wrong length
+            }
+        }
+        let (mut b, p0, p1) = two_proc_builder();
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), BadModel);
+        let t0 = b.add_thread(
+            "t0",
+            VecProgram::new(vec![Annotation::compute(10.0).with_accesses(bus, 1.0)]),
+        );
+        let t1 = b.add_thread(
+            "t1",
+            VecProgram::new(vec![Annotation::compute(10.0).with_accesses(bus, 1.0)]),
+        );
+        b.pin_thread(t0, &[p0]);
+        b.pin_thread(t1, &[p1]);
+        assert!(matches!(
+            b.build().unwrap().run(),
+            Err(SimError::ModelContract { .. })
+        ));
+    }
+
+    #[test]
+    fn step_limit_guards_runaway_programs() {
+        use crate::program::FnProgram;
+        let mut b = SystemBuilder::new();
+        b.add_proc("p", Power::default());
+        b.add_thread(
+            "loop",
+            FnProgram::new(|_ctx: &ProgramCtx| Some(Annotation::compute(1.0))),
+        );
+        b.set_step_limit(1000);
+        assert!(matches!(
+            b.build().unwrap().run(),
+            Err(SimError::StepLimit { limit: 1000 })
+        ));
+    }
+
+    #[test]
+    fn more_threads_than_procs_share_a_resource() {
+        let mut b = SystemBuilder::new();
+        b.add_proc("p", Power::default());
+        for i in 0..3 {
+            b.add_thread(
+                format!("t{i}"),
+                VecProgram::new(vec![Annotation::compute(10.0)]),
+            );
+        }
+        let r = b.build().unwrap().run().unwrap().report;
+        // One processor executes the three regions back to back.
+        assert_eq!(r.total_time.as_cycles(), 30.0);
+        let ready_wait: f64 = r.threads.iter().map(|t| t.ready_wait.as_cycles()).sum();
+        assert_eq!(ready_wait, 10.0 + 20.0);
+    }
+
+    #[test]
+    fn heterogeneous_powers_affect_durations() {
+        let mut b = SystemBuilder::new();
+        let fast = b.add_proc("fast", Power::from_units_per_cycle(2.0));
+        let slow = b.add_proc("slow", Power::from_units_per_cycle(0.5));
+        let t0 = b.add_thread("t0", VecProgram::new(vec![Annotation::compute(100.0)]));
+        let t1 = b.add_thread("t1", VecProgram::new(vec![Annotation::compute(100.0)]));
+        b.pin_thread(t0, &[fast]);
+        b.pin_thread(t1, &[slow]);
+        let r = b.build().unwrap().run().unwrap().report;
+        assert_eq!(r.threads[t0.index()].busy.as_cycles(), 50.0);
+        assert_eq!(r.threads[t1.index()].busy.as_cycles(), 200.0);
+        assert_eq!(r.total_time.as_cycles(), 200.0);
+    }
+
+    #[test]
+    fn no_contention_model_leaves_timing_unchanged() {
+        let (mut b, p0, p1) = two_proc_builder();
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(3.0), NoContention);
+        let t0 = b.add_thread(
+            "t0",
+            VecProgram::new(vec![Annotation::compute(70.0).with_accesses(bus, 9.0)]),
+        );
+        let t1 = b.add_thread(
+            "t1",
+            VecProgram::new(vec![Annotation::compute(70.0).with_accesses(bus, 9.0)]),
+        );
+        b.pin_thread(t0, &[p0]);
+        b.pin_thread(t1, &[p1]);
+        let r = b.build().unwrap().run().unwrap().report;
+        assert_eq!(r.total_time.as_cycles(), 70.0);
+        assert_eq!(r.queuing_total(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn trace_records_schedule_and_commit() {
+        let mut b = SystemBuilder::new();
+        b.add_proc("p", Power::default());
+        b.add_thread("t", VecProgram::new(vec![Annotation::compute(10.0)]));
+        b.enable_trace();
+        let outcome = b.build().unwrap().run().unwrap();
+        let kinds: Vec<&'static str> = outcome
+            .trace
+            .iter()
+            .map(|e| match e {
+                Event::RegionScheduled { .. } => "sched",
+                Event::RegionCommitted { .. } => "commit",
+                Event::ThreadFinished { .. } => "finish",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["sched", "commit", "finish"]);
+    }
+
+    #[test]
+    fn zero_complexity_regions_commit_instantly() {
+        let mut b = SystemBuilder::new();
+        b.add_proc("p", Power::default());
+        b.add_thread(
+            "t",
+            VecProgram::new(vec![
+                Annotation::compute(0.0),
+                Annotation::compute(10.0),
+                Annotation::compute(0.0),
+            ]),
+        );
+        let r = b.build().unwrap().run().unwrap().report;
+        assert_eq!(r.total_time.as_cycles(), 10.0);
+        assert_eq!(r.commits, 3);
+    }
+
+    #[test]
+    fn empty_system_of_threads_finishes_at_zero() {
+        let mut b = SystemBuilder::new();
+        b.add_proc("p", Power::default());
+        let r = b.build().unwrap().run().unwrap().report;
+        assert_eq!(r.total_time, SimTime::ZERO);
+        assert_eq!(r.commits, 0);
+    }
+
+
+
+
+    #[test]
+    fn scheduler_contract_violation_detected() {
+        #[derive(Debug)]
+        struct RogueScheduler;
+        impl crate::sched::ExecScheduler for RogueScheduler {
+            fn pick(
+                &mut self,
+                _proc: ProcId,
+                _ready: &[ThreadId],
+                _ctx: &crate::sched::SchedCtx,
+            ) -> Option<ThreadId> {
+                Some(ThreadId(99)) // never in the ready set
+            }
+        }
+        let mut b = SystemBuilder::new();
+        b.add_proc("p", crate::time::Power::default());
+        b.add_thread("t", VecProgram::new(vec![Annotation::compute(1.0)]));
+        b.set_scheduler(RogueScheduler);
+        assert!(matches!(
+            b.build().unwrap().run(),
+            Err(SimError::SchedulerContract { .. })
+        ));
+    }
+
+    #[test]
+    fn refusing_scheduler_stalls_the_simulation() {
+        #[derive(Debug)]
+        struct LazyScheduler;
+        impl crate::sched::ExecScheduler for LazyScheduler {
+            fn pick(
+                &mut self,
+                _proc: ProcId,
+                _ready: &[ThreadId],
+                _ctx: &crate::sched::SchedCtx,
+            ) -> Option<ThreadId> {
+                None
+            }
+        }
+        let mut b = SystemBuilder::new();
+        b.add_proc("p", crate::time::Power::default());
+        let t = b.add_thread("t", VecProgram::new(vec![Annotation::compute(1.0)]));
+        b.set_scheduler(LazyScheduler);
+        match b.build().unwrap().run() {
+            Err(SimError::Stalled { ready }) => assert_eq!(ready, vec![t]),
+            other => panic!("expected stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_penalty_is_a_model_contract_violation() {
+        #[derive(Debug)]
+        struct NanModel;
+        impl ContentionModel for NanModel {
+            fn penalties(&self, _s: &Slice, r: &[SliceRequest]) -> Vec<SimTime> {
+                // Bypass SimTime validation deliberately via arithmetic that
+                // yields a non-finite value... SimTime construction forbids
+                // it, so emulate a negative-looking zero-minus trick is not
+                // possible either; the kernel re-validates length instead.
+                vec![SimTime::ZERO; r.len() + 1] // wrong length
+            }
+        }
+        let (mut b, p0, p1) = two_proc_builder();
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), NanModel);
+        let t0 = b.add_thread(
+            "t0",
+            VecProgram::new(vec![Annotation::compute(10.0).with_accesses(bus, 1.0)]),
+        );
+        let t1 = b.add_thread(
+            "t1",
+            VecProgram::new(vec![Annotation::compute(10.0).with_accesses(bus, 1.0)]),
+        );
+        b.pin_thread(t0, &[p0]);
+        b.pin_thread(t1, &[p1]);
+        assert!(matches!(
+            b.build().unwrap().run(),
+            Err(SimError::ModelContract { .. })
+        ));
+    }
+
+    #[test]
+    fn carry_penalty_reaches_a_threads_next_region() {
+        // Under minimum-timeslice accumulation, a window can close after a
+        // contender's region already committed and before its next one is
+        // scheduled on the busy resource; its penalty must carry into that
+        // next region.
+        let (mut b, p0, p1) = two_proc_builder();
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), FlatPenalty(25.0));
+        let a = b.add_thread(
+            "A",
+            VecProgram::new(vec![Annotation::compute(1000.0).with_accesses(bus, 100.0)]),
+        );
+        let bt = b.add_thread(
+            "B",
+            VecProgram::new(vec![
+                Annotation::compute(400.0).with_accesses(bus, 40.0),
+                Annotation::compute(400.0).with_accesses(bus, 40.0),
+            ]),
+        );
+        let c = b.add_thread(
+            "C",
+            VecProgram::new(vec![
+                Annotation::compute(100.0).with_accesses(bus, 50.0),
+                Annotation::compute(100.0),
+            ]),
+        );
+        b.pin_thread(a, &[p0]);
+        b.pin_thread(bt, &[p1]);
+        b.pin_thread(c, &[p1]);
+        b.set_min_timeslice(SimTime::from_cycles(500.0));
+        b.enable_trace();
+        let outcome = b.build().unwrap().run().unwrap();
+        let r = &outcome.report;
+        // B1 committed at 400 inside the deferred window; the analysis at
+        // C1's commit (t=500) penalizes B while it has no region in flight.
+        assert!(r.threads[bt.index()].queuing.as_cycles() > 0.0, "B carried a penalty");
+        // The carry delayed B's second region: B finishes later than its
+        // contention-free 400 + 400 + (wait for C) schedule.
+        let b_finish = r.threads[bt.index()].finished_at.unwrap().as_cycles();
+        assert!(b_finish > 900.0, "B finish {b_finish} should include the carried penalty");
+        // Conservation still holds across the carry path.
+        let per_thread: f64 = r.threads.iter().map(|t| t.queuing.as_cycles()).sum();
+        let per_shared: f64 = r.shared.iter().map(|s| s.queuing.as_cycles()).sum();
+        assert!((per_thread - per_shared).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spawn_and_join_fork_join_graph() {
+        let mut b = SystemBuilder::new();
+        for i in 0..3 {
+            b.add_proc(format!("p{i}"), crate::time::Power::default());
+        }
+        let c0 = b.add_dormant_thread("c0", VecProgram::new(vec![Annotation::compute(50.0)]));
+        let c1 = b.add_dormant_thread("c1", VecProgram::new(vec![Annotation::compute(80.0)]));
+        b.add_thread(
+            "parent",
+            VecProgram::new(vec![
+                Annotation::compute(20.0).with_sync(SyncOp::Spawn(c0)),
+                Annotation::compute(0.0).with_sync(SyncOp::Spawn(c1)),
+                Annotation::compute(0.0).with_sync(SyncOp::Join(c0)),
+                Annotation::compute(0.0).with_sync(SyncOp::Join(c1)),
+                Annotation::compute(5.0),
+            ]),
+        );
+        let r = b.build().unwrap().run().unwrap().report;
+        // Children run [20,70] and [20,100]; parent joins both, then 5 more.
+        assert_eq!(r.total_time.as_cycles(), 105.0);
+        assert_eq!(r.threads[c0.index()].finished_at, Some(SimTime::from_cycles(70.0)));
+        assert_eq!(r.threads[c1.index()].finished_at, Some(SimTime::from_cycles(100.0)));
+    }
+
+    #[test]
+    fn join_on_already_finished_thread_proceeds() {
+        let mut b = SystemBuilder::new();
+        b.add_proc("p0", crate::time::Power::default());
+        b.add_proc("p1", crate::time::Power::default());
+        let c = b.add_dormant_thread("c", VecProgram::new(vec![Annotation::compute(10.0)]));
+        b.add_thread(
+            "parent",
+            VecProgram::new(vec![
+                Annotation::compute(5.0).with_sync(SyncOp::Spawn(c)),
+                Annotation::compute(100.0).with_sync(SyncOp::Join(c)),
+                Annotation::compute(1.0),
+            ]),
+        );
+        let r = b.build().unwrap().run().unwrap().report;
+        // Child done at 15, parent joins at 105 without blocking.
+        assert_eq!(r.total_time.as_cycles(), 106.0);
+        assert_eq!(r.threads[1].blocked, SimTime::ZERO);
+    }
+
+    #[test]
+    fn unspawned_dormant_thread_is_a_deadlock() {
+        let mut b = SystemBuilder::new();
+        b.add_proc("p", crate::time::Power::default());
+        let d = b.add_dormant_thread("d", VecProgram::new(vec![Annotation::compute(1.0)]));
+        b.add_thread("t", VecProgram::new(vec![Annotation::compute(1.0)]));
+        match b.build().unwrap().run() {
+            Err(SimError::Deadlock { blocked }) => assert_eq!(blocked, vec![d]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spawning_a_non_dormant_thread_is_misuse() {
+        let mut b = SystemBuilder::new();
+        b.add_proc("p", crate::time::Power::default());
+        let t0 = b.add_thread("t0", VecProgram::new(vec![Annotation::compute(10.0)]));
+        b.add_thread(
+            "t1",
+            VecProgram::new(vec![Annotation::compute(1.0).with_sync(SyncOp::Spawn(t0))]),
+        );
+        assert!(matches!(
+            b.build().unwrap().run(),
+            Err(SimError::SyncMisuse(_))
+        ));
+    }
+
+    #[test]
+    fn wake_policy_brackets_barrier_resumption() {
+        let run = |policy: WakePolicy| {
+            let (mut b, p0, p1) = two_proc_builder();
+            let bar = b.add_barrier(2);
+            let fast = b.add_thread(
+                "fast",
+                VecProgram::new(vec![
+                    Annotation::compute(30.0).with_sync(SyncOp::Barrier(bar)),
+                    Annotation::compute(50.0),
+                ]),
+            );
+            let slow = b.add_thread(
+                "slow",
+                VecProgram::new(vec![
+                    Annotation::compute(100.0).with_sync(SyncOp::Barrier(bar)),
+                    Annotation::compute(10.0),
+                ]),
+            );
+            b.pin_thread(fast, &[p0]);
+            b.pin_thread(slow, &[p1]);
+            b.set_wake_policy(policy);
+            b.build().unwrap().run().unwrap().report
+        };
+        let pessimistic = run(WakePolicy::EndOfRegion);
+        let optimistic = run(WakePolicy::StartOfRegion);
+        // Pessimistic: fast resumes at 100, finishes at 150.
+        assert_eq!(pessimistic.total_time.as_cycles(), 150.0);
+        // Optimistic: the unblocking event is assumed at the slow region's
+        // start, clamped to when fast blocked (30): fast finishes at 80,
+        // slow at 110.
+        assert_eq!(optimistic.total_time.as_cycles(), 110.0);
+        assert_eq!(
+            optimistic.threads[0].blocked.as_cycles(),
+            0.0,
+        );
+        assert_eq!(pessimistic.threads[0].blocked.as_cycles(), 70.0);
+    }
+
+    #[test]
+    fn optimistic_wake_preserves_access_mass() {
+        // A backdated region's accesses must still be analyzed: total access
+        // mass at the bus is identical under both policies.
+        let run = |policy: WakePolicy| {
+            let (mut b, p0, p1) = two_proc_builder();
+            let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), FlatPenalty(2.0));
+            let bar = b.add_barrier(2);
+            let fast = b.add_thread(
+                "fast",
+                VecProgram::new(vec![
+                    Annotation::compute(30.0)
+                        .with_accesses(bus, 6.0)
+                        .with_sync(SyncOp::Barrier(bar)),
+                    Annotation::compute(50.0).with_accesses(bus, 10.0),
+                ]),
+            );
+            let slow = b.add_thread(
+                "slow",
+                VecProgram::new(vec![
+                    Annotation::compute(100.0)
+                        .with_accesses(bus, 20.0)
+                        .with_sync(SyncOp::Barrier(bar)),
+                    Annotation::compute(10.0).with_accesses(bus, 2.0),
+                ]),
+            );
+            b.pin_thread(fast, &[p0]);
+            b.pin_thread(slow, &[p1]);
+            b.set_wake_policy(policy);
+            b.build().unwrap().run().unwrap().report
+        };
+        let pessimistic = run(WakePolicy::EndOfRegion);
+        let optimistic = run(WakePolicy::StartOfRegion);
+        assert!((pessimistic.shared[0].accesses - 38.0).abs() < 1e-9);
+        assert!((optimistic.shared[0].accesses - 38.0).abs() < 1e-9);
+        // Optimism can only shorten the schedule.
+        assert!(optimistic.total_time <= pessimistic.total_time);
+    }
+
+    #[test]
+    fn queuing_equals_sum_of_assigned_penalties() {
+        let (mut b, p0, p1) = two_proc_builder();
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), FlatPenalty(7.0));
+        let t0 = b.add_thread(
+            "t0",
+            VecProgram::new(
+                (0..5)
+                    .map(|_| Annotation::compute(20.0).with_accesses(bus, 4.0))
+                    .collect(),
+            ),
+        );
+        let t1 = b.add_thread(
+            "t1",
+            VecProgram::new(
+                (0..5)
+                    .map(|_| Annotation::compute(30.0).with_accesses(bus, 4.0))
+                    .collect(),
+            ),
+        );
+        b.pin_thread(t0, &[p0]);
+        b.pin_thread(t1, &[p1]);
+        b.enable_trace();
+        let outcome = b.build().unwrap().run().unwrap();
+        let assigned: f64 = outcome
+            .trace
+            .iter()
+            .filter_map(|e| match e {
+                Event::PenaltyAssigned { amount, .. } => Some(amount.as_cycles()),
+                _ => None,
+            })
+            .sum();
+        assert!((outcome.report.queuing_total().as_cycles() - assigned).abs() < 1e-9);
+        // Shared-resource queuing agrees with thread queuing for one bus.
+        assert!(
+            (outcome.report.shared[bus.index()].queuing.as_cycles() - assigned).abs() < 1e-9
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! # mesh-core — a hybrid simulation/analytical contention-modeling kernel
+//!
+//! A from-scratch Rust implementation of the simulation kernel described in
+//! *"Modeling Shared Resource Contention Using a Hybrid
+//! Simulation/Analytical Approach"* (Bobrek, Pieper, Nelson, Paul, Thomas —
+//! DATE 2004), an extension of the MESH framework for modeling Programmable
+//! Heterogeneous Multiprocessor (PHM) Systems-on-Chip above the instruction
+//! set level.
+//!
+//! ## The idea
+//!
+//! Cycle-accurate simulation of shared-resource contention is accurate but
+//! slow; purely analytical models are fast but assume constant steady-state
+//! behaviour and mis-predict irregular, data-dependent access patterns. The
+//! hybrid approach simulates parallel logical threads for stretches of
+//! physical time determined by software annotations, *temporarily ignoring
+//! contention*; at every timeslice boundary it groups the shared-resource
+//! accesses that occurred and feeds them to an analytical model, which
+//! assigns **time penalties** to each contending thread. Penalties shift all
+//! later execution on the penalized resource, modeling the degraded
+//! performance of a contended shared resource — at a fraction of the cost of
+//! simulating every bus cycle.
+//!
+//! ## The layered model (paper Figure 1b)
+//!
+//! * **Logical threads** (`ThL`) — software, expressed as sequences of
+//!   [`Annotation`] regions produced by a [`ThreadProgram`]. Each annotation
+//!   is a tuple: computational [`Complexity`] plus access counts for any
+//!   number of shared resources.
+//! * **Physical threads** (`ThP`) — processing elements with a computational
+//!   [`Power`], registered with [`SystemBuilder::add_proc`].
+//! * **Execution schedulers** (`UE`) — [`sched::ExecScheduler`] policies
+//!   mapping ready logical threads onto available physical resources.
+//! * **Shared-resource threads** (`ThS`) — buses/memories/devices registered
+//!   with [`SystemBuilder::add_shared_resource`], each carrying an
+//!   interchangeable analytical [`model::ContentionModel`].
+//! * **Shared-resource schedulers** (`US`) — the kernel's post-access
+//!   arbitration: penalties are applied *after* accesses complete, which is
+//!   what allows considering annotation regions in groups.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+//! use mesh_core::{Annotation, Power, SimTime, SystemBuilder, VecProgram};
+//!
+//! /// Penalize every contender by the bus time consumed by the others.
+//! #[derive(Debug)]
+//! struct SerializingBus;
+//!
+//! impl ContentionModel for SerializingBus {
+//!     fn penalties(&self, slice: &Slice, reqs: &[SliceRequest]) -> Vec<SimTime> {
+//!         let total: f64 = reqs.iter().map(|r| r.accesses).sum();
+//!         reqs.iter()
+//!             .map(|r| slice.service_time * (total - r.accesses))
+//!             .collect()
+//!     }
+//! }
+//!
+//! let mut b = SystemBuilder::new();
+//! let cpu0 = b.add_proc("cpu0", Power::default());
+//! let cpu1 = b.add_proc("cpu1", Power::default());
+//! let bus = b.add_shared_resource("bus", SimTime::from_cycles(2.0), SerializingBus);
+//!
+//! let t0 = b.add_thread(
+//!     "a",
+//!     VecProgram::new(vec![Annotation::compute(100.0).with_accesses(bus, 10.0)]),
+//! );
+//! let t1 = b.add_thread(
+//!     "b",
+//!     VecProgram::new(vec![Annotation::compute(100.0).with_accesses(bus, 10.0)]),
+//! );
+//! b.pin_thread(t0, &[cpu0]);
+//! b.pin_thread(t1, &[cpu1]);
+//!
+//! let outcome = b.build()?.run()?;
+//! // Each thread waited for the other's 10 accesses × 2 cycles.
+//! assert_eq!(outcome.report.queuing_total().as_cycles(), 40.0);
+//! assert_eq!(outcome.report.total_time.as_cycles(), 120.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`time`] | [`SimTime`], [`Complexity`], [`Power`] newtypes |
+//! | [`annotation`] | [`Annotation`] region tuples and [`AccessSet`]s |
+//! | [`program`] | [`ThreadProgram`] and ready-made implementations |
+//! | [`model`] | the [`ContentionModel`](model::ContentionModel) interface |
+//! | [`sched`] | execution-scheduler (`UE`) policies |
+//! | [`sync`] | mutex/semaphore/condvar/barrier operations |
+//! | [`builder`] | [`SystemBuilder`] / [`System`] |
+//! | [`kernel`] | the Figure-2 hybrid kernel and [`SimOutcome`] |
+//! | [`metrics`] | the [`Report`] produced by a run |
+//! | [`trace`] | optional event tracing |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annotation;
+pub mod builder;
+pub mod error;
+pub mod ids;
+pub mod kernel;
+pub mod metrics;
+pub mod model;
+pub mod program;
+pub mod sched;
+pub mod sync;
+pub mod time;
+pub mod timeline;
+pub mod trace;
+
+pub use annotation::{AccessSet, Annotation};
+pub use builder::{System, SystemBuilder};
+pub use error::{BuildError, SimError};
+pub use ids::{ProcId, SharedId, SyncId, ThreadId};
+pub use kernel::{SimOutcome, WakePolicy};
+pub use metrics::{ProcReport, Report, SharedReport, ThreadReport};
+pub use program::{FnProgram, ProgramCtx, ThreadProgram, VecProgram};
+pub use sync::SyncOp;
+pub use time::{Complexity, Power, SimTime};

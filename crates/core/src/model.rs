@@ -1,0 +1,206 @@
+//! The analytical contention-model interface (paper §4.1).
+//!
+//! Each shared resource (`ThS`) carries an analytical model. At every
+//! timeslice boundary the kernel groups the shared-resource accesses that the
+//! in-flight annotation regions made during the slice and hands them to the
+//! model, which returns a *time penalty* for each contending logical thread —
+//! the expected queueing delay the thread would have suffered at a real,
+//! arbitrated resource. This is *post-access arbitration*: unlike the
+//! execution scheduler, which arbitrates before a resource is granted, the
+//! shared-resource scheduler applies its corrections after the fact, which is
+//! what permits considering annotation regions in groups (paper §4.1).
+//!
+//! Models are interchangeable per resource ("we allow analytical models to be
+//! interchanged for each individual shared resource within the simulation" —
+//! paper §2); the `mesh-models` crate supplies a library of implementations,
+//! and [`NoContention`] here provides the trivial one.
+
+use crate::ids::{SharedId, ThreadId};
+use crate::time::SimTime;
+
+/// One thread's demand on a shared resource within a timeslice.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SliceRequest {
+    /// The contending logical thread.
+    pub thread: ThreadId,
+    /// Access count the thread's regions contributed to this slice (fractional
+    /// because regions are divided proportionally across slices, paper §4.2).
+    pub accesses: f64,
+    /// Arbitration priority of the thread (higher = more important). Models
+    /// that ignore priorities may disregard this; priority-arbitration models
+    /// give high-priority threads a lower average penalty (paper §4.2).
+    pub priority: u32,
+}
+
+/// The timeslice being analyzed, as seen by a contention model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Slice {
+    /// Start of the analysis window in physical time.
+    pub start: SimTime,
+    /// Length of the analysis window. Always positive when a model is
+    /// invoked.
+    pub duration: SimTime,
+    /// Time the resource needs to service a single access (e.g. the bus
+    /// occupancy of one transfer), configured per shared resource.
+    pub service_time: SimTime,
+    /// The shared resource under analysis.
+    pub shared: SharedId,
+}
+
+impl Slice {
+    /// Offered utilization of one request set member: the fraction of the
+    /// slice the resource would spend serving `accesses` accesses if they
+    /// were contention free. A convenience used by most models.
+    pub fn utilization(&self, accesses: f64) -> f64 {
+        if self.duration.is_zero() {
+            0.0
+        } else {
+            accesses * self.service_time.as_cycles() / self.duration.as_cycles()
+        }
+    }
+}
+
+/// An analytical model resolving contention for one shared resource.
+///
+/// Implementations map a timeslice's grouped access demand to per-thread time
+/// penalties. The kernel upholds, and implementations may rely on:
+///
+/// * `requests` is non-empty and every entry has `accesses > 0`;
+/// * `slice.duration > 0`.
+///
+/// Implementations must return exactly `requests.len()` penalties, aligned
+/// with `requests`, each finite and non-negative; the kernel validates this
+/// and fails the simulation with
+/// [`SimError::ModelContract`](crate::SimError::ModelContract) otherwise.
+///
+/// # Examples
+///
+/// A toy model penalizing every thread by the service time of all *other*
+/// threads' accesses (full serialization):
+///
+/// ```
+/// use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+/// use mesh_core::SimTime;
+///
+/// #[derive(Debug)]
+/// struct FullSerialization;
+///
+/// impl ContentionModel for FullSerialization {
+///     fn penalties(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+///         let total: f64 = requests.iter().map(|r| r.accesses).sum();
+///         requests
+///             .iter()
+///             .map(|r| slice.service_time * (total - r.accesses))
+///             .collect()
+///     }
+/// }
+/// ```
+pub trait ContentionModel: std::fmt::Debug + Send {
+    /// Computes the queueing-delay penalty for each contender in the slice.
+    fn penalties(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime>;
+
+    /// A short human-readable name used in traces and reports.
+    fn name(&self) -> &str {
+        "unnamed"
+    }
+}
+
+impl<M: ContentionModel + ?Sized> ContentionModel for Box<M> {
+    fn penalties(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+        (**self).penalties(slice, requests)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// The trivial contention model: infinite bandwidth, no penalties ever.
+///
+/// Useful as a placeholder while building a system incrementally, and as the
+/// contention-free baseline in accuracy experiments.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::model::{ContentionModel, NoContention, Slice, SliceRequest};
+/// use mesh_core::{SharedId, SimTime};
+///
+/// # fn slice_for_test(shared: SharedId) -> Slice {
+/// #     Slice { start: SimTime::ZERO, duration: SimTime::from_cycles(10.0),
+/// #             service_time: SimTime::from_cycles(1.0), shared }
+/// # }
+/// # let (slice, reqs) = {
+/// #     let mut b = mesh_core::SystemBuilder::new();
+/// #     let s = b.add_shared_resource("bus", SimTime::from_cycles(1.0), NoContention);
+/// #     (slice_for_test(s), Vec::<SliceRequest>::new())
+/// # };
+/// let model = NoContention;
+/// assert!(model.penalties(&slice, &reqs).iter().all(|p| p.is_zero()));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoContention;
+
+impl ContentionModel for NoContention {
+    fn penalties(&self, _slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+        vec![SimTime::ZERO; requests.len()]
+    }
+
+    fn name(&self) -> &str {
+        "no-contention"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slice() -> Slice {
+        Slice {
+            start: SimTime::ZERO,
+            duration: SimTime::from_cycles(100.0),
+            service_time: SimTime::from_cycles(2.0),
+            shared: SharedId(0),
+        }
+    }
+
+    #[test]
+    fn utilization_is_fraction_of_slice() {
+        let s = slice();
+        assert_eq!(s.utilization(10.0), 0.2);
+        assert_eq!(s.utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn utilization_of_empty_slice_is_zero() {
+        let mut s = slice();
+        s.duration = SimTime::ZERO;
+        assert_eq!(s.utilization(5.0), 0.0);
+    }
+
+    #[test]
+    fn no_contention_returns_zeroes() {
+        let reqs = vec![
+            SliceRequest {
+                thread: ThreadId(0),
+                accesses: 10.0,
+                priority: 0,
+            },
+            SliceRequest {
+                thread: ThreadId(1),
+                accesses: 20.0,
+                priority: 0,
+            },
+        ];
+        let p = NoContention.penalties(&slice(), &reqs);
+        assert_eq!(p, vec![SimTime::ZERO, SimTime::ZERO]);
+        assert_eq!(NoContention.name(), "no-contention");
+    }
+
+    #[test]
+    fn boxed_model_delegates() {
+        let boxed: Box<dyn ContentionModel> = Box::new(NoContention);
+        assert_eq!(boxed.name(), "no-contention");
+        assert!(boxed.penalties(&slice(), &[]).is_empty());
+    }
+}

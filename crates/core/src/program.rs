@@ -1,0 +1,216 @@
+//! Logical-thread programs: the source of annotation regions.
+//!
+//! A MESH logical thread is arbitrary software annotated with `consume()`
+//! calls (paper §3). For a simulation library the natural Rust rendering is a
+//! *generator of annotation regions*: the kernel asks the program for its next
+//! region each time the thread is scheduled, and the program is free to base
+//! that decision on anything — pre-recorded traces, random draws, or the
+//! current simulated time exposed through [`ProgramCtx`]. That last channel is
+//! what lets programs express the *data-dependent, dynamic behaviour* that
+//! pure analytical models cannot capture.
+
+use crate::annotation::Annotation;
+use crate::ids::{ProcId, ThreadId};
+use crate::time::SimTime;
+
+/// Execution context visible to a program when it emits its next region.
+#[derive(Clone, Copy, Debug)]
+pub struct ProgramCtx {
+    /// The logical thread the program belongs to.
+    pub thread: ThreadId,
+    /// The physical resource the upcoming region will execute on.
+    pub proc: ProcId,
+    /// Current simulated time (the region's start time).
+    pub now: SimTime,
+    /// Number of regions this thread has already committed.
+    pub regions_committed: u64,
+}
+
+/// A logical thread body: yields annotation regions until the thread
+/// terminates.
+///
+/// Returning `None` terminates the thread. Programs are driven exactly once
+/// per region; the kernel never asks again after `None`.
+///
+/// # Examples
+///
+/// A program computed on the fly from simulated time:
+///
+/// ```
+/// use mesh_core::{Annotation, ProgramCtx, ThreadProgram};
+///
+/// struct PhasedProgram {
+///     remaining: u32,
+/// }
+///
+/// impl ThreadProgram for PhasedProgram {
+///     fn next_region(&mut self, ctx: &ProgramCtx) -> Option<Annotation> {
+///         if self.remaining == 0 {
+///             return None;
+///         }
+///         self.remaining -= 1;
+///         // Data-dependent behaviour: heavier work later in the run.
+///         let complexity = 100.0 + ctx.now.as_cycles() * 0.01;
+///         Some(Annotation::compute(complexity))
+///     }
+/// }
+/// ```
+pub trait ThreadProgram: Send {
+    /// Produces the next annotation region, or `None` when the thread is
+    /// done.
+    fn next_region(&mut self, ctx: &ProgramCtx) -> Option<Annotation>;
+}
+
+/// A program that replays a pre-built list of annotation regions.
+///
+/// This is the form produced by the `mesh-annotate` bridge from workload
+/// traces, and the most convenient form for tests.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::{Annotation, VecProgram};
+///
+/// let program = VecProgram::new(vec![
+///     Annotation::compute(1_000.0),
+///     Annotation::compute(2_000.0),
+/// ]);
+/// assert_eq!(program.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct VecProgram {
+    regions: std::vec::IntoIter<Annotation>,
+    total: usize,
+}
+
+impl VecProgram {
+    /// Creates a program replaying `regions` in order.
+    pub fn new(regions: Vec<Annotation>) -> VecProgram {
+        VecProgram {
+            total: regions.len(),
+            regions: regions.into_iter(),
+        }
+    }
+
+    /// Number of regions remaining to be emitted.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Returns `true` if no regions remain.
+    pub fn is_empty(&self) -> bool {
+        self.regions.len() == 0
+    }
+
+    /// Number of regions the program started with.
+    pub fn initial_len(&self) -> usize {
+        self.total
+    }
+}
+
+impl ThreadProgram for VecProgram {
+    fn next_region(&mut self, _ctx: &ProgramCtx) -> Option<Annotation> {
+        self.regions.next()
+    }
+}
+
+impl FromIterator<Annotation> for VecProgram {
+    fn from_iter<T: IntoIterator<Item = Annotation>>(iter: T) -> VecProgram {
+        VecProgram::new(iter.into_iter().collect())
+    }
+}
+
+/// A program backed by a closure, for quick experiments and tests.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::{Annotation, FnProgram, ProgramCtx, ThreadProgram};
+///
+/// let mut left = 3;
+/// let mut program = FnProgram::new(move |_ctx: &ProgramCtx| {
+///     if left == 0 {
+///         None
+///     } else {
+///         left -= 1;
+///         Some(Annotation::compute(10.0))
+///     }
+/// });
+/// ```
+pub struct FnProgram<F> {
+    f: F,
+}
+
+impl<F> FnProgram<F>
+where
+    F: FnMut(&ProgramCtx) -> Option<Annotation> + Send,
+{
+    /// Wraps a closure as a thread program.
+    pub fn new(f: F) -> FnProgram<F> {
+        FnProgram { f }
+    }
+}
+
+impl<F> ThreadProgram for FnProgram<F>
+where
+    F: FnMut(&ProgramCtx) -> Option<Annotation> + Send,
+{
+    fn next_region(&mut self, ctx: &ProgramCtx) -> Option<Annotation> {
+        (self.f)(ctx)
+    }
+}
+
+impl<F> std::fmt::Debug for FnProgram<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnProgram").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ProgramCtx {
+        ProgramCtx {
+            thread: ThreadId(0),
+            proc: ProcId(0),
+            now: SimTime::ZERO,
+            regions_committed: 0,
+        }
+    }
+
+    #[test]
+    fn vec_program_replays_in_order() {
+        let mut p = VecProgram::new(vec![Annotation::compute(1.0), Annotation::compute(2.0)]);
+        assert_eq!(p.initial_len(), 2);
+        assert_eq!(p.next_region(&ctx()).unwrap().complexity.as_units(), 1.0);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.next_region(&ctx()).unwrap().complexity.as_units(), 2.0);
+        assert!(p.next_region(&ctx()).is_none());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn vec_program_from_iterator() {
+        let p: VecProgram = (0..5).map(|i| Annotation::compute(i as f64)).collect();
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn fn_program_sees_context() {
+        let mut p = FnProgram::new(|c: &ProgramCtx| {
+            if c.regions_committed == 0 {
+                Some(Annotation::compute(c.now.as_cycles() + 1.0))
+            } else {
+                None
+            }
+        });
+        let a = p.next_region(&ctx()).unwrap();
+        assert_eq!(a.complexity.as_units(), 1.0);
+        let done = ProgramCtx {
+            regions_committed: 1,
+            ..ctx()
+        };
+        assert!(p.next_region(&done).is_none());
+    }
+}

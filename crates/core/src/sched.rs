@@ -1,0 +1,209 @@
+//! Execution schedulers (`UE`, paper §3).
+//!
+//! The scheduling layer is a first-class model element in MESH: it resolves
+//! the partial ordering of logical-thread events to physical time and can
+//! implement arbitrary, system-state-aware policies ("schedulers as
+//! model-based design elements"). The kernel consults the system's
+//! [`ExecScheduler`] whenever a physical resource is available; the scheduler
+//! picks which eligible (ready, affinity-compatible) logical thread runs
+//! there next.
+//!
+//! Three classic policies are provided — [`FifoScheduler`],
+//! [`RoundRobinScheduler`] and [`PriorityScheduler`] — and custom policies
+//! are a single trait method away.
+
+use crate::ids::{ProcId, ThreadId};
+use crate::time::SimTime;
+
+/// Read-only system state handed to a scheduler at each decision point.
+#[derive(Debug)]
+pub struct SchedCtx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    pub(crate) priorities: &'a [u32],
+}
+
+impl SchedCtx<'_> {
+    /// The arbitration priority of a thread (higher = more important).
+    pub fn priority(&self, thread: ThreadId) -> u32 {
+        self.priorities[thread.index()]
+    }
+}
+
+/// An execution scheduler: decides which ready logical thread a newly
+/// available physical resource executes next.
+///
+/// `ready` lists the eligible candidates in the order they became ready
+/// (oldest first), already filtered for affinity with `proc`. Returning
+/// `None` leaves the resource idle until the next scheduling point; returning
+/// a thread not in `ready` fails the simulation with
+/// [`SimError::SchedulerContract`](crate::SimError::SchedulerContract).
+///
+/// # Examples
+///
+/// A scheduler that always favours the thread with the most committed work
+/// would be written as:
+///
+/// ```
+/// use mesh_core::sched::{ExecScheduler, SchedCtx};
+/// use mesh_core::{ProcId, ThreadId};
+///
+/// #[derive(Debug)]
+/// struct YoungestFirst;
+///
+/// impl ExecScheduler for YoungestFirst {
+///     fn pick(&mut self, _proc: ProcId, ready: &[ThreadId], _ctx: &SchedCtx) -> Option<ThreadId> {
+///         ready.iter().copied().max() // newest thread id first
+///     }
+/// }
+/// ```
+pub trait ExecScheduler: std::fmt::Debug + Send {
+    /// Chooses a thread from `ready` to run on `proc`, or `None` to idle.
+    fn pick(&mut self, proc: ProcId, ready: &[ThreadId], ctx: &SchedCtx) -> Option<ThreadId>;
+
+    /// A short human-readable name used in traces and reports.
+    fn name(&self) -> &str {
+        "unnamed"
+    }
+}
+
+/// First-come-first-served: runs the thread that has been ready longest.
+///
+/// This is the scheduler used throughout the paper's experiments, where each
+/// thread is pinned to its own processor and scheduling is trivial.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FifoScheduler;
+
+impl ExecScheduler for FifoScheduler {
+    fn pick(&mut self, _proc: ProcId, ready: &[ThreadId], _ctx: &SchedCtx) -> Option<ThreadId> {
+        ready.first().copied()
+    }
+
+    fn name(&self) -> &str {
+        "fifo"
+    }
+}
+
+/// Round-robin: cycles through threads so that no ready thread starves even
+/// when resources are scarce.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundRobinScheduler {
+    last: Option<ThreadId>,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a round-robin scheduler.
+    pub fn new() -> RoundRobinScheduler {
+        RoundRobinScheduler::default()
+    }
+}
+
+impl ExecScheduler for RoundRobinScheduler {
+    fn pick(&mut self, _proc: ProcId, ready: &[ThreadId], _ctx: &SchedCtx) -> Option<ThreadId> {
+        if ready.is_empty() {
+            return None;
+        }
+        // Pick the lowest thread id strictly greater than the last pick,
+        // wrapping around to the smallest.
+        let mut sorted: Vec<ThreadId> = ready.to_vec();
+        sorted.sort();
+        let pick = match self.last {
+            Some(last) => sorted
+                .iter()
+                .copied()
+                .find(|&t| t > last)
+                .unwrap_or(sorted[0]),
+            None => sorted[0],
+        };
+        self.last = Some(pick);
+        Some(pick)
+    }
+
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+}
+
+/// Fixed-priority: always runs the highest-priority ready thread; ties break
+/// toward the thread that has been ready longest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PriorityScheduler;
+
+impl ExecScheduler for PriorityScheduler {
+    fn pick(&mut self, _proc: ProcId, ready: &[ThreadId], ctx: &SchedCtx) -> Option<ThreadId> {
+        // `ready` is oldest-first; max_by_key returns the last maximum, so
+        // iterate in reverse to make ties break toward the oldest entry.
+        ready
+            .iter()
+            .rev()
+            .copied()
+            .max_by_key(|&t| ctx.priority(t))
+    }
+
+    fn name(&self) -> &str {
+        "priority"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn th(i: usize) -> ThreadId {
+        ThreadId(i)
+    }
+
+    fn ctx(priorities: &[u32]) -> SchedCtx<'_> {
+        SchedCtx {
+            now: SimTime::ZERO,
+            priorities,
+        }
+    }
+
+    #[test]
+    fn fifo_picks_oldest_ready() {
+        let mut s = FifoScheduler;
+        let p = &[0, 0, 0][..];
+        assert_eq!(s.pick(ProcId(0), &[th(2), th(0)], &ctx(p)), Some(th(2)));
+        assert_eq!(s.pick(ProcId(0), &[], &ctx(p)), None);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut s = RoundRobinScheduler::new();
+        let p = &[0, 0, 0][..];
+        let ready = [th(0), th(1), th(2)];
+        assert_eq!(s.pick(ProcId(0), &ready, &ctx(p)), Some(th(0)));
+        assert_eq!(s.pick(ProcId(0), &ready, &ctx(p)), Some(th(1)));
+        assert_eq!(s.pick(ProcId(0), &ready, &ctx(p)), Some(th(2)));
+        assert_eq!(s.pick(ProcId(0), &ready, &ctx(p)), Some(th(0)));
+    }
+
+    #[test]
+    fn round_robin_skips_missing_threads() {
+        let mut s = RoundRobinScheduler::new();
+        let p = &[0, 0, 0, 0][..];
+        assert_eq!(s.pick(ProcId(0), &[th(1), th(3)], &ctx(p)), Some(th(1)));
+        assert_eq!(s.pick(ProcId(0), &[th(1), th(3)], &ctx(p)), Some(th(3)));
+        assert_eq!(s.pick(ProcId(0), &[th(1)], &ctx(p)), Some(th(1)));
+    }
+
+    #[test]
+    fn priority_prefers_high_priority_then_oldest() {
+        let mut s = PriorityScheduler;
+        let p = &[1, 5, 5][..];
+        // th1 and th2 share the top priority; th2 became ready first.
+        assert_eq!(
+            s.pick(ProcId(0), &[th(2), th(0), th(1)], &ctx(p)),
+            Some(th(2))
+        );
+        assert_eq!(s.pick(ProcId(0), &[th(0), th(1)], &ctx(p)), Some(th(1)));
+    }
+
+    #[test]
+    fn scheduler_names() {
+        assert_eq!(FifoScheduler.name(), "fifo");
+        assert_eq!(RoundRobinScheduler::new().name(), "round-robin");
+        assert_eq!(PriorityScheduler.name(), "priority");
+    }
+}

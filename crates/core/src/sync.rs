@@ -1,0 +1,418 @@
+//! Synchronization primitives: mutexes, semaphores, condition variables and
+//! barriers (paper §4.3).
+//!
+//! MESH provides "a full set of synchronization primitives commonly found in
+//! threaded programming libraries" so that inter-thread data dependencies can
+//! be observed. A region whose trailing [`SyncOp`] blocks is *shelved*: its
+//! physical resource is marked available so the execution scheduler can place
+//! other work there. When the event a shelved thread waits on occurs, the
+//! thread resumes **at the end of the unblocking region's physical time** —
+//! the paper's deliberately pessimistic assumption, since the simulator only
+//! knows which annotation region the unblocking event occurred in.
+//!
+//! The `SyncTable` here is the kernel-internal state machine implementing
+//! those semantics; user code only names operations via [`SyncOp`] values
+//! inside [`Annotation`](crate::Annotation)s.
+
+use crate::ids::{SyncId, ThreadId};
+
+/// A synchronization operation performed at the end of an annotation region.
+///
+/// Operations that may block (lock, wait, barrier) shelve the thread when the
+/// primitive is unavailable; operations that release (unlock, post, signal)
+/// wake waiters at the current commit time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SyncOp {
+    /// Acquire a mutex; blocks while another thread holds it.
+    MutexLock(SyncId),
+    /// Release a held mutex, waking the oldest waiter if any.
+    MutexUnlock(SyncId),
+    /// Decrement a counting semaphore; blocks while the count is zero.
+    SemWait(SyncId),
+    /// Increment a counting semaphore, waking the oldest waiter if any.
+    SemPost(SyncId),
+    /// Block until a signal/broadcast on the condition variable.
+    CondWait(SyncId),
+    /// Wake the oldest thread waiting on the condition variable (no-op if
+    /// none wait).
+    CondSignal(SyncId),
+    /// Wake every thread waiting on the condition variable.
+    CondBroadcast(SyncId),
+    /// Arrive at a barrier; blocks until all parties have arrived.
+    Barrier(SyncId),
+    /// Start a dormant logical thread (registered with
+    /// [`SystemBuilder::add_dormant_thread`](crate::SystemBuilder::add_dormant_thread)),
+    /// making it schedulable from the current commit time. MESH's logical
+    /// thread set is dynamic (paper §3); spawning is how new `ThL`s enter
+    /// the system mid-run. Never blocks.
+    Spawn(ThreadId),
+    /// Block until the target thread's program has finished. The classic
+    /// fork/join companion to [`SyncOp::Spawn`].
+    Join(ThreadId),
+}
+
+impl SyncOp {
+    /// The synchronization object this operation targets, or `None` for the
+    /// thread-lifecycle operations ([`SyncOp::Spawn`], [`SyncOp::Join`]),
+    /// which target a thread rather than a synchronization object.
+    pub fn target(self) -> Option<SyncId> {
+        match self {
+            SyncOp::MutexLock(id)
+            | SyncOp::MutexUnlock(id)
+            | SyncOp::SemWait(id)
+            | SyncOp::SemPost(id)
+            | SyncOp::CondWait(id)
+            | SyncOp::CondSignal(id)
+            | SyncOp::CondBroadcast(id)
+            | SyncOp::Barrier(id) => Some(id),
+            SyncOp::Spawn(_) | SyncOp::Join(_) => None,
+        }
+    }
+}
+
+/// The kind of synchronization object a [`SyncId`] refers to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum SyncObject {
+    Mutex {
+        holder: Option<ThreadId>,
+        waiters: Vec<ThreadId>,
+    },
+    Semaphore {
+        count: u64,
+        waiters: Vec<ThreadId>,
+    },
+    CondVar {
+        waiters: Vec<ThreadId>,
+    },
+    Barrier {
+        parties: usize,
+        arrived: Vec<ThreadId>,
+    },
+}
+
+/// Error produced when a synchronization operation is used incorrectly, e.g.
+/// unlocking a mutex the thread does not hold or targeting an object of the
+/// wrong kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncMisuseError {
+    /// The thread that performed the faulty operation.
+    pub thread: ThreadId,
+    /// The faulty operation.
+    pub op: SyncOp,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for SyncMisuseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "synchronization misuse by {}: {:?}: {}",
+            self.thread, self.op, self.detail
+        )
+    }
+}
+
+impl std::error::Error for SyncMisuseError {}
+
+/// Result of applying a [`SyncOp`] at a region commit.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum SyncOutcome {
+    /// The issuing thread proceeds; the listed threads are additionally woken
+    /// (they become ready at the commit time of the unblocking region).
+    Proceed { woken: Vec<ThreadId> },
+    /// The issuing thread blocks (its region is shelved).
+    Block,
+}
+
+/// Kernel-internal table of synchronization objects.
+#[derive(Debug, Default)]
+pub(crate) struct SyncTable {
+    objects: Vec<SyncObject>,
+}
+
+impl SyncTable {
+    pub(crate) fn new() -> SyncTable {
+        SyncTable::default()
+    }
+
+    pub(crate) fn add_mutex(&mut self) -> SyncId {
+        self.objects.push(SyncObject::Mutex {
+            holder: None,
+            waiters: Vec::new(),
+        });
+        SyncId(self.objects.len() - 1)
+    }
+
+    pub(crate) fn add_semaphore(&mut self, initial: u64) -> SyncId {
+        self.objects.push(SyncObject::Semaphore {
+            count: initial,
+            waiters: Vec::new(),
+        });
+        SyncId(self.objects.len() - 1)
+    }
+
+    pub(crate) fn add_condvar(&mut self) -> SyncId {
+        self.objects.push(SyncObject::CondVar {
+            waiters: Vec::new(),
+        });
+        SyncId(self.objects.len() - 1)
+    }
+
+    pub(crate) fn add_barrier(&mut self, parties: usize) -> SyncId {
+        self.objects.push(SyncObject::Barrier {
+            parties,
+            arrived: Vec::new(),
+        });
+        SyncId(self.objects.len() - 1)
+    }
+
+    fn misuse(thread: ThreadId, op: SyncOp, detail: &str) -> SyncMisuseError {
+        SyncMisuseError {
+            thread,
+            op,
+            detail: detail.to_string(),
+        }
+    }
+
+    /// Applies `op` issued by `thread`. Blocking outcomes leave the thread
+    /// registered as a waiter; the kernel transitions it to the blocked state.
+    pub(crate) fn apply(
+        &mut self,
+        thread: ThreadId,
+        op: SyncOp,
+    ) -> Result<SyncOutcome, SyncMisuseError> {
+        let idx = op
+            .target()
+            .ok_or_else(|| {
+                Self::misuse(thread, op, "lifecycle operation routed to the sync table")
+            })?
+            .index();
+        let obj = self
+            .objects
+            .get_mut(idx)
+            .ok_or_else(|| Self::misuse(thread, op, "unknown synchronization object"))?;
+        match (op, obj) {
+            (SyncOp::MutexLock(_), SyncObject::Mutex { holder, waiters }) => match holder {
+                None => {
+                    *holder = Some(thread);
+                    Ok(SyncOutcome::Proceed { woken: Vec::new() })
+                }
+                Some(h) if *h == thread => Err(Self::misuse(
+                    thread,
+                    op,
+                    "recursive lock of a non-recursive mutex",
+                )),
+                Some(_) => {
+                    waiters.push(thread);
+                    Ok(SyncOutcome::Block)
+                }
+            },
+            (SyncOp::MutexUnlock(_), SyncObject::Mutex { holder, waiters }) => {
+                if *holder != Some(thread) {
+                    return Err(Self::misuse(thread, op, "unlock of a mutex not held"));
+                }
+                if waiters.is_empty() {
+                    *holder = None;
+                    Ok(SyncOutcome::Proceed { woken: Vec::new() })
+                } else {
+                    let next = waiters.remove(0);
+                    *holder = Some(next);
+                    Ok(SyncOutcome::Proceed { woken: vec![next] })
+                }
+            }
+            (SyncOp::SemWait(_), SyncObject::Semaphore { count, waiters }) => {
+                if *count > 0 {
+                    *count -= 1;
+                    Ok(SyncOutcome::Proceed { woken: Vec::new() })
+                } else {
+                    waiters.push(thread);
+                    Ok(SyncOutcome::Block)
+                }
+            }
+            (SyncOp::SemPost(_), SyncObject::Semaphore { count, waiters }) => {
+                if waiters.is_empty() {
+                    *count += 1;
+                    Ok(SyncOutcome::Proceed { woken: Vec::new() })
+                } else {
+                    let next = waiters.remove(0);
+                    Ok(SyncOutcome::Proceed { woken: vec![next] })
+                }
+            }
+            (SyncOp::CondWait(_), SyncObject::CondVar { waiters }) => {
+                waiters.push(thread);
+                Ok(SyncOutcome::Block)
+            }
+            (SyncOp::CondSignal(_), SyncObject::CondVar { waiters }) => {
+                let woken = if waiters.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![waiters.remove(0)]
+                };
+                Ok(SyncOutcome::Proceed { woken })
+            }
+            (SyncOp::CondBroadcast(_), SyncObject::CondVar { waiters }) => {
+                Ok(SyncOutcome::Proceed {
+                    woken: std::mem::take(waiters),
+                })
+            }
+            (SyncOp::Barrier(_), SyncObject::Barrier { parties, arrived }) => {
+                if arrived.contains(&thread) {
+                    return Err(Self::misuse(
+                        thread,
+                        op,
+                        "thread arrived twice at a barrier generation",
+                    ));
+                }
+                arrived.push(thread);
+                if arrived.len() >= *parties {
+                    let mut woken = std::mem::take(arrived);
+                    // The issuing thread proceeds on its own; it is not
+                    // "woken".
+                    woken.retain(|&t| t != thread);
+                    Ok(SyncOutcome::Proceed { woken })
+                } else {
+                    Ok(SyncOutcome::Block)
+                }
+            }
+            (_, _) => Err(Self::misuse(
+                thread,
+                op,
+                "operation does not match object kind",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn th(i: usize) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn mutex_lock_unlock_handoff() {
+        let mut t = SyncTable::new();
+        let m = t.add_mutex();
+        assert_eq!(
+            t.apply(th(0), SyncOp::MutexLock(m)).unwrap(),
+            SyncOutcome::Proceed { woken: vec![] }
+        );
+        // Second locker blocks.
+        assert_eq!(t.apply(th(1), SyncOp::MutexLock(m)).unwrap(), SyncOutcome::Block);
+        // Unlock hands the mutex directly to the waiter.
+        assert_eq!(
+            t.apply(th(0), SyncOp::MutexUnlock(m)).unwrap(),
+            SyncOutcome::Proceed { woken: vec![th(1)] }
+        );
+        // The new holder can unlock.
+        assert_eq!(
+            t.apply(th(1), SyncOp::MutexUnlock(m)).unwrap(),
+            SyncOutcome::Proceed { woken: vec![] }
+        );
+    }
+
+    #[test]
+    fn mutex_misuse_detected() {
+        let mut t = SyncTable::new();
+        let m = t.add_mutex();
+        assert!(t.apply(th(0), SyncOp::MutexUnlock(m)).is_err());
+        t.apply(th(0), SyncOp::MutexLock(m)).unwrap();
+        assert!(t.apply(th(0), SyncOp::MutexLock(m)).is_err());
+        assert!(t.apply(th(1), SyncOp::MutexUnlock(m)).is_err());
+    }
+
+    #[test]
+    fn semaphore_counts_and_wakes_fifo() {
+        let mut t = SyncTable::new();
+        let s = t.add_semaphore(1);
+        assert_eq!(
+            t.apply(th(0), SyncOp::SemWait(s)).unwrap(),
+            SyncOutcome::Proceed { woken: vec![] }
+        );
+        assert_eq!(t.apply(th(1), SyncOp::SemWait(s)).unwrap(), SyncOutcome::Block);
+        assert_eq!(t.apply(th(2), SyncOp::SemWait(s)).unwrap(), SyncOutcome::Block);
+        // Posts wake in FIFO order.
+        assert_eq!(
+            t.apply(th(0), SyncOp::SemPost(s)).unwrap(),
+            SyncOutcome::Proceed { woken: vec![th(1)] }
+        );
+        assert_eq!(
+            t.apply(th(0), SyncOp::SemPost(s)).unwrap(),
+            SyncOutcome::Proceed { woken: vec![th(2)] }
+        );
+        // No waiters: count increments, future wait proceeds.
+        assert_eq!(
+            t.apply(th(0), SyncOp::SemPost(s)).unwrap(),
+            SyncOutcome::Proceed { woken: vec![] }
+        );
+        assert_eq!(
+            t.apply(th(3), SyncOp::SemWait(s)).unwrap(),
+            SyncOutcome::Proceed { woken: vec![] }
+        );
+    }
+
+    #[test]
+    fn condvar_signal_and_broadcast() {
+        let mut t = SyncTable::new();
+        let c = t.add_condvar();
+        assert_eq!(t.apply(th(0), SyncOp::CondWait(c)).unwrap(), SyncOutcome::Block);
+        assert_eq!(t.apply(th(1), SyncOp::CondWait(c)).unwrap(), SyncOutcome::Block);
+        assert_eq!(t.apply(th(2), SyncOp::CondWait(c)).unwrap(), SyncOutcome::Block);
+        assert_eq!(
+            t.apply(th(3), SyncOp::CondSignal(c)).unwrap(),
+            SyncOutcome::Proceed { woken: vec![th(0)] }
+        );
+        assert_eq!(
+            t.apply(th(3), SyncOp::CondBroadcast(c)).unwrap(),
+            SyncOutcome::Proceed {
+                woken: vec![th(1), th(2)]
+            }
+        );
+        // Signal with no waiters is a no-op.
+        assert_eq!(
+            t.apply(th(3), SyncOp::CondSignal(c)).unwrap(),
+            SyncOutcome::Proceed { woken: vec![] }
+        );
+    }
+
+    #[test]
+    fn barrier_releases_all_on_last_arrival() {
+        let mut t = SyncTable::new();
+        let b = t.add_barrier(3);
+        assert_eq!(t.apply(th(0), SyncOp::Barrier(b)).unwrap(), SyncOutcome::Block);
+        assert_eq!(t.apply(th(1), SyncOp::Barrier(b)).unwrap(), SyncOutcome::Block);
+        assert_eq!(
+            t.apply(th(2), SyncOp::Barrier(b)).unwrap(),
+            SyncOutcome::Proceed {
+                woken: vec![th(0), th(1)]
+            }
+        );
+        // Barrier is reusable after release.
+        assert_eq!(t.apply(th(0), SyncOp::Barrier(b)).unwrap(), SyncOutcome::Block);
+    }
+
+    #[test]
+    fn barrier_double_arrival_is_misuse() {
+        let mut t = SyncTable::new();
+        let b = t.add_barrier(3);
+        t.apply(th(0), SyncOp::Barrier(b)).unwrap();
+        assert!(t.apply(th(0), SyncOp::Barrier(b)).is_err());
+    }
+
+    #[test]
+    fn kind_mismatch_is_misuse() {
+        let mut t = SyncTable::new();
+        let m = t.add_mutex();
+        assert!(t.apply(th(0), SyncOp::SemWait(m)).is_err());
+        assert!(t.apply(th(0), SyncOp::Barrier(m)).is_err());
+    }
+
+    #[test]
+    fn unknown_object_is_misuse() {
+        let mut t = SyncTable::new();
+        assert!(t.apply(th(0), SyncOp::MutexLock(SyncId(42))).is_err());
+    }
+}

@@ -1,0 +1,413 @@
+//! Physical time, computational complexity, and computational power.
+//!
+//! MESH deliberately separates *logical* computational complexity (the value a
+//! `consume()` annotation carries) from *physical* time. Complexity is resolved
+//! to time only when a region is mapped onto a physical resource with a known
+//! computational power (paper §3). The three newtypes in this module make that
+//! separation explicit in the type system:
+//!
+//! * [`Complexity`] — abstract work, the unit carried by annotations;
+//! * [`Power`] — complexity a physical resource retires per cycle;
+//! * [`SimTime`] — physical simulated time, measured in cycles.
+//!
+//! All experiments in this repository use the *cycle* as the physical time
+//! unit, matching the paper's "queuing cycles" metric.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An error produced when constructing a time/complexity/power value from a
+/// float that is not finite or is negative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidValueError {
+    kind: &'static str,
+}
+
+impl fmt::Display for InvalidValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} must be a finite, non-negative number", self.kind)
+    }
+}
+
+impl std::error::Error for InvalidValueError {}
+
+/// Physical simulated time, in cycles.
+///
+/// `SimTime` is a non-negative, finite `f64` with a total order. The checked
+/// constructor [`SimTime::new`] rejects NaN, infinity and negative values, so
+/// every `SimTime` observed by user code is well-formed and safely orderable.
+///
+/// Fractional cycles are permitted: analytical contention models produce
+/// *expected* penalties, which are rarely integral.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::SimTime;
+///
+/// let a = SimTime::from_cycles(100.0);
+/// let b = SimTime::from_cycles(50.5);
+/// assert_eq!((a + b).as_cycles(), 150.5);
+/// assert!(a > b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The zero instant / zero duration.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a `SimTime` from a cycle count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidValueError`] if `cycles` is NaN, infinite or negative.
+    pub fn new(cycles: f64) -> Result<SimTime, InvalidValueError> {
+        if cycles.is_finite() && cycles >= 0.0 {
+            Ok(SimTime(cycles))
+        } else {
+            Err(InvalidValueError { kind: "SimTime" })
+        }
+    }
+
+    /// Creates a `SimTime` from a cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is NaN, infinite or negative. Use [`SimTime::new`]
+    /// for a checked constructor.
+    pub fn from_cycles(cycles: f64) -> SimTime {
+        SimTime::new(cycles).expect("SimTime::from_cycles: invalid cycle count")
+    }
+
+    /// Returns the raw cycle count.
+    pub fn as_cycles(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` if this is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Saturating subtraction: returns zero rather than a negative time.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+
+    /// The larger of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Construction forbids NaN, so total_cmp agrees with the usual
+        // numeric order here; it additionally makes the ordering total.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for SimTime {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics in debug builds if the result would be negative; use
+    /// [`SimTime::saturating_sub`] when the operands may be unordered.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(
+            self.0 >= rhs.0,
+            "SimTime subtraction underflow: {} - {}",
+            self.0,
+            rhs.0
+        );
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime((self.0 * rhs).max(0.0))
+    }
+}
+
+impl Div<SimTime> for SimTime {
+    type Output = f64;
+    fn div(self, rhs: SimTime) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({} cyc)", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} cyc", self.0)
+    }
+}
+
+/// Abstract computational complexity, the value carried by a `consume()`
+/// annotation (paper §3).
+///
+/// Complexity is *not* physical time: it is resolved to [`SimTime`] by
+/// dividing by the [`Power`] of the physical resource a region executes on.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::{Complexity, Power};
+///
+/// let work = Complexity::new(3000.0).unwrap();
+/// let fast = Power::new(2.0).unwrap(); // 2 complexity units per cycle
+/// assert_eq!(work.resolve(fast).as_cycles(), 1500.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default, Debug)]
+pub struct Complexity(f64);
+
+impl Complexity {
+    /// Zero work.
+    pub const ZERO: Complexity = Complexity(0.0);
+
+    /// Creates a complexity value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidValueError`] if `units` is NaN, infinite or negative.
+    pub fn new(units: f64) -> Result<Complexity, InvalidValueError> {
+        if units.is_finite() && units >= 0.0 {
+            Ok(Complexity(units))
+        } else {
+            Err(InvalidValueError { kind: "Complexity" })
+        }
+    }
+
+    /// Creates a complexity value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is NaN, infinite or negative.
+    pub fn from_units(units: f64) -> Complexity {
+        Complexity::new(units).expect("Complexity::from_units: invalid value")
+    }
+
+    /// Returns the raw number of abstract work units.
+    pub fn as_units(self) -> f64 {
+        self.0
+    }
+
+    /// Resolves this logical complexity to physical time on a resource of the
+    /// given computational power (paper §3: "the scheduling layer resolves the
+    /// partial ordering of events in logical threads to physical time").
+    pub fn resolve(self, power: Power) -> SimTime {
+        SimTime(self.0 / power.0)
+    }
+}
+
+impl Add for Complexity {
+    type Output = Complexity;
+    fn add(self, rhs: Complexity) -> Complexity {
+        Complexity(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Complexity {
+    fn add_assign(&mut self, rhs: Complexity) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} units", self.0)
+    }
+}
+
+/// Computational power of a physical resource: complexity units retired per
+/// cycle (paper §3: "physical threads are described by a computational
+/// power — computation per unit time").
+///
+/// Heterogeneous processors are modeled by giving each physical resource a
+/// different power; the same logical thread then takes different physical
+/// time depending on where the execution scheduler places it.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug)]
+pub struct Power(f64);
+
+impl Power {
+    /// Creates a power value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidValueError`] if `units_per_cycle` is NaN, infinite,
+    /// zero or negative (a zero-power resource could never retire work).
+    pub fn new(units_per_cycle: f64) -> Result<Power, InvalidValueError> {
+        if units_per_cycle.is_finite() && units_per_cycle > 0.0 {
+            Ok(Power(units_per_cycle))
+        } else {
+            Err(InvalidValueError { kind: "Power" })
+        }
+    }
+
+    /// Creates a power value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units_per_cycle` is NaN, infinite, zero or negative.
+    pub fn from_units_per_cycle(units_per_cycle: f64) -> Power {
+        Power::new(units_per_cycle).expect("Power::from_units_per_cycle: invalid value")
+    }
+
+    /// Returns complexity units retired per cycle.
+    pub fn as_units_per_cycle(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for Power {
+    /// A unit-power resource: one complexity unit per cycle.
+    fn default() -> Power {
+        Power(1.0)
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} units/cyc", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_rejects_invalid() {
+        assert!(SimTime::new(f64::NAN).is_err());
+        assert!(SimTime::new(f64::INFINITY).is_err());
+        assert!(SimTime::new(-1.0).is_err());
+        assert!(SimTime::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn simtime_orders_totally() {
+        let mut v = [
+            SimTime::from_cycles(3.0),
+            SimTime::from_cycles(1.0),
+            SimTime::from_cycles(2.0),
+        ];
+        v.sort();
+        assert_eq!(v[0].as_cycles(), 1.0);
+        assert_eq!(v[2].as_cycles(), 3.0);
+    }
+
+    #[test]
+    fn simtime_arithmetic() {
+        let a = SimTime::from_cycles(10.0);
+        let b = SimTime::from_cycles(4.0);
+        assert_eq!((a + b).as_cycles(), 14.0);
+        assert_eq!((a - b).as_cycles(), 6.0);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!((a * 0.5).as_cycles(), 5.0);
+        assert_eq!(a / b, 2.5);
+    }
+
+    #[test]
+    fn simtime_sum() {
+        let total: SimTime = (1..=4).map(|i| SimTime::from_cycles(i as f64)).sum();
+        assert_eq!(total.as_cycles(), 10.0);
+    }
+
+    #[test]
+    fn complexity_resolves_by_power() {
+        let c = Complexity::from_units(100.0);
+        assert_eq!(c.resolve(Power::default()).as_cycles(), 100.0);
+        assert_eq!(
+            c.resolve(Power::from_units_per_cycle(4.0)).as_cycles(),
+            25.0
+        );
+        // A slower (lower power) processor takes longer for the same work.
+        assert!(
+            c.resolve(Power::from_units_per_cycle(0.5)) > c.resolve(Power::from_units_per_cycle(1.0))
+        );
+    }
+
+    #[test]
+    fn power_rejects_zero() {
+        assert!(Power::new(0.0).is_err());
+        assert!(Power::new(-2.0).is_err());
+        assert!(Power::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::from_cycles(1.5)), "1.500 cyc");
+        assert_eq!(format!("{}", Complexity::from_units(2.0)), "2 units");
+        assert_eq!(format!("{}", Power::default()), "1 units/cyc");
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_cycles(1.0);
+        let b = SimTime::from_cycles(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+}

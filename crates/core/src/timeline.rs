@@ -1,0 +1,262 @@
+//! ASCII timeline rendering: the Figure-3 view of a run.
+//!
+//! The paper explains the kernel with a timeline (its Figure 3): one row per
+//! physical resource, annotation regions as blocks, penalties extending the
+//! blocks, timeslice boundaries as vertical marks. [`Timeline`] reconstructs
+//! that picture from an event [`Trace`], which makes kernel behaviour — who
+//! ran where, which regions were stretched by contention, where the analysis
+//! windows fell — inspectable without a waveform viewer.
+//!
+//! # Examples
+//!
+//! ```
+//! use mesh_core::{Annotation, Power, SystemBuilder, VecProgram};
+//! use mesh_core::timeline::Timeline;
+//!
+//! let mut b = SystemBuilder::new();
+//! b.add_proc("cpu", Power::default());
+//! b.add_thread("t", VecProgram::new(vec![Annotation::compute(50.0)]));
+//! b.enable_trace();
+//! let outcome = b.build().unwrap().run().unwrap();
+//! let picture = Timeline::from_trace(&outcome.trace).render(40);
+//! assert!(picture.contains("thp0"));
+//! ```
+
+use crate::ids::{ProcId, ThreadId};
+use crate::time::SimTime;
+use crate::trace::{Event, Trace};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rendered region: a thread's stay on a physical resource.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineRegion {
+    /// The executing thread.
+    pub thread: ThreadId,
+    /// Region start.
+    pub start: SimTime,
+    /// End as annotated (before penalties).
+    pub annotated_end: SimTime,
+    /// Final end (after penalties), filled at commit.
+    pub end: SimTime,
+}
+
+impl TimelineRegion {
+    /// Penalty time folded into this region.
+    pub fn penalty(&self) -> SimTime {
+        self.end.saturating_sub(self.annotated_end)
+    }
+}
+
+/// A reconstructed per-resource timeline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timeline {
+    rows: BTreeMap<ProcId, Vec<TimelineRegion>>,
+    slice_marks: Vec<SimTime>,
+    horizon: SimTime,
+}
+
+impl Timeline {
+    /// Reconstructs the timeline from a recorded trace.
+    ///
+    /// Traces must have been recorded with
+    /// [`SystemBuilder::enable_trace`](crate::SystemBuilder::enable_trace);
+    /// an empty trace yields an empty timeline.
+    pub fn from_trace(trace: &Trace) -> Timeline {
+        let mut rows: BTreeMap<ProcId, Vec<TimelineRegion>> = BTreeMap::new();
+        let mut slice_marks = Vec::new();
+        let mut horizon = SimTime::ZERO;
+        // Open region per (proc): the trace interleaves events of all procs,
+        // but each proc has at most one open region at a time.
+        let mut open: BTreeMap<ProcId, TimelineRegion> = BTreeMap::new();
+        for event in trace {
+            match *event {
+                Event::RegionScheduled {
+                    thread,
+                    proc,
+                    start,
+                    annotated_end,
+                } => {
+                    open.insert(
+                        proc,
+                        TimelineRegion {
+                            thread,
+                            start,
+                            annotated_end,
+                            end: annotated_end,
+                        },
+                    );
+                }
+                Event::RegionCommitted { proc, at, .. } => {
+                    if let Some(mut region) = open.remove(&proc) {
+                        region.end = at;
+                        horizon = horizon.max(at);
+                        rows.entry(proc).or_default().push(region);
+                    }
+                }
+                Event::SliceAnalyzed { end, .. } if slice_marks.last() != Some(&end) => {
+                    slice_marks.push(end);
+                }
+                _ => {}
+            }
+        }
+        Timeline {
+            rows,
+            slice_marks,
+            horizon,
+        }
+    }
+
+    /// The regions committed on one resource, in commit order.
+    pub fn regions(&self, proc: ProcId) -> &[TimelineRegion] {
+        self.rows.get(&proc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Times at which analysis windows closed.
+    pub fn slice_marks(&self) -> &[SimTime] {
+        &self.slice_marks
+    }
+
+    /// The last commit time.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Renders the timeline as ASCII art, `width` characters across.
+    ///
+    /// Per resource: `█`-style blocks (`=`) for annotated execution, `+` for
+    /// penalty extensions, `.` for idle. A final rule line marks timeslice
+    /// boundaries with `|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn render(&self, width: usize) -> String {
+        assert!(width > 0, "width must be positive");
+        let mut out = String::new();
+        if self.horizon.is_zero() {
+            return "(empty timeline)\n".to_string();
+        }
+        let scale = width as f64 / self.horizon.as_cycles();
+        let col = |t: SimTime| ((t.as_cycles() * scale).round() as usize).min(width);
+        for (proc, regions) in &self.rows {
+            let mut row = vec!['.'; width];
+            let mut labels: Vec<(usize, String)> = Vec::new();
+            for region in regions {
+                let a = col(region.start);
+                let b = col(region.annotated_end);
+                let c = col(region.end);
+                for cell in row.iter_mut().take(b.min(width)).skip(a) {
+                    *cell = '=';
+                }
+                for cell in row.iter_mut().take(c.min(width)).skip(b) {
+                    *cell = '+';
+                }
+                labels.push((a, format!("{}", region.thread)));
+            }
+            // Overlay thread labels at region starts where they fit.
+            for (pos, label) in labels {
+                for (i, ch) in label.chars().enumerate() {
+                    if pos + i < width && row[pos + i] != '.' {
+                        row[pos + i] = ch;
+                    }
+                }
+            }
+            let _ = writeln!(out, "{:>6} {}", format!("{proc}"), row.iter().collect::<String>());
+        }
+        // Timeslice rule.
+        let mut rule = vec![' '; width];
+        for &mark in &self.slice_marks {
+            let c = col(mark);
+            if c < width {
+                rule[c] = '|';
+            } else if width > 0 {
+                rule[width - 1] = '|';
+            }
+        }
+        let _ = writeln!(out, "{:>6} {}", "slices", rule.iter().collect::<String>());
+        let _ = writeln!(
+            out,
+            "{:>6} 0{:>w$}",
+            "cyc",
+            format!("{:.0}", self.horizon.as_cycles()),
+            w = width - 1
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::Annotation;
+    use crate::builder::SystemBuilder;
+    use crate::model::{ContentionModel, Slice, SliceRequest};
+    use crate::program::VecProgram;
+    use crate::time::Power;
+
+    #[derive(Debug)]
+    struct Flat(f64);
+    impl ContentionModel for Flat {
+        fn penalties(&self, _s: &Slice, r: &[SliceRequest]) -> Vec<SimTime> {
+            vec![SimTime::from_cycles(self.0); r.len()]
+        }
+    }
+
+    fn traced_run() -> crate::kernel::SimOutcome {
+        let mut b = SystemBuilder::new();
+        let p0 = b.add_proc("p0", Power::default());
+        let p1 = b.add_proc("p1", Power::default());
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), Flat(10.0));
+        let a = b.add_thread(
+            "A",
+            VecProgram::new(vec![Annotation::compute(100.0).with_accesses(bus, 10.0)]),
+        );
+        let c = b.add_thread(
+            "B",
+            VecProgram::new(vec![
+                Annotation::compute(50.0).with_accesses(bus, 5.0),
+                Annotation::compute(50.0).with_accesses(bus, 5.0),
+            ]),
+        );
+        b.pin_thread(a, &[p0]);
+        b.pin_thread(c, &[p1]);
+        b.enable_trace();
+        b.build().unwrap().run().unwrap()
+    }
+
+    #[test]
+    fn reconstructs_regions_and_penalties() {
+        let outcome = traced_run();
+        let tl = Timeline::from_trace(&outcome.trace);
+        // Proc 0 ran one region, stretched by 20 cycles of penalties.
+        let r0 = tl.regions(ProcId(0));
+        assert_eq!(r0.len(), 1);
+        assert_eq!(r0[0].start, SimTime::ZERO);
+        assert_eq!(r0[0].annotated_end.as_cycles(), 100.0);
+        assert_eq!(r0[0].penalty().as_cycles(), 20.0);
+        // Proc 1 ran two regions.
+        assert_eq!(tl.regions(ProcId(1)).len(), 2);
+        assert_eq!(tl.horizon().as_cycles(), 120.0);
+        assert!(!tl.slice_marks().is_empty());
+    }
+
+    #[test]
+    fn renders_blocks_penalties_and_marks() {
+        let outcome = traced_run();
+        let text = Timeline::from_trace(&outcome.trace).render(60);
+        assert!(text.contains("thp0"));
+        assert!(text.contains("thp1"));
+        assert!(text.contains('='), "execution blocks");
+        assert!(text.contains('+'), "penalty extensions");
+        assert!(text.contains('|'), "timeslice marks");
+        assert!(text.contains("120"));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let tl = Timeline::from_trace(&Trace::new(true));
+        assert_eq!(tl.render(10), "(empty timeline)\n");
+        assert_eq!(tl.regions(ProcId(0)), &[]);
+    }
+}

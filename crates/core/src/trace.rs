@@ -1,0 +1,195 @@
+//! Event tracing for debugging and for the kernel's own tests.
+//!
+//! When enabled on the [`SystemBuilder`](crate::SystemBuilder), the kernel
+//! records every scheduling decision, commit, timeslice analysis and penalty
+//! assignment. Traces make the Figure-3-style timeline of a run inspectable:
+//! each event carries the simulated time it occurred at.
+
+use crate::ids::{ProcId, SharedId, ThreadId};
+use crate::sync::SyncOp;
+use crate::time::SimTime;
+
+/// One kernel event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A region was scheduled onto a physical resource and began executing.
+    RegionScheduled {
+        /// The executing thread.
+        thread: ThreadId,
+        /// The resource it was placed on.
+        proc: ProcId,
+        /// Region start time.
+        start: SimTime,
+        /// Region end time as annotated (before any penalties).
+        annotated_end: SimTime,
+    },
+    /// An accumulated penalty was folded into a region's end time when it
+    /// reached the head of the commit queue (Figure 2, lines 9–12).
+    PenaltyFolded {
+        /// The penalized thread.
+        thread: ThreadId,
+        /// Amount folded into the end time.
+        amount: SimTime,
+        /// The region's new end time.
+        new_end: SimTime,
+    },
+    /// A region committed: simulation time advanced to its end time.
+    RegionCommitted {
+        /// The committing thread.
+        thread: ThreadId,
+        /// The resource the region ran on.
+        proc: ProcId,
+        /// Commit time.
+        at: SimTime,
+    },
+    /// A timeslice window was analyzed for one shared resource.
+    SliceAnalyzed {
+        /// The shared resource.
+        shared: SharedId,
+        /// Window start.
+        start: SimTime,
+        /// Window end.
+        end: SimTime,
+        /// Number of contending threads with access mass in the window.
+        contenders: usize,
+        /// Sum of penalties the model assigned.
+        penalty_total: SimTime,
+    },
+    /// A penalty was assigned to a thread by a shared resource's model.
+    PenaltyAssigned {
+        /// The shared resource whose model assigned the penalty.
+        shared: SharedId,
+        /// The penalized thread.
+        thread: ThreadId,
+        /// Penalty amount.
+        amount: SimTime,
+    },
+    /// A thread blocked on a synchronization operation and its region was
+    /// shelved.
+    ThreadBlocked {
+        /// The blocking thread.
+        thread: ThreadId,
+        /// The operation that blocked.
+        op: SyncOp,
+        /// Block time.
+        at: SimTime,
+    },
+    /// A blocked thread was woken (at the end of the unblocking region's
+    /// physical time — the paper's pessimistic placement, §4.3).
+    ThreadWoken {
+        /// The woken thread.
+        thread: ThreadId,
+        /// Wake time.
+        at: SimTime,
+    },
+    /// A thread's program ended.
+    ThreadFinished {
+        /// The finished thread.
+        thread: ThreadId,
+        /// Finish time.
+        at: SimTime,
+    },
+}
+
+impl Event {
+    /// The simulated time the event occurred at.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            Event::RegionScheduled { start, .. } => start,
+            Event::PenaltyFolded { new_end, .. } => new_end,
+            Event::RegionCommitted { at, .. } => at,
+            Event::SliceAnalyzed { end, .. } => end,
+            Event::PenaltyAssigned { .. } => SimTime::ZERO,
+            Event::ThreadBlocked { at, .. } => at,
+            Event::ThreadWoken { at, .. } => at,
+            Event::ThreadFinished { at, .. } => at,
+        }
+    }
+}
+
+/// An ordered record of kernel events.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<Event>,
+}
+
+impl Trace {
+    pub(crate) fn new(enabled: bool) -> Trace {
+        Trace {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, event: Event) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// Whether events were being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The recorded events, in the order they occurred.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Iterates over recorded events.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_drops_events() {
+        let mut t = Trace::new(false);
+        t.push(Event::ThreadFinished {
+            thread: ThreadId(0),
+            at: SimTime::ZERO,
+        });
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::new(true);
+        t.push(Event::ThreadFinished {
+            thread: ThreadId(0),
+            at: SimTime::from_cycles(1.0),
+        });
+        t.push(Event::ThreadFinished {
+            thread: ThreadId(1),
+            at: SimTime::from_cycles(2.0),
+        });
+        assert_eq!(t.len(), 2);
+        let times: Vec<f64> = t.iter().map(|e| e.time().as_cycles()).collect();
+        assert_eq!(times, vec![1.0, 2.0]);
+    }
+}

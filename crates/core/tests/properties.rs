@@ -1,0 +1,303 @@
+//! Property-based tests of kernel invariants.
+//!
+//! These exercise the hybrid kernel with randomized (but deterministic,
+//! proptest-seeded) workloads and check the conservation laws and ordering
+//! guarantees the rest of the repository relies on.
+
+use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+use mesh_core::{Annotation, Power, SimTime, SystemBuilder, VecProgram};
+use proptest::prelude::*;
+
+/// A simple proportional-stall model: each contender is delayed by the bus
+/// time of the other contenders' accesses in the slice.
+#[derive(Debug)]
+struct SerializingBus;
+
+impl ContentionModel for SerializingBus {
+    fn penalties(&self, slice: &Slice, reqs: &[SliceRequest]) -> Vec<SimTime> {
+        let total: f64 = reqs.iter().map(|r| r.accesses).sum();
+        reqs.iter()
+            .map(|r| slice.service_time * (total - r.accesses))
+            .collect()
+    }
+    fn name(&self) -> &str {
+        "serializing"
+    }
+}
+
+/// One random thread program: a few compute regions with access counts.
+fn arb_program() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec(
+        (1.0f64..500.0, 0.0f64..20.0), // (complexity, accesses)
+        1..12,
+    )
+}
+
+fn build_system(
+    programs: &[Vec<(f64, f64)>],
+    min_slice: f64,
+    with_model: bool,
+) -> mesh_core::System {
+    let mut b = SystemBuilder::new();
+    let mut procs = Vec::new();
+    for i in 0..programs.len() {
+        procs.push(b.add_proc(format!("p{i}"), Power::default()));
+    }
+    let bus = if with_model {
+        b.add_shared_resource("bus", SimTime::from_cycles(2.0), SerializingBus)
+    } else {
+        b.add_shared_resource("bus", SimTime::from_cycles(2.0), mesh_core::model::NoContention)
+    };
+    for (i, prog) in programs.iter().enumerate() {
+        let regions: Vec<Annotation> = prog
+            .iter()
+            .map(|&(c, a)| Annotation::compute(c).with_accesses(bus, a))
+            .collect();
+        let t = b.add_thread(format!("t{i}"), VecProgram::new(regions));
+        b.pin_thread(t, &[procs[i]]);
+    }
+    b.set_min_timeslice(SimTime::from_cycles(min_slice));
+    b.build().unwrap()
+}
+
+proptest! {
+    /// Without contention, the run time is the longest thread and no queuing
+    /// is ever reported.
+    #[test]
+    fn no_contention_runs_at_critical_path(
+        programs in prop::collection::vec(arb_program(), 1..5)
+    ) {
+        let report = build_system(&programs, 0.0, false).run().unwrap().report;
+        let longest: f64 = programs
+            .iter()
+            .map(|p| p.iter().map(|&(c, _)| c).sum::<f64>())
+            .fold(0.0, f64::max);
+        prop_assert!((report.total_time.as_cycles() - longest).abs() < 1e-6);
+        prop_assert_eq!(report.queuing_total(), SimTime::ZERO);
+    }
+
+    /// Queuing is conserved: per-thread totals, per-shared-resource totals
+    /// and the grand total all agree; the run is never shorter than the
+    /// contention-free critical path.
+    #[test]
+    fn queuing_conservation(
+        programs in prop::collection::vec(arb_program(), 2..5)
+    ) {
+        let report = build_system(&programs, 0.0, true).run().unwrap().report;
+        let per_thread: f64 = report.threads.iter().map(|t| t.queuing.as_cycles()).sum();
+        let per_shared: f64 = report.shared.iter().map(|s| s.queuing.as_cycles()).sum();
+        prop_assert!((per_thread - per_shared).abs() < 1e-6);
+        prop_assert!((report.queuing_total().as_cycles() - per_thread).abs() < 1e-9);
+
+        let longest: f64 = programs
+            .iter()
+            .map(|p| p.iter().map(|&(c, _)| c).sum::<f64>())
+            .fold(0.0, f64::max);
+        prop_assert!(report.total_time.as_cycles() >= longest - 1e-6);
+        // All penalties are non-negative by kernel contract, so total time
+        // can only grow with contention.
+        prop_assert!(report.queuing_total().as_cycles() >= 0.0);
+    }
+
+    /// Access mass is conserved: the bus sees exactly the annotated access
+    /// counts, regardless of how regions are divided across timeslices.
+    #[test]
+    fn access_mass_conserved(
+        programs in prop::collection::vec(arb_program(), 2..5)
+    ) {
+        let report = build_system(&programs, 0.0, true).run().unwrap().report;
+        let annotated: f64 = programs
+            .iter()
+            .map(|p| p.iter().map(|&(_, a)| a).sum::<f64>())
+            .sum();
+        let seen: f64 = report.shared.iter().map(|s| s.accesses).sum();
+        prop_assert!((annotated - seen).abs() < 1e-6 * annotated.max(1.0),
+            "annotated {annotated} vs analyzed {seen}");
+    }
+
+    /// Every region committed exactly once.
+    #[test]
+    fn commits_match_region_count(
+        programs in prop::collection::vec(arb_program(), 1..5)
+    ) {
+        let total: u64 = programs.iter().map(|p| p.len() as u64).sum();
+        let report = build_system(&programs, 0.0, true).run().unwrap().report;
+        prop_assert_eq!(report.commits, total);
+        for (i, p) in programs.iter().enumerate() {
+            prop_assert_eq!(report.threads[i].regions, p.len() as u64);
+        }
+    }
+
+    /// A larger minimum timeslice never increases the number of analysis
+    /// windows.
+    #[test]
+    fn min_timeslice_monotonically_reduces_slices(
+        programs in prop::collection::vec(arb_program(), 2..4),
+        min in 0.0f64..200.0,
+    ) {
+        let fine = build_system(&programs, 0.0, true).run().unwrap().report;
+        let coarse = build_system(&programs, min, true).run().unwrap().report;
+        prop_assert!(coarse.slices_analyzed <= fine.slices_analyzed);
+    }
+
+    /// The kernel is deterministic: identical systems produce identical
+    /// reports.
+    #[test]
+    fn runs_are_deterministic(
+        programs in prop::collection::vec(arb_program(), 1..4)
+    ) {
+        let a = build_system(&programs, 0.0, true).run().unwrap().report;
+        let b = build_system(&programs, 0.0, true).run().unwrap().report;
+        prop_assert_eq!(a.total_time, b.total_time);
+        prop_assert_eq!(a.commits, b.commits);
+        prop_assert_eq!(a.queuing_total(), b.queuing_total());
+        prop_assert_eq!(a.slices_analyzed, b.slices_analyzed);
+    }
+
+    /// Penalties only delay: each thread's occupancy is at least its busy
+    /// time, and the total simulated time bounds every thread's finish time.
+    #[test]
+    fn penalties_only_delay(
+        programs in prop::collection::vec(arb_program(), 2..4)
+    ) {
+        let report = build_system(&programs, 0.0, true).run().unwrap().report;
+        for t in &report.threads {
+            prop_assert!(t.occupancy() >= t.busy);
+            if let Some(f) = t.finished_at {
+                prop_assert!(f <= report.total_time);
+            }
+        }
+    }
+}
+
+/// Builds an N-thread, k-round barrier program with random work and traffic.
+fn barrier_system(
+    rounds: &[Vec<(f64, f64)>], // per thread, per round (complexity, accesses)
+    policy: mesh_core::WakePolicy,
+) -> mesh_core::System {
+    use mesh_core::SyncOp;
+    let n = rounds.len();
+    let mut b = SystemBuilder::new();
+    let mut procs = Vec::new();
+    for i in 0..n {
+        procs.push(b.add_proc(format!("p{i}"), Power::default()));
+    }
+    let bus = b.add_shared_resource("bus", SimTime::from_cycles(2.0), SerializingBus);
+    let bar = b.add_barrier(n);
+    for (i, thread_rounds) in rounds.iter().enumerate() {
+        let regions: Vec<Annotation> = thread_rounds
+            .iter()
+            .map(|&(c, a)| {
+                Annotation::compute(c)
+                    .with_accesses(bus, a)
+                    .with_sync(SyncOp::Barrier(bar))
+            })
+            .collect();
+        let t = b.add_thread(format!("t{i}"), VecProgram::new(regions));
+        b.pin_thread(t, &[procs[i]]);
+    }
+    b.set_wake_policy(policy);
+    b.build().unwrap()
+}
+
+proptest! {
+    /// Same-round barrier programs are deadlock-free by construction; the
+    /// kernel must always complete them, whatever the work and traffic.
+    #[test]
+    fn barrier_programs_never_deadlock(
+        per_thread in prop::collection::vec((1.0f64..300.0, 0.0f64..10.0), 1..6),
+        n in 2usize..4,
+    ) {
+        // Give every thread the same number of rounds (rotated work).
+        let rounds: Vec<Vec<(f64, f64)>> = (0..n)
+            .map(|i| {
+                let mut r = per_thread.clone();
+                let len = r.len().max(1);
+                r.rotate_left(i % len);
+                r
+            })
+            .collect();
+        let report = barrier_system(&rounds, mesh_core::WakePolicy::EndOfRegion)
+            .run()
+            .unwrap()
+            .report;
+        let k = per_thread.len() as u64;
+        for t in &report.threads {
+            prop_assert_eq!(t.regions, k);
+        }
+        // Barriers align: everyone finishes at the same commit frontier.
+        let finishes: Vec<f64> = report
+            .threads
+            .iter()
+            .map(|t| t.finished_at.unwrap().as_cycles())
+            .collect();
+        for &f in &finishes {
+            prop_assert!((f - finishes[0]).abs() < 1e-9);
+        }
+    }
+
+    /// The optimistic wake policy never lengthens a run, and both policies
+    /// conserve per-thread busy time.
+    #[test]
+    fn wake_policy_never_lengthens(
+        per_thread in prop::collection::vec((1.0f64..300.0, 0.0f64..10.0), 1..6),
+        n in 2usize..4,
+    ) {
+        let rounds: Vec<Vec<(f64, f64)>> = (0..n)
+            .map(|i| {
+                let mut r = per_thread.clone();
+                let len = r.len().max(1);
+                r.rotate_left(i % len);
+                r
+            })
+            .collect();
+        let pess = barrier_system(&rounds, mesh_core::WakePolicy::EndOfRegion)
+            .run()
+            .unwrap()
+            .report;
+        let opt = barrier_system(&rounds, mesh_core::WakePolicy::StartOfRegion)
+            .run()
+            .unwrap()
+            .report;
+        prop_assert!(opt.total_time <= pess.total_time + SimTime::from_cycles(1e-6));
+        for (a, b) in pess.threads.iter().zip(&opt.threads) {
+            // Accumulation order differs between policies; allow FP noise.
+            prop_assert!((a.busy.as_cycles() - b.busy.as_cycles()).abs() < 1e-6);
+        }
+    }
+
+    /// Producer/consumer semaphore pipelines with enough posts always
+    /// complete, and the consumer's blocked time is bounded by the
+    /// producer's span.
+    #[test]
+    fn semaphore_pipelines_complete(
+        items in 1usize..8,
+        work_p in 10.0f64..200.0,
+        work_c in 10.0f64..200.0,
+    ) {
+        use mesh_core::SyncOp;
+        let mut b = SystemBuilder::new();
+        let p0 = b.add_proc("p0", Power::default());
+        let p1 = b.add_proc("p1", Power::default());
+        let sem = b.add_semaphore(0);
+        let producer: Vec<Annotation> = (0..items)
+            .map(|_| Annotation::compute(work_p).with_sync(SyncOp::SemPost(sem)))
+            .collect();
+        let consumer: Vec<Annotation> = (0..items)
+            .flat_map(|_| {
+                vec![
+                    Annotation::sync(SyncOp::SemWait(sem)),
+                    Annotation::compute(work_c),
+                ]
+            })
+            .collect();
+        let tp = b.add_thread("producer", VecProgram::new(producer));
+        let tc = b.add_thread("consumer", VecProgram::new(consumer));
+        b.pin_thread(tp, &[p0]);
+        b.pin_thread(tc, &[p1]);
+        let report = b.build().unwrap().run().unwrap().report;
+        let producer_span = items as f64 * work_p;
+        prop_assert!(report.threads[tc.index()].blocked.as_cycles() <= producer_span + 1e-6);
+        prop_assert_eq!(report.threads[tc.index()].regions, 2 * items as u64);
+    }
+}

@@ -1,0 +1,20 @@
+//! # mesh-cyclesim — the cycle-accurate reference simulator
+//!
+//! A shared-bus multiprocessor simulator advancing one cycle at a time: the
+//! repository's stand-in for the paper's instruction-set simulators. It is
+//! the **ground truth** every contention model is measured against (Figures
+//! 4–6) and the slow baseline of the Table 1 runtime comparison.
+//!
+//! The simulator consumes the same [`Workload`](mesh_workloads::Workload)
+//! and [`MachineConfig`](mesh_arch::MachineConfig) the hybrid setup uses, so
+//! a comparison is always apples to apples: same programs, same caches, same
+//! bus — only the modeling of contention differs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cursor;
+pub mod sim;
+
+pub use cursor::{compute_cycles, Pacing};
+pub use sim::{simulate, simulate_with_limit, simulate_with_options, CycleReport, CycleSimError, ProcCycleStats, SimOptions};

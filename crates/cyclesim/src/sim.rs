@@ -1,0 +1,590 @@
+//! The cycle-accurate shared-bus multiprocessor simulator.
+//!
+//! This is the repository's stand-in for the paper's instruction-set
+//! simulators (the SPLASH-2 ISS of §5.1 and the ARM + M32R GDB simulators of
+//! §5.2): the ground truth every model is judged against, and the slow
+//! baseline of Table 1. It advances the whole machine one cycle at a time —
+//! every processor, every bus transfer — which is exactly why it is orders
+//! of magnitude slower than the hybrid kernel and why the paper wants to
+//! avoid it during early design-space exploration.
+//!
+//! ## Timing model
+//!
+//! * computation: one operation per cycle, scaled by processor power;
+//! * cache hit: `hit_cycles` (private cache per processor);
+//! * cache miss: the processor requests the shared bus, waits for the grant
+//!   (**queuing cycles** — the paper's metric), then occupies the bus for
+//!   `delay_cycles`;
+//! * one outstanding request per processor (simple blocking embedded cores);
+//! * barriers: a processor stalls until all parties arrive.
+
+use crate::cursor::{Item, Pacing, TaskCursor};
+use mesh_arch::{Arbitration, Cache, MachineConfig};
+use mesh_workloads::Workload;
+use std::fmt;
+
+/// Options of a cycle-accurate run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Reference pacing within segments (see [`Pacing`]). Each processor's
+    /// stream is derived from this policy with a distinct per-processor
+    /// seed, so symmetric tasks do not artificially run in lockstep.
+    pub pacing: Pacing,
+    /// Abort when this many cycles elapse.
+    pub cycle_limit: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> SimOptions {
+        SimOptions {
+            pacing: Pacing::default(),
+            cycle_limit: u64::MAX,
+        }
+    }
+}
+
+/// Per-processor statistics of a cycle-accurate run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcCycleStats {
+    /// Cycles doing useful work: computation, cache hits and bus transfers
+    /// (miss service). Excludes queuing, idle gaps and barrier waits.
+    pub work_cycles: u64,
+    /// Cycles spent waiting for the bus grant — the paper's queuing cycles.
+    pub queuing_cycles: u64,
+    /// Cycles spent in idle segments.
+    pub idle_cycles: u64,
+    /// Cycles stalled at barriers.
+    pub barrier_wait_cycles: u64,
+    /// Cache hits observed.
+    pub hits: u64,
+    /// Cache misses (= shared bus transactions issued).
+    pub misses: u64,
+    /// Shared-I/O operations issued.
+    pub io_ops: u64,
+    /// Cycles spent waiting for the shared I/O device's grant.
+    pub io_queuing_cycles: u64,
+    /// Cycle at which the task completed.
+    pub finished_at: u64,
+}
+
+impl ProcCycleStats {
+    /// Total references issued.
+    pub fn refs(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// The result of a cycle-accurate simulation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CycleReport {
+    /// Cycles until the last task finished.
+    pub total_cycles: u64,
+    /// Per-processor statistics, index-aligned with the machine.
+    pub procs: Vec<ProcCycleStats>,
+    /// Cycles the bus spent transferring.
+    pub bus_busy_cycles: u64,
+    /// Cycles the shared I/O device spent serving.
+    pub io_busy_cycles: u64,
+    /// Host wall-clock time of the simulation (the Table 1 measurement).
+    pub wall_clock: std::time::Duration,
+}
+
+impl CycleReport {
+    /// Total queuing cycles across processors and shared resources (bus
+    /// plus I/O device), matching the hybrid kernel's all-resource total.
+    pub fn queuing_total(&self) -> u64 {
+        self.procs
+            .iter()
+            .map(|p| p.queuing_cycles + p.io_queuing_cycles)
+            .sum()
+    }
+
+    /// Total bus-grant queuing cycles only.
+    pub fn bus_queuing_total(&self) -> u64 {
+        self.procs.iter().map(|p| p.queuing_cycles).sum()
+    }
+
+    /// Total I/O-grant queuing cycles only.
+    pub fn io_queuing_total(&self) -> u64 {
+        self.procs.iter().map(|p| p.io_queuing_cycles).sum()
+    }
+
+    /// Total work cycles across processors.
+    pub fn work_total(&self) -> u64 {
+        self.procs.iter().map(|p| p.work_cycles).sum()
+    }
+
+    /// Queuing cycles as a percentage of work cycles — directly comparable
+    /// with `mesh_core::Report::queuing_percent` and the analytical
+    /// estimator.
+    pub fn queuing_percent(&self) -> f64 {
+        let work = self.work_total();
+        if work == 0 {
+            0.0
+        } else {
+            100.0 * self.queuing_total() as f64 / work as f64
+        }
+    }
+
+    /// Bus utilization over the whole run.
+    pub fn bus_utilization(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.bus_busy_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+/// An error aborting a cycle-accurate simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CycleSimError {
+    /// More tasks than processors (tasks are pinned one per processor).
+    TaskCountMismatch {
+        /// Tasks in the workload.
+        tasks: usize,
+        /// Processors in the machine.
+        procs: usize,
+    },
+    /// A segment references a barrier the workload does not define, or idle
+    /// segments carry traffic, or the workload issues I/O operations on a
+    /// machine without an I/O device.
+    InvalidWorkload(String),
+    /// Every live processor is stalled at a barrier that can never fill.
+    BarrierDeadlock {
+        /// The cycle at which the deadlock was detected.
+        cycle: u64,
+    },
+    /// The configured cycle limit was exceeded.
+    CycleLimit {
+        /// The limit that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for CycleSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CycleSimError::TaskCountMismatch { tasks, procs } => {
+                write!(f, "{tasks} tasks cannot be pinned onto {procs} processors")
+            }
+            CycleSimError::InvalidWorkload(s) => write!(f, "invalid workload: {s}"),
+            CycleSimError::BarrierDeadlock { cycle } => {
+                write!(f, "barrier deadlock at cycle {cycle}")
+            }
+            CycleSimError::CycleLimit { limit } => {
+                write!(f, "cycle limit of {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CycleSimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PState {
+    /// Needs its next micro-event.
+    Fetch,
+    Compute { left: u64 },
+    HitWait { left: u64 },
+    WaitBus,
+    OnBus { left: u64 },
+    WaitIo,
+    OnIo { left: u64 },
+    Idle { left: u64 },
+    Barrier { id: usize },
+    Done,
+}
+
+/// Runs the workload on the machine cycle by cycle with explicit options.
+///
+/// # Errors
+///
+/// Returns [`CycleSimError`] if the workload does not fit the machine, is
+/// invalid, deadlocks at a barrier, or exceeds the cycle limit.
+pub fn simulate_with_options(
+    workload: &Workload,
+    machine: &MachineConfig,
+    options: SimOptions,
+) -> Result<CycleReport, CycleSimError> {
+    let cycle_limit = options.cycle_limit;
+    if workload.tasks.len() > machine.procs.len() {
+        return Err(CycleSimError::TaskCountMismatch {
+            tasks: workload.tasks.len(),
+            procs: machine.procs.len(),
+        });
+    }
+    workload.validate().map_err(CycleSimError::InvalidWorkload)?;
+    let issues_io = workload
+        .tasks
+        .iter()
+        .any(|t| t.segments.iter().any(|s| s.io_ops > 0));
+    if issues_io && machine.io.is_none() {
+        return Err(CycleSimError::InvalidWorkload(
+            "workload issues I/O operations but the machine has no I/O device".to_string(),
+        ));
+    }
+
+    let start_wall = std::time::Instant::now();
+    let n = workload.tasks.len();
+    let mut cursors: Vec<TaskCursor<'_>> = workload
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let pacing = match options.pacing {
+                Pacing::Even => Pacing::Even,
+                // Decorrelate the processors' jitter streams.
+                Pacing::Poisson(seed) => Pacing::Poisson(
+                    seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ),
+            };
+            TaskCursor::new(&t.segments, machine.procs[i], pacing)
+        })
+        .collect();
+    let mut caches: Vec<Cache> = (0..n).map(|i| Cache::new(machine.procs[i].cache)).collect();
+    let mut states = vec![PState::Fetch; n];
+    let mut stats = vec![ProcCycleStats::default(); n];
+
+    // Shared bus state.
+    let mut bus_left: u64 = 0;
+    let mut wait_queue: Vec<usize> = Vec::new(); // request order
+    let mut rr_next: usize = 0;
+    let mut bus_busy_cycles: u64 = 0;
+
+    // Shared I/O device state (round-robin arbitration).
+    let io_delay = machine.io.map(|io| io.delay_cycles).unwrap_or(0);
+    let mut io_left: u64 = 0;
+    let mut io_wait_queue: Vec<usize> = Vec::new();
+    let mut io_rr_next: usize = 0;
+    let mut io_busy_cycles: u64 = 0;
+
+    // Barrier state.
+    let mut arrived: Vec<Vec<usize>> = vec![Vec::new(); workload.barriers.len()];
+
+    let mut cycle: u64 = 0;
+    let delay = machine.bus.delay_cycles;
+
+    // Resolve Fetch states (zero-width transitions) for processor `p`.
+    // Returns the new state after consuming as many zero-cycle items as
+    // needed.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_fetch(
+        p: usize,
+        cursors: &mut [TaskCursor<'_>],
+        caches: &mut [Cache],
+        stats: &mut [ProcCycleStats],
+        wait_queue: &mut Vec<usize>,
+        io_wait_queue: &mut Vec<usize>,
+        arrived: &mut [Vec<usize>],
+        machine: &MachineConfig,
+        cycle: u64,
+    ) -> PState {
+        loop {
+            match cursors[p].next_item() {
+                None => {
+                    stats[p].finished_at = cycle;
+                    return PState::Done;
+                }
+                Some(Item::Compute(c)) => {
+                    if c > 0 {
+                        return PState::Compute { left: c };
+                    }
+                }
+                Some(Item::Idle(c)) => {
+                    if c > 0 {
+                        return PState::Idle { left: c };
+                    }
+                }
+                Some(Item::Ref(addr)) => {
+                    if caches[p].access(addr).is_miss() {
+                        stats[p].misses += 1;
+                        wait_queue.push(p);
+                        return PState::WaitBus;
+                    }
+                    stats[p].hits += 1;
+                    let hc = machine.procs[p].hit_cycles;
+                    if hc > 0 {
+                        return PState::HitWait { left: hc };
+                    }
+                }
+                Some(Item::Io) => {
+                    stats[p].io_ops += 1;
+                    io_wait_queue.push(p);
+                    return PState::WaitIo;
+                }
+                Some(Item::Barrier(id)) => {
+                    arrived[id].push(p);
+                    return PState::Barrier { id };
+                }
+            }
+        }
+    }
+
+    // Initial fetch.
+    #[allow(clippy::needless_range_loop)]
+    for p in 0..n {
+        states[p] = resolve_fetch(
+            p,
+            &mut cursors,
+            &mut caches,
+            &mut stats,
+            &mut wait_queue,
+            &mut io_wait_queue,
+            &mut arrived,
+            machine,
+            cycle,
+        );
+    }
+
+    loop {
+        // Barrier resolution: release any full barrier before this cycle's
+        // work (so released processors resume this cycle).
+        let mut any_release = false;
+        for (id, parties) in workload.barriers.iter().enumerate() {
+            if !arrived[id].is_empty() && arrived[id].len() >= *parties {
+                any_release = true;
+                for p in std::mem::take(&mut arrived[id]) {
+                    states[p] = resolve_fetch(
+                        p,
+                        &mut cursors,
+                        &mut caches,
+                        &mut stats,
+                        &mut wait_queue,
+                        &mut io_wait_queue,
+                        &mut arrived,
+                        machine,
+                        cycle,
+                    );
+                }
+            }
+        }
+        if states.iter().all(|s| *s == PState::Done) {
+            break;
+        }
+        if cycle >= cycle_limit {
+            return Err(CycleSimError::CycleLimit { limit: cycle_limit });
+        }
+        // Deadlock: every live processor is parked at a barrier that did
+        // not release.
+        if !any_release
+            && states
+                .iter()
+                .all(|s| matches!(s, PState::Barrier { .. } | PState::Done))
+            && states.iter().any(|s| matches!(s, PState::Barrier { .. }))
+        {
+            return Err(CycleSimError::BarrierDeadlock { cycle });
+        }
+
+        // Bus grant: if free, pick a requester.
+        if bus_left == 0 && !wait_queue.is_empty() {
+            let chosen = match machine.bus.arbitration {
+                Arbitration::FixedPriority => {
+                    let &p = wait_queue.iter().min().expect("non-empty");
+                    p
+                }
+                Arbitration::RoundRobin => {
+                    // Lowest index at or after the rotating pointer.
+                    let mut pick = None;
+                    for off in 0..n {
+                        let cand = (rr_next + off) % n;
+                        if wait_queue.contains(&cand) {
+                            pick = Some(cand);
+                            break;
+                        }
+                    }
+                    let p = pick.expect("queue non-empty");
+                    rr_next = (p + 1) % n;
+                    p
+                }
+            };
+            wait_queue.retain(|&p| p != chosen);
+            states[chosen] = PState::OnBus { left: delay };
+            bus_left = delay;
+        }
+
+        // I/O device grant: round-robin among requesters.
+        if io_left == 0 && !io_wait_queue.is_empty() {
+            let mut pick = None;
+            for off in 0..n {
+                let cand = (io_rr_next + off) % n;
+                if io_wait_queue.contains(&cand) {
+                    pick = Some(cand);
+                    break;
+                }
+            }
+            let chosen = pick.expect("queue non-empty");
+            io_rr_next = (chosen + 1) % n;
+            io_wait_queue.retain(|&p| p != chosen);
+            states[chosen] = PState::OnIo { left: io_delay };
+            io_left = io_delay;
+        }
+
+        // Processor phase: everyone consumes one cycle.
+        for p in 0..n {
+            match states[p] {
+                PState::Done => {}
+                PState::Fetch => unreachable!("fetch states are resolved eagerly"),
+                PState::Compute { left } => {
+                    stats[p].work_cycles += 1;
+                    states[p] = if left == 1 {
+                        resolve_fetch(
+                            p,
+                            &mut cursors,
+                            &mut caches,
+                            &mut stats,
+                            &mut wait_queue,
+                            &mut io_wait_queue,
+                            &mut arrived,
+                            machine,
+                            cycle + 1,
+                        )
+                    } else {
+                        PState::Compute { left: left - 1 }
+                    };
+                }
+                PState::HitWait { left } => {
+                    stats[p].work_cycles += 1;
+                    states[p] = if left == 1 {
+                        resolve_fetch(
+                            p,
+                            &mut cursors,
+                            &mut caches,
+                            &mut stats,
+                            &mut wait_queue,
+                            &mut io_wait_queue,
+                            &mut arrived,
+                            machine,
+                            cycle + 1,
+                        )
+                    } else {
+                        PState::HitWait { left: left - 1 }
+                    };
+                }
+                PState::WaitBus => {
+                    stats[p].queuing_cycles += 1;
+                }
+                PState::OnBus { left } => {
+                    stats[p].work_cycles += 1;
+                    bus_busy_cycles += 1;
+                    bus_left -= 1;
+                    states[p] = if left == 1 {
+                        resolve_fetch(
+                            p,
+                            &mut cursors,
+                            &mut caches,
+                            &mut stats,
+                            &mut wait_queue,
+                            &mut io_wait_queue,
+                            &mut arrived,
+                            machine,
+                            cycle + 1,
+                        )
+                    } else {
+                        PState::OnBus { left: left - 1 }
+                    };
+                }
+                PState::WaitIo => {
+                    stats[p].io_queuing_cycles += 1;
+                }
+                PState::OnIo { left } => {
+                    stats[p].work_cycles += 1;
+                    io_busy_cycles += 1;
+                    io_left -= 1;
+                    states[p] = if left == 1 {
+                        resolve_fetch(
+                            p,
+                            &mut cursors,
+                            &mut caches,
+                            &mut stats,
+                            &mut wait_queue,
+                            &mut io_wait_queue,
+                            &mut arrived,
+                            machine,
+                            cycle + 1,
+                        )
+                    } else {
+                        PState::OnIo { left: left - 1 }
+                    };
+                }
+                PState::Idle { left } => {
+                    stats[p].idle_cycles += 1;
+                    states[p] = if left == 1 {
+                        resolve_fetch(
+                            p,
+                            &mut cursors,
+                            &mut caches,
+                            &mut stats,
+                            &mut wait_queue,
+                            &mut io_wait_queue,
+                            &mut arrived,
+                            machine,
+                            cycle + 1,
+                        )
+                    } else {
+                        PState::Idle { left: left - 1 }
+                    };
+                }
+                PState::Barrier { .. } => {
+                    stats[p].barrier_wait_cycles += 1;
+                }
+            }
+        }
+
+        cycle += 1;
+    }
+
+    Ok(CycleReport {
+        total_cycles: cycle,
+        procs: stats,
+        bus_busy_cycles,
+        io_busy_cycles,
+        wall_clock: start_wall.elapsed(),
+    })
+}
+
+/// Runs the workload on the machine cycle by cycle, without a cycle limit.
+///
+/// # Errors
+///
+/// Returns [`CycleSimError`] if the workload does not fit the machine, is
+/// invalid, or deadlocks at a barrier.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_arch::{BusConfig, CacheConfig, MachineConfig, ProcConfig};
+/// use mesh_cyclesim::simulate;
+/// use mesh_workloads::{Segment, TaskProgram, Workload};
+///
+/// let cache = CacheConfig::direct_mapped(1024, 32).unwrap();
+/// let machine = MachineConfig::homogeneous(1, ProcConfig::new(cache), BusConfig::new(4));
+/// let mut w = Workload::new();
+/// w.add_task(TaskProgram::new("t").with_segment(Segment::work(100)));
+/// let report = simulate(&w, &machine).unwrap();
+/// assert_eq!(report.total_cycles, 100);
+/// ```
+pub fn simulate(workload: &Workload, machine: &MachineConfig) -> Result<CycleReport, CycleSimError> {
+    simulate_with_options(workload, machine, SimOptions::default())
+}
+
+/// Runs the workload with default pacing and the given cycle limit.
+///
+/// # Errors
+///
+/// As [`simulate_with_options`].
+pub fn simulate_with_limit(
+    workload: &Workload,
+    machine: &MachineConfig,
+    cycle_limit: u64,
+) -> Result<CycleReport, CycleSimError> {
+    simulate_with_options(
+        workload,
+        machine,
+        SimOptions {
+            cycle_limit,
+            ..SimOptions::default()
+        },
+    )
+}

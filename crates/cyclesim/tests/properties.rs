@@ -1,0 +1,142 @@
+//! Property-based tests of the cycle-accurate simulator.
+
+use mesh_arch::{BusConfig, CacheConfig, MachineConfig, ProcConfig};
+use mesh_cyclesim::{simulate_with_options, Pacing, SimOptions};
+use mesh_workloads::{MemPattern, Segment, TaskProgram, Workload};
+use proptest::prelude::*;
+
+/// (ops, refs, use_random_pattern, idle_cycles)
+type SegSpec = (u64, u64, bool, u64);
+
+fn arb_task() -> impl Strategy<Value = Vec<SegSpec>> {
+    prop::collection::vec(
+        (1u64..400, 0u64..40, any::<bool>(), 0u64..100),
+        1..8,
+    )
+}
+
+fn build_workload(tasks: &[Vec<SegSpec>]) -> Workload {
+    let mut w = Workload::new();
+    for (ti, segs) in tasks.iter().enumerate() {
+        let mut task = TaskProgram::new(format!("t{ti}"));
+        for (si, &(ops, refs, random, idle)) in segs.iter().enumerate() {
+            let mut seg = Segment::work(ops);
+            if refs > 0 {
+                let base = (ti as u64) << 24;
+                seg = seg.with_pattern(if random {
+                    MemPattern::Random {
+                        base,
+                        span: 64 * 1024,
+                        count: refs,
+                        seed: (ti * 31 + si) as u64,
+                    }
+                } else {
+                    MemPattern::Strided {
+                        base: base + (si as u64) * 4096,
+                        stride: 32,
+                        count: refs,
+                    }
+                });
+            }
+            task.push(seg);
+            if idle > 0 {
+                task.push(Segment::idle(idle));
+            }
+        }
+        w.add_task(task);
+    }
+    w
+}
+
+fn machine(n: usize) -> MachineConfig {
+    let cache = CacheConfig::new(4 * 1024, 32, 2).unwrap();
+    MachineConfig::homogeneous(n, ProcConfig::new(cache), BusConfig::new(4))
+}
+
+fn run(w: &Workload, m: &MachineConfig, pacing: Pacing) -> mesh_cyclesim::CycleReport {
+    simulate_with_options(
+        w,
+        m,
+        SimOptions {
+            pacing,
+            cycle_limit: u64::MAX,
+        },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Work, idle, hit and miss totals are invariant under reference pacing:
+    /// pacing moves events in time but conserves them.
+    #[test]
+    fn pacing_conserves_totals(tasks in prop::collection::vec(arb_task(), 1..4), seed in any::<u64>()) {
+        let w = build_workload(&tasks);
+        let m = machine(tasks.len());
+        let even = run(&w, &m, Pacing::Even);
+        let poisson = run(&w, &m, Pacing::Poisson(seed));
+        for (a, b) in even.procs.iter().zip(&poisson.procs) {
+            prop_assert_eq!(a.work_cycles, b.work_cycles);
+            prop_assert_eq!(a.idle_cycles, b.idle_cycles);
+            prop_assert_eq!(a.hits, b.hits);
+            prop_assert_eq!(a.misses, b.misses);
+        }
+    }
+
+    /// A single processor can never queue, regardless of workload.
+    #[test]
+    fn single_processor_never_queues(task in arb_task(), seed in any::<u64>()) {
+        let w = build_workload(&[task]);
+        let m = machine(1);
+        let r = run(&w, &m, Pacing::Poisson(seed));
+        prop_assert_eq!(r.queuing_total(), 0);
+        // And the run time is exactly work + idle.
+        let expected = r.procs[0].work_cycles + r.procs[0].idle_cycles;
+        prop_assert_eq!(r.total_cycles, expected);
+    }
+
+    /// The bus is busy exactly misses x delay cycles.
+    #[test]
+    fn bus_occupancy_accounts_every_miss(tasks in prop::collection::vec(arb_task(), 1..4)) {
+        let w = build_workload(&tasks);
+        let m = machine(tasks.len());
+        let r = run(&w, &m, Pacing::Poisson(7));
+        let misses: u64 = r.procs.iter().map(|p| p.misses).sum();
+        prop_assert_eq!(r.bus_busy_cycles, misses * m.bus.delay_cycles);
+    }
+
+    /// Runs are deterministic for a fixed pacing seed.
+    #[test]
+    fn deterministic_for_fixed_seed(tasks in prop::collection::vec(arb_task(), 1..3), seed in any::<u64>()) {
+        let w = build_workload(&tasks);
+        let m = machine(tasks.len());
+        let a = run(&w, &m, Pacing::Poisson(seed));
+        let b = run(&w, &m, Pacing::Poisson(seed));
+        prop_assert_eq!(a.total_cycles, b.total_cycles);
+        prop_assert_eq!(a.procs, b.procs);
+        prop_assert_eq!(a.bus_busy_cycles, b.bus_busy_cycles);
+    }
+
+    /// The makespan is bounded below by every processor's own demand and
+    /// above by total serialization.
+    #[test]
+    fn makespan_bounds(tasks in prop::collection::vec(arb_task(), 1..4)) {
+        let w = build_workload(&tasks);
+        let m = machine(tasks.len());
+        let r = run(&w, &m, Pacing::Poisson(3));
+        let per_proc_max = r
+            .procs
+            .iter()
+            .map(|p| p.work_cycles + p.idle_cycles)
+            .max()
+            .unwrap_or(0);
+        let serialized: u64 = r
+            .procs
+            .iter()
+            .map(|p| p.work_cycles + p.idle_cycles)
+            .sum();
+        prop_assert!(r.total_cycles >= per_proc_max);
+        prop_assert!(r.total_cycles <= serialized.max(per_proc_max) + 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! Behavioural tests of the cycle-accurate simulator.
+
+use mesh_arch::{Arbitration, BusConfig, CacheConfig, MachineConfig, ProcConfig};
+use mesh_cyclesim::{simulate, simulate_with_limit, CycleSimError};
+use mesh_workloads::{MemPattern, Segment, TaskProgram, Workload};
+
+fn small_cache() -> CacheConfig {
+    CacheConfig::direct_mapped(1024, 32).unwrap()
+}
+
+fn machine(n: usize, bus_delay: u64) -> MachineConfig {
+    MachineConfig::homogeneous(n, ProcConfig::new(small_cache()), BusConfig::new(bus_delay))
+}
+
+fn single_task(segments: Vec<Segment>) -> Workload {
+    let mut w = Workload::new();
+    w.add_task(TaskProgram::new("t").with_segment_list(segments));
+    w
+}
+
+trait WithList {
+    fn with_segment_list(self, segments: Vec<Segment>) -> TaskProgram;
+}
+
+impl WithList for TaskProgram {
+    fn with_segment_list(mut self, segments: Vec<Segment>) -> TaskProgram {
+        for s in segments {
+            self.push(s);
+        }
+        self
+    }
+}
+
+#[test]
+fn compute_only_takes_exact_cycles() {
+    let r = simulate(&single_task(vec![Segment::work(123)]), &machine(1, 4)).unwrap();
+    assert_eq!(r.total_cycles, 123);
+    assert_eq!(r.procs[0].work_cycles, 123);
+    assert_eq!(r.queuing_total(), 0);
+    assert_eq!(r.bus_busy_cycles, 0);
+}
+
+#[test]
+fn misses_cost_bus_delay_hits_cost_hit_cycles() {
+    // 4 refs on the same line: 1 miss + 3 hits. Work = 100 compute + 1*delay
+    // + 3*1.
+    let seg = Segment::work(100).with_pattern(MemPattern::Strided {
+        base: 0,
+        stride: 8,
+        count: 4,
+    });
+    let r = simulate(&single_task(vec![seg]), &machine(1, 6)).unwrap();
+    assert_eq!(r.procs[0].misses, 1);
+    assert_eq!(r.procs[0].hits, 3);
+    assert_eq!(r.total_cycles, 100 + 6 + 3);
+    assert_eq!(r.bus_busy_cycles, 6);
+    assert_eq!(r.queuing_total(), 0); // no contention with one processor
+}
+
+#[test]
+fn idle_segments_are_not_work() {
+    let r = simulate(
+        &single_task(vec![Segment::work(50), Segment::idle(30), Segment::work(20)]),
+        &machine(1, 4),
+    )
+    .unwrap();
+    assert_eq!(r.total_cycles, 100);
+    assert_eq!(r.procs[0].work_cycles, 70);
+    assert_eq!(r.procs[0].idle_cycles, 30);
+}
+
+#[test]
+fn power_scales_compute_cycles() {
+    let mut m = machine(1, 4);
+    m.procs[0] = m.procs[0].with_power(0.5);
+    let r = simulate(&single_task(vec![Segment::work(100)]), &m).unwrap();
+    assert_eq!(r.total_cycles, 200);
+}
+
+#[test]
+fn contention_produces_queuing_cycles() {
+    // Two processors, disjoint lines, both miss every ref: heavy contention.
+    let mk = |base: u64| {
+        TaskProgram::new("t").with_segment(Segment::work(64).with_pattern(MemPattern::Strided {
+            base,
+            stride: 32,
+            count: 64,
+        }))
+    };
+    let mut w = Workload::new();
+    w.add_task(mk(0));
+    w.add_task(mk(1 << 20));
+    let r = simulate(&w, &machine(2, 8)).unwrap();
+    assert!(r.queuing_total() > 0, "expected bus queuing");
+    assert_eq!(r.procs[0].misses, 64);
+    assert_eq!(r.procs[1].misses, 64);
+    // The bus served every miss.
+    assert_eq!(r.bus_busy_cycles, 2 * 64 * 8);
+}
+
+#[test]
+fn single_thread_never_queues() {
+    let seg = Segment::work(100).with_pattern(MemPattern::Random {
+        base: 0,
+        span: 1 << 16,
+        count: 200,
+        seed: 3,
+    });
+    let r = simulate(&single_task(vec![seg]), &machine(1, 4)).unwrap();
+    assert_eq!(r.queuing_total(), 0);
+}
+
+#[test]
+fn fixed_priority_favors_proc_zero() {
+    let mk = |base: u64| {
+        TaskProgram::new("t").with_segment(Segment::work(0).with_pattern(MemPattern::Strided {
+            base,
+            stride: 32,
+            count: 128,
+        }))
+    };
+    let run = |arb: Arbitration| {
+        let mut w = Workload::new();
+        w.add_task(mk(0));
+        w.add_task(mk(1 << 20));
+        let mut m = machine(2, 8);
+        m.bus = m.bus.with_arbitration(arb);
+        simulate(&w, &m).unwrap()
+    };
+    let fixed = run(Arbitration::FixedPriority);
+    let rr = run(Arbitration::RoundRobin);
+    // Under fixed priority, proc 0 waits less than proc 1.
+    assert!(fixed.procs[0].queuing_cycles < fixed.procs[1].queuing_cycles);
+    // Round-robin splits the waiting more evenly than fixed priority.
+    let spread = |r: &mesh_cyclesim::CycleReport| {
+        (r.procs[0].queuing_cycles as i64 - r.procs[1].queuing_cycles as i64).abs()
+    };
+    assert!(spread(&rr) <= spread(&fixed));
+}
+
+#[test]
+fn barriers_align_tasks() {
+    let mut w = Workload::new();
+    let b = w.add_barrier(2);
+    w.add_task(TaskProgram::new("fast").with_segment(Segment::work(10).with_barrier(b)));
+    w.add_task(TaskProgram::new("slow").with_segment(Segment::work(100).with_barrier(b)));
+    let r = simulate(&w, &machine(2, 4)).unwrap();
+    assert_eq!(r.total_cycles, 100);
+    assert_eq!(r.procs[0].barrier_wait_cycles, 90);
+    assert_eq!(r.procs[1].barrier_wait_cycles, 0);
+}
+
+#[test]
+fn barrier_deadlock_detected() {
+    let mut w = Workload::new();
+    let b = w.add_barrier(3); // needs 3 parties, only 2 tasks
+    w.add_task(TaskProgram::new("a").with_segment(Segment::work(5).with_barrier(b)));
+    w.add_task(TaskProgram::new("b").with_segment(Segment::work(5).with_barrier(b)));
+    assert!(matches!(
+        simulate(&w, &machine(2, 4)),
+        Err(CycleSimError::BarrierDeadlock { .. })
+    ));
+}
+
+#[test]
+fn too_many_tasks_rejected() {
+    let mut w = Workload::new();
+    w.add_task(TaskProgram::new("a").with_segment(Segment::work(1)));
+    w.add_task(TaskProgram::new("b").with_segment(Segment::work(1)));
+    assert!(matches!(
+        simulate(&w, &machine(1, 4)),
+        Err(CycleSimError::TaskCountMismatch { .. })
+    ));
+}
+
+#[test]
+fn cycle_limit_enforced() {
+    let w = single_task(vec![Segment::work(1000)]);
+    assert!(matches!(
+        simulate_with_limit(&w, &machine(1, 4), 10),
+        Err(CycleSimError::CycleLimit { limit: 10 })
+    ));
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let seg = |seed| {
+        Segment::work(500).with_pattern(MemPattern::Random {
+            base: 0,
+            span: 1 << 14,
+            count: 300,
+            seed,
+        })
+    };
+    let mut w = Workload::new();
+    w.add_task(TaskProgram::new("a").with_segment(seg(1)));
+    w.add_task(TaskProgram::new("b").with_segment(seg(2)));
+    let r1 = simulate(&w, &machine(2, 4)).unwrap();
+    let r2 = simulate(&w, &machine(2, 4)).unwrap();
+    assert_eq!(r1.total_cycles, r2.total_cycles);
+    assert_eq!(r1.procs, r2.procs);
+}
+
+#[test]
+fn queuing_percent_and_utilization() {
+    let mk = |base: u64| {
+        TaskProgram::new("t").with_segment(Segment::work(32).with_pattern(MemPattern::Strided {
+            base,
+            stride: 32,
+            count: 32,
+        }))
+    };
+    let mut w = Workload::new();
+    w.add_task(mk(0));
+    w.add_task(mk(1 << 20));
+    let r = simulate(&w, &machine(2, 8)).unwrap();
+    assert!(r.queuing_percent() > 0.0);
+    assert!(r.bus_utilization() > 0.5); // the bus is the bottleneck here
+    assert!(r.bus_utilization() <= 1.0);
+}
+
+#[test]
+fn finished_at_recorded() {
+    let mut w = Workload::new();
+    w.add_task(TaskProgram::new("a").with_segment(Segment::work(10)));
+    w.add_task(TaskProgram::new("b").with_segment(Segment::work(50)));
+    let r = simulate(&w, &machine(2, 4)).unwrap();
+    assert_eq!(r.procs[0].finished_at, 10);
+    assert_eq!(r.procs[1].finished_at, 50);
+}

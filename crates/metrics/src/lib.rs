@@ -1,0 +1,396 @@
+//! # mesh-metrics — error measures and report formatting
+//!
+//! Small, dependency-free helpers shared by the benchmark harness, the
+//! examples and the integration tests: the percent-error measure the paper
+//! reports, summary statistics over sweeps, and plain-text table/series
+//! rendering for regenerating the paper's figures on stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Signed percent error of `measured` against `reference`.
+///
+/// Positive means over-estimation. When the reference is zero the error is
+/// defined as zero if the measurement is also zero, and infinity otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_metrics::percent_error;
+///
+/// assert_eq!(percent_error(110.0, 100.0), 10.0);
+/// assert_eq!(percent_error(70.0, 100.0), -30.0);
+/// assert_eq!(percent_error(0.0, 0.0), 0.0);
+/// ```
+pub fn percent_error(measured: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if measured == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        100.0 * (measured - reference) / reference
+    }
+}
+
+/// Absolute percent error of `measured` against `reference` (the paper's
+/// "percent error of predicted queuing cycles").
+pub fn abs_percent_error(measured: f64, reference: f64) -> f64 {
+    percent_error(measured, reference).abs()
+}
+
+/// Mean of a slice; zero for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Summary statistics over a sweep of error values.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ErrorSummary {
+    /// Mean absolute error.
+    pub mean_abs: f64,
+    /// Largest absolute error.
+    pub max_abs: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl ErrorSummary {
+    /// Summarizes absolute errors of `measured[i]` against `reference[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn of(measured: &[f64], reference: &[f64]) -> ErrorSummary {
+        assert_eq!(measured.len(), reference.len(), "length mismatch");
+        let errs: Vec<f64> = measured
+            .iter()
+            .zip(reference)
+            .map(|(&m, &r)| abs_percent_error(m, r))
+            .collect();
+        ErrorSummary {
+            mean_abs: mean(&errs),
+            max_abs: errs.iter().copied().fold(0.0, f64::max),
+            count: errs.len(),
+        }
+    }
+}
+
+/// A named data series: the unit of a regenerated figure.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_metrics::Series;
+///
+/// let mut s = Series::new("MESH");
+/// s.push(2.0, 1.4);
+/// s.push(4.0, 3.1);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.ys(), vec![1.4, 3.1]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Series {
+    /// Display name of the series (e.g. "Analytical", "MESH", "ISS").
+    pub name: String,
+    /// `(x, y)` points in sweep order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty named series.
+    pub fn new(name: impl Into<String>) -> Series {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The y values in order.
+    pub fn ys(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, y)| y).collect()
+    }
+
+    /// The x values in order.
+    pub fn xs(&self) -> Vec<f64> {
+        self.points.iter().map(|&(x, _)| x).collect()
+    }
+}
+
+/// Renders a set of series sharing their x values as CSV, one column per
+/// series — convenient for plotting the regenerated figures externally.
+///
+/// # Panics
+///
+/// Panics if the series have different lengths or mismatching x values.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_metrics::{series_to_csv, Series};
+///
+/// let mut a = Series::new("MESH");
+/// a.push(2.0, 1.5);
+/// let mut b = Series::new("ISS");
+/// b.push(2.0, 1.4);
+/// let csv = series_to_csv("procs", &[a, b]);
+/// assert_eq!(csv, "procs,MESH,ISS\n2,1.5,1.4\n");
+/// ```
+pub fn series_to_csv(x_label: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(x_label);
+    for s in series {
+        out.push(',');
+        out.push_str(&s.name);
+    }
+    out.push('\n');
+    if let Some(first) = series.first() {
+        for (i, &(x, _)) in first.points.iter().enumerate() {
+            let _ = write!(out, "{x}");
+            for s in series {
+                assert_eq!(s.len(), first.len(), "series length mismatch");
+                assert_eq!(s.points[i].0, x, "series x mismatch");
+                let _ = write!(out, ",{}", s.points[i].1);
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders aligned plain-text tables for figure/table regeneration output.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_metrics::Table;
+///
+/// let mut t = Table::new(vec!["procs", "MESH", "ISS"]);
+/// t.row(vec!["2".into(), "1.40".into(), "1.32".into()]);
+/// let text = t.render();
+/// assert!(text.contains("procs"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a separator rule.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+
+    /// Convenience: renders a sweep as one x column plus one column per
+    /// series (series must share xs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if series lengths differ.
+    pub fn from_series(x_label: &str, series: &[Series]) -> Table {
+        let mut headers = vec![x_label.to_string()];
+        headers.extend(series.iter().map(|s| s.name.clone()));
+        let mut t = Table::new(headers);
+        if let Some(first) = series.first() {
+            for (i, &(x, _)) in first.points.iter().enumerate() {
+                let mut row = vec![format!("{x}")];
+                for s in series {
+                    assert_eq!(s.len(), first.len(), "series length mismatch");
+                    row.push(format!("{:.4}", s.points[i].1));
+                }
+                t.row(row);
+            }
+        }
+        t
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_error_signs() {
+        assert_eq!(percent_error(120.0, 100.0), 20.0);
+        assert_eq!(percent_error(80.0, 100.0), -20.0);
+        assert_eq!(abs_percent_error(80.0, 100.0), 20.0);
+        assert!(percent_error(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn error_summary_aggregates() {
+        let s = ErrorSummary::of(&[110.0, 90.0], &[100.0, 100.0]);
+        assert!((s.mean_abs - 10.0).abs() < 1e-12);
+        assert!((s.max_abs - 10.0).abs() < 1e-12);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn error_summary_checks_lengths() {
+        ErrorSummary::of(&[1.0], &[]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn series_accessors() {
+        let mut s = Series::new("x");
+        assert!(s.is_empty());
+        s.push(1.0, 10.0);
+        s.push(2.0, 20.0);
+        assert_eq!(s.xs(), vec![1.0, 2.0]);
+        assert_eq!(s.ys(), vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn table_from_series() {
+        let mut a = Series::new("A");
+        a.push(1.0, 0.5);
+        a.push(2.0, 0.6);
+        let mut b = Series::new("B");
+        b.push(1.0, 1.5);
+        b.push(2.0, 1.6);
+        let t = Table::from_series("x", &[a, b]);
+        assert_eq!(t.len(), 2);
+        let text = t.render();
+        assert!(text.contains('A'));
+        assert!(text.contains("1.6000"));
+    }
+
+    #[test]
+    fn csv_export() {
+        let mut a = Series::new("A");
+        a.push(1.0, 0.5);
+        a.push(2.0, 0.25);
+        let mut b = Series::new("B");
+        b.push(1.0, 3.0);
+        b.push(2.0, 4.0);
+        let csv = series_to_csv("x", &[a, b]);
+        assert_eq!(csv, "x,A,B\n1,0.5,3\n2,0.25,4\n");
+        assert_eq!(series_to_csv("x", &[]), "x\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "series x mismatch")]
+    fn csv_checks_alignment() {
+        let mut a = Series::new("A");
+        a.push(1.0, 0.5);
+        let mut b = Series::new("B");
+        b.push(2.0, 3.0);
+        let _ = series_to_csv("x", &[a, b]);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new(vec!["h"]);
+        t.row(vec!["v".into()]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+}

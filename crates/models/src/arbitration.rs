@@ -1,0 +1,250 @@
+//! Arbitration-policy models: round-robin and fixed-priority buses.
+//!
+//! The paper notes that "the assigned delay can vary for each contending
+//! thread — for instance, if a priority arbitration scheme is being modeled,
+//! the high priority thread may receive a lower average penalty" (§4.2).
+//! These two models realize that: [`RoundRobinBus`] spreads interference
+//! evenly, while [`PriorityBus`] implements the classical non-preemptive
+//! head-of-line priority queue (Cobham's formula), giving high-priority
+//! threads strictly smaller waits.
+
+use crate::saturation::{
+    add_penalties, clamp_utilization, overflow_penalties, DEFAULT_UTILIZATION_CAP,
+};
+use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+use mesh_core::SimTime;
+
+/// Round-robin-arbitrated bus.
+///
+/// Under round-robin, an access of contender `i` waits, on average, half a
+/// service time for each *other* contender that currently has traffic
+/// pending — the residual of the slot ahead of it. The expected wait per
+/// access is the linear `W_i = (s/2)·Σ_{j≠i} ρ_j` (no `1/(1−ρ)`
+/// amplification: round-robin bounds each competitor to one slot per turn),
+/// plus overflow when the window is oversubscribed.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+/// use mesh_core::{SharedId, SimTime, ThreadId};
+/// use mesh_models::RoundRobinBus;
+///
+/// let slice = Slice {
+///     start: SimTime::ZERO,
+///     duration: SimTime::from_cycles(100.0),
+///     service_time: SimTime::from_cycles(1.0),
+///     shared: SharedId::from_index(0),
+/// };
+/// let reqs = vec![
+///     SliceRequest { thread: ThreadId::from_index(0), accesses: 20.0, priority: 0 },
+///     SliceRequest { thread: ThreadId::from_index(1), accesses: 20.0, priority: 0 },
+/// ];
+/// let p = RoundRobinBus::new().penalties(&slice, &reqs);
+/// // W = 0.5 · 0.2 = 0.1 per access; 20 accesses -> 2 cycles.
+/// assert!((p[0].as_cycles() - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundRobinBus;
+
+impl RoundRobinBus {
+    /// Creates the model.
+    pub fn new() -> RoundRobinBus {
+        RoundRobinBus
+    }
+}
+
+impl ContentionModel for RoundRobinBus {
+    fn penalties(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+        let rho_total: f64 = requests.iter().map(|r| slice.utilization(r.accesses)).sum();
+        let base: Vec<SimTime> = requests
+            .iter()
+            .map(|r| {
+                let rho_others = (rho_total - slice.utilization(r.accesses)).max(0.0);
+                slice.service_time * (0.5 * rho_others) * r.accesses
+            })
+            .collect();
+        let overflow = overflow_penalties(slice, requests);
+        add_penalties(base, &overflow)
+    }
+
+    fn name(&self) -> &str {
+        "round-robin-bus"
+    }
+}
+
+/// Fixed-priority-arbitrated bus (non-preemptive head-of-line priorities).
+///
+/// Implements Cobham's classical result for an M/G/1 queue with priority
+/// classes: with `W₀ = (s/2)·ρ_total` the mean residual service seen on
+/// arrival and `σ_k` the cumulative utilization of priority classes *at or
+/// above* `k`, the wait of class `k` is
+///
+/// ```text
+/// W_k = W₀ / ((1 − σ_{>k}) · (1 − σ_{≥k}))
+/// ```
+///
+/// where `σ_{>k}` excludes and `σ_{≥k}` includes class `k` itself. Higher
+/// [`SliceRequest::priority`] values are served first and therefore wait
+/// less.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PriorityBus {
+    cap: f64,
+}
+
+impl PriorityBus {
+    /// Creates the model with the default stability cap.
+    pub fn new() -> PriorityBus {
+        PriorityBus {
+            cap: DEFAULT_UTILIZATION_CAP,
+        }
+    }
+
+    /// Creates the model with a custom stability cap in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < cap < 1`.
+    pub fn with_cap(cap: f64) -> PriorityBus {
+        assert!(cap > 0.0 && cap < 1.0, "cap must lie in (0, 1)");
+        PriorityBus { cap }
+    }
+}
+
+impl Default for PriorityBus {
+    fn default() -> PriorityBus {
+        PriorityBus::new()
+    }
+}
+
+impl ContentionModel for PriorityBus {
+    fn penalties(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+        let rho: Vec<f64> = requests
+            .iter()
+            .map(|r| slice.utilization(r.accesses))
+            .collect();
+        let rho_total: f64 = rho.iter().sum();
+        // Mean residual service time seen by an arrival, from the traffic of
+        // the *other* contenders (a contender does not queue behind itself
+        // in the hybrid kernel's semantics).
+        let base: Vec<SimTime> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let w0 = 0.5 * slice.service_time.as_cycles() * (rho_total - rho[i]).max(0.0);
+                // Cumulative utilization of strictly higher / at-least-equal
+                // priority classes, excluding the contender itself.
+                let mut sigma_above = 0.0;
+                let mut sigma_at_least = 0.0;
+                for (j, other) in requests.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    if other.priority > r.priority {
+                        sigma_above += rho[j];
+                    }
+                    if other.priority >= r.priority {
+                        sigma_at_least += rho[j];
+                    }
+                }
+                let d1 = 1.0 - clamp_utilization(sigma_above, self.cap);
+                let d2 = 1.0 - clamp_utilization(sigma_at_least, self.cap);
+                SimTime::from_cycles(w0 / (d1 * d2) * r.accesses)
+            })
+            .collect();
+        let overflow = overflow_penalties(slice, requests);
+        add_penalties(base, &overflow)
+    }
+
+    fn name(&self) -> &str {
+        "priority-bus"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_core::{SharedId, ThreadId};
+
+    fn slice(duration: f64, service: f64) -> Slice {
+        Slice {
+            start: SimTime::ZERO,
+            duration: SimTime::from_cycles(duration),
+            service_time: SimTime::from_cycles(service),
+            shared: SharedId::from_index(0),
+        }
+    }
+
+    fn req(t: usize, a: f64, prio: u32) -> SliceRequest {
+        SliceRequest {
+            thread: ThreadId::from_index(t),
+            accesses: a,
+            priority: prio,
+        }
+    }
+
+    #[test]
+    fn round_robin_closed_form() {
+        let p = RoundRobinBus::new()
+            .penalties(&slice(100.0, 1.0), &[req(0, 20.0, 0), req(1, 20.0, 0)]);
+        assert!((p[0].as_cycles() - 2.0).abs() < 1e-12);
+        assert_eq!(p[0], p[1]);
+    }
+
+    #[test]
+    fn round_robin_linear_in_others() {
+        let m = RoundRobinBus::new();
+        let p1 = m.penalties(&slice(100.0, 1.0), &[req(0, 10.0, 0), req(1, 10.0, 0)]);
+        let p2 = m.penalties(&slice(100.0, 1.0), &[req(0, 10.0, 0), req(1, 20.0, 0)]);
+        assert!((p2[0].as_cycles() - 2.0 * p1[0].as_cycles()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priority_favors_high_priority() {
+        let m = PriorityBus::new();
+        let p = m.penalties(
+            &slice(100.0, 1.0),
+            &[req(0, 20.0, 10), req(1, 20.0, 1)],
+        );
+        // Same traffic, but the high-priority contender waits strictly less.
+        assert!(p[0] < p[1]);
+        assert!(p[0].as_cycles() > 0.0);
+    }
+
+    #[test]
+    fn equal_priorities_degenerate_to_symmetry() {
+        let m = PriorityBus::new();
+        let p = m.penalties(&slice(100.0, 1.0), &[req(0, 20.0, 5), req(1, 20.0, 5)]);
+        assert_eq!(p[0], p[1]);
+    }
+
+    #[test]
+    fn priority_cobham_closed_form() {
+        // Two contenders, a=20 each, T=100, s=1: rho_j = 0.2 each.
+        // High-priority contender: W0 = 0.5*0.2 = 0.1, denominators 1·1
+        //   -> 0.1 per access -> 2.0 total.
+        // Low-priority: W0 = 0.1, d1 = 1-0.2 = 0.8, d2 = 0.8
+        //   -> 0.15625 per access -> 3.125 total.
+        let m = PriorityBus::new();
+        let p = m.penalties(&slice(100.0, 1.0), &[req(0, 20.0, 2), req(1, 20.0, 1)]);
+        assert!((p[0].as_cycles() - 2.0).abs() < 1e-9);
+        assert!((p[1].as_cycles() - 3.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_priority_classes_are_ordered() {
+        let m = PriorityBus::new();
+        let p = m.penalties(
+            &slice(100.0, 1.0),
+            &[req(0, 15.0, 3), req(1, 15.0, 2), req(2, 15.0, 1)],
+        );
+        assert!(p[0] < p[1]);
+        assert!(p[1] < p[2]);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(RoundRobinBus::new().name(), "round-robin-bus");
+        assert_eq!(PriorityBus::new().name(), "priority-bus");
+    }
+}

@@ -1,0 +1,270 @@
+//! Calibration-oriented models: measured-delay tables and scaling wrappers.
+//!
+//! Analytical formulas are not the only thing a designer can attach to a
+//! shared resource (paper §2: models are interchangeable per resource). Two
+//! pragmatic alternatives appear constantly in practice:
+//!
+//! * [`TableModel`] — a piecewise-linear lookup from offered utilization to
+//!   per-access wait, filled in from *measurements* of a detailed simulator
+//!   or silicon. This is how a team bootstraps a fast model of an arbiter
+//!   too baroque for queueing theory.
+//! * [`ScaledModel`] — any model multiplied by a calibration factor, the
+//!   one-knob correction for a model that tracks the reference's shape but
+//!   is off by a constant.
+
+use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+use mesh_core::SimTime;
+
+/// Piecewise-linear interpolation from *other-contender utilization* to
+/// expected wait per access, in units of the resource's service time.
+///
+/// Breakpoints are `(utilization, wait_in_service_times)` pairs, sorted by
+/// utilization. Queries below the first breakpoint interpolate from
+/// `(0, 0)`; queries above the last clamp to the last wait value.
+///
+/// # Examples
+///
+/// A table measured off a cycle-accurate arbiter:
+///
+/// ```
+/// use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+/// use mesh_core::{SharedId, SimTime, ThreadId};
+/// use mesh_models::TableModel;
+///
+/// let model = TableModel::new(vec![
+///     (0.25, 0.15),
+///     (0.50, 0.50),
+///     (0.75, 1.40),
+///     (0.95, 3.00),
+/// ]).unwrap();
+///
+/// let slice = Slice {
+///     start: SimTime::ZERO,
+///     duration: SimTime::from_cycles(100.0),
+///     service_time: SimTime::from_cycles(2.0),
+///     shared: SharedId::from_index(0),
+/// };
+/// let reqs = vec![
+///     SliceRequest { thread: ThreadId::from_index(0), accesses: 25.0, priority: 0 },
+///     SliceRequest { thread: ThreadId::from_index(1), accesses: 25.0, priority: 0 },
+/// ];
+/// // Each faces rho_others = 0.5 -> wait 0.5 service times = 1 cycle/access.
+/// let p = model.penalties(&slice, &reqs);
+/// assert!((p[0].as_cycles() - 25.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableModel {
+    /// `(utilization, wait in service times)`, sorted by utilization.
+    points: Vec<(f64, f64)>,
+}
+
+/// Error constructing a [`TableModel`] from an invalid breakpoint list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableModelError {
+    detail: &'static str,
+}
+
+impl std::fmt::Display for TableModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid delay table: {}", self.detail)
+    }
+}
+
+impl std::error::Error for TableModelError {}
+
+impl TableModel {
+    /// Creates a table model from breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableModelError`] if the table is empty, not strictly
+    /// increasing in utilization, or contains non-finite / negative values.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<TableModel, TableModelError> {
+        if points.is_empty() {
+            return Err(TableModelError {
+                detail: "at least one breakpoint required",
+            });
+        }
+        let mut prev = 0.0;
+        for &(u, w) in &points {
+            if !(u.is_finite() && w.is_finite()) || u <= 0.0 || w < 0.0 {
+                return Err(TableModelError {
+                    detail: "breakpoints must be finite, positive utilization, non-negative wait",
+                });
+            }
+            if u <= prev && prev != 0.0 {
+                return Err(TableModelError {
+                    detail: "utilizations must be strictly increasing",
+                });
+            }
+            prev = u;
+        }
+        Ok(TableModel { points })
+    }
+
+    /// Wait per access (in service times) for the given other-contender
+    /// utilization.
+    pub fn lookup(&self, utilization: f64) -> f64 {
+        let u = utilization.max(0.0);
+        let mut prev = (0.0, 0.0);
+        for &(bu, bw) in &self.points {
+            if u <= bu {
+                let span = bu - prev.0;
+                if span <= 0.0 {
+                    return bw;
+                }
+                let frac = (u - prev.0) / span;
+                return prev.1 + frac * (bw - prev.1);
+            }
+            prev = (bu, bw);
+        }
+        // Clamp beyond the table.
+        self.points.last().map(|&(_, w)| w).unwrap_or(0.0)
+    }
+}
+
+impl ContentionModel for TableModel {
+    fn penalties(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+        let rho_total: f64 = requests.iter().map(|r| slice.utilization(r.accesses)).sum();
+        requests
+            .iter()
+            .map(|r| {
+                let rho_others = (rho_total - slice.utilization(r.accesses)).max(0.0);
+                slice.service_time * self.lookup(rho_others) * r.accesses
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "table"
+    }
+}
+
+/// Wraps any model, multiplying every penalty by a constant calibration
+/// factor.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::model::ContentionModel;
+/// use mesh_models::{ChenLinBus, ScaledModel};
+///
+/// let tuned = ScaledModel::new(ChenLinBus::new(), 0.85);
+/// assert_eq!(tuned.factor(), 0.85);
+/// assert_eq!(tuned.name(), "scaled");
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaledModel<M> {
+    inner: M,
+    factor: f64,
+}
+
+impl<M: ContentionModel> ScaledModel<M> {
+    /// Wraps `inner`, scaling its penalties by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and non-negative.
+    pub fn new(inner: M, factor: f64) -> ScaledModel<M> {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "calibration factor must be finite and non-negative"
+        );
+        ScaledModel { inner, factor }
+    }
+
+    /// The calibration factor.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: ContentionModel> ContentionModel for ScaledModel<M> {
+    fn penalties(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+        self.inner
+            .penalties(slice, requests)
+            .into_iter()
+            .map(|p| p * self.factor)
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "scaled"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChenLinBus;
+    use mesh_core::{SharedId, ThreadId};
+
+    fn slice(duration: f64, service: f64) -> Slice {
+        Slice {
+            start: SimTime::ZERO,
+            duration: SimTime::from_cycles(duration),
+            service_time: SimTime::from_cycles(service),
+            shared: SharedId::from_index(0),
+        }
+    }
+
+    fn req(t: usize, a: f64) -> SliceRequest {
+        SliceRequest {
+            thread: ThreadId::from_index(t),
+            accesses: a,
+            priority: 0,
+        }
+    }
+
+    #[test]
+    fn table_validation() {
+        assert!(TableModel::new(vec![]).is_err());
+        assert!(TableModel::new(vec![(0.5, 1.0), (0.5, 2.0)]).is_err());
+        assert!(TableModel::new(vec![(0.5, -1.0)]).is_err());
+        assert!(TableModel::new(vec![(-0.5, 1.0)]).is_err());
+        assert!(TableModel::new(vec![(0.3, 0.1), (0.6, 0.5)]).is_ok());
+    }
+
+    #[test]
+    fn table_interpolates_and_clamps() {
+        let t = TableModel::new(vec![(0.5, 1.0), (1.0, 3.0)]).unwrap();
+        assert!((t.lookup(0.0) - 0.0).abs() < 1e-12);
+        assert!((t.lookup(0.25) - 0.5).abs() < 1e-12);
+        assert!((t.lookup(0.5) - 1.0).abs() < 1e-12);
+        assert!((t.lookup(0.75) - 2.0).abs() < 1e-12);
+        assert!((t.lookup(2.0) - 3.0).abs() < 1e-12); // clamped
+    }
+
+    #[test]
+    fn table_model_penalties() {
+        let t = TableModel::new(vec![(0.5, 1.0)]).unwrap();
+        // rho_others = 0.2 -> wait = 0.4 service times = 0.8 cyc; 20 accs.
+        let p = t.penalties(&slice(100.0, 2.0), &[req(0, 10.0), req(1, 10.0)]);
+        assert!((p[0].as_cycles() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_model_multiplies() {
+        let base = ChenLinBus::new();
+        let s = slice(100.0, 1.0);
+        let reqs = [req(0, 20.0), req(1, 20.0)];
+        let p0 = base.penalties(&s, &reqs);
+        let p1 = ScaledModel::new(base, 2.0).penalties(&s, &reqs);
+        for (a, b) in p0.iter().zip(&p1) {
+            assert!((b.as_cycles() - 2.0 * a.as_cycles()).abs() < 1e-9);
+        }
+        let z = ScaledModel::new(ChenLinBus::new(), 0.0).penalties(&s, &reqs);
+        assert!(z.iter().all(|x| x.is_zero()));
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration factor")]
+    fn scaled_model_rejects_nan() {
+        let _ = ScaledModel::new(ChenLinBus::new(), f64::NAN);
+    }
+}

@@ -1,0 +1,248 @@
+//! The Chen–Lin-style bus contention model.
+//!
+//! The paper's experiments plug the analytical bus model of Chen and Lin
+//! (*"An Easy-to-Use Approach for Practical Bus-Based System Design"*, IEEE
+//! Transactions on Computers, August 2000) into the MESH kernel, both as the
+//! standalone whole-program baseline and as the piecewise-evaluated model
+//! inside the hybrid simulation ("the only difference between the traditional
+//! Chen–Lin model and the MESH hybrid model is that the MESH simulation
+//! performs a piecewise evaluation of the Chen–Lin model").
+//!
+//! The original Chen–Lin article is not available in this clean-room
+//! reproduction, so [`ChenLinBus`] is a **documented reimplementation from
+//! the paper's description**: a steady-state, average-rate bus-interference
+//! model of the same family (see `DESIGN.md` §3 for the substitution
+//! argument). Concretely, for a window of duration `T`, bus service time `s`
+//! and contenders with access counts `a_i`:
+//!
+//! 1. each contender's *offered utilization* is `ρ_i = a_i·s/T`;
+//! 2. an access by contender `i` queues behind the traffic of the **other**
+//!    contenders, `ρ₋ᵢ = Σ_{j≠i} ρ_j`; with deterministic (constant) bus
+//!    service the expected wait per access is the M/D/1-style
+//!    `W_i = s·ρ̂₋ᵢ / (2·(1 − ρ̂₋ᵢ))`, where `ρ̂₋ᵢ` is clamped below the
+//!    stability cap;
+//! 3. the wait is bounded by the **blocking-master bound** `(k−1)·s` for
+//!    `k` contenders: the modeled processors have a single outstanding
+//!    request each (as in the reference simulator and the paper's embedded
+//!    cores), so at most `k−1` requests can ever be queued ahead of an
+//!    access. This bound is what keeps the model sane in oversubscribed
+//!    windows, where `1/(1−ρ)` queueing formulas diverge but a round-robin
+//!    bus simply serializes the masters;
+//! 4. the penalty for contender `i` is `a_i·W_i`.
+//!
+//! The properties the paper's argument rests on all hold: the model is
+//! parameterized purely by average rates (so it is blind to burstiness
+//! *within* the window it is applied to), it is accurate for balanced
+//! steady-state traffic, and the identical implementation can be applied
+//! once over a whole program (the "Analytical" baseline) or per timeslice
+//! (the MESH hybrid).
+
+use crate::saturation::{clamp_utilization, DEFAULT_UTILIZATION_CAP};
+use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+use mesh_core::SimTime;
+
+/// Steady-state shared-bus interference model (Chen–Lin family).
+///
+/// # Examples
+///
+/// Two identical contenders at 40% total utilization: each waits behind the
+/// other's 20%.
+///
+/// ```
+/// use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+/// use mesh_core::{SharedId, SimTime, ThreadId};
+/// use mesh_models::ChenLinBus;
+///
+/// let slice = Slice {
+///     start: SimTime::ZERO,
+///     duration: SimTime::from_cycles(100.0),
+///     service_time: SimTime::from_cycles(1.0),
+///     shared: SharedId::from_index(0),
+/// };
+/// let reqs = vec![
+///     SliceRequest { thread: ThreadId::from_index(0), accesses: 20.0, priority: 0 },
+///     SliceRequest { thread: ThreadId::from_index(1), accesses: 20.0, priority: 0 },
+/// ];
+/// let p = ChenLinBus::new().penalties(&slice, &reqs);
+/// // W = 1 · 0.2 / (2 · 0.8) = 0.125 per access; 20 accesses each.
+/// assert!((p[0].as_cycles() - 2.5).abs() < 1e-9);
+/// assert_eq!(p[0], p[1]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChenLinBus {
+    /// Stability cap applied to the "other contenders" utilization inside
+    /// the queueing denominator.
+    cap: f64,
+}
+
+impl ChenLinBus {
+    /// Creates the model with the default stability cap.
+    pub fn new() -> ChenLinBus {
+        ChenLinBus {
+            cap: DEFAULT_UTILIZATION_CAP,
+        }
+    }
+
+    /// Creates the model with a custom stability cap in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < cap < 1`.
+    pub fn with_cap(cap: f64) -> ChenLinBus {
+        assert!(cap > 0.0 && cap < 1.0, "cap must lie in (0, 1)");
+        ChenLinBus { cap }
+    }
+
+    /// The configured stability cap.
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// Expected queueing wait per access for a contender facing `rho_others`
+    /// offered utilization from the other `contenders - 1` masters.
+    ///
+    /// The M/D/1-style wait is bounded by the blocking-master bound
+    /// `(contenders − 1)·s` (see the module docs).
+    pub fn wait_per_access(
+        &self,
+        service_time: SimTime,
+        rho_others: f64,
+        contenders: usize,
+    ) -> SimTime {
+        let rho = clamp_utilization(rho_others, self.cap);
+        let queueing = rho / (2.0 * (1.0 - rho));
+        let bound = contenders.saturating_sub(1) as f64;
+        service_time * queueing.min(bound)
+    }
+}
+
+impl Default for ChenLinBus {
+    fn default() -> ChenLinBus {
+        ChenLinBus::new()
+    }
+}
+
+impl ContentionModel for ChenLinBus {
+    fn penalties(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+        let rho_total: f64 = requests.iter().map(|r| slice.utilization(r.accesses)).sum();
+        requests
+            .iter()
+            .map(|r| {
+                let rho_others = rho_total - slice.utilization(r.accesses);
+                self.wait_per_access(slice.service_time, rho_others, requests.len()) * r.accesses
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "chen-lin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_core::{SharedId, ThreadId};
+
+    fn slice(duration: f64, service: f64) -> Slice {
+        Slice {
+            start: SimTime::ZERO,
+            duration: SimTime::from_cycles(duration),
+            service_time: SimTime::from_cycles(service),
+            shared: SharedId::from_index(0),
+        }
+    }
+
+    fn req(t: usize, a: f64) -> SliceRequest {
+        SliceRequest {
+            thread: ThreadId::from_index(t),
+            accesses: a,
+            priority: 0,
+        }
+    }
+
+    #[test]
+    fn symmetric_contenders_get_equal_penalties() {
+        let m = ChenLinBus::new();
+        let p = m.penalties(&slice(1000.0, 2.0), &[req(0, 50.0), req(1, 50.0)]);
+        assert_eq!(p[0], p[1]);
+        assert!(p[0].as_cycles() > 0.0);
+    }
+
+    #[test]
+    fn closed_form_two_contenders() {
+        // T=100, s=1, a=20 each: rho_others=0.2, W=0.2/(2*0.8)=0.125,
+        // penalty = 20*0.125 = 2.5.
+        let m = ChenLinBus::new();
+        let p = m.penalties(&slice(100.0, 1.0), &[req(0, 20.0), req(1, 20.0)]);
+        assert!((p[0].as_cycles() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn penalty_grows_with_other_load() {
+        let m = ChenLinBus::new();
+        let light = m.penalties(&slice(100.0, 1.0), &[req(0, 10.0), req(1, 10.0)]);
+        let heavy = m.penalties(&slice(100.0, 1.0), &[req(0, 10.0), req(1, 40.0)]);
+        assert!(heavy[0] > light[0]);
+    }
+
+    #[test]
+    fn heavier_user_waits_less_per_access() {
+        // The heavier user faces less "other" traffic, so its per-access
+        // wait is strictly lower; a0=10 vs a1=40 at T=100, s=1.
+        let m = ChenLinBus::new();
+        let p = m.penalties(&slice(100.0, 1.0), &[req(0, 10.0), req(1, 40.0)]);
+        let per_access = [p[0].as_cycles() / 10.0, p[1].as_cycles() / 40.0];
+        assert!(per_access[1] < per_access[0]);
+        // Closed form: W0 = 0.4/(2·0.6), W1 = 0.1/(2·0.9).
+        assert!((per_access[0] - 0.4 / 1.2).abs() < 1e-12);
+        assert!((per_access[1] - 0.1 / 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversubscribed_window_hits_blocking_bound() {
+        let m = ChenLinBus::new();
+        // Demand 150 > capacity 100: rho_others = 0.75 each, M/D/1 wait
+        // would be 1.5s, but two blocking masters bound the wait at 1·s.
+        let p = m.penalties(&slice(100.0, 1.0), &[req(0, 75.0), req(1, 75.0)]);
+        assert!((p[0].as_cycles() - 75.0).abs() < 1e-9);
+        assert_eq!(p[0], p[1]);
+    }
+
+    #[test]
+    fn utilization_is_capped_not_divergent() {
+        let m = ChenLinBus::new();
+        let p = m.penalties(&slice(100.0, 1.0), &[req(0, 1.0), req(1, 99.0)]);
+        assert!(p[0].as_cycles().is_finite());
+        // M/D/1 at the 0.95 cap would give 9.5 per access, but with two
+        // masters the blocking bound of (k-1)·s = 1 applies.
+        assert!((p[0].as_cycles() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocking_bound_scales_with_contenders() {
+        // Three saturating masters: bound is 2·s per access.
+        let m = ChenLinBus::new();
+        let p = m.penalties(
+            &slice(100.0, 1.0),
+            &[req(0, 60.0), req(1, 60.0), req(2, 60.0)],
+        );
+        assert!((p[0].as_cycles() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_cap_validated() {
+        assert_eq!(ChenLinBus::with_cap(0.9).cap(), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn cap_of_one_rejected() {
+        ChenLinBus::with_cap(1.0);
+    }
+
+    #[test]
+    fn name_reported() {
+        assert_eq!(ChenLinBus::new().name(), "chen-lin");
+    }
+}

@@ -1,0 +1,45 @@
+//! # mesh-models — analytical contention models for the MESH hybrid kernel
+//!
+//! A library of interchangeable [`ContentionModel`] implementations (paper
+//! §2: "we allow analytical models to be interchanged for each individual
+//! shared resource within the simulation"), plus the whole-program
+//! [`AnalyticalEstimator`] that serves as the paper's pure-analytical
+//! baseline.
+//!
+//! | Model | Family | Use |
+//! |---|---|---|
+//! | [`ChenLinBus`] | steady-state bus interference (M/D/1-style) | the paper's model, used in every experiment |
+//! | [`Md1Queue`] | M/D/1 | deterministic-service resources |
+//! | [`Mm1Queue`] | M/M/1 | variable-latency resources |
+//! | [`RoundRobinBus`] | linear interference | round-robin arbiters |
+//! | [`PriorityBus`] | Cobham priority queue | fixed-priority arbiters |
+//! | [`MvaBus`] | closed-network MVA (finite population) | blocking masters, any load |
+//! | [`TableModel`] | measured-delay lookup | arbiters too baroque for theory |
+//! | [`ScaledModel`] | calibration wrapper | constant-factor correction |
+//!
+//! All models share the saturation treatment of [`saturation`]: utilizations
+//! are clamped below a stability cap inside `1/(1−ρ)` formulas, and
+//! oversubscribed windows incur a deterministic, proportionally shared
+//! overflow delay.
+//!
+//! [`ContentionModel`]: mesh_core::model::ContentionModel
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitration;
+pub mod calibrated;
+pub mod chen_lin;
+pub mod mva;
+pub mod queueing;
+pub mod saturation;
+pub mod whole_program;
+
+pub use arbitration::{PriorityBus, RoundRobinBus};
+pub use calibrated::{ScaledModel, TableModel, TableModelError};
+pub use chen_lin::ChenLinBus;
+pub use mva::MvaBus;
+pub use queueing::{Md1Queue, Mm1Queue};
+pub use whole_program::{
+    profiles_from_report, AnalyticalEstimate, AnalyticalEstimator, ThreadProfile,
+};

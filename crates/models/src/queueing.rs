@@ -1,0 +1,220 @@
+//! Classic single-server queueing models: M/M/1 and M/D/1.
+//!
+//! These provide alternative analytical models for shared resources whose
+//! service-time distribution differs from the deterministic bus transfer the
+//! Chen–Lin-style model assumes — e.g. a memory controller with variable
+//! latency (M/M/1) versus a fixed-width bus (M/D/1). They demonstrate the
+//! paper's point that "analytical models \[can\] be interchanged for each
+//! individual shared resource within the simulation" (§2).
+//!
+//! Both compute the expected queueing wait per access caused by the *other*
+//! contenders' offered utilization, then scale by the contender's access
+//! count, with the standard saturation handling of [`crate::saturation`].
+
+use crate::saturation::{
+    add_penalties, clamp_utilization, overflow_penalties, DEFAULT_UTILIZATION_CAP,
+};
+use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+use mesh_core::SimTime;
+
+/// M/M/1 queueing model: Poisson arrivals, exponentially distributed service.
+///
+/// Expected wait per access: `W = s·ρ/(1−ρ)` with `ρ` the others'
+/// utilization — exactly twice the M/D/1 value, reflecting the service-time
+/// variance.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+/// use mesh_core::{SharedId, SimTime, ThreadId};
+/// use mesh_models::{Mm1Queue, Md1Queue};
+///
+/// let slice = Slice {
+///     start: SimTime::ZERO,
+///     duration: SimTime::from_cycles(100.0),
+///     service_time: SimTime::from_cycles(1.0),
+///     shared: SharedId::from_index(0),
+/// };
+/// let reqs = vec![
+///     SliceRequest { thread: ThreadId::from_index(0), accesses: 20.0, priority: 0 },
+///     SliceRequest { thread: ThreadId::from_index(1), accesses: 20.0, priority: 0 },
+/// ];
+/// let mm1 = Mm1Queue::new().penalties(&slice, &reqs);
+/// let md1 = Md1Queue::new().penalties(&slice, &reqs);
+/// // Exponential service doubles the expected wait.
+/// assert!((mm1[0].as_cycles() - 2.0 * md1[0].as_cycles()).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mm1Queue {
+    cap: f64,
+}
+
+impl Mm1Queue {
+    /// Creates the model with the default stability cap.
+    pub fn new() -> Mm1Queue {
+        Mm1Queue {
+            cap: DEFAULT_UTILIZATION_CAP,
+        }
+    }
+
+    /// Creates the model with a custom stability cap in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < cap < 1`.
+    pub fn with_cap(cap: f64) -> Mm1Queue {
+        assert!(cap > 0.0 && cap < 1.0, "cap must lie in (0, 1)");
+        Mm1Queue { cap }
+    }
+}
+
+impl Default for Mm1Queue {
+    fn default() -> Mm1Queue {
+        Mm1Queue::new()
+    }
+}
+
+impl ContentionModel for Mm1Queue {
+    fn penalties(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+        let rho_total: f64 = requests.iter().map(|r| slice.utilization(r.accesses)).sum();
+        let base: Vec<SimTime> = requests
+            .iter()
+            .map(|r| {
+                let rho = clamp_utilization(rho_total - slice.utilization(r.accesses), self.cap);
+                slice.service_time * (rho / (1.0 - rho)) * r.accesses
+            })
+            .collect();
+        let overflow = overflow_penalties(slice, requests);
+        add_penalties(base, &overflow)
+    }
+
+    fn name(&self) -> &str {
+        "mm1"
+    }
+}
+
+/// M/D/1 queueing model: Poisson arrivals, deterministic service — the
+/// natural model for a fixed-latency bus transfer.
+///
+/// Expected wait per access: `W = s·ρ/(2·(1−ρ))` with `ρ` the others'
+/// utilization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Md1Queue {
+    cap: f64,
+}
+
+impl Md1Queue {
+    /// Creates the model with the default stability cap.
+    pub fn new() -> Md1Queue {
+        Md1Queue {
+            cap: DEFAULT_UTILIZATION_CAP,
+        }
+    }
+
+    /// Creates the model with a custom stability cap in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < cap < 1`.
+    pub fn with_cap(cap: f64) -> Md1Queue {
+        assert!(cap > 0.0 && cap < 1.0, "cap must lie in (0, 1)");
+        Md1Queue { cap }
+    }
+}
+
+impl Default for Md1Queue {
+    fn default() -> Md1Queue {
+        Md1Queue::new()
+    }
+}
+
+impl ContentionModel for Md1Queue {
+    fn penalties(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+        let rho_total: f64 = requests.iter().map(|r| slice.utilization(r.accesses)).sum();
+        let base: Vec<SimTime> = requests
+            .iter()
+            .map(|r| {
+                let rho = clamp_utilization(rho_total - slice.utilization(r.accesses), self.cap);
+                slice.service_time * (rho / (2.0 * (1.0 - rho))) * r.accesses
+            })
+            .collect();
+        let overflow = overflow_penalties(slice, requests);
+        add_penalties(base, &overflow)
+    }
+
+    fn name(&self) -> &str {
+        "md1"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_core::{SharedId, ThreadId};
+
+    fn slice(duration: f64, service: f64) -> Slice {
+        Slice {
+            start: SimTime::ZERO,
+            duration: SimTime::from_cycles(duration),
+            service_time: SimTime::from_cycles(service),
+            shared: SharedId::from_index(0),
+        }
+    }
+
+    fn req(t: usize, a: f64) -> SliceRequest {
+        SliceRequest {
+            thread: ThreadId::from_index(t),
+            accesses: a,
+            priority: 0,
+        }
+    }
+
+    #[test]
+    fn mm1_closed_form() {
+        // rho_others = 0.25 -> W = 0.25/0.75 = 1/3 per access, 25 accesses.
+        let p = Mm1Queue::new().penalties(&slice(100.0, 1.0), &[req(0, 25.0), req(1, 25.0)]);
+        assert!((p[0].as_cycles() - 25.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn md1_is_half_of_mm1() {
+        let s = slice(200.0, 2.0);
+        let reqs = [req(0, 10.0), req(1, 20.0)];
+        let mm1 = Mm1Queue::new().penalties(&s, &reqs);
+        let md1 = Md1Queue::new().penalties(&s, &reqs);
+        for (a, b) in mm1.iter().zip(&md1) {
+            assert!((a.as_cycles() - 2.0 * b.as_cycles()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_contender_unpenalized() {
+        // The kernel never calls with one contender, but the formula should
+        // still return zero (no "others").
+        let p = Mm1Queue::new().penalties(&slice(100.0, 1.0), &[req(0, 30.0)]);
+        assert_eq!(p[0], SimTime::ZERO);
+        let p = Md1Queue::new().penalties(&slice(100.0, 1.0), &[req(0, 30.0)]);
+        assert_eq!(p[0], SimTime::ZERO);
+    }
+
+    #[test]
+    fn saturation_capped_and_overflowed() {
+        let p = Mm1Queue::new().penalties(&slice(10.0, 1.0), &[req(0, 10.0), req(1, 10.0)]);
+        assert!(p[0].as_cycles().is_finite());
+        // Overflow: demand 20 vs capacity 10 -> excess 10, split evenly.
+        assert!(p[0].as_cycles() >= 5.0);
+    }
+
+    #[test]
+    fn custom_caps() {
+        assert_eq!(Mm1Queue::with_cap(0.5), Mm1Queue::with_cap(0.5));
+        assert_eq!(Md1Queue::with_cap(0.5), Md1Queue::with_cap(0.5));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Mm1Queue::new().name(), "mm1");
+        assert_eq!(Md1Queue::new().name(), "md1");
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared helpers for queueing-based contention models.
+//!
+//! All steady-state waiting-time formulas of the `1/(1-ρ)` family diverge as
+//! utilization approaches one and are undefined beyond it. Real timeslices,
+//! however, can easily be oversubscribed: a bursty window may demand more bus
+//! time than it contains. The helpers here give every model in this crate a
+//! consistent two-regime treatment:
+//!
+//! * below the stability cap, the model's queueing formula applies;
+//! * demand beyond the window's capacity is converted into a deterministic
+//!   *overflow* delay, distributed across contenders in proportion to their
+//!   access counts (the excess service has to serialize somewhere, and every
+//!   contender's completion slides by its share).
+
+use mesh_core::model::{Slice, SliceRequest};
+use mesh_core::SimTime;
+
+/// Default stability cap: utilizations are clamped to this value inside
+/// `1/(1-ρ)`-style formulas.
+pub const DEFAULT_UTILIZATION_CAP: f64 = 0.95;
+
+/// Clamps a utilization into `[0, cap]` for use in a queueing formula.
+pub fn clamp_utilization(rho: f64, cap: f64) -> f64 {
+    rho.clamp(0.0, cap)
+}
+
+/// Deterministic overflow penalties for an oversubscribed window.
+///
+/// If the total demanded service time exceeds the window duration, the excess
+/// `(ρ_total − 1) · duration` is returned as per-contender penalties
+/// proportional to access counts; otherwise all penalties are zero.
+pub fn overflow_penalties(slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+    let total_accesses: f64 = requests.iter().map(|r| r.accesses).sum();
+    let demand = total_accesses * slice.service_time.as_cycles();
+    let capacity = slice.duration.as_cycles();
+    if demand <= capacity || total_accesses <= 0.0 {
+        return vec![SimTime::ZERO; requests.len()];
+    }
+    let excess = demand - capacity;
+    requests
+        .iter()
+        .map(|r| SimTime::from_cycles(excess * r.accesses / total_accesses))
+        .collect()
+}
+
+/// Sums two penalty vectors elementwise.
+pub fn add_penalties(a: Vec<SimTime>, b: &[SimTime]) -> Vec<SimTime> {
+    a.into_iter().zip(b).map(|(x, &y)| x + y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_core::{SharedId, ThreadId};
+
+    fn slice(duration: f64, service: f64) -> Slice {
+        Slice {
+            start: SimTime::ZERO,
+            duration: SimTime::from_cycles(duration),
+            service_time: SimTime::from_cycles(service),
+            shared: SharedId::from_index(0),
+        }
+    }
+
+    fn req(t: usize, a: f64) -> SliceRequest {
+        SliceRequest {
+            thread: ThreadId::from_index(t),
+            accesses: a,
+            priority: 0,
+        }
+    }
+
+    #[test]
+    fn clamp_respects_cap() {
+        assert_eq!(clamp_utilization(0.5, 0.95), 0.5);
+        assert_eq!(clamp_utilization(1.7, 0.95), 0.95);
+        assert_eq!(clamp_utilization(-0.1, 0.95), 0.0);
+    }
+
+    #[test]
+    fn no_overflow_below_capacity() {
+        let s = slice(100.0, 1.0);
+        let p = overflow_penalties(&s, &[req(0, 30.0), req(1, 40.0)]);
+        assert!(p.iter().all(|x| x.is_zero()));
+    }
+
+    #[test]
+    fn overflow_is_proportional_and_conserving() {
+        let s = slice(100.0, 1.0);
+        // Demand 150 against capacity 100: excess 50, split 1:2.
+        let p = overflow_penalties(&s, &[req(0, 50.0), req(1, 100.0)]);
+        assert!((p[0].as_cycles() - 50.0 / 3.0).abs() < 1e-9);
+        assert!((p[1].as_cycles() - 100.0 / 3.0).abs() < 1e-9);
+        let total: f64 = p.iter().map(|x| x.as_cycles()).sum();
+        assert!((total - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_penalties_elementwise() {
+        let a = vec![SimTime::from_cycles(1.0), SimTime::from_cycles(2.0)];
+        let b = vec![SimTime::from_cycles(3.0), SimTime::from_cycles(4.0)];
+        let c = add_penalties(a, &b);
+        assert_eq!(c[0].as_cycles(), 4.0);
+        assert_eq!(c[1].as_cycles(), 6.0);
+    }
+}

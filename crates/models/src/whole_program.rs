@@ -1,0 +1,276 @@
+//! The pure-analytical baseline: one-step whole-program estimation.
+//!
+//! This is the "Analytical" series in the paper's Figures 4–6: the same
+//! contention model the hybrid kernel evaluates per timeslice, applied *once
+//! across the whole runtime of the program* (paper §5.1). Its defining — and
+//! ultimately fatal — assumption is **constant steady-state behaviour**: each
+//! thread is characterized by its average access rate *while executing*, and
+//! all threads are assumed to execute concurrently at those rates for the
+//! entire run.
+//!
+//! For balanced workloads with uniform access behaviour that assumption is
+//! harmless and the estimate is good. But when threads have idle gaps, phase
+//! structure, or heterogeneous interleavings, the assumption inflates the
+//! overlap between threads: a thread that was actually idle 90% of the time
+//! is modeled as if it kept up its active-rate traffic throughout, so the
+//! estimator grossly over-predicts contention ("because the analytical model
+//! is unable to recognize unbalanced workloads, it greatly overestimates the
+//! number of queuing cycles" — paper §5.2). Reproducing that failure mode,
+//! and the hybrid kernel's escape from it, is the point of this repository.
+
+use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+use mesh_core::{Report, SharedId, SimTime, ThreadId};
+
+/// The steady-state characterization of one thread, as the pure-analytical
+/// method sees it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThreadProfile {
+    /// Total time the thread spends executing (its busy time).
+    pub busy: SimTime,
+    /// Total shared-resource accesses the thread issues while executing.
+    pub accesses: f64,
+    /// Arbitration priority (for priority-aware models).
+    pub priority: u32,
+}
+
+impl ThreadProfile {
+    /// Creates a profile from totals.
+    pub fn new(busy: SimTime, accesses: f64) -> ThreadProfile {
+        ThreadProfile {
+            busy,
+            accesses,
+            priority: 0,
+        }
+    }
+
+    /// Sets the profile's priority (builder style).
+    #[must_use]
+    pub fn with_priority(mut self, priority: u32) -> ThreadProfile {
+        self.priority = priority;
+        self
+    }
+
+    /// The thread's access rate while executing (accesses per cycle).
+    pub fn active_rate(&self) -> f64 {
+        if self.busy.is_zero() {
+            0.0
+        } else {
+            self.accesses / self.busy.as_cycles()
+        }
+    }
+}
+
+/// The result of a whole-program analytical estimation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalyticalEstimate {
+    /// The runtime the estimator assumed (the longest thread's busy time).
+    pub assumed_duration: SimTime,
+    /// Estimated queuing time per thread, aligned with the input profiles.
+    pub queuing: Vec<SimTime>,
+    /// Total busy time across threads (denominator of the percentage).
+    pub busy_total: SimTime,
+}
+
+impl AnalyticalEstimate {
+    /// Total estimated queuing time.
+    pub fn queuing_total(&self) -> SimTime {
+        self.queuing.iter().copied().sum()
+    }
+
+    /// Estimated queuing cycles as a percentage of executed cycles — the
+    /// same measure as [`Report::queuing_percent`], so the two are directly
+    /// comparable.
+    pub fn queuing_percent(&self) -> f64 {
+        if self.busy_total.is_zero() {
+            0.0
+        } else {
+            100.0 * self.queuing_total().as_cycles() / self.busy_total.as_cycles()
+        }
+    }
+}
+
+/// One-step whole-program analytical estimator wrapping any
+/// [`ContentionModel`].
+///
+/// # Examples
+///
+/// Two balanced threads — the estimator agrees with intuition:
+///
+/// ```
+/// use mesh_core::SimTime;
+/// use mesh_models::{AnalyticalEstimator, ChenLinBus, ThreadProfile};
+///
+/// let est = AnalyticalEstimator::new(ChenLinBus::new(), SimTime::from_cycles(1.0));
+/// let profiles = vec![
+///     ThreadProfile::new(SimTime::from_cycles(1000.0), 200.0),
+///     ThreadProfile::new(SimTime::from_cycles(1000.0), 200.0),
+/// ];
+/// let e = est.estimate(&profiles);
+/// assert!(e.queuing_percent() > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AnalyticalEstimator<M> {
+    model: M,
+    service_time: SimTime,
+}
+
+impl<M: ContentionModel> AnalyticalEstimator<M> {
+    /// Creates an estimator applying `model` once over the whole program,
+    /// for a shared resource with the given per-access service time.
+    pub fn new(model: M, service_time: SimTime) -> AnalyticalEstimator<M> {
+        AnalyticalEstimator {
+            model,
+            service_time,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Applies the model in one step across the assumed steady-state run.
+    ///
+    /// The assumed run duration is the longest profile's busy time; every
+    /// thread is assumed to sustain its active access rate for that whole
+    /// duration — the steady-state assumption discussed in the module docs.
+    pub fn estimate(&self, profiles: &[ThreadProfile]) -> AnalyticalEstimate {
+        let busy_total: SimTime = profiles.iter().map(|p| p.busy).sum();
+        let duration = profiles
+            .iter()
+            .map(|p| p.busy)
+            .fold(SimTime::ZERO, SimTime::max);
+        if duration.is_zero() {
+            return AnalyticalEstimate {
+                assumed_duration: duration,
+                queuing: vec![SimTime::ZERO; profiles.len()],
+                busy_total,
+            };
+        }
+        // Steady state: each thread keeps its active-rate traffic up for the
+        // whole assumed duration.
+        let mut requests = Vec::new();
+        let mut request_of: Vec<Option<usize>> = vec![None; profiles.len()];
+        for (i, p) in profiles.iter().enumerate() {
+            let assumed_accesses = p.active_rate() * duration.as_cycles();
+            if assumed_accesses > 0.0 {
+                request_of[i] = Some(requests.len());
+                requests.push(SliceRequest {
+                    thread: ThreadId::from_index(i),
+                    accesses: assumed_accesses,
+                    priority: p.priority,
+                });
+            }
+        }
+        let mut queuing = vec![SimTime::ZERO; profiles.len()];
+        if requests.len() >= 2 {
+            let slice = Slice {
+                start: SimTime::ZERO,
+                duration,
+                service_time: self.service_time,
+                shared: SharedId::from_index(0),
+            };
+            let penalties = self.model.penalties(&slice, &requests);
+            for (i, slot) in request_of.iter().enumerate() {
+                if let Some(r) = slot {
+                    queuing[i] = penalties[*r];
+                }
+            }
+        }
+        AnalyticalEstimate {
+            assumed_duration: duration,
+            queuing,
+            busy_total,
+        }
+    }
+}
+
+/// Builds thread profiles from a contention-free hybrid run's [`Report`] —
+/// the most convenient way to characterize a workload exactly as the
+/// pure-analytical method would.
+pub fn profiles_from_report(report: &Report) -> Vec<ThreadProfile> {
+    report
+        .threads
+        .iter()
+        .map(|t| ThreadProfile::new(t.busy, t.accesses))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChenLinBus;
+
+    #[test]
+    fn balanced_threads_reasonable_estimate() {
+        let est = AnalyticalEstimator::new(ChenLinBus::new(), SimTime::from_cycles(1.0));
+        let profiles = vec![
+            ThreadProfile::new(SimTime::from_cycles(100.0), 20.0),
+            ThreadProfile::new(SimTime::from_cycles(100.0), 20.0),
+        ];
+        let e = est.estimate(&profiles);
+        // Same numbers as the ChenLinBus closed-form test: 2.5 each.
+        assert!((e.queuing[0].as_cycles() - 2.5).abs() < 1e-9);
+        assert!((e.queuing_percent() - 100.0 * 5.0 / 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbalanced_threads_inflate_estimate() {
+        // Thread 1 is busy only a tenth of the run, but the steady-state
+        // assumption stretches its traffic across the full duration.
+        let est = AnalyticalEstimator::new(ChenLinBus::new(), SimTime::from_cycles(1.0));
+        let balanced = est.estimate(&[
+            ThreadProfile::new(SimTime::from_cycles(1000.0), 100.0),
+            ThreadProfile::new(SimTime::from_cycles(1000.0), 100.0),
+        ]);
+        let unbalanced = est.estimate(&[
+            ThreadProfile::new(SimTime::from_cycles(1000.0), 100.0),
+            // Same active rate (0.1/cyc) but only active 100 cycles.
+            ThreadProfile::new(SimTime::from_cycles(100.0), 10.0),
+        ]);
+        // The estimator assumes thread 1 sustains 0.1 acc/cyc for all 1000
+        // cycles, so thread 0's predicted queuing matches the balanced case
+        // even though actual overlap is 10x smaller.
+        assert!((unbalanced.queuing[0].as_cycles() - balanced.queuing[0].as_cycles()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_thread_estimates_zero() {
+        let est = AnalyticalEstimator::new(ChenLinBus::new(), SimTime::from_cycles(1.0));
+        let e = est.estimate(&[ThreadProfile::new(SimTime::from_cycles(100.0), 50.0)]);
+        assert_eq!(e.queuing_total(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_profiles_estimate_zero() {
+        let est = AnalyticalEstimator::new(ChenLinBus::new(), SimTime::from_cycles(1.0));
+        let e = est.estimate(&[]);
+        assert_eq!(e.queuing_total(), SimTime::ZERO);
+        assert_eq!(e.queuing_percent(), 0.0);
+    }
+
+    #[test]
+    fn threads_without_accesses_are_skipped() {
+        let est = AnalyticalEstimator::new(ChenLinBus::new(), SimTime::from_cycles(1.0));
+        let e = est.estimate(&[
+            ThreadProfile::new(SimTime::from_cycles(100.0), 50.0),
+            ThreadProfile::new(SimTime::from_cycles(100.0), 0.0),
+        ]);
+        // Only one effective contender: no contention.
+        assert_eq!(e.queuing_total(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn active_rate_computation() {
+        let p = ThreadProfile::new(SimTime::from_cycles(200.0), 50.0);
+        assert!((p.active_rate() - 0.25).abs() < 1e-12);
+        let idle = ThreadProfile::new(SimTime::ZERO, 50.0);
+        assert_eq!(idle.active_rate(), 0.0);
+    }
+
+    #[test]
+    fn priority_carried_through() {
+        let p = ThreadProfile::new(SimTime::from_cycles(1.0), 1.0).with_priority(7);
+        assert_eq!(p.priority, 7);
+    }
+}

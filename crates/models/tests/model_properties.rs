@@ -1,0 +1,151 @@
+//! Property-based tests over all contention models: the invariants the
+//! hybrid kernel's `ModelContract` check expects, plus family-specific
+//! ordering properties.
+
+use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+use mesh_core::{SharedId, SimTime, ThreadId};
+use mesh_models::{
+    ChenLinBus, Md1Queue, Mm1Queue, MvaBus, PriorityBus, RoundRobinBus, ScaledModel, TableModel,
+};
+use proptest::prelude::*;
+
+fn all_models() -> Vec<Box<dyn ContentionModel>> {
+    vec![
+        Box::new(ChenLinBus::new()),
+        Box::new(Md1Queue::new()),
+        Box::new(Mm1Queue::new()),
+        Box::new(RoundRobinBus::new()),
+        Box::new(PriorityBus::new()),
+        Box::new(
+            TableModel::new(vec![(0.25, 0.2), (0.5, 0.5), (0.75, 1.5), (0.95, 3.0)])
+                .expect("valid table"),
+        ),
+        Box::new(ScaledModel::new(ChenLinBus::new(), 0.85)),
+        Box::new(MvaBus::new()),
+    ]
+}
+
+fn slice(duration: f64, service: f64) -> Slice {
+    Slice {
+        start: SimTime::ZERO,
+        duration: SimTime::from_cycles(duration),
+        service_time: SimTime::from_cycles(service),
+        shared: SharedId::from_index(0),
+    }
+}
+
+fn requests(accs: &[f64]) -> Vec<SliceRequest> {
+    accs.iter()
+        .enumerate()
+        .map(|(i, &a)| SliceRequest {
+            thread: ThreadId::from_index(i),
+            accesses: a,
+            priority: 0,
+        })
+        .collect()
+}
+
+proptest! {
+    /// Contract: right length, finite, non-negative — for every model, for
+    /// any demand including oversubscription.
+    #[test]
+    fn penalties_well_formed(
+        accs in prop::collection::vec(0.01f64..500.0, 2..8),
+        duration in 1.0f64..10_000.0,
+        service in 0.1f64..16.0,
+    ) {
+        let s = slice(duration, service);
+        let reqs = requests(&accs);
+        for model in all_models() {
+            let p = model.penalties(&s, &reqs);
+            prop_assert_eq!(p.len(), reqs.len(), "model {}", model.name());
+            for x in &p {
+                prop_assert!(x.as_cycles().is_finite());
+                prop_assert!(x.as_cycles() >= 0.0);
+            }
+        }
+    }
+
+    /// Symmetry: identical contenders receive identical penalties.
+    #[test]
+    fn symmetric_requests_symmetric_penalties(
+        a in 0.1f64..100.0,
+        n in 2usize..6,
+        duration in 10.0f64..1000.0,
+    ) {
+        let s = slice(duration, 1.0);
+        let reqs = requests(&vec![a; n]);
+        for model in all_models() {
+            let p = model.penalties(&s, &reqs);
+            for w in &p {
+                prop_assert!((w.as_cycles() - p[0].as_cycles()).abs() < 1e-9,
+                    "model {}", model.name());
+            }
+        }
+    }
+
+    /// Monotonicity: increasing another contender's demand never decreases
+    /// my penalty.
+    #[test]
+    fn monotone_in_other_load(
+        mine in 1.0f64..50.0,
+        theirs in 1.0f64..50.0,
+        extra in 0.0f64..50.0,
+    ) {
+        let s = slice(1000.0, 1.0);
+        for model in all_models() {
+            let p_low = model.penalties(&s, &requests(&[mine, theirs]));
+            let p_high = model.penalties(&s, &requests(&[mine, theirs + extra]));
+            prop_assert!(p_high[0] >= p_low[0], "model {}", model.name());
+        }
+    }
+
+    /// Scale invariance: scaling duration and access counts together (same
+    /// utilizations) scales penalties linearly, for the rate-based models.
+    #[test]
+    fn rate_models_scale_linearly(
+        a in 1.0f64..40.0,
+        b in 1.0f64..40.0,
+        k in 2.0f64..10.0,
+    ) {
+        let small = slice(100.0, 1.0);
+        let big = slice(100.0 * k, 1.0);
+        for model in all_models() {
+            let p1 = model.penalties(&small, &requests(&[a, b]));
+            let p2 = model.penalties(&big, &requests(&[a * k, b * k]));
+            prop_assert!((p2[0].as_cycles() - k * p1[0].as_cycles()).abs() < 1e-6 * p2[0].as_cycles().max(1.0),
+                "model {}", model.name());
+        }
+    }
+
+    /// Priority models order penalties by priority for equal traffic.
+    #[test]
+    fn priority_orders_penalties(
+        a in 1.0f64..50.0,
+        lo in 0u32..5,
+        hi in 6u32..10,
+    ) {
+        let s = slice(1000.0, 1.0);
+        let reqs = vec![
+            SliceRequest { thread: ThreadId::from_index(0), accesses: a, priority: hi },
+            SliceRequest { thread: ThreadId::from_index(1), accesses: a, priority: lo },
+        ];
+        let p = PriorityBus::new().penalties(&s, &reqs);
+        prop_assert!(p[0] <= p[1]);
+    }
+
+    /// The M/M/1 wait dominates the M/D/1 wait (service-time variance).
+    #[test]
+    fn mm1_dominates_md1(
+        accs in prop::collection::vec(1.0f64..100.0, 2..5),
+        duration in 100.0f64..5000.0,
+    ) {
+        let s = slice(duration, 1.0);
+        let reqs = requests(&accs);
+        let mm1 = Mm1Queue::new().penalties(&s, &reqs);
+        let md1 = Md1Queue::new().penalties(&s, &reqs);
+        for (a, b) in mm1.iter().zip(&md1) {
+            prop_assert!(a >= b);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! A SPLASH-2-style barrier-phased FFT workload (paper §5.1).
+//!
+//! The paper chose the SPLASH-2 FFT because "it exhibited irregular shared
+//! bus behavior over time, causing the analytical model to have a large
+//! queuing cycle estimation error". That irregularity comes from the
+//! *six-step* structure of the radix-√n algorithm: compute-heavy local FFT
+//! phases with excellent cache locality alternate with all-to-all transpose
+//! phases that stream the whole array past every cache, separated by
+//! barriers.
+//!
+//! This generator reproduces exactly that phase structure — partition-local
+//! strided passes alternating with cross-partition column walks — without
+//! computing any butterflies: the contention behaviour the experiment
+//! measures depends only on the *reference streams*, which are faithfully
+//! phase-structured (see `DESIGN.md` §3, substitution 1).
+//!
+//! * With a **512 KB** cache, each thread's partition stays resident, so the
+//!   local phases produce almost no bus traffic while the transposes burst —
+//!   maximally irregular behaviour over time.
+//! * With an **8 KB** cache, even the local phases thrash, raising traffic
+//!   everywhere and changing the error profile, as in the paper's Figure 4.
+
+use crate::segment::{MemPattern, Segment, TaskProgram, Workload};
+
+/// Configuration of the synthetic FFT.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FftConfig {
+    /// Number of complex points; must be a power of two with an integer
+    /// square root (the data is treated as a √n × √n matrix).
+    pub points: u64,
+    /// Number of worker threads (one per processor); must divide the row
+    /// count.
+    pub threads: usize,
+    /// Bytes per complex point (two doubles by default).
+    pub bytes_per_point: u64,
+    /// Compute operations per point per local-FFT pass.
+    pub ops_per_point_fft: u64,
+    /// Number of passes over the partition in each local-FFT phase
+    /// (≈ log factor of the radix-√n step).
+    pub local_passes: u32,
+    /// Compute operations per point in each transpose phase.
+    pub ops_per_point_transpose: u64,
+    /// Cache line size used to pace one reference per line in local passes.
+    pub line_bytes: u64,
+}
+
+impl Default for FftConfig {
+    /// 65 536 points (1 MiB of data), two threads — the smallest
+    /// configuration of the paper's sweep.
+    ///
+    /// The compute-to-traffic ratios are calibrated so that, on the
+    /// experiments' 4-cycle bus, offered bus utilization grows from ~0.1 at
+    /// 2 processors to ~0.8 at 16 — the regime in which contention matters
+    /// but the bus is not a pure serialization bottleneck, matching the
+    /// paper's queuing-cycle magnitudes.
+    fn default() -> FftConfig {
+        FftConfig {
+            points: 65_536,
+            threads: 2,
+            bytes_per_point: 16,
+            ops_per_point_fft: 118,
+            local_passes: 4,
+            ops_per_point_transpose: 76,
+            line_bytes: 32,
+        }
+    }
+}
+
+impl FftConfig {
+    /// Creates the default configuration with the given thread count.
+    pub fn with_threads(threads: usize) -> FftConfig {
+        FftConfig {
+            threads,
+            ..FftConfig::default()
+        }
+    }
+
+    /// Side length of the √n × √n point matrix.
+    pub fn rows(&self) -> u64 {
+        (self.points as f64).sqrt() as u64
+    }
+
+    /// Total data size in bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.points * self.bytes_per_point
+    }
+
+    fn check(&self) {
+        assert!(self.points.is_power_of_two(), "points must be a power of two");
+        let rows = self.rows();
+        assert_eq!(rows * rows, self.points, "points must be a perfect square");
+        assert!(self.threads >= 1, "at least one thread");
+        assert_eq!(
+            rows % self.threads as u64,
+            0,
+            "threads must divide the row count"
+        );
+    }
+}
+
+/// Builds the five-phase (transpose / FFT / transpose / FFT / transpose)
+/// barrier-synchronized workload.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (see [`FftConfig`] field
+/// docs).
+///
+/// # Examples
+///
+/// ```
+/// use mesh_workloads::fft::{build, FftConfig};
+///
+/// let w = build(&FftConfig::with_threads(4));
+/// assert_eq!(w.tasks.len(), 4);
+/// assert_eq!(w.barriers.len(), 1);
+/// w.validate().unwrap();
+/// ```
+pub fn build(config: &FftConfig) -> Workload {
+    config.check();
+    let mut workload = Workload::new();
+    let barrier = workload.add_barrier(config.threads);
+    let rows = config.rows();
+    let rows_per_thread = rows / config.threads as u64;
+    let row_bytes = rows * config.bytes_per_point;
+    let points_per_thread = config.points / config.threads as u64;
+    let part_bytes = config.data_bytes() / config.threads as u64;
+
+    for t in 0..config.threads as u64 {
+        let mut task = TaskProgram::new(format!("fft{t}"));
+        for phase in 0..5u32 {
+            let segment = if phase % 2 == 0 {
+                // Transpose phase: walk the columns assigned to this thread;
+                // every reference lands `row_bytes` after the previous one,
+                // touching a fresh line each time — the bursty all-to-all
+                // traffic.
+                let mut seg = Segment::work(points_per_thread * config.ops_per_point_transpose);
+                for r in 0..rows_per_thread {
+                    let col = t * rows_per_thread + r;
+                    seg = seg.with_pattern(MemPattern::Strided {
+                        base: col * config.bytes_per_point,
+                        stride: row_bytes,
+                        count: rows,
+                    });
+                }
+                seg
+            } else {
+                // Local FFT phase: repeated sequential passes over the
+                // thread's own partition — resident in a large cache.
+                let lines = part_bytes / config.line_bytes;
+                let mut seg = Segment::work(
+                    points_per_thread * config.ops_per_point_fft * config.local_passes as u64,
+                );
+                for _ in 0..config.local_passes {
+                    seg = seg.with_pattern(MemPattern::Strided {
+                        base: t * part_bytes,
+                        stride: config.line_bytes,
+                        count: lines,
+                    });
+                }
+                seg
+            };
+            task.push(segment.with_barrier(barrier));
+        }
+        workload.add_task(task);
+    }
+    workload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SegmentKind;
+
+    #[test]
+    fn default_config_is_consistent() {
+        let c = FftConfig::default();
+        assert_eq!(c.rows(), 256);
+        assert_eq!(c.data_bytes(), 1 << 20);
+        build(&c).validate().unwrap();
+    }
+
+    #[test]
+    fn phase_structure_is_five_phases_with_barriers() {
+        let w = build(&FftConfig::with_threads(2));
+        for task in &w.tasks {
+            assert_eq!(task.segments.len(), 5);
+            assert!(task.segments.iter().all(|s| s.barrier == Some(0)));
+            assert!(task.segments.iter().all(|s| s.kind == SegmentKind::Work));
+        }
+    }
+
+    #[test]
+    fn reference_counts_match_formula() {
+        let c = FftConfig::with_threads(4);
+        let w = build(&c);
+        let per_thread_points = c.points / 4;
+        let lines_per_part = c.data_bytes() / 4 / c.line_bytes;
+        for task in &w.tasks {
+            // 3 transposes x points/threads + 2 local phases x passes x lines.
+            let expected =
+                3 * per_thread_points + 2 * c.local_passes as u64 * lines_per_part;
+            assert_eq!(task.total_refs(), expected);
+        }
+    }
+
+    #[test]
+    fn transpose_strides_cross_partitions() {
+        let c = FftConfig::with_threads(2);
+        let w = build(&c);
+        let transpose = &w.tasks[0].segments[0];
+        // The column walk must reach beyond the thread's own partition.
+        let max_addr = transpose.refs().max().unwrap();
+        assert!(max_addr >= c.data_bytes() / 2);
+    }
+
+    #[test]
+    fn threads_partition_disjoint_local_phases() {
+        let c = FftConfig::with_threads(4);
+        let w = build(&c);
+        let part = c.data_bytes() / 4;
+        for (t, task) in w.tasks.iter().enumerate() {
+            let local = &task.segments[1];
+            let lo = local.refs().min().unwrap();
+            let hi = local.refs().max().unwrap();
+            assert!(lo >= t as u64 * part);
+            assert!(hi < (t as u64 + 1) * part);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must divide")]
+    fn thread_count_must_divide_rows() {
+        build(&FftConfig::with_threads(3));
+    }
+
+    #[test]
+    fn scaling_threads_scales_per_thread_work_down() {
+        let w2 = build(&FftConfig::with_threads(2));
+        let w8 = build(&FftConfig::with_threads(8));
+        assert!(w8.tasks[0].total_ops() < w2.tasks[0].total_ops());
+        // Total work across threads is constant.
+        let total2: u64 = w2.tasks.iter().map(|t| t.total_ops()).sum();
+        let total8: u64 = w8.tasks.iter().map(|t| t.total_ops()).sum();
+        assert_eq!(total2, total8);
+    }
+}

@@ -1,0 +1,32 @@
+//! # mesh-workloads — synthetic workloads for the contention experiments
+//!
+//! Fidelity-neutral workload generators standing in for the paper's
+//! benchmark programs (see `DESIGN.md` §3):
+//!
+//! * [`fft`] — a SPLASH-2-style barrier-phased FFT with bursty transpose
+//!   traffic (the §5.1 experiment);
+//! * [`mibench`] — GSM / Blowfish / MP3 synthetic kernels with uniform
+//!   per-kernel access behaviour (the §5.2 experiment);
+//! * [`scenario`] — sporadic heterogeneous interleavings of those kernels
+//!   with configurable idle fractions (the Figures 5 and 6 sweeps);
+//! * [`uniform`] — a balanced, steady control benchmark (the "other
+//!   SPLASH-2 programs" where every model performs well);
+//! * [`textfmt`] — plain-text import/export, the door for externally
+//!   profiled workloads.
+//!
+//! All workloads are expressed in the segment/pattern vocabulary of
+//! [`segment`], which both the cycle-accurate simulator and the MESH
+//! annotation bridge consume, guaranteeing that every fidelity sees the same
+//! programs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fft;
+pub mod mibench;
+pub mod scenario;
+pub mod segment;
+pub mod textfmt;
+pub mod uniform;
+
+pub use segment::{MemPattern, PatternIter, Segment, SegmentKind, TaskProgram, Workload};

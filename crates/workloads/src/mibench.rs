@@ -1,0 +1,208 @@
+//! MiBench-style synthetic kernels (paper §5.2).
+//!
+//! The paper extracts representative kernels from three MiBench categories —
+//! GSM encoding (telecomm), Blowfish encryption (security) and MP3 encoding
+//! (multimedia) — chosen because "all these kernels have uniform levels of
+//! shared resource accesses across their runtimes, making purely analytical
+//! approaches accurate when considering each kernel individually". The
+//! trouble only starts when the kernels are *interleaved sporadically* on
+//! heterogeneous processors.
+//!
+//! Each synthetic kernel here reproduces the property that matters: a
+//! characteristic, steady ratio of compute to memory traffic, with a
+//! distinct working-set size that determines how much of that traffic
+//! reaches the shared bus:
+//!
+//! | Kernel | ops/unit | working set | traffic profile |
+//! |---|---|---|---|
+//! | [`Kernel::GsmEncode`] | moderate | small tables + streaming input | steady, moderate |
+//! | [`Kernel::Blowfish`] | high | 4 KB S-boxes (cache resident) | compute bound, light |
+//! | [`Kernel::Mp3Encode`] | high | ~48 KB (thrashes small caches) | memory heavy |
+//!
+//! Real MiBench sources are not required: the experiment only consumes the
+//! kernels' access statistics (see `DESIGN.md` §3, substitution 3).
+
+use crate::segment::{MemPattern, Segment};
+
+/// Number of kernel units batched into one workload segment. Batching keeps
+/// segment counts (and hence the finest possible annotation granularity)
+/// realistic: one annotation per ~batch of frames, not per instruction.
+pub const UNITS_PER_SEGMENT: u64 = 8;
+
+/// One of the three synthetic application kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// GSM 06.10 full-rate speech encoder (telecomm): one unit ≈ one 160
+    /// sample frame.
+    GsmEncode,
+    /// Blowfish block cipher (security): one unit ≈ a small run of 8-byte
+    /// blocks.
+    Blowfish,
+    /// MP3 (LAME-style) encoder (multimedia): one unit ≈ one granule.
+    Mp3Encode,
+}
+
+/// Per-unit characteristics of a kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelTraits {
+    /// Compute operations per unit.
+    pub ops_per_unit: u64,
+    /// Streaming-input bytes consumed per unit (compulsory misses).
+    pub stream_bytes_per_unit: u64,
+    /// Random-access working-set span in bytes (tables, state).
+    pub working_set_bytes: u64,
+    /// Random working-set references per unit.
+    pub table_refs_per_unit: u64,
+}
+
+impl Kernel {
+    /// All kernels, for iteration in scenario mixes.
+    pub const ALL: [Kernel; 3] = [Kernel::GsmEncode, Kernel::Blowfish, Kernel::Mp3Encode];
+
+    /// Human-readable kernel name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::GsmEncode => "gsm-encode",
+            Kernel::Blowfish => "blowfish",
+            Kernel::Mp3Encode => "mp3-encode",
+        }
+    }
+
+    /// The kernel's per-unit characteristics.
+    pub fn traits(self) -> KernelTraits {
+        match self {
+            Kernel::GsmEncode => KernelTraits {
+                ops_per_unit: 800,
+                stream_bytes_per_unit: 320, // 160 samples x 2 bytes
+                working_set_bytes: 2 * 1024,
+                table_refs_per_unit: 40,
+            },
+            Kernel::Blowfish => KernelTraits {
+                ops_per_unit: 1_300,
+                stream_bytes_per_unit: 64,
+                working_set_bytes: 4 * 1024, // the four S-boxes
+                table_refs_per_unit: 64,
+            },
+            Kernel::Mp3Encode => KernelTraits {
+                ops_per_unit: 2_000,
+                stream_bytes_per_unit: 1_152, // one granule of samples
+                working_set_bytes: 48 * 1024, // psychoacoustic + MDCT state
+                table_refs_per_unit: 96,
+            },
+        }
+    }
+
+    /// Bytes of address space one instance of `units` units occupies
+    /// (working set + the consumed stream).
+    pub fn footprint_bytes(self, units: u64) -> u64 {
+        let t = self.traits();
+        t.working_set_bytes + t.stream_bytes_per_unit * units
+    }
+
+    /// Generates the segments of one kernel instance of `units` units.
+    ///
+    /// `region_base` is the start of the instance's private address region
+    /// (fresh regions produce realistic compulsory misses for streamed
+    /// input); `seed` makes the random table traffic reproducible.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mesh_workloads::mibench::Kernel;
+    ///
+    /// let segs = Kernel::GsmEncode.segments(32, 0x1000_0000, 7);
+    /// assert_eq!(segs.len(), 4); // 32 units / 8 per segment
+    /// assert!(segs.iter().all(|s| s.total_refs() > 0));
+    /// ```
+    pub fn segments(self, units: u64, region_base: u64, seed: u64) -> Vec<Segment> {
+        let t = self.traits();
+        let table_base = region_base;
+        let stream_base = region_base + t.working_set_bytes;
+        let mut segments = Vec::new();
+        let mut done = 0u64;
+        let mut chunk_idx = 0u64;
+        while done < units {
+            let chunk = UNITS_PER_SEGMENT.min(units - done);
+            let mut seg = Segment::work(t.ops_per_unit * chunk);
+            if t.stream_bytes_per_unit > 0 {
+                seg = seg.with_pattern(MemPattern::Strided {
+                    base: stream_base + done * t.stream_bytes_per_unit,
+                    stride: 32,
+                    count: t.stream_bytes_per_unit * chunk / 32,
+                });
+            }
+            if t.table_refs_per_unit > 0 {
+                seg = seg.with_pattern(MemPattern::Random {
+                    base: table_base,
+                    span: t.working_set_bytes,
+                    count: t.table_refs_per_unit * chunk,
+                    seed: seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(chunk_idx),
+                });
+            }
+            segments.push(seg);
+            done += chunk;
+            chunk_idx += 1;
+        }
+        segments
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_cover_all_units() {
+        for kernel in Kernel::ALL {
+            let segs = kernel.segments(20, 0, 1);
+            assert_eq!(segs.len(), 3); // 8 + 8 + 4
+            let ops: u64 = segs.iter().map(|s| s.compute_ops).sum();
+            assert_eq!(ops, kernel.traits().ops_per_unit * 20);
+        }
+    }
+
+    #[test]
+    fn traffic_is_reproducible() {
+        let a: Vec<u64> = Kernel::Mp3Encode.segments(8, 4096, 9)[0].refs().collect();
+        let b: Vec<u64> = Kernel::Mp3Encode.segments(8, 4096, 9)[0].refs().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_advances_across_segments() {
+        let segs = Kernel::GsmEncode.segments(16, 0, 1);
+        let first_stream_0 = segs[0].refs().next().unwrap();
+        let first_stream_1 = segs[1].refs().next().unwrap();
+        assert!(first_stream_1 > first_stream_0);
+    }
+
+    #[test]
+    fn working_sets_are_distinct() {
+        let gsm = Kernel::GsmEncode.traits().working_set_bytes;
+        let bf = Kernel::Blowfish.traits().working_set_bytes;
+        let mp3 = Kernel::Mp3Encode.traits().working_set_bytes;
+        assert!(gsm < mp3);
+        assert!(bf < mp3);
+    }
+
+    #[test]
+    fn footprint_grows_with_units() {
+        let k = Kernel::Blowfish;
+        assert!(k.footprint_bytes(100) > k.footprint_bytes(10));
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Kernel::GsmEncode.name(), "gsm-encode");
+        assert_eq!(format!("{}", Kernel::Blowfish), "blowfish");
+        assert_eq!(Kernel::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,233 @@
+//! PHM SoC scenarios: sporadic kernel interleavings with idle gaps
+//! (paper §5.2).
+//!
+//! The paper's second experiment runs MiBench kernels "sporadically executed
+//! in a random fashion on two heterogeneous processors mimicking
+//! data-dependent behavior", and deliberately unbalances the system: one
+//! processor is kept busy (only 6% idle) while the other idles 90% of the
+//! time. Idle gaps stand for data dependencies and user interaction between
+//! application activations on a real SoC.
+//!
+//! [`PhmConfig`] generates exactly such scenarios, with per-processor idle
+//! fractions and a seeded random kernel mix, so the Figure 5 (bus-delay
+//! sweep at 90% idle) and Figure 6 (idle-fraction sweep) experiments are a
+//! parameter away.
+
+use crate::mibench::Kernel;
+use crate::segment::{Segment, TaskProgram, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a sporadic PHM scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhmConfig {
+    /// Approximate work operations per processor (the generator appends
+    /// kernel bursts until this target is reached).
+    pub target_ops: u64,
+    /// Idle fraction per processor in `[0, 1)`: the fraction of that
+    /// processor's wall-clock time spent idle between bursts. The paper's
+    /// headline case is `[0.06, 0.90]`.
+    pub idle_fraction: Vec<f64>,
+    /// Kernels to draw bursts from.
+    pub mix: Vec<Kernel>,
+    /// Units per burst are drawn uniformly from this inclusive range.
+    pub burst_units: (u64, u64),
+    /// Master seed; every derived stream is deterministic.
+    pub seed: u64,
+}
+
+impl Default for PhmConfig {
+    /// The paper's two-processor case: processor 0 is 6% idle, processor 1
+    /// is 90% idle, drawing from all three kernels.
+    fn default() -> PhmConfig {
+        PhmConfig {
+            target_ops: 2_000_000,
+            idle_fraction: vec![0.06, 0.90],
+            mix: Kernel::ALL.to_vec(),
+            burst_units: (16, 64),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl PhmConfig {
+    /// Creates the paper's default scenario with a custom idle fraction for
+    /// the second processor (the Figure 6 sweep parameter).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ idle1 < 1`.
+    pub fn with_second_idle(idle1: f64) -> PhmConfig {
+        assert!((0.0..1.0).contains(&idle1), "idle fraction must be in [0,1)");
+        PhmConfig {
+            idle_fraction: vec![0.06, idle1],
+            ..PhmConfig::default()
+        }
+    }
+}
+
+/// Builds the sporadic workload: one task per processor.
+///
+/// # Panics
+///
+/// Panics if the configuration is empty (no processors or no kernels) or an
+/// idle fraction is outside `[0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_workloads::scenario::{build, PhmConfig};
+///
+/// let w = build(&PhmConfig::default());
+/// assert_eq!(w.tasks.len(), 2);
+/// // The 90%-idle task spends most of its wall time idle.
+/// let t1 = &w.tasks[1];
+/// let idle = t1.total_idle_cycles() as f64;
+/// let work = t1.total_ops() as f64;
+/// assert!(idle / (idle + work) > 0.8);
+/// ```
+pub fn build(config: &PhmConfig) -> Workload {
+    assert!(!config.idle_fraction.is_empty(), "at least one processor");
+    assert!(!config.mix.is_empty(), "at least one kernel in the mix");
+    for &f in &config.idle_fraction {
+        assert!((0.0..1.0).contains(&f), "idle fraction must be in [0,1)");
+    }
+    assert!(
+        config.burst_units.0 >= 1 && config.burst_units.0 <= config.burst_units.1,
+        "burst range must be non-empty"
+    );
+
+    let mut workload = Workload::new();
+    for (proc, &idle_fraction) in config.idle_fraction.iter().enumerate() {
+        let mut rng = SmallRng::seed_from_u64(
+            config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(proc as u64),
+        );
+        let mut task = TaskProgram::new(format!("phm-proc{proc}"));
+        // Give every processor a disjoint address space so private-cache
+        // behaviour is purely per-task.
+        let mut region_base = (proc as u64 + 1) << 33;
+        let mut total_ops = 0u64;
+        while total_ops < config.target_ops {
+            let kernel = config.mix[rng.gen_range(0..config.mix.len())];
+            let units = rng.gen_range(config.burst_units.0..=config.burst_units.1);
+            let burst_seed = rng.gen::<u64>();
+            let mut burst_ops = 0u64;
+            for seg in kernel.segments(units, region_base, burst_seed) {
+                burst_ops += seg.compute_ops;
+                task.push(seg);
+            }
+            region_base += kernel.footprint_bytes(units).next_multiple_of(4096);
+            total_ops += burst_ops;
+            if idle_fraction > 0.0 {
+                // Draw an idle gap so that, in expectation, idle time is
+                // `idle_fraction` of the processor's wall-clock time:
+                // gap = work x f/(1-f), jittered to keep arrivals sporadic.
+                let mean_gap = burst_ops as f64 * idle_fraction / (1.0 - idle_fraction);
+                let jitter = rng.gen_range(0.5..1.5);
+                let gap = (mean_gap * jitter).round() as u64;
+                if gap > 0 {
+                    task.push(Segment::idle(gap));
+                }
+            }
+        }
+        workload.add_task(task);
+    }
+    workload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_matches_paper_shape() {
+        let w = build(&PhmConfig::default());
+        assert_eq!(w.tasks.len(), 2);
+        w.validate().unwrap();
+        let frac = |t: &TaskProgram| {
+            let idle = t.total_idle_cycles() as f64;
+            let work = t.total_ops() as f64;
+            idle / (idle + work)
+        };
+        assert!(frac(&w.tasks[0]) < 0.12);
+        assert!((frac(&w.tasks[1]) - 0.90).abs() < 0.08);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = build(&PhmConfig::default());
+        let b = build(&PhmConfig::default());
+        assert_eq!(a, b);
+        let c = build(&PhmConfig {
+            seed: 1,
+            ..PhmConfig::default()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn reaches_work_target() {
+        let cfg = PhmConfig::default();
+        let w = build(&cfg);
+        for t in &w.tasks {
+            assert!(t.total_ops() >= cfg.target_ops);
+            // Overshoot is bounded by one burst.
+            let max_burst = Kernel::Mp3Encode.traits().ops_per_unit * cfg.burst_units.1;
+            assert!(t.total_ops() < cfg.target_ops + max_burst);
+        }
+    }
+
+    #[test]
+    fn zero_idle_produces_no_gaps() {
+        let cfg = PhmConfig {
+            idle_fraction: vec![0.0, 0.0],
+            ..PhmConfig::default()
+        };
+        let w = build(&cfg);
+        for t in &w.tasks {
+            assert_eq!(t.total_idle_cycles(), 0);
+        }
+    }
+
+    #[test]
+    fn idle_sweep_is_monotone() {
+        let frac_of = |idle1: f64| {
+            let w = build(&PhmConfig::with_second_idle(idle1));
+            let t = &w.tasks[1];
+            t.total_idle_cycles() as f64 / (t.total_idle_cycles() + t.total_ops()) as f64
+        };
+        assert!(frac_of(0.0) < frac_of(0.3));
+        assert!(frac_of(0.3) < frac_of(0.6));
+        assert!(frac_of(0.6) < frac_of(0.9));
+    }
+
+    #[test]
+    fn address_spaces_are_disjoint() {
+        let w = build(&PhmConfig::default());
+        let max0 = w.tasks[0]
+            .segments
+            .iter()
+            .flat_map(|s| s.refs())
+            .max()
+            .unwrap();
+        let min1 = w.tasks[1]
+            .segments
+            .iter()
+            .flat_map(|s| s.refs())
+            .min()
+            .unwrap();
+        assert!(max0 < min1);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle fraction")]
+    fn invalid_idle_fraction_rejected() {
+        build(&PhmConfig {
+            idle_fraction: vec![1.0],
+            ..PhmConfig::default()
+        });
+    }
+}

@@ -1,0 +1,329 @@
+//! A plain-text workload format for import/export.
+//!
+//! The paper's annotation values "can be derived from techniques such as
+//! profiling, designer experience, or software libraries" (§3). This module
+//! gives external tooling a door: profilers can emit workloads as text, and
+//! any workload built programmatically can be serialized for inspection or
+//! versioning. The format is line-oriented:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! barrier 4                 # declares barrier 0 with 4 parties
+//!
+//! task fft0
+//! work 120000 barrier=0 io=8
+//!   strided 0 32 2048       # base stride count
+//!   random 4096 65536 300 7 # base span count seed
+//! idle 500
+//! work 60000
+//! ```
+//!
+//! `barrier` declarations must precede the first `task`. Pattern lines
+//! attach to the most recent `work` segment. [`to_text`] and [`from_text`]
+//! round-trip exactly.
+
+use crate::segment::{MemPattern, Segment, SegmentKind, TaskProgram, Workload};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// An error while parsing the text workload format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "workload parse error at line {}: {}", self.line, self.detail)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a workload to the text format.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_workloads::textfmt::{from_text, to_text};
+/// use mesh_workloads::{Segment, TaskProgram, Workload};
+///
+/// let mut w = Workload::new();
+/// w.add_task(TaskProgram::new("t").with_segment(Segment::work(100)));
+/// let text = to_text(&w);
+/// assert_eq!(from_text(&text).unwrap(), w);
+/// ```
+pub fn to_text(workload: &Workload) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# mesh-workloads text format v1");
+    for &parties in &workload.barriers {
+        let _ = writeln!(out, "barrier {parties}");
+    }
+    for task in &workload.tasks {
+        let _ = writeln!(out, "\ntask {}", task.name);
+        for seg in &task.segments {
+            match seg.kind {
+                SegmentKind::Idle => {
+                    let _ = writeln!(out, "idle {}", seg.compute_ops);
+                }
+                SegmentKind::Work => {
+                    let _ = write!(out, "work {}", seg.compute_ops);
+                    if let Some(b) = seg.barrier {
+                        let _ = write!(out, " barrier={b}");
+                    }
+                    if seg.io_ops > 0 {
+                        let _ = write!(out, " io={}", seg.io_ops);
+                    }
+                    out.push('\n');
+                    for pattern in &seg.mem {
+                        match *pattern {
+                            MemPattern::Strided { base, stride, count } => {
+                                let _ = writeln!(out, "  strided {base} {stride} {count}");
+                            }
+                            MemPattern::Random { base, span, count, seed } => {
+                                let _ = writeln!(out, "  random {base} {span} {count} {seed}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn err(line: usize, detail: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        detail: detail.into(),
+    }
+}
+
+fn parse_u64(tok: &str, line: usize, what: &str) -> Result<u64, ParseError> {
+    tok.parse::<u64>()
+        .map_err(|_| err(line, format!("invalid {what}: {tok:?}")))
+}
+
+/// Parses a workload from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line on any syntax error,
+/// unknown directive, misplaced pattern line, or barrier reference to an
+/// undeclared barrier.
+pub fn from_text(text: &str) -> Result<Workload, ParseError> {
+    let mut workload = Workload::new();
+    let mut current_task: Option<TaskProgram> = None;
+    let mut current_segment: Option<Segment> = None;
+
+    // Finishes the open segment into the open task.
+    fn flush_segment(task: &mut Option<TaskProgram>, seg: &mut Option<Segment>) {
+        if let Some(s) = seg.take() {
+            task.as_mut()
+                .expect("segment outside task is rejected at parse time")
+                .push(s);
+        }
+    }
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let directive = tokens.next().expect("non-empty line");
+        let rest: Vec<&str> = tokens.collect();
+        match directive {
+            "barrier" => {
+                if current_task.is_some() {
+                    return Err(err(lineno, "barrier declarations must precede tasks"));
+                }
+                let [parties] = rest.as_slice() else {
+                    return Err(err(lineno, "expected: barrier <parties>"));
+                };
+                let parties = parse_u64(parties, lineno, "party count")? as usize;
+                if parties == 0 {
+                    return Err(err(lineno, "barrier needs at least one party"));
+                }
+                workload.add_barrier(parties);
+            }
+            "task" => {
+                let [name] = rest.as_slice() else {
+                    return Err(err(lineno, "expected: task <name>"));
+                };
+                flush_segment(&mut current_task, &mut current_segment);
+                if let Some(t) = current_task.take() {
+                    workload.add_task(t);
+                }
+                current_task = Some(TaskProgram::new(*name));
+            }
+            "work" => {
+                if current_task.is_none() {
+                    return Err(err(lineno, "work segment outside a task"));
+                }
+                flush_segment(&mut current_task, &mut current_segment);
+                let Some((ops, options)) = rest.split_first() else {
+                    return Err(err(lineno, "expected: work <ops> [barrier=<id>] [io=<ops>]"));
+                };
+                let mut seg = Segment::work(parse_u64(ops, lineno, "op count")?);
+                for opt in options {
+                    if let Some(b) = opt.strip_prefix("barrier=") {
+                        let b = parse_u64(b, lineno, "barrier id")? as usize;
+                        if b >= workload.barriers.len() {
+                            return Err(err(lineno, format!("undeclared barrier {b}")));
+                        }
+                        seg = seg.with_barrier(b);
+                    } else if let Some(io) = opt.strip_prefix("io=") {
+                        seg = seg.with_io(parse_u64(io, lineno, "io op count")?);
+                    } else {
+                        return Err(err(lineno, format!("unknown work option {opt:?}")));
+                    }
+                }
+                current_segment = Some(seg);
+            }
+            "idle" => {
+                if current_task.is_none() {
+                    return Err(err(lineno, "idle segment outside a task"));
+                }
+                flush_segment(&mut current_task, &mut current_segment);
+                let [cycles] = rest.as_slice() else {
+                    return Err(err(lineno, "expected: idle <cycles>"));
+                };
+                let seg = Segment::idle(parse_u64(cycles, lineno, "cycle count")?);
+                current_task
+                    .as_mut()
+                    .expect("checked above")
+                    .push(seg);
+            }
+            "strided" => {
+                let Some(seg) = current_segment.as_mut() else {
+                    return Err(err(lineno, "pattern line outside a work segment"));
+                };
+                let [base, stride, count] = rest.as_slice() else {
+                    return Err(err(lineno, "expected: strided <base> <stride> <count>"));
+                };
+                seg.mem.push(MemPattern::Strided {
+                    base: parse_u64(base, lineno, "base")?,
+                    stride: parse_u64(stride, lineno, "stride")?,
+                    count: parse_u64(count, lineno, "count")?,
+                });
+            }
+            "random" => {
+                let Some(seg) = current_segment.as_mut() else {
+                    return Err(err(lineno, "pattern line outside a work segment"));
+                };
+                let [base, span, count, seed] = rest.as_slice() else {
+                    return Err(err(lineno, "expected: random <base> <span> <count> <seed>"));
+                };
+                seg.mem.push(MemPattern::Random {
+                    base: parse_u64(base, lineno, "base")?,
+                    span: parse_u64(span, lineno, "span")?,
+                    count: parse_u64(count, lineno, "count")?,
+                    seed: parse_u64(seed, lineno, "seed")?,
+                });
+            }
+            other => return Err(err(lineno, format!("unknown directive {other:?}"))),
+        }
+    }
+    flush_segment(&mut current_task, &mut current_segment);
+    if let Some(t) = current_task.take() {
+        workload.add_task(t);
+    }
+    workload
+        .validate()
+        .map_err(|e| err(text.lines().count(), e))?;
+    Ok(workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::{build as build_fft, FftConfig};
+    use crate::scenario::{build as build_phm, PhmConfig};
+
+    #[test]
+    fn round_trips_hand_written_text() {
+        let text = "\
+# demo
+barrier 2
+
+task a
+work 100 barrier=0 io=3
+  strided 0 32 16
+  random 4096 1024 8 7
+idle 50
+work 25
+
+task b
+work 200 barrier=0
+";
+        let w = from_text(text).unwrap();
+        assert_eq!(w.barriers, vec![2]);
+        assert_eq!(w.tasks.len(), 2);
+        assert_eq!(w.tasks[0].segments.len(), 3);
+        assert_eq!(w.tasks[0].segments[0].io_ops, 3);
+        assert_eq!(w.tasks[0].segments[0].total_refs(), 24);
+        assert_eq!(w.tasks[0].total_idle_cycles(), 50);
+        // Full round trip.
+        assert_eq!(from_text(&to_text(&w)).unwrap(), w);
+    }
+
+    #[test]
+    fn round_trips_generated_workloads() {
+        for w in [
+            build_fft(&FftConfig {
+                points: 4096,
+                threads: 2,
+                ..FftConfig::default()
+            }),
+            build_phm(&PhmConfig {
+                target_ops: 50_000,
+                ..PhmConfig::default()
+            }),
+        ] {
+            let text = to_text(&w);
+            assert_eq!(from_text(&text).unwrap(), w);
+        }
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let e = from_text("task t\nwork abc").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.detail.contains("op count"));
+        assert!(format!("{e}").contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_structural_errors() {
+        assert!(from_text("work 10").unwrap_err().detail.contains("outside a task"));
+        assert!(from_text("task t\nstrided 0 1 1")
+            .unwrap_err()
+            .detail
+            .contains("outside a work segment"));
+        assert!(from_text("task t\nwork 10 barrier=0")
+            .unwrap_err()
+            .detail
+            .contains("undeclared barrier"));
+        assert!(from_text("task t\nbarrier 2")
+            .unwrap_err()
+            .detail
+            .contains("precede tasks"));
+        assert!(from_text("frobnicate 1").unwrap_err().detail.contains("unknown directive"));
+        assert!(from_text("barrier 0").unwrap_err().detail.contains("at least one"));
+        assert!(from_text("task t\nwork 10 turbo=1")
+            .unwrap_err()
+            .detail
+            .contains("unknown work option"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let w = from_text("# just a comment\n\n   \n# another\n").unwrap();
+        assert!(w.tasks.is_empty());
+    }
+}

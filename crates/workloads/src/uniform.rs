@@ -1,0 +1,158 @@
+//! A balanced, uniform-access parallel benchmark — the *control* workload.
+//!
+//! The paper notes that the FFT was chosen precisely because it misbehaves:
+//! "In the other SPLASH-2 benchmarks the Chen–Lin model performs well, as
+//! does the corresponding MESH model" (§5.1). This generator stands in for
+//! those other benchmarks (LU, radix sort, ...): `iterations` identical
+//! barrier-separated phases in which every thread performs the same blocked
+//! sweep over its own partition — steady compute, steady miss traffic, no
+//! bursts, no idling.
+//!
+//! On this workload all three estimators should agree; the
+//! `validation_uniform` bench binary checks exactly that.
+
+use crate::segment::{MemPattern, Segment, TaskProgram, Workload};
+
+/// Configuration of the uniform benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UniformConfig {
+    /// Worker threads (one per processor).
+    pub threads: usize,
+    /// Barrier-separated iterations (all identical).
+    pub iterations: u32,
+    /// Bytes each thread sweeps per iteration (its partition).
+    pub bytes_per_thread: u64,
+    /// Compute operations per cache line swept.
+    pub ops_per_line: u64,
+    /// Cache line size pacing the sweep.
+    pub line_bytes: u64,
+}
+
+impl Default for UniformConfig {
+    /// Four threads, 12 iterations, 64 KB partitions: steady ~0.25 offered
+    /// utilization on a 4-cycle bus with small caches.
+    fn default() -> UniformConfig {
+        UniformConfig {
+            threads: 4,
+            iterations: 12,
+            bytes_per_thread: 64 * 1024,
+            ops_per_line: 60,
+            line_bytes: 32,
+        }
+    }
+}
+
+impl UniformConfig {
+    /// Default configuration with a custom thread count.
+    pub fn with_threads(threads: usize) -> UniformConfig {
+        UniformConfig {
+            threads,
+            ..UniformConfig::default()
+        }
+    }
+}
+
+/// Builds the uniform benchmark workload.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero threads, iterations,
+/// bytes or lines).
+///
+/// # Examples
+///
+/// ```
+/// use mesh_workloads::uniform::{build, UniformConfig};
+///
+/// let w = build(&UniformConfig::with_threads(2));
+/// assert_eq!(w.tasks.len(), 2);
+/// w.validate().unwrap();
+/// // Every phase of every thread is identical: perfectly uniform traffic.
+/// let t = &w.tasks[0];
+/// assert!(t.segments.windows(2).all(|s| s[0].compute_ops == s[1].compute_ops));
+/// ```
+pub fn build(config: &UniformConfig) -> Workload {
+    assert!(config.threads >= 1, "at least one thread");
+    assert!(config.iterations >= 1, "at least one iteration");
+    assert!(
+        config.bytes_per_thread >= config.line_bytes && config.line_bytes > 0,
+        "partition must span at least one line"
+    );
+    let mut workload = Workload::new();
+    let barrier = workload.add_barrier(config.threads);
+    let lines = config.bytes_per_thread / config.line_bytes;
+
+    for t in 0..config.threads as u64 {
+        let mut task = TaskProgram::new(format!("uniform{t}"));
+        let base = t * config.bytes_per_thread;
+        for _ in 0..config.iterations {
+            task.push(
+                Segment::work(lines * config.ops_per_line)
+                    .with_pattern(MemPattern::Strided {
+                        base,
+                        stride: config.line_bytes,
+                        count: lines,
+                    })
+                    .with_barrier(barrier),
+            );
+        }
+        workload.add_task(task);
+    }
+    workload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_are_identical() {
+        let w = build(&UniformConfig::default());
+        for task in &w.tasks {
+            assert_eq!(task.segments.len(), 12);
+            let first = &task.segments[0];
+            for seg in &task.segments {
+                assert_eq!(seg.compute_ops, first.compute_ops);
+                assert_eq!(seg.total_refs(), first.total_refs());
+                assert_eq!(seg.barrier, Some(0));
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_are_disjoint() {
+        let c = UniformConfig::with_threads(3);
+        let w = build(&c);
+        for (t, task) in w.tasks.iter().enumerate() {
+            let lo = task.segments[0].refs().min().unwrap();
+            let hi = task.segments[0].refs().max().unwrap();
+            assert!(lo >= t as u64 * c.bytes_per_thread);
+            assert!(hi < (t as u64 + 1) * c.bytes_per_thread);
+        }
+    }
+
+    #[test]
+    fn totals_scale_with_iterations() {
+        let small = build(&UniformConfig {
+            iterations: 2,
+            ..UniformConfig::default()
+        });
+        let big = build(&UniformConfig {
+            iterations: 6,
+            ..UniformConfig::default()
+        });
+        assert_eq!(
+            3 * small.tasks[0].total_ops(),
+            big.tasks[0].total_ops()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        build(&UniformConfig {
+            threads: 0,
+            ..UniformConfig::default()
+        });
+    }
+}

@@ -1,0 +1,118 @@
+//! Property test: the text workload format round-trips arbitrary workloads.
+
+use mesh_workloads::textfmt::{from_text, to_text};
+use mesh_workloads::{MemPattern, Segment, TaskProgram, Workload};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum SegSpec {
+    Work {
+        ops: u64,
+        io: u64,
+        barrier: Option<usize>,
+        patterns: Vec<(bool, u64, u64, u64, u64)>,
+    },
+    Idle(u64),
+}
+
+fn arb_segment(n_barriers: usize) -> impl Strategy<Value = SegSpec> {
+    let barrier = if n_barriers > 0 {
+        prop::option::of(0..n_barriers).boxed()
+    } else {
+        Just(None).boxed()
+    };
+    prop_oneof![
+        (
+            1u64..100_000,
+            0u64..50,
+            barrier,
+            prop::collection::vec(
+                (any::<bool>(), 0u64..1 << 30, 1u64..4096, 1u64..5000, any::<u64>()),
+                0..4,
+            ),
+        )
+            .prop_map(|(ops, io, barrier, patterns)| SegSpec::Work {
+                ops,
+                io,
+                barrier,
+                patterns,
+            }),
+        (1u64..10_000).prop_map(SegSpec::Idle),
+    ]
+}
+
+fn build(n_barriers: usize, tasks: Vec<Vec<SegSpec>>) -> Workload {
+    let mut w = Workload::new();
+    for _ in 0..n_barriers {
+        // Party counts don't affect the format; use the task count.
+        w.add_barrier(tasks.len().max(1));
+    }
+    for (i, segs) in tasks.into_iter().enumerate() {
+        let mut task = TaskProgram::new(format!("task{i}"));
+        for spec in segs {
+            match spec {
+                SegSpec::Idle(c) => task.push(Segment::idle(c)),
+                SegSpec::Work {
+                    ops,
+                    io,
+                    barrier,
+                    patterns,
+                } => {
+                    let mut seg = Segment::work(ops);
+                    if io > 0 {
+                        seg = seg.with_io(io);
+                    }
+                    if let Some(b) = barrier {
+                        seg = seg.with_barrier(b);
+                    }
+                    for (strided, base, stride, count, seed) in patterns {
+                        seg = seg.with_pattern(if strided {
+                            MemPattern::Strided {
+                                base,
+                                stride,
+                                count,
+                            }
+                        } else {
+                            MemPattern::Random {
+                                base,
+                                span: stride.max(1),
+                                count,
+                                seed,
+                            }
+                        });
+                    }
+                    task.push(seg);
+                }
+            }
+        }
+        w.add_task(task);
+    }
+    w
+}
+
+proptest! {
+    #[test]
+    fn text_format_round_trips(
+        n_barriers in 0usize..3,
+        tasks in prop::collection::vec(
+            prop::collection::vec(arb_segment(2), 1..8),
+            1..4,
+        ),
+    ) {
+        // arb_segment(2) may reference barriers 0..2; declare at least 2
+        // when any are referenced by forcing n_barriers to cover them.
+        let needs = tasks
+            .iter()
+            .flatten()
+            .filter_map(|s| match s {
+                SegSpec::Work { barrier: Some(b), .. } => Some(*b + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let w = build(n_barriers.max(needs), tasks);
+        let text = to_text(&w);
+        let parsed = from_text(&text).unwrap();
+        prop_assert_eq!(parsed, w);
+    }
+}

@@ -1,0 +1,95 @@
+//! Bringing your own workload: parse a profiled trace from the plain-text
+//! format and run it through the hybrid simulator.
+//!
+//! The annotation values of a MESH model "can be derived from techniques
+//! such as profiling, designer experience, or software libraries" (paper
+//! §3). The text format of `mesh_workloads::textfmt` is the interchange
+//! point: a profiler emits segments, this example simulates them.
+//!
+//! ```bash
+//! cargo run --example custom_trace --release
+//! ```
+
+use mesh_annotate::{assemble, AnnotationPolicy};
+use mesh_arch::{BusConfig, CacheConfig, MachineConfig, ProcConfig};
+use mesh_models::ChenLinBus;
+use mesh_workloads::textfmt::from_text;
+
+/// A profiled two-task workload, as a tool would emit it: a video pipeline
+/// stage feeding a network stage through a barrier, with idle gaps from
+/// frame pacing.
+const TRACE: &str = "
+# profiled on target, 2025-11-02
+barrier 2
+
+task video-decode
+work 180000 barrier=0
+  strided 0 32 6000          # bitstream read
+  random  1048576 262144 2200 11  # reference-frame fetches
+idle 4000
+work 150000 barrier=0
+  strided 192000 32 6000
+  random  1048576 262144 2100 12
+
+task net-stream
+work 90000 barrier=0
+  strided 4194304 32 2500    # packetize
+idle 30000                   # waiting for the radio
+work 85000 barrier=0
+  strided 4274304 32 2500
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = from_text(TRACE)?;
+    println!(
+        "parsed {} tasks, {} barrier(s):",
+        workload.tasks.len(),
+        workload.barriers.len()
+    );
+    for t in &workload.tasks {
+        println!(
+            "  {:12} {} segments, {} ops, {} refs, {} idle cycles",
+            t.name,
+            t.segments.len(),
+            t.total_ops(),
+            t.total_refs(),
+            t.total_idle_cycles()
+        );
+    }
+
+    let cache = CacheConfig::new(32 * 1024, 32, 4)?;
+    let machine = MachineConfig::new(
+        vec![
+            ProcConfig::new(cache),                 // application core
+            ProcConfig::new(cache).with_power(0.6), // network coprocessor
+        ],
+        BusConfig::new(6),
+    );
+
+    let setup = assemble(
+        &workload,
+        &machine,
+        ChenLinBus::new(),
+        AnnotationPolicy::PerSegment,
+    )?;
+    let work = setup.work_total();
+    let outcome = setup.builder.build()?.run()?;
+    let report = outcome.report;
+
+    println!("\nhybrid simulation ({} regions, {:?}):", report.commits, report.wall_clock);
+    println!("  makespan        : {}", report.total_time);
+    println!(
+        "  bus queuing     : {:.1} cyc ({:.3}% of {} work cycles)",
+        report.queuing_total().as_cycles(),
+        100.0 * report.queuing_total().as_cycles() / work as f64,
+        work
+    );
+    for (i, t) in report.threads.iter().enumerate() {
+        println!(
+            "  thread {i}: queuing {:7.1} cyc, blocked at barriers {:7.1} cyc",
+            t.queuing.as_cycles(),
+            t.blocked.as_cycles()
+        );
+    }
+    Ok(())
+}

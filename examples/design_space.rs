@@ -1,0 +1,77 @@
+//! Early design-space exploration — the use case the paper builds MESH for:
+//! "enabling discovery of performance at high level", sweeping architecture
+//! parameters far faster than any cycle-accurate model could.
+//!
+//! The sweep explores bus delay × cache size for the FFT workload using the
+//! hybrid simulator only, and prints the predicted end-to-end runtime and
+//! queuing overhead of each design point — the kind of table an architect
+//! uses to shortlist configurations before committing to slow RTL or ISS
+//! validation.
+//!
+//! ```bash
+//! cargo run --example design_space --release
+//! ```
+
+use mesh_annotate::{assemble, AnnotationPolicy};
+use mesh_arch::{BusConfig, CacheConfig, MachineConfig, ProcConfig};
+use mesh_metrics::Table;
+use mesh_models::ChenLinBus;
+use mesh_workloads::fft::{build, FftConfig};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let threads = 8;
+    let workload = build(&FftConfig::with_threads(threads));
+
+    let mut table = Table::new(vec![
+        "cache",
+        "bus delay",
+        "runtime (Mcyc)",
+        "queuing %",
+        "bus accesses",
+    ]);
+    let started = Instant::now();
+    let mut points = 0u32;
+
+    for &(cache_bytes, label) in &[
+        (8 * 1024u64, "8KB"),
+        (32 * 1024, "32KB"),
+        (128 * 1024, "128KB"),
+        (512 * 1024, "512KB"),
+    ] {
+        for bus_delay in [2u64, 4, 8, 16] {
+            let cache = CacheConfig::new(cache_bytes, 32, 4)?;
+            let machine =
+                MachineConfig::homogeneous(threads, ProcConfig::new(cache), BusConfig::new(bus_delay));
+            let setup = assemble(
+                &workload,
+                &machine,
+                ChenLinBus::new(),
+                AnnotationPolicy::AtBarriers,
+            )?;
+            let work = setup.work_total();
+            let misses = setup.misses_total();
+            let outcome = setup.builder.build()?.run()?;
+            table.row(vec![
+                label.to_string(),
+                bus_delay.to_string(),
+                format!("{:.2}", outcome.report.total_time.as_cycles() / 1e6),
+                format!(
+                    "{:.3}",
+                    100.0 * outcome.report.queuing_total().as_cycles() / work as f64
+                ),
+                misses.to_string(),
+            ]);
+            points += 1;
+        }
+    }
+
+    println!("design-space sweep: {threads}-processor FFT, {points} design points\n");
+    println!("{table}");
+    println!(
+        "explored in {:?} total — every point a full hybrid simulation;\n\
+         a cycle-accurate sweep of the same grid takes minutes, not milliseconds.",
+        started.elapsed()
+    );
+    Ok(())
+}

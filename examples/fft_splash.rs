@@ -1,0 +1,76 @@
+//! The paper's §5.1 experiment in miniature: the SPLASH-2-style FFT run
+//! through all three estimators — cycle-accurate (ISS), hybrid (MESH) and
+//! whole-program analytical — at both cache sizes.
+//!
+//! ```bash
+//! cargo run --example fft_splash --release
+//! ```
+
+use mesh_annotate::{assemble, AnnotationPolicy};
+use mesh_arch::{BusConfig, CacheConfig, MachineConfig, ProcConfig};
+use mesh_core::SimTime;
+use mesh_metrics::abs_percent_error;
+use mesh_models::{AnalyticalEstimator, ChenLinBus, ThreadProfile};
+use mesh_workloads::fft::{build, FftConfig};
+
+fn run(threads: usize, cache_bytes: u64) -> Result<(), Box<dyn std::error::Error>> {
+    let workload = build(&FftConfig::with_threads(threads));
+    let cache = CacheConfig::new(cache_bytes, 32, 4)?;
+    let machine = MachineConfig::homogeneous(threads, ProcConfig::new(cache), BusConfig::new(4));
+
+    // 1. Ground truth: cycle-accurate.
+    let iss = mesh_cyclesim::simulate(&workload, &machine)?;
+
+    // 2. Hybrid: annotations at every barrier, Chen-Lin model per timeslice.
+    let setup = assemble(
+        &workload,
+        &machine,
+        ChenLinBus::new(),
+        AnnotationPolicy::AtBarriers,
+    )?;
+    let work = setup.work_total();
+    let profiles: Vec<ThreadProfile> = setup
+        .tasks
+        .iter()
+        .map(|t| ThreadProfile::new(SimTime::from_cycles(t.work_cycles as f64), t.misses as f64))
+        .collect();
+    let outcome = setup.builder.build()?.run()?;
+    let mesh_pct = 100.0 * outcome.report.queuing_total().as_cycles() / work as f64;
+
+    // 3. Baseline: the same model, applied in one step over the whole run.
+    let analytical = AnalyticalEstimator::new(ChenLinBus::new(), SimTime::from_cycles(4.0))
+        .estimate(&profiles)
+        .queuing_percent();
+
+    println!(
+        "FFT, {} threads, {} KB caches  (queuing cycles as % of work cycles)",
+        threads,
+        cache_bytes / 1024
+    );
+    println!(
+        "  ISS (cycle-accurate) : {:8.4}%   [{:?}]",
+        iss.queuing_percent(),
+        iss.wall_clock
+    );
+    println!(
+        "  MESH (hybrid)        : {:8.4}%   [{:?}, {} regions, {} timeslices]",
+        mesh_pct,
+        outcome.report.wall_clock,
+        outcome.report.commits,
+        outcome.report.slices_analyzed
+    );
+    println!("  Analytical (1 step)  : {:8.4}%", analytical);
+    println!(
+        "  |error| vs ISS       : MESH {:.1}%, analytical {:.1}%\n",
+        abs_percent_error(mesh_pct, iss.queuing_percent()),
+        abs_percent_error(analytical, iss.queuing_percent()),
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for cache in [512 * 1024u64, 8 * 1024] {
+        run(8, cache)?;
+    }
+    Ok(())
+}

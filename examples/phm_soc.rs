@@ -1,0 +1,73 @@
+//! The paper's §5.2 experiment: a heterogeneous two-processor PHM SoC
+//! running MiBench-style kernels sporadically, with the second processor
+//! mostly idle — the unbalanced case that breaks whole-program analytical
+//! models.
+//!
+//! ```bash
+//! cargo run --example phm_soc --release
+//! ```
+
+use mesh_annotate::{assemble, AnnotationPolicy};
+use mesh_arch::{BusConfig, CacheConfig, MachineConfig, ProcConfig};
+use mesh_core::SimTime;
+use mesh_models::{AnalyticalEstimator, ChenLinBus, ThreadProfile};
+use mesh_workloads::scenario::{build, PhmConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("PHM SoC: ARM-like core (6% idle) + M32R-like core (90% idle)");
+    println!("sharing one bus, MiBench-style kernels arriving sporadically\n");
+
+    let workload = build(&PhmConfig::with_second_idle(0.90));
+    for (i, task) in workload.tasks.iter().enumerate() {
+        let idle = task.total_idle_cycles();
+        let ops = task.total_ops();
+        println!(
+            "  task {i}: {:5.1}% idle, {} segments, {} work ops",
+            100.0 * idle as f64 / (idle + ops) as f64,
+            task.segments.len(),
+            ops
+        );
+    }
+
+    let cache = CacheConfig::new(8 * 1024, 32, 4)?;
+    let machine = MachineConfig::new(
+        vec![
+            ProcConfig::new(cache),                 // ARM-like
+            ProcConfig::new(cache).with_power(0.8), // M32R-like
+        ],
+        BusConfig::new(8),
+    );
+
+    let iss = mesh_cyclesim::simulate(&workload, &machine)?;
+    let setup = assemble(
+        &workload,
+        &machine,
+        ChenLinBus::new(),
+        AnnotationPolicy::PerSegment,
+    )?;
+    let work = setup.work_total();
+    let profiles: Vec<ThreadProfile> = setup
+        .tasks
+        .iter()
+        .map(|t| ThreadProfile::new(SimTime::from_cycles(t.work_cycles as f64), t.misses as f64))
+        .collect();
+    let outcome = setup.builder.build()?.run()?;
+    let mesh_pct = 100.0 * outcome.report.queuing_total().as_cycles() / work as f64;
+    let analytical = AnalyticalEstimator::new(ChenLinBus::new(), SimTime::from_cycles(8.0))
+        .estimate(&profiles)
+        .queuing_percent();
+
+    println!("\nqueuing cycles as % of work cycles:");
+    println!("  ISS (ground truth)  : {:7.4}%", iss.queuing_percent());
+    println!("  MESH (hybrid)       : {:7.4}%", mesh_pct);
+    println!("  Analytical (1 step) : {:7.4}%   <- blind to the idle gaps", analytical);
+    println!(
+        "\nThe steady-state assumption stretches the idle processor's traffic\n\
+         across the whole run, inflating the predicted contention ~{:.0}x;\n\
+         the hybrid sees the actual per-timeslice overlap and stays within\n\
+         {:.0}% of the cycle-accurate reference.",
+        analytical / iss.queuing_percent().max(1e-9),
+        mesh_metrics::abs_percent_error(mesh_pct, iss.queuing_percent()),
+    );
+    Ok(())
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper, plus the validation and
+# ablation studies, in one go. Output mirrors EXPERIMENTS.md.
+#
+#   ./scripts/repro_all.sh [output-file]
+#
+# With an argument, all experiment output is also teed into that file.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-/dev/null}"
+
+run() {
+    echo
+    echo "================================================================"
+    echo "\$ cargo run -p mesh-bench --bin $1 --release"
+    echo "================================================================"
+    cargo run -p mesh-bench --bin "$1" --release --quiet
+}
+
+{
+    echo "mesh-repro: full experiment regeneration ($(date -u +%Y-%m-%dT%H:%M:%SZ))"
+    run fig4
+    run table1
+    run fig5
+    run fig6
+    run validation_uniform
+    run ablation_minslice
+    run ablation_granularity
+    run ablation_models
+    run ablation_wake
+    run multi_resource
+} | tee "$OUT"

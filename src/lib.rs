@@ -1,0 +1,30 @@
+//! # mesh-repro — reproduction of the DATE 2004 hybrid contention paper
+//!
+//! Facade crate re-exporting the whole workspace: the hybrid
+//! simulation/analytical kernel ([`core`]), the analytical contention models
+//! ([`models`]), the architectural substrate ([`arch`]), the synthetic
+//! workloads ([`workloads`]), the cycle-accurate reference simulator
+//! ([`cyclesim`]), the annotation bridge ([`annotate`]) and the experiment
+//! metric helpers ([`metrics`]).
+//!
+//! See the repository `README.md` for a guided tour, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## Quick start
+//!
+//! Run the quickstart example:
+//!
+//! ```bash
+//! cargo run --example quickstart --release
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mesh_annotate as annotate;
+pub use mesh_arch as arch;
+pub use mesh_core as core;
+pub use mesh_cyclesim as cyclesim;
+pub use mesh_metrics as metrics;
+pub use mesh_models as models;
+pub use mesh_workloads as workloads;

@@ -1,0 +1,258 @@
+//! Cross-fidelity consistency: the cycle-accurate simulator and the
+//! annotation bridge must agree *exactly* on everything except contention —
+//! same miss streams, same contention-free timing. This is what makes the
+//! Figure 4–6 comparisons apples-to-apples.
+
+use mesh_annotate::{assemble, AnnotationPolicy};
+use mesh_arch::{BusConfig, CacheConfig, MachineConfig, ProcConfig};
+use mesh_core::model::NoContention;
+use mesh_models::ChenLinBus;
+use mesh_workloads::fft::{build as build_fft, FftConfig};
+use mesh_workloads::mibench::Kernel;
+use mesh_workloads::scenario::{build as build_phm, PhmConfig};
+use mesh_workloads::{TaskProgram, Workload};
+
+fn machine(n: usize, cache_bytes: u64, bus_delay: u64) -> MachineConfig {
+    let cache = CacheConfig::new(cache_bytes, 32, 4).unwrap();
+    MachineConfig::homogeneous(n, ProcConfig::new(cache), BusConfig::new(bus_delay))
+}
+
+fn small_fft(threads: usize) -> Workload {
+    build_fft(&FftConfig {
+        points: 4_096,
+        threads,
+        ..FftConfig::default()
+    })
+}
+
+/// A single task on a single processor has no contention anywhere, so the
+/// cycle-accurate total and the hybrid total must agree exactly.
+#[test]
+fn single_task_totals_agree_exactly() {
+    let mut kernels = Workload::new();
+    let mut task = TaskProgram::new("solo");
+    for (i, k) in Kernel::ALL.iter().enumerate() {
+        for seg in k.segments(24, (i as u64) << 24, 7 + i as u64) {
+            task.push(seg);
+        }
+    }
+    kernels.add_task(task);
+    let m = machine(1, 8 * 1024, 6);
+
+    let iss = mesh_cyclesim::simulate(&kernels, &m).unwrap();
+    let setup = assemble(&kernels, &m, NoContention, AnnotationPolicy::PerSegment).unwrap();
+    let annotated_cycles = setup.work_total() + setup.tasks[0].idle_cycles;
+    let outcome = setup.builder.build().unwrap().run().unwrap();
+
+    assert_eq!(iss.total_cycles as f64, annotated_cycles as f64);
+    assert_eq!(outcome.report.total_time.as_cycles(), annotated_cycles as f64);
+    assert_eq!(iss.queuing_total(), 0);
+    assert_eq!(outcome.report.queuing_total().as_cycles(), 0.0);
+}
+
+/// Miss counts must be identical between the cycle-accurate caches and the
+/// annotation bridge's cache pass, for every task of a real workload.
+#[test]
+fn miss_streams_are_identical_across_fidelities() {
+    for cache_bytes in [8 * 1024u64, 512 * 1024] {
+        let workload = small_fft(2);
+        let m = machine(2, cache_bytes, 4);
+        let iss = mesh_cyclesim::simulate(&workload, &m).unwrap();
+        let setup = assemble(&workload, &m, NoContention, AnnotationPolicy::AtBarriers).unwrap();
+        for (i, task) in setup.tasks.iter().enumerate() {
+            assert_eq!(
+                task.misses, iss.procs[i].misses,
+                "proc {i} miss mismatch at cache {cache_bytes}"
+            );
+            assert_eq!(task.hits, iss.procs[i].hits, "proc {i} hit mismatch");
+        }
+    }
+}
+
+/// With no bus traffic at all, barrier-synchronized multi-processor runs
+/// also agree exactly (barrier semantics line up between the fidelities).
+#[test]
+fn barrier_timing_agrees_without_traffic() {
+    let mut w = Workload::new();
+    let b = w.add_barrier(3);
+    for (i, len) in [1_000u64, 3_000, 2_000].iter().enumerate() {
+        w.add_task(
+            TaskProgram::new(format!("t{i}"))
+                .with_segment(mesh_workloads::Segment::work(*len).with_barrier(b))
+                .with_segment(mesh_workloads::Segment::work(500)),
+        );
+    }
+    let m = machine(3, 8 * 1024, 4);
+    let iss = mesh_cyclesim::simulate(&w, &m).unwrap();
+    let setup = assemble(&w, &m, NoContention, AnnotationPolicy::AtBarriers).unwrap();
+    let outcome = setup.builder.build().unwrap().run().unwrap();
+    assert_eq!(iss.total_cycles, 3_500);
+    assert_eq!(outcome.report.total_time.as_cycles(), 3_500.0);
+}
+
+/// The hybrid's contention-free time never depends on the contention model:
+/// penalties only ever extend the schedule.
+#[test]
+fn penalties_only_extend_the_schedule() {
+    let workload = small_fft(4);
+    let m = machine(4, 8 * 1024, 4);
+    let free = assemble(&workload, &m, NoContention, AnnotationPolicy::AtBarriers)
+        .unwrap()
+        .builder
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let contended = assemble(&workload, &m, ChenLinBus::new(), AnnotationPolicy::AtBarriers)
+        .unwrap()
+        .builder
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(contended.report.total_time >= free.report.total_time);
+    assert_eq!(free.report.queuing_total().as_cycles(), 0.0);
+    assert!(contended.report.queuing_total().as_cycles() > 0.0);
+}
+
+/// Heterogeneous powers: the slower processor's identical task takes
+/// proportionally longer in both fidelities.
+#[test]
+fn heterogeneous_power_consistency() {
+    let mut w = Workload::new();
+    for i in 0..2 {
+        w.add_task(
+            TaskProgram::new(format!("t{i}"))
+                .with_segment(mesh_workloads::Segment::work(10_000)),
+        );
+    }
+    let cache = CacheConfig::new(8 * 1024, 32, 4).unwrap();
+    let m = MachineConfig::new(
+        vec![
+            ProcConfig::new(cache),
+            ProcConfig::new(cache).with_power(0.8),
+        ],
+        BusConfig::new(4),
+    );
+    let iss = mesh_cyclesim::simulate(&w, &m).unwrap();
+    let setup = assemble(&w, &m, NoContention, AnnotationPolicy::PerSegment).unwrap();
+    let outcome = setup.builder.build().unwrap().run().unwrap();
+    assert_eq!(iss.procs[0].finished_at, 10_000);
+    assert_eq!(iss.procs[1].finished_at, 12_500);
+    assert_eq!(outcome.report.threads[0].busy.as_cycles(), 10_000.0);
+    assert_eq!(outcome.report.threads[1].busy.as_cycles(), 12_500.0);
+}
+
+/// The PHM scenario's idle structure survives annotation: idle cycles match
+/// between the workload definition and both simulators' accounting.
+#[test]
+fn idle_accounting_is_consistent() {
+    let cfg = PhmConfig {
+        target_ops: 120_000,
+        ..PhmConfig::with_second_idle(0.75)
+    };
+    let workload = build_phm(&cfg);
+    let m = mesh_bench::phm_machine(8);
+    let iss = mesh_cyclesim::simulate(&workload, &m).unwrap();
+    let setup = assemble(&workload, &m, NoContention, AnnotationPolicy::PerSegment).unwrap();
+    for (i, task) in workload.tasks.iter().enumerate() {
+        assert_eq!(task.total_idle_cycles(), setup.tasks[i].idle_cycles);
+        assert_eq!(task.total_idle_cycles(), iss.procs[i].idle_cycles);
+    }
+}
+
+/// With a shared I/O device, totals still agree exactly between fidelities
+/// in the contention-free single-processor case, and I/O-op accounting
+/// matches everywhere.
+#[test]
+fn io_device_totals_agree() {
+    use mesh_arch::IoConfig;
+    use mesh_workloads::Segment;
+    let mut w = Workload::new();
+    w.add_task(
+        TaskProgram::new("solo")
+            .with_segment(Segment::work(500).with_io(10))
+            .with_segment(Segment::work(300)),
+    );
+    let m = machine(1, 8 * 1024, 4).with_io(IoConfig::new(12));
+    let iss = mesh_cyclesim::simulate(&w, &m).unwrap();
+    let setup = mesh_annotate::assemble_with_io(
+        &w,
+        &m,
+        NoContention,
+        NoContention,
+        AnnotationPolicy::PerSegment,
+    )
+    .unwrap();
+    let outcome = setup.builder.build().unwrap().run().unwrap();
+    // 800 compute + 10 io x 12 cycles.
+    assert_eq!(iss.total_cycles, 920);
+    assert_eq!(outcome.report.total_time.as_cycles(), 920.0);
+    assert_eq!(iss.procs[0].io_ops, 10);
+    assert_eq!(setup.tasks[0].io_ops, 10);
+    assert_eq!(iss.io_busy_cycles, 120);
+}
+
+/// Two processors contending for the I/O device: the reference counts I/O
+/// queuing, and the hybrid's I/O model produces comparable penalties on its
+/// own shared resource.
+#[test]
+fn io_contention_is_modeled_per_resource() {
+    use mesh_arch::IoConfig;
+    use mesh_models::Md1Queue;
+    use mesh_workloads::Segment;
+    let mut w = Workload::new();
+    for t in 0..2 {
+        let mut task = TaskProgram::new(format!("t{t}"));
+        for _ in 0..20 {
+            task.push(Segment::work(200).with_io(4));
+        }
+        w.add_task(task);
+    }
+    let m = machine(2, 8 * 1024, 4).with_io(IoConfig::new(10));
+    let iss = mesh_cyclesim::simulate(&w, &m).unwrap();
+    assert!(iss.io_queuing_total() > 0, "reference saw I/O contention");
+    assert_eq!(iss.bus_queuing_total(), 0, "no memory traffic at all");
+
+    let setup = mesh_annotate::assemble_with_io(
+        &w,
+        &m,
+        NoContention,
+        Md1Queue::new(),
+        AnnotationPolicy::PerSegment,
+    )
+    .unwrap();
+    let bus = setup.bus;
+    let io = setup.io.unwrap();
+    let outcome = setup.builder.build().unwrap().run().unwrap();
+    assert_eq!(outcome.report.shared[bus.index()].queuing.as_cycles(), 0.0);
+    let mesh_io = outcome.report.shared[io.index()].queuing.as_cycles();
+    assert!(mesh_io > 0.0);
+    // Same ballpark as the reference (loose factor-of-three band; the
+    // paper-grade comparisons live in the multi_resource bench).
+    let iss_io = iss.io_queuing_total() as f64;
+    assert!(mesh_io > iss_io / 3.0 && mesh_io < iss_io * 3.0,
+        "mesh {mesh_io} vs iss {iss_io}");
+}
+
+/// assemble() guards I/O misconfiguration explicitly.
+#[test]
+fn io_misconfiguration_is_reported() {
+    use mesh_arch::IoConfig;
+    use mesh_workloads::Segment;
+    let mut w = Workload::new();
+    w.add_task(TaskProgram::new("t").with_segment(Segment::work(10).with_io(1)));
+    // Workload issues I/O but machine has no device.
+    let m = machine(1, 8 * 1024, 4);
+    assert!(matches!(
+        assemble(&w, &m, NoContention, AnnotationPolicy::PerSegment),
+        Err(mesh_annotate::AssembleError::IoConfiguration(_))
+    ));
+    assert!(mesh_cyclesim::simulate(&w, &m).is_err());
+    // Machine has a device but the single-model assemble was used.
+    let m_io = machine(1, 8 * 1024, 4).with_io(IoConfig::new(4));
+    assert!(matches!(
+        assemble(&w, &m_io, NoContention, AnnotationPolicy::PerSegment),
+        Err(mesh_annotate::AssembleError::IoConfiguration(_))
+    ));
+}

@@ -1,0 +1,148 @@
+//! Every contention model in the library, exercised end-to-end through the
+//! full stack: workload → annotation → hybrid kernel → report.
+
+use mesh_annotate::{assemble, AnnotationPolicy};
+use mesh_core::model::{ContentionModel, NoContention};
+use mesh_core::{Annotation, Power, SimTime, SystemBuilder, VecProgram};
+use mesh_models::{ChenLinBus, Md1Queue, Mm1Queue, PriorityBus, RoundRobinBus};
+use mesh_workloads::fft::{build as build_fft, FftConfig};
+
+fn fft_workload() -> mesh_workloads::Workload {
+    build_fft(&FftConfig {
+        points: 4_096,
+        threads: 2,
+        ..FftConfig::default()
+    })
+}
+
+fn run_with<M: ContentionModel + Clone + 'static>(model: M) -> mesh_core::Report {
+    let workload = fft_workload();
+    let machine = mesh_bench::fft_machine(2, 8 * 1024, 4);
+    assemble(&workload, &machine, model, AnnotationPolicy::AtBarriers)
+        .unwrap()
+        .builder
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+        .report
+}
+
+#[test]
+fn every_model_runs_and_orders_sanely() {
+    let free = run_with(NoContention);
+    let chen = run_with(ChenLinBus::new());
+    let md1 = run_with(Md1Queue::new());
+    let mm1 = run_with(Mm1Queue::new());
+    let rr = run_with(RoundRobinBus::new());
+    let prio = run_with(PriorityBus::new());
+
+    assert_eq!(free.queuing_total().as_cycles(), 0.0);
+    for (name, r) in [
+        ("chen-lin", &chen),
+        ("md1", &md1),
+        ("mm1", &mm1),
+        ("round-robin", &rr),
+        ("priority", &prio),
+    ] {
+        assert!(
+            r.queuing_total().as_cycles() > 0.0,
+            "{name} should produce queuing"
+        );
+        assert!(r.total_time >= free.total_time, "{name} only delays");
+        assert_eq!(r.commits, free.commits, "{name} preserves region count");
+    }
+    // Service-time variance ordering survives the full stack.
+    assert!(mm1.queuing_total() >= md1.queuing_total());
+}
+
+#[test]
+fn priority_model_respects_thread_priorities() {
+    // Two identical threads contending under priority arbitration: the
+    // high-priority thread accumulates less queuing.
+    let build = |hi_first: bool| {
+        let mut b = SystemBuilder::new();
+        let p0 = b.add_proc("p0", Power::default());
+        let p1 = b.add_proc("p1", Power::default());
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(4.0), PriorityBus::new());
+        let mk = || {
+            VecProgram::new(
+                (0..20)
+                    .map(|_| Annotation::compute(100.0).with_accesses(bus, 5.0))
+                    .collect(),
+            )
+        };
+        let t0 = b.add_thread("t0", mk());
+        let t1 = b.add_thread("t1", mk());
+        b.pin_thread(t0, &[p0]);
+        b.pin_thread(t1, &[p1]);
+        b.set_priority(t0, if hi_first { 10 } else { 1 });
+        b.set_priority(t1, if hi_first { 1 } else { 10 });
+        b.build().unwrap().run().unwrap().report
+    };
+    let r = build(true);
+    assert!(
+        r.threads[0].queuing < r.threads[1].queuing,
+        "high-priority thread must queue less: {:?} vs {:?}",
+        r.threads[0].queuing,
+        r.threads[1].queuing
+    );
+    // Swapping priorities swaps the asymmetry.
+    let r2 = build(false);
+    assert!(r2.threads[1].queuing < r2.threads[0].queuing);
+}
+
+#[test]
+fn min_timeslice_trades_slices_for_accuracy_end_to_end() {
+    let workload = fft_workload();
+    let machine = mesh_bench::fft_machine(2, 8 * 1024, 4);
+    let run = |min: f64| {
+        let setup = assemble(
+            &workload,
+            &machine,
+            ChenLinBus::new(),
+            AnnotationPolicy::AtBarriers,
+        )
+        .unwrap();
+        let mut b = setup.builder;
+        b.set_min_timeslice(SimTime::from_cycles(min));
+        b.build().unwrap().run().unwrap().report
+    };
+    let fine = run(0.0);
+    let coarse = run(1e9);
+    assert!(coarse.slices_analyzed < fine.slices_analyzed);
+    assert!(coarse.slices_analyzed >= 1, "final flush still accounts");
+}
+
+#[test]
+fn interchangeable_models_per_resource() {
+    // Two shared resources with different models in one system (paper §2:
+    // models are interchangeable per resource).
+    let mut b = SystemBuilder::new();
+    let p0 = b.add_proc("p0", Power::default());
+    let p1 = b.add_proc("p1", Power::default());
+    let bus = b.add_shared_resource("bus", SimTime::from_cycles(4.0), ChenLinBus::new());
+    let io = b.add_shared_resource("io", SimTime::from_cycles(20.0), RoundRobinBus::new());
+    let mk = || {
+        VecProgram::new(
+            (0..10)
+                .map(|_| {
+                    Annotation::compute(200.0)
+                        .with_accesses(bus, 8.0)
+                        .with_accesses(io, 1.0)
+                })
+                .collect(),
+        )
+    };
+    let t0 = b.add_thread("t0", mk());
+    let t1 = b.add_thread("t1", mk());
+    b.pin_thread(t0, &[p0]);
+    b.pin_thread(t1, &[p1]);
+    let r = b.build().unwrap().run().unwrap().report;
+    assert!(r.shared[bus.index()].queuing.as_cycles() > 0.0);
+    assert!(r.shared[io.index()].queuing.as_cycles() > 0.0);
+    let total: f64 = r.threads.iter().map(|t| t.queuing.as_cycles()).sum();
+    let per_resource = r.shared[bus.index()].queuing.as_cycles()
+        + r.shared[io.index()].queuing.as_cycles();
+    assert!((total - per_resource).abs() < 1e-9);
+}

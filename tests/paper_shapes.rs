@@ -1,0 +1,148 @@
+//! End-to-end assertions of the paper's headline claims, on reduced
+//! configurations so they run quickly even in debug builds:
+//!
+//! 1. the hybrid tracks the cycle-accurate reference much better than the
+//!    whole-program analytical model on irregular workloads (Figures 4–5);
+//! 2. the analytical model degrades with unbalance while the hybrid does
+//!    not (Figure 6);
+//! 3. the hybrid is orders of magnitude faster than the cycle-accurate
+//!    simulation (Table 1).
+
+use mesh_annotate::AnnotationPolicy;
+use mesh_bench::{compare, fft_machine, phm_machine, HybridOptions};
+use mesh_workloads::fft::{build as build_fft, FftConfig};
+use mesh_workloads::scenario::{build as build_phm, PhmConfig};
+
+/// A reduced FFT (256 KB of data). The "big cache" condition of the paper's
+/// 512 KB case is that each thread's partition stays resident while the
+/// whole array does not — at this array size that means a 128 KB cache.
+fn small_fft_point(threads: usize, cache_bytes: u64) -> mesh_bench::ComparisonPoint {
+    let workload = build_fft(&FftConfig {
+        points: 16_384,
+        threads,
+        ..FftConfig::default()
+    });
+    let machine = fft_machine(threads, cache_bytes, 4);
+    compare(
+        &workload,
+        &machine,
+        HybridOptions {
+            policy: AnnotationPolicy::AtBarriers,
+            min_timeslice: 0.0,
+        },
+    )
+}
+
+fn small_phm_point(idle1: f64, bus_delay: u64, seed: u64) -> mesh_bench::ComparisonPoint {
+    let workload = build_phm(&PhmConfig {
+        target_ops: 250_000,
+        seed,
+        ..PhmConfig::with_second_idle(idle1)
+    });
+    compare(&workload, &phm_machine(bus_delay), HybridOptions::default())
+}
+
+#[test]
+fn fig4_hybrid_beats_analytical_on_bursty_fft() {
+    let p = small_fft_point(4, 128 * 1024);
+    assert!(p.iss_pct > 0.0, "reference must see contention");
+    assert!(
+        p.mesh_error() < p.analytical_error(),
+        "hybrid {:.1}% vs analytical {:.1}%",
+        p.mesh_error(),
+        p.analytical_error()
+    );
+    assert!(
+        p.mesh_error() < 30.0,
+        "hybrid should stay near the reference, got {:.1}%",
+        p.mesh_error()
+    );
+}
+
+#[test]
+fn fig4_small_cache_case_also_tracks() {
+    let p = small_fft_point(4, 8 * 1024);
+    assert!(p.iss_pct > 0.0);
+    assert!(p.mesh_error() < 35.0, "got {:.1}%", p.mesh_error());
+}
+
+#[test]
+fn fig5_analytical_overestimates_unbalanced_phm() {
+    let p = small_phm_point(0.90, 8, 0xC0FFEE);
+    assert!(p.iss_pct > 0.0);
+    // The steady-state assumption inflates contention several-fold.
+    assert!(
+        p.analytical_pct > 2.0 * p.iss_pct,
+        "analytical {:.4}% vs ISS {:.4}%",
+        p.analytical_pct,
+        p.iss_pct
+    );
+    assert!(
+        p.mesh_error() < p.analytical_error(),
+        "hybrid {:.1}% vs analytical {:.1}%",
+        p.mesh_error(),
+        p.analytical_error()
+    );
+}
+
+#[test]
+fn fig6_analytical_degrades_with_unbalance_hybrid_does_not() {
+    let balanced = small_phm_point(0.0, 8, 0xC0FFEE);
+    let unbalanced = small_phm_point(0.90, 8, 0xC0FFEE);
+    assert!(
+        unbalanced.analytical_error() > 2.0 * balanced.analytical_error().max(1.0),
+        "analytical error should grow with unbalance: {:.1}% -> {:.1}%",
+        balanced.analytical_error(),
+        unbalanced.analytical_error()
+    );
+    assert!(
+        unbalanced.mesh_error() < 40.0,
+        "hybrid should stay accurate under unbalance, got {:.1}%",
+        unbalanced.mesh_error()
+    );
+}
+
+#[test]
+fn table1_hybrid_is_much_faster_than_cycle_accurate() {
+    let p = small_fft_point(2, 8 * 1024);
+    // Even in debug builds and on reduced inputs the kernel-only speedup is
+    // large; be conservative in the assertion.
+    assert!(
+        p.speedup() > 20.0,
+        "expected a large speedup, got {:.1}x (iss {:?}, mesh {:?})",
+        p.speedup(),
+        p.iss_wall,
+        p.mesh_wall
+    );
+    // The hybrid did region-count work, not cycle-count work.
+    assert!(p.mesh_regions < 100);
+    assert!(p.iss_cycles > 100_000);
+}
+
+#[test]
+fn estimators_agree_on_balanced_uniform_load() {
+    // The paper: "when application interactions exhibit relatively uniform
+    // shared resource access behavior, pure analytical models are
+    // acceptable" — with no idle and uniform kernels, all three estimators
+    // should be in the same ballpark.
+    let p = small_phm_point(0.0, 8, 0xBEEF);
+    assert!(p.iss_pct > 0.0);
+    assert!(
+        p.analytical_error() < 60.0,
+        "analytical should be acceptable on balanced load, got {:.1}%",
+        p.analytical_error()
+    );
+    assert!(p.mesh_error() < 30.0, "got {:.1}%", p.mesh_error());
+}
+
+/// The full-size Figure 4 point (slow: ~1s in release, much more in debug).
+/// Run explicitly with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "full-size Figure 4 point; run with --ignored in a release build"]
+fn full_size_fig4_point_holds() {
+    let p = mesh_bench::run_fft_point(8, 512 * 1024, 4);
+    assert!(p.mesh_error() < p.analytical_error());
+    assert!(p.mesh_error() < 20.0, "got {:.1}%", p.mesh_error());
+    assert!(p.analytical_error() > 40.0, "got {:.1}%", p.analytical_error());
+    assert!(p.speedup() > 100.0, "got {:.0}x", p.speedup());
+}

@@ -1,0 +1,205 @@
+//! # criterion (offline stand-in)
+//!
+//! A minimal benchmark harness exposing the subset of the
+//! [`criterion`](https://docs.rs/criterion/0.5) API this workspace uses.
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this crate and wires it in as a path dependency (see
+//! `[workspace.dependencies]` in the root `Cargo.toml`).
+//!
+//! Instead of criterion's statistical analysis, each benchmark is run for a
+//! fixed measurement budget and the median iteration time is printed to
+//! stdout. That is enough to eyeball regressions and to keep
+//! `cargo bench` working offline; it makes no claim of criterion-grade
+//! rigor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost; only a hint in this stand-in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine inputs: many iterations per batch.
+    SmallInput,
+    /// Large routine inputs: few iterations per batch.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark; recorded and echoed, not analyzed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_target: usize,
+}
+
+impl Bencher {
+    fn new(sample_target: usize) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            sample_target,
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_target {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_target {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.samples.sort_unstable();
+        Some(self.samples[self.samples.len() / 2])
+    }
+}
+
+/// The benchmark manager; one per `criterion_group!` function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Criterion {
+        run_one(&name.into(), self.sample_size, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Finishes the group (a no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher::new(sample_size);
+    f(&mut bencher);
+    match bencher.median() {
+        Some(median) => {
+            let per_iter = median.as_secs_f64();
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                    format!("   {:.0} elem/s", n as f64 / per_iter)
+                }
+                Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                    format!("   {:.0} B/s", n as f64 / per_iter)
+                }
+                _ => String::new(),
+            };
+            println!("{id:<50} median {:>12.3} us/iter{rate}", per_iter * 1e6);
+        }
+        None => println!("{id:<50} (no samples)"),
+    }
+}
+
+/// Bundles benchmark functions into a group runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates a `main` that runs the given groups, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

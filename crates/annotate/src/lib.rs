@@ -504,7 +504,8 @@ mod tests {
             .with_segment(Segment::work(10))
             .with_segment(Segment::work(10));
         let (bus, bars) = ids();
-        let (regions, _) = annotate_task(&task, proc(), 4, bus, &bars, AnnotationPolicy::AtBarriers);
+        let (regions, _) =
+            annotate_task(&task, proc(), 4, bus, &bars, AnnotationPolicy::AtBarriers);
         assert_eq!(regions.len(), 2);
         assert!(regions[0].sync.is_some());
         assert!(regions[1].sync.is_none());
@@ -518,8 +519,14 @@ mod tests {
             task.push(Segment::work(10));
         }
         let (bus, bars) = ids();
-        let (regions, _) =
-            annotate_task(&task, proc(), 4, bus, &bars, AnnotationPolicy::EverySegments(2));
+        let (regions, _) = annotate_task(
+            &task,
+            proc(),
+            4,
+            bus,
+            &bars,
+            AnnotationPolicy::EverySegments(2),
+        );
         assert_eq!(regions.len(), 3); // 2 + 2 + 1
     }
 

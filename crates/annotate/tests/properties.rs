@@ -46,7 +46,10 @@ fn proc() -> ProcConfig {
     ProcConfig::new(CacheConfig::new(4 * 1024, 32, 2).unwrap())
 }
 
-fn annotate(task: &TaskProgram, policy: AnnotationPolicy) -> (Vec<mesh_core::Annotation>, mesh_annotate::TaskStats) {
+fn annotate(
+    task: &TaskProgram,
+    policy: AnnotationPolicy,
+) -> (Vec<mesh_core::Annotation>, mesh_annotate::TaskStats) {
     annotate_task(
         task,
         proc(),

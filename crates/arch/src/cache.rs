@@ -55,7 +55,11 @@ impl CacheConfig {
     /// Returns [`CacheGeometryError`] unless `size`, `line` and `ways` are
     /// all non-zero powers of two (ways may be any value ≥ 1 that divides
     /// the line count) and the size is divisible by `line × ways`.
-    pub fn new(size_bytes: u64, line_bytes: u64, ways: u32) -> Result<CacheConfig, CacheGeometryError> {
+    pub fn new(
+        size_bytes: u64,
+        line_bytes: u64,
+        ways: u32,
+    ) -> Result<CacheConfig, CacheGeometryError> {
         if size_bytes == 0 || line_bytes == 0 || ways == 0 {
             return Err(CacheGeometryError {
                 detail: "size, line and ways must be non-zero",
@@ -95,7 +99,10 @@ impl CacheConfig {
     /// # Errors
     ///
     /// Same conditions as [`CacheConfig::new`].
-    pub fn direct_mapped(size_bytes: u64, line_bytes: u64) -> Result<CacheConfig, CacheGeometryError> {
+    pub fn direct_mapped(
+        size_bytes: u64,
+        line_bytes: u64,
+    ) -> Result<CacheConfig, CacheGeometryError> {
         CacheConfig::new(size_bytes, line_bytes, 1)
     }
 

@@ -37,7 +37,12 @@ fn small_phm() -> (Workload, mesh_arch::MachineConfig) {
     (build_phm(&cfg), phm_machine(8))
 }
 
-fn bench_pair(c: &mut Criterion, name: &str, workload: Workload, machine: mesh_arch::MachineConfig) {
+fn bench_pair(
+    c: &mut Criterion,
+    name: &str,
+    workload: Workload,
+    machine: mesh_arch::MachineConfig,
+) {
     let mut group = c.benchmark_group(name);
     group.sample_size(10);
 

@@ -409,7 +409,8 @@ mod tests {
         assert_eq!(b.add_proc("a", Power::default()).index(), 0);
         assert_eq!(b.add_proc("b", Power::default()).index(), 1);
         assert_eq!(
-            b.add_shared_resource("s", SimTime::ZERO, NoContention).index(),
+            b.add_shared_resource("s", SimTime::ZERO, NoContention)
+                .index(),
             0
         );
     }

@@ -96,7 +96,10 @@ impl fmt::Display for SimError {
             ),
             SimError::SyncMisuse(e) => write!(f, "{e}"),
             SimError::ModelContract { shared, detail } => {
-                write!(f, "contention model contract violated at {shared}: {detail}")
+                write!(
+                    f,
+                    "contention model contract violated at {shared}: {detail}"
+                )
             }
             SimError::SchedulerContract { thread } => write!(
                 f,

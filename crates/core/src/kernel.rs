@@ -368,10 +368,7 @@ impl Kernel {
                 let power = self.spec.procs[proc.index()].power;
                 let duration = ann.complexity.resolve(power);
                 let annotated_end = start + duration;
-                let carry = std::mem::replace(
-                    &mut self.threads[ti].carry_penalty,
-                    SimTime::ZERO,
-                );
+                let carry = std::mem::replace(&mut self.threads[ti].carry_penalty, SimTime::ZERO);
                 self.threads[ti].report.accesses += ann.accesses.total();
                 self.threads[ti].state = ThreadState::Running;
                 let region = Region {
@@ -665,7 +662,9 @@ impl Kernel {
             }
         }
         // Defensive: the committing region must have been covered above.
-        debug_assert!(self.inflight_of[self.regions[committing].thread.index()] == Some(committing));
+        debug_assert!(
+            self.inflight_of[self.regions[committing].thread.index()] == Some(committing)
+        );
         self.mass = mass;
     }
 
@@ -1064,7 +1063,9 @@ mod tests {
         );
         let signaler = b.add_thread(
             "signaler",
-            VecProgram::new(vec![Annotation::compute(25.0).with_sync(SyncOp::CondSignal(cv))]),
+            VecProgram::new(vec![
+                Annotation::compute(25.0).with_sync(SyncOp::CondSignal(cv))
+            ]),
         );
         b.pin_thread(waiter, &[p0]);
         b.pin_thread(signaler, &[p1]);
@@ -1255,9 +1256,6 @@ mod tests {
         assert_eq!(r.commits, 0);
     }
 
-
-
-
     #[test]
     fn scheduler_contract_violation_detected() {
         #[derive(Debug)]
@@ -1372,11 +1370,17 @@ mod tests {
         let r = &outcome.report;
         // B1 committed at 400 inside the deferred window; the analysis at
         // C1's commit (t=500) penalizes B while it has no region in flight.
-        assert!(r.threads[bt.index()].queuing.as_cycles() > 0.0, "B carried a penalty");
+        assert!(
+            r.threads[bt.index()].queuing.as_cycles() > 0.0,
+            "B carried a penalty"
+        );
         // The carry delayed B's second region: B finishes later than its
         // contention-free 400 + 400 + (wait for C) schedule.
         let b_finish = r.threads[bt.index()].finished_at.unwrap().as_cycles();
-        assert!(b_finish > 900.0, "B finish {b_finish} should include the carried penalty");
+        assert!(
+            b_finish > 900.0,
+            "B finish {b_finish} should include the carried penalty"
+        );
         // Conservation still holds across the carry path.
         let per_thread: f64 = r.threads.iter().map(|t| t.queuing.as_cycles()).sum();
         let per_shared: f64 = r.shared.iter().map(|s| s.queuing.as_cycles()).sum();
@@ -1404,8 +1408,14 @@ mod tests {
         let r = b.build().unwrap().run().unwrap().report;
         // Children run [20,70] and [20,100]; parent joins both, then 5 more.
         assert_eq!(r.total_time.as_cycles(), 105.0);
-        assert_eq!(r.threads[c0.index()].finished_at, Some(SimTime::from_cycles(70.0)));
-        assert_eq!(r.threads[c1.index()].finished_at, Some(SimTime::from_cycles(100.0)));
+        assert_eq!(
+            r.threads[c0.index()].finished_at,
+            Some(SimTime::from_cycles(70.0))
+        );
+        assert_eq!(
+            r.threads[c1.index()].finished_at,
+            Some(SimTime::from_cycles(100.0))
+        );
     }
 
     #[test]
@@ -1487,10 +1497,7 @@ mod tests {
         // start, clamped to when fast blocked (30): fast finishes at 80,
         // slow at 110.
         assert_eq!(optimistic.total_time.as_cycles(), 110.0);
-        assert_eq!(
-            optimistic.threads[0].blocked.as_cycles(),
-            0.0,
-        );
+        assert_eq!(optimistic.threads[0].blocked.as_cycles(), 0.0,);
         assert_eq!(pessimistic.threads[0].blocked.as_cycles(), 70.0);
     }
 
@@ -1567,8 +1574,6 @@ mod tests {
             .sum();
         assert!((outcome.report.queuing_total().as_cycles() - assigned).abs() < 1e-9);
         // Shared-resource queuing agrees with thread queuing for one bus.
-        assert!(
-            (outcome.report.shared[bus.index()].queuing.as_cycles() - assigned).abs() < 1e-9
-        );
+        assert!((outcome.report.shared[bus.index()].queuing.as_cycles() - assigned).abs() < 1e-9);
     }
 }

@@ -133,11 +133,7 @@ impl ExecScheduler for PriorityScheduler {
     fn pick(&mut self, _proc: ProcId, ready: &[ThreadId], ctx: &SchedCtx) -> Option<ThreadId> {
         // `ready` is oldest-first; max_by_key returns the last maximum, so
         // iterate in reverse to make ties break toward the oldest entry.
-        ready
-            .iter()
-            .rev()
-            .copied()
-            .max_by_key(|&t| ctx.priority(t))
+        ready.iter().rev().copied().max_by_key(|&t| ctx.priority(t))
     }
 
     fn name(&self) -> &str {

@@ -301,7 +301,10 @@ mod tests {
             SyncOutcome::Proceed { woken: vec![] }
         );
         // Second locker blocks.
-        assert_eq!(t.apply(th(1), SyncOp::MutexLock(m)).unwrap(), SyncOutcome::Block);
+        assert_eq!(
+            t.apply(th(1), SyncOp::MutexLock(m)).unwrap(),
+            SyncOutcome::Block
+        );
         // Unlock hands the mutex directly to the waiter.
         assert_eq!(
             t.apply(th(0), SyncOp::MutexUnlock(m)).unwrap(),
@@ -332,8 +335,14 @@ mod tests {
             t.apply(th(0), SyncOp::SemWait(s)).unwrap(),
             SyncOutcome::Proceed { woken: vec![] }
         );
-        assert_eq!(t.apply(th(1), SyncOp::SemWait(s)).unwrap(), SyncOutcome::Block);
-        assert_eq!(t.apply(th(2), SyncOp::SemWait(s)).unwrap(), SyncOutcome::Block);
+        assert_eq!(
+            t.apply(th(1), SyncOp::SemWait(s)).unwrap(),
+            SyncOutcome::Block
+        );
+        assert_eq!(
+            t.apply(th(2), SyncOp::SemWait(s)).unwrap(),
+            SyncOutcome::Block
+        );
         // Posts wake in FIFO order.
         assert_eq!(
             t.apply(th(0), SyncOp::SemPost(s)).unwrap(),
@@ -358,9 +367,18 @@ mod tests {
     fn condvar_signal_and_broadcast() {
         let mut t = SyncTable::new();
         let c = t.add_condvar();
-        assert_eq!(t.apply(th(0), SyncOp::CondWait(c)).unwrap(), SyncOutcome::Block);
-        assert_eq!(t.apply(th(1), SyncOp::CondWait(c)).unwrap(), SyncOutcome::Block);
-        assert_eq!(t.apply(th(2), SyncOp::CondWait(c)).unwrap(), SyncOutcome::Block);
+        assert_eq!(
+            t.apply(th(0), SyncOp::CondWait(c)).unwrap(),
+            SyncOutcome::Block
+        );
+        assert_eq!(
+            t.apply(th(1), SyncOp::CondWait(c)).unwrap(),
+            SyncOutcome::Block
+        );
+        assert_eq!(
+            t.apply(th(2), SyncOp::CondWait(c)).unwrap(),
+            SyncOutcome::Block
+        );
         assert_eq!(
             t.apply(th(3), SyncOp::CondSignal(c)).unwrap(),
             SyncOutcome::Proceed { woken: vec![th(0)] }
@@ -382,8 +400,14 @@ mod tests {
     fn barrier_releases_all_on_last_arrival() {
         let mut t = SyncTable::new();
         let b = t.add_barrier(3);
-        assert_eq!(t.apply(th(0), SyncOp::Barrier(b)).unwrap(), SyncOutcome::Block);
-        assert_eq!(t.apply(th(1), SyncOp::Barrier(b)).unwrap(), SyncOutcome::Block);
+        assert_eq!(
+            t.apply(th(0), SyncOp::Barrier(b)).unwrap(),
+            SyncOutcome::Block
+        );
+        assert_eq!(
+            t.apply(th(1), SyncOp::Barrier(b)).unwrap(),
+            SyncOutcome::Block
+        );
         assert_eq!(
             t.apply(th(2), SyncOp::Barrier(b)).unwrap(),
             SyncOutcome::Proceed {
@@ -391,7 +415,10 @@ mod tests {
             }
         );
         // Barrier is reusable after release.
-        assert_eq!(t.apply(th(0), SyncOp::Barrier(b)).unwrap(), SyncOutcome::Block);
+        assert_eq!(
+            t.apply(th(0), SyncOp::Barrier(b)).unwrap(),
+            SyncOutcome::Block
+        );
     }
 
     #[test]

@@ -385,7 +385,8 @@ mod tests {
         );
         // A slower (lower power) processor takes longer for the same work.
         assert!(
-            c.resolve(Power::from_units_per_cycle(0.5)) > c.resolve(Power::from_units_per_cycle(1.0))
+            c.resolve(Power::from_units_per_cycle(0.5))
+                > c.resolve(Power::from_units_per_cycle(1.0))
         );
     }
 

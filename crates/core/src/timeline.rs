@@ -162,7 +162,12 @@ impl Timeline {
                     }
                 }
             }
-            let _ = writeln!(out, "{:>6} {}", format!("{proc}"), row.iter().collect::<String>());
+            let _ = writeln!(
+                out,
+                "{:>6} {}",
+                format!("{proc}"),
+                row.iter().collect::<String>()
+            );
         }
         // Timeslice rule.
         let mut rule = vec![' '; width];

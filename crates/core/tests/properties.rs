@@ -46,7 +46,11 @@ fn build_system(
     let bus = if with_model {
         b.add_shared_resource("bus", SimTime::from_cycles(2.0), SerializingBus)
     } else {
-        b.add_shared_resource("bus", SimTime::from_cycles(2.0), mesh_core::model::NoContention)
+        b.add_shared_resource(
+            "bus",
+            SimTime::from_cycles(2.0),
+            mesh_core::model::NoContention,
+        )
     };
     for (i, prog) in programs.iter().enumerate() {
         let regions: Vec<Annotation> = prog

@@ -17,4 +17,7 @@ mod cursor;
 pub mod sim;
 
 pub use cursor::{compute_cycles, Pacing};
-pub use sim::{simulate, simulate_with_limit, simulate_with_options, CycleReport, CycleSimError, ProcCycleStats, SimOptions};
+pub use sim::{
+    simulate, simulate_with_limit, simulate_with_options, CycleReport, CycleSimError,
+    ProcCycleStats, SimOptions,
+};

@@ -186,14 +186,26 @@ impl std::error::Error for CycleSimError {}
 enum PState {
     /// Needs its next micro-event.
     Fetch,
-    Compute { left: u64 },
-    HitWait { left: u64 },
+    Compute {
+        left: u64,
+    },
+    HitWait {
+        left: u64,
+    },
     WaitBus,
-    OnBus { left: u64 },
+    OnBus {
+        left: u64,
+    },
     WaitIo,
-    OnIo { left: u64 },
-    Idle { left: u64 },
-    Barrier { id: usize },
+    OnIo {
+        left: u64,
+    },
+    Idle {
+        left: u64,
+    },
+    Barrier {
+        id: usize,
+    },
     Done,
 }
 
@@ -215,7 +227,9 @@ pub fn simulate_with_options(
             procs: machine.procs.len(),
         });
     }
-    workload.validate().map_err(CycleSimError::InvalidWorkload)?;
+    workload
+        .validate()
+        .map_err(CycleSimError::InvalidWorkload)?;
     let issues_io = workload
         .tasks
         .iter()
@@ -565,7 +579,10 @@ pub fn simulate_with_options(
 /// let report = simulate(&w, &machine).unwrap();
 /// assert_eq!(report.total_cycles, 100);
 /// ```
-pub fn simulate(workload: &Workload, machine: &MachineConfig) -> Result<CycleReport, CycleSimError> {
+pub fn simulate(
+    workload: &Workload,
+    machine: &MachineConfig,
+) -> Result<CycleReport, CycleSimError> {
     simulate_with_options(workload, machine, SimOptions::default())
 }
 

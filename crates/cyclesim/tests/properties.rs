@@ -9,10 +9,7 @@ use proptest::prelude::*;
 type SegSpec = (u64, u64, bool, u64);
 
 fn arb_task() -> impl Strategy<Value = Vec<SegSpec>> {
-    prop::collection::vec(
-        (1u64..400, 0u64..40, any::<bool>(), 0u64..100),
-        1..8,
-    )
+    prop::collection::vec((1u64..400, 0u64..40, any::<bool>(), 0u64..100), 1..8)
 }
 
 fn build_workload(tasks: &[Vec<SegSpec>]) -> Workload {

@@ -60,7 +60,11 @@ fn misses_cost_bus_delay_hits_cost_hit_cycles() {
 #[test]
 fn idle_segments_are_not_work() {
     let r = simulate(
-        &single_task(vec![Segment::work(50), Segment::idle(30), Segment::work(20)]),
+        &single_task(vec![
+            Segment::work(50),
+            Segment::idle(30),
+            Segment::work(20),
+        ]),
         &machine(1, 4),
     )
     .unwrap();

@@ -185,8 +185,8 @@ mod tests {
 
     #[test]
     fn round_robin_closed_form() {
-        let p = RoundRobinBus::new()
-            .penalties(&slice(100.0, 1.0), &[req(0, 20.0, 0), req(1, 20.0, 0)]);
+        let p =
+            RoundRobinBus::new().penalties(&slice(100.0, 1.0), &[req(0, 20.0, 0), req(1, 20.0, 0)]);
         assert!((p[0].as_cycles() - 2.0).abs() < 1e-12);
         assert_eq!(p[0], p[1]);
     }
@@ -202,10 +202,7 @@ mod tests {
     #[test]
     fn priority_favors_high_priority() {
         let m = PriorityBus::new();
-        let p = m.penalties(
-            &slice(100.0, 1.0),
-            &[req(0, 20.0, 10), req(1, 20.0, 1)],
-        );
+        let p = m.penalties(&slice(100.0, 1.0), &[req(0, 20.0, 10), req(1, 20.0, 1)]);
         // Same traffic, but the high-priority contender waits strictly less.
         assert!(p[0] < p[1]);
         assert!(p[0].as_cycles() > 0.0);

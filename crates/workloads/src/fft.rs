@@ -86,7 +86,10 @@ impl FftConfig {
     }
 
     fn check(&self) {
-        assert!(self.points.is_power_of_two(), "points must be a power of two");
+        assert!(
+            self.points.is_power_of_two(),
+            "points must be a power of two"
+        );
         let rows = self.rows();
         assert_eq!(rows * rows, self.points, "points must be a perfect square");
         assert!(self.threads >= 1, "at least one thread");
@@ -198,8 +201,7 @@ mod tests {
         let lines_per_part = c.data_bytes() / 4 / c.line_bytes;
         for task in &w.tasks {
             // 3 transposes x points/threads + 2 local phases x passes x lines.
-            let expected =
-                3 * per_thread_points + 2 * c.local_passes as u64 * lines_per_part;
+            let expected = 3 * per_thread_points + 2 * c.local_passes as u64 * lines_per_part;
             assert_eq!(task.total_refs(), expected);
         }
     }

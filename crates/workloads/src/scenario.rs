@@ -58,7 +58,10 @@ impl PhmConfig {
     ///
     /// Panics unless `0 ≤ idle1 < 1`.
     pub fn with_second_idle(idle1: f64) -> PhmConfig {
-        assert!((0.0..1.0).contains(&idle1), "idle fraction must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&idle1),
+            "idle fraction must be in [0,1)"
+        );
         PhmConfig {
             idle_fraction: vec![0.06, idle1],
             ..PhmConfig::default()

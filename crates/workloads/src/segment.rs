@@ -51,12 +51,21 @@ impl MemPattern {
     /// Expands the pattern into its address stream.
     pub fn iter(&self) -> PatternIter {
         match *self {
-            MemPattern::Strided { base, stride, count } => PatternIter::Strided {
+            MemPattern::Strided {
+                base,
+                stride,
+                count,
+            } => PatternIter::Strided {
                 next: base,
                 stride,
                 remaining: count,
             },
-            MemPattern::Random { base, span, count, seed } => PatternIter::Random {
+            MemPattern::Random {
+                base,
+                span,
+                count,
+                seed,
+            } => PatternIter::Random {
                 base,
                 span: span.max(1),
                 remaining: count,
@@ -213,7 +222,11 @@ impl Segment {
     /// Panics if called on an idle segment — idle gaps issue no traffic.
     #[must_use]
     pub fn with_pattern(mut self, pattern: MemPattern) -> Segment {
-        assert_eq!(self.kind, SegmentKind::Work, "idle segments have no memory traffic");
+        assert_eq!(
+            self.kind,
+            SegmentKind::Work,
+            "idle segments have no memory traffic"
+        );
         self.mem.push(pattern);
         self
     }

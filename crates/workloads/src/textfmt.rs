@@ -37,7 +37,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "workload parse error at line {}: {}", self.line, self.detail)
+        write!(
+            f,
+            "workload parse error at line {}: {}",
+            self.line, self.detail
+        )
     }
 }
 
@@ -80,10 +84,19 @@ pub fn to_text(workload: &Workload) -> String {
                     out.push('\n');
                     for pattern in &seg.mem {
                         match *pattern {
-                            MemPattern::Strided { base, stride, count } => {
+                            MemPattern::Strided {
+                                base,
+                                stride,
+                                count,
+                            } => {
                                 let _ = writeln!(out, "  strided {base} {stride} {count}");
                             }
-                            MemPattern::Random { base, span, count, seed } => {
+                            MemPattern::Random {
+                                base,
+                                span,
+                                count,
+                                seed,
+                            } => {
                                 let _ = writeln!(out, "  random {base} {span} {count} {seed}");
                             }
                         }
@@ -167,7 +180,10 @@ pub fn from_text(text: &str) -> Result<Workload, ParseError> {
                 }
                 flush_segment(&mut current_task, &mut current_segment);
                 let Some((ops, options)) = rest.split_first() else {
-                    return Err(err(lineno, "expected: work <ops> [barrier=<id>] [io=<ops>]"));
+                    return Err(err(
+                        lineno,
+                        "expected: work <ops> [barrier=<id>] [io=<ops>]",
+                    ));
                 };
                 let mut seg = Segment::work(parse_u64(ops, lineno, "op count")?);
                 for opt in options {
@@ -194,10 +210,7 @@ pub fn from_text(text: &str) -> Result<Workload, ParseError> {
                     return Err(err(lineno, "expected: idle <cycles>"));
                 };
                 let seg = Segment::idle(parse_u64(cycles, lineno, "cycle count")?);
-                current_task
-                    .as_mut()
-                    .expect("checked above")
-                    .push(seg);
+                current_task.as_mut().expect("checked above").push(seg);
             }
             "strided" => {
                 let Some(seg) = current_segment.as_mut() else {
@@ -300,7 +313,10 @@ work 200 barrier=0
 
     #[test]
     fn rejects_structural_errors() {
-        assert!(from_text("work 10").unwrap_err().detail.contains("outside a task"));
+        assert!(from_text("work 10")
+            .unwrap_err()
+            .detail
+            .contains("outside a task"));
         assert!(from_text("task t\nstrided 0 1 1")
             .unwrap_err()
             .detail
@@ -313,8 +329,14 @@ work 200 barrier=0
             .unwrap_err()
             .detail
             .contains("precede tasks"));
-        assert!(from_text("frobnicate 1").unwrap_err().detail.contains("unknown directive"));
-        assert!(from_text("barrier 0").unwrap_err().detail.contains("at least one"));
+        assert!(from_text("frobnicate 1")
+            .unwrap_err()
+            .detail
+            .contains("unknown directive"));
+        assert!(from_text("barrier 0")
+            .unwrap_err()
+            .detail
+            .contains("at least one"));
         assert!(from_text("task t\nwork 10 turbo=1")
             .unwrap_err()
             .detail

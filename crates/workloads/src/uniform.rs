@@ -141,10 +141,7 @@ mod tests {
             iterations: 6,
             ..UniformConfig::default()
         });
-        assert_eq!(
-            3 * small.tasks[0].total_ops(),
-            big.tasks[0].total_ops()
-        );
+        assert_eq!(3 * small.tasks[0].total_ops(), big.tasks[0].total_ops());
     }
 
     #[test]

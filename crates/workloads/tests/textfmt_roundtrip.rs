@@ -27,7 +27,13 @@ fn arb_segment(n_barriers: usize) -> impl Strategy<Value = SegSpec> {
             0u64..50,
             barrier,
             prop::collection::vec(
-                (any::<bool>(), 0u64..1 << 30, 1u64..4096, 1u64..5000, any::<u64>()),
+                (
+                    any::<bool>(),
+                    0u64..1 << 30,
+                    1u64..4096,
+                    1u64..5000,
+                    any::<u64>()
+                ),
                 0..4,
             ),
         )

@@ -76,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = setup.builder.build()?.run()?;
     let report = outcome.report;
 
-    println!("\nhybrid simulation ({} regions, {:?}):", report.commits, report.wall_clock);
+    println!(
+        "\nhybrid simulation ({} regions, {:?}):",
+        report.commits, report.wall_clock
+    );
     println!("  makespan        : {}", report.total_time);
     println!(
         "  bus queuing     : {:.1} cyc ({:.3}% of {} work cycles)",

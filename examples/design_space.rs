@@ -41,8 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         for bus_delay in [2u64, 4, 8, 16] {
             let cache = CacheConfig::new(cache_bytes, 32, 4)?;
-            let machine =
-                MachineConfig::homogeneous(threads, ProcConfig::new(cache), BusConfig::new(bus_delay));
+            let machine = MachineConfig::homogeneous(
+                threads,
+                ProcConfig::new(cache),
+                BusConfig::new(bus_delay),
+            );
             let setup = assemble(
                 &workload,
                 &machine,

@@ -54,10 +54,7 @@ fn run(threads: usize, cache_bytes: u64) -> Result<(), Box<dyn std::error::Error
     );
     println!(
         "  MESH (hybrid)        : {:8.4}%   [{:?}, {} regions, {} timeslices]",
-        mesh_pct,
-        outcome.report.wall_clock,
-        outcome.report.commits,
-        outcome.report.slices_analyzed
+        mesh_pct, outcome.report.wall_clock, outcome.report.commits, outcome.report.slices_analyzed
     );
     println!("  Analytical (1 step)  : {:8.4}%", analytical);
     println!(

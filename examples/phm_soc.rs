@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nqueuing cycles as % of work cycles:");
     println!("  ISS (ground truth)  : {:7.4}%", iss.queuing_percent());
     println!("  MESH (hybrid)       : {:7.4}%", mesh_pct);
-    println!("  Analytical (1 step) : {:7.4}%   <- blind to the idle gaps", analytical);
+    println!(
+        "  Analytical (1 step) : {:7.4}%   <- blind to the idle gaps",
+        analytical
+    );
     println!(
         "\nThe steady-state assumption stretches the idle processor's traffic\n\
          across the whole run, inflating the predicted contention ~{:.0}x;\n\

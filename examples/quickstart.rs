@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = b.build()?.run()?;
     let report = &outcome.report;
 
-    println!("simulated {} regions in {:?}", report.commits, report.wall_clock);
+    println!(
+        "simulated {} regions in {:?}",
+        report.commits, report.wall_clock
+    );
     println!("total time: {}", report.total_time);
     for (i, t) in report.threads.iter().enumerate() {
         println!(

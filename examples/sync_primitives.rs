@@ -85,10 +85,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for event in &outcome.trace {
         match event {
             Event::ThreadBlocked { thread, op, at } => {
-                println!("  t={:8.1}  {:?} blocks on {:?} (region shelved)", at.as_cycles(), thread, op)
+                println!(
+                    "  t={:8.1}  {:?} blocks on {:?} (region shelved)",
+                    at.as_cycles(),
+                    thread,
+                    op
+                )
             }
             Event::ThreadWoken { thread, at } => {
-                println!("  t={:8.1}  {:?} woken (resumes at end of unblocking region)", at.as_cycles(), thread)
+                println!(
+                    "  t={:8.1}  {:?} woken (resumes at end of unblocking region)",
+                    at.as_cycles(),
+                    thread
+                )
             }
             _ => {}
         }

@@ -5,11 +5,22 @@
 #   ./scripts/repro_all.sh [output-file]
 #
 # With an argument, all experiment output is also teed into that file.
+#
+# Sweep parallelism: every binary evaluates its parameter grid through the
+# shared sweep engine (crates/bench/src/sweep.rs). MESH_BENCH_JOBS controls
+# the worker count — default is the host's available parallelism, `1` forces
+# serial evaluation. Simulation results are deterministic and identical at
+# any job count; only the wall-clock timing columns of table1 and the
+# ablations jitter, so set MESH_BENCH_JOBS=1 when those timings matter:
+#
+#   MESH_BENCH_JOBS=1 ./scripts/repro_all.sh   # faithful per-point timings
+#   MESH_BENCH_JOBS=8 ./scripts/repro_all.sh   # fastest regeneration
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-/dev/null}"
+echo "sweep workers: MESH_BENCH_JOBS=${MESH_BENCH_JOBS:-<available parallelism>}" >&2
 
 run() {
     echo

@@ -45,7 +45,10 @@ fn single_task_totals_agree_exactly() {
     let outcome = setup.builder.build().unwrap().run().unwrap();
 
     assert_eq!(iss.total_cycles as f64, annotated_cycles as f64);
-    assert_eq!(outcome.report.total_time.as_cycles(), annotated_cycles as f64);
+    assert_eq!(
+        outcome.report.total_time.as_cycles(),
+        annotated_cycles as f64
+    );
     assert_eq!(iss.queuing_total(), 0);
     assert_eq!(outcome.report.queuing_total().as_cycles(), 0.0);
 }
@@ -103,13 +106,18 @@ fn penalties_only_extend_the_schedule() {
         .unwrap()
         .run()
         .unwrap();
-    let contended = assemble(&workload, &m, ChenLinBus::new(), AnnotationPolicy::AtBarriers)
-        .unwrap()
-        .builder
-        .build()
-        .unwrap()
-        .run()
-        .unwrap();
+    let contended = assemble(
+        &workload,
+        &m,
+        ChenLinBus::new(),
+        AnnotationPolicy::AtBarriers,
+    )
+    .unwrap()
+    .builder
+    .build()
+    .unwrap()
+    .run()
+    .unwrap();
     assert!(contended.report.total_time >= free.report.total_time);
     assert_eq!(free.report.queuing_total().as_cycles(), 0.0);
     assert!(contended.report.queuing_total().as_cycles() > 0.0);
@@ -122,8 +130,7 @@ fn heterogeneous_power_consistency() {
     let mut w = Workload::new();
     for i in 0..2 {
         w.add_task(
-            TaskProgram::new(format!("t{i}"))
-                .with_segment(mesh_workloads::Segment::work(10_000)),
+            TaskProgram::new(format!("t{i}")).with_segment(mesh_workloads::Segment::work(10_000)),
         );
     }
     let cache = CacheConfig::new(8 * 1024, 32, 4).unwrap();
@@ -231,8 +238,10 @@ fn io_contention_is_modeled_per_resource() {
     // Same ballpark as the reference (loose factor-of-three band; the
     // paper-grade comparisons live in the multi_resource bench).
     let iss_io = iss.io_queuing_total() as f64;
-    assert!(mesh_io > iss_io / 3.0 && mesh_io < iss_io * 3.0,
-        "mesh {mesh_io} vs iss {iss_io}");
+    assert!(
+        mesh_io > iss_io / 3.0 && mesh_io < iss_io * 3.0,
+        "mesh {mesh_io} vs iss {iss_io}"
+    );
 }
 
 /// assemble() guards I/O misconfiguration explicitly.

@@ -142,7 +142,7 @@ fn interchangeable_models_per_resource() {
     assert!(r.shared[bus.index()].queuing.as_cycles() > 0.0);
     assert!(r.shared[io.index()].queuing.as_cycles() > 0.0);
     let total: f64 = r.threads.iter().map(|t| t.queuing.as_cycles()).sum();
-    let per_resource = r.shared[bus.index()].queuing.as_cycles()
-        + r.shared[io.index()].queuing.as_cycles();
+    let per_resource =
+        r.shared[bus.index()].queuing.as_cycles() + r.shared[io.index()].queuing.as_cycles();
     assert!((total - per_resource).abs() < 1e-9);
 }

@@ -143,6 +143,10 @@ fn full_size_fig4_point_holds() {
     let p = mesh_bench::run_fft_point(8, 512 * 1024, 4);
     assert!(p.mesh_error() < p.analytical_error());
     assert!(p.mesh_error() < 20.0, "got {:.1}%", p.mesh_error());
-    assert!(p.analytical_error() > 40.0, "got {:.1}%", p.analytical_error());
+    assert!(
+        p.analytical_error() > 40.0,
+        "got {:.1}%",
+        p.analytical_error()
+    );
     assert!(p.speedup() > 100.0, "got {:.0}x", p.speedup());
 }

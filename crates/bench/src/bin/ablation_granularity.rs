@@ -30,17 +30,32 @@ fn main() {
         "MESH |error| %",
         "hybrid wall (us)",
     ]);
-    for n in [1usize, 2, 4, 8, 16, 32, 64, 256] {
-        let p = compare(
+    // `Some(n)` = one region per `n` kernel segments; `None` = the
+    // degenerate whole-burst limit (one region per barrier-free run).
+    let sweep: Vec<Option<usize>> = [1usize, 2, 4, 8, 16, 32, 64, 256]
+        .iter()
+        .map(|&n| Some(n))
+        .chain([None])
+        .collect();
+    let results = mesh_bench::sweep::sweep_labeled("ablation_granularity", &sweep, |&spacing| {
+        compare(
             &workload,
             &machine,
             HybridOptions {
-                policy: AnnotationPolicy::EverySegments(n),
+                policy: match spacing {
+                    Some(n) => AnnotationPolicy::EverySegments(n),
+                    None => AnnotationPolicy::AtBarriers,
+                },
                 min_timeslice: 0.0,
             },
-        );
+        )
+    });
+    for (spacing, p) in sweep.iter().zip(results) {
         table.row(vec![
-            n.to_string(),
+            match spacing {
+                Some(n) => n.to_string(),
+                None => "whole-burst".to_string(),
+            },
             p.mesh_regions.to_string(),
             format!("{:.4}", p.mesh_pct),
             format!("{:.4}", p.iss_pct),
@@ -48,23 +63,6 @@ fn main() {
             format!("{:.1}", p.mesh_wall.as_secs_f64() * 1e6),
         ]);
     }
-    // The degenerate limit: one region per barrier-free run = whole bursts.
-    let p = compare(
-        &workload,
-        &machine,
-        HybridOptions {
-            policy: AnnotationPolicy::AtBarriers,
-            min_timeslice: 0.0,
-        },
-    );
-    table.row(vec![
-        "whole-burst".to_string(),
-        p.mesh_regions.to_string(),
-        format!("{:.4}", p.mesh_pct),
-        format!("{:.4}", p.iss_pct),
-        format!("{:.1}", p.mesh_error()),
-        format!("{:.1}", p.mesh_wall.as_secs_f64() * 1e6),
-    ]);
     println!("{table}");
     println!("(coarser annotations -> fewer regions -> cheaper, less accurate.");
     println!(" The curve plateaus once every burst is a single region: idle gaps");

@@ -11,6 +11,7 @@
 //! ```
 
 use mesh_annotate::AnnotationPolicy;
+use mesh_bench::sweep::FBits;
 use mesh_bench::{compare, fft_machine, HybridOptions, FFT_BUS_DELAY};
 use mesh_metrics::Table;
 use mesh_workloads::fft::{build, FftConfig};
@@ -30,15 +31,28 @@ fn main() {
         "MESH |error| %",
         "hybrid wall (us)",
     ]);
-    for min in [0.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0] {
-        let p = compare(
+    let sweep: Vec<FBits> = [
+        0.0,
+        100.0,
+        1_000.0,
+        10_000.0,
+        100_000.0,
+        1_000_000.0,
+        10_000_000.0,
+    ]
+    .map(FBits::new)
+    .to_vec();
+    let results = mesh_bench::sweep::sweep_labeled("ablation_minslice", &sweep, |&min| {
+        compare(
             &workload,
             &machine,
             HybridOptions {
                 policy: AnnotationPolicy::AtBarriers,
-                min_timeslice: min,
+                min_timeslice: min.get(),
             },
-        );
+        )
+    });
+    for (min, p) in sweep.iter().map(|m| m.get()).zip(results) {
         table.row(vec![
             format!("{min}"),
             p.mesh_slices.to_string(),

@@ -15,7 +15,9 @@ use mesh_annotate::{assemble, AnnotationPolicy};
 use mesh_bench::{fft_machine, FFT_BUS_DELAY};
 use mesh_core::model::ContentionModel;
 use mesh_metrics::{abs_percent_error, Table};
-use mesh_models::{ChenLinBus, Md1Queue, Mm1Queue, MvaBus, PriorityBus, RoundRobinBus, ScaledModel, TableModel};
+use mesh_models::{
+    ChenLinBus, Md1Queue, Mm1Queue, MvaBus, PriorityBus, RoundRobinBus, ScaledModel, TableModel,
+};
 use mesh_workloads::fft::{build, FftConfig};
 
 fn run_model<M: ContentionModel + 'static>(
@@ -23,8 +25,7 @@ fn run_model<M: ContentionModel + 'static>(
     machine: &mesh_arch::MachineConfig,
     model: M,
 ) -> (f64, u64) {
-    let setup = assemble(workload, machine, model, AnnotationPolicy::AtBarriers)
-        .expect("assemble");
+    let setup = assemble(workload, machine, model, AnnotationPolicy::AtBarriers).expect("assemble");
     let work = setup.work_total();
     let outcome = setup.builder.build().expect("build").run().expect("run");
     (
@@ -42,40 +43,58 @@ fn main() {
     let iss = mesh_cyclesim::simulate(&workload, &machine).expect("iss");
     let reference = iss.queuing_percent();
 
-    let mut table = Table::new(vec!["model", "MESH % queuing", "ISS % queuing", "|error| %"]);
-    let mut row = |name: &str, pct: f64| {
+    let mut table = Table::new(vec![
+        "model",
+        "MESH % queuing",
+        "ISS % queuing",
+        "|error| %",
+    ]);
+
+    // One sweep point per interchangeable model; names double as cache keys.
+    let models = [
+        "chen-lin (M/D/1 + blocking bound)",
+        "m/d/1",
+        "m/m/1",
+        "round-robin (linear)",
+        "mva (finite population)",
+        "priority (equal priorities)",
+        "measured table",
+        "chen-lin x0.9 (calibrated)",
+    ];
+    let results = mesh_bench::sweep::sweep_labeled("ablation_models", &models, |&name| {
+        let (pct, _) = match name {
+            "chen-lin (M/D/1 + blocking bound)" => {
+                run_model(&workload, &machine, ChenLinBus::new())
+            }
+            "m/d/1" => run_model(&workload, &machine, Md1Queue::new()),
+            "m/m/1" => run_model(&workload, &machine, Mm1Queue::new()),
+            "round-robin (linear)" => run_model(&workload, &machine, RoundRobinBus::new()),
+            "mva (finite population)" => run_model(&workload, &machine, MvaBus::new()),
+            "priority (equal priorities)" => run_model(&workload, &machine, PriorityBus::new()),
+            "measured table" => {
+                // A table measured to mimic M/D/1 at a few breakpoints.
+                let table_model =
+                    TableModel::new(vec![(0.25, 0.17), (0.50, 0.50), (0.75, 1.50), (0.95, 3.00)])
+                        .expect("valid table");
+                run_model(&workload, &machine, table_model)
+            }
+            "chen-lin x0.9 (calibrated)" => run_model(
+                &workload,
+                &machine,
+                ScaledModel::new(ChenLinBus::new(), 0.9),
+            ),
+            other => unreachable!("unknown model {other}"),
+        };
+        pct
+    });
+    for (name, pct) in models.iter().zip(results) {
         table.row(vec![
             name.to_string(),
             format!("{pct:.4}"),
             format!("{reference:.4}"),
             format!("{:.1}", abs_percent_error(pct, reference)),
         ]);
-    };
-
-    let (pct, _) = run_model(&workload, &machine, ChenLinBus::new());
-    row("chen-lin (M/D/1 + blocking bound)", pct);
-    let (pct, _) = run_model(&workload, &machine, Md1Queue::new());
-    row("m/d/1", pct);
-    let (pct, _) = run_model(&workload, &machine, Mm1Queue::new());
-    row("m/m/1", pct);
-    let (pct, _) = run_model(&workload, &machine, RoundRobinBus::new());
-    row("round-robin (linear)", pct);
-    let (pct, _) = run_model(&workload, &machine, MvaBus::new());
-    row("mva (finite population)", pct);
-    let (pct, _) = run_model(&workload, &machine, PriorityBus::new());
-    row("priority (equal priorities)", pct);
-    // A table measured to mimic M/D/1 at a few breakpoints.
-    let table_model = TableModel::new(vec![
-        (0.25, 0.17),
-        (0.50, 0.50),
-        (0.75, 1.50),
-        (0.95, 3.00),
-    ])
-    .expect("valid table");
-    let (pct, _) = run_model(&workload, &machine, table_model);
-    row("measured table", pct);
-    let (pct, _) = run_model(&workload, &machine, ScaledModel::new(ChenLinBus::new(), 0.9));
-    row("chen-lin x0.9 (calibrated)", pct);
+    }
 
     println!("{table}");
     println!("(every model is evaluated piecewise by the same kernel; the piecewise");

@@ -23,6 +23,7 @@
 //! cargo run -p mesh-bench --bin ablation_wake --release
 //! ```
 
+use mesh_bench::sweep::FBits;
 use mesh_core::{Annotation, Power, SyncOp, SystemBuilder, VecProgram, WakePolicy};
 use mesh_metrics::Table;
 
@@ -92,16 +93,28 @@ fn main() {
         "pessimistic bias %",
         "optimistic bias %",
     ]);
-    for (pre, post_work) in [(200.0, 800.0), (500.0, 500.0), (800.0, 200.0)] {
-        let s = Scenario {
-            pre,
-            post_work,
-            tail: 400.0,
-        };
-        let fine = s.run_fine();
-        let pess = s.run_coarse(WakePolicy::EndOfRegion);
-        let opt = s.run_coarse(WakePolicy::StartOfRegion);
-        assert!(opt <= fine && fine <= pess, "policies must bracket the truth");
+    let splits: Vec<(FBits, FBits)> = [(200.0, 800.0), (500.0, 500.0), (800.0, 200.0)]
+        .map(|(pre, post_work)| (FBits::new(pre), FBits::new(post_work)))
+        .to_vec();
+    let results =
+        mesh_bench::sweep::sweep_labeled("ablation_wake", &splits, |&(pre, post_work)| {
+            let s = Scenario {
+                pre: pre.get(),
+                post_work: post_work.get(),
+                tail: 400.0,
+            };
+            (
+                s.run_fine(),
+                s.run_coarse(WakePolicy::EndOfRegion),
+                s.run_coarse(WakePolicy::StartOfRegion),
+            )
+        });
+    for (&(pre, post_work), (fine, pess, opt)) in splits.iter().zip(results) {
+        let (pre, post_work) = (pre.get(), post_work.get());
+        assert!(
+            opt <= fine && fine <= pess,
+            "policies must bracket the truth"
+        );
         table.row(vec![
             format!("{pre:.0}/{post_work:.0}"),
             format!("{fine:.0}"),

@@ -17,6 +17,17 @@ fn main() {
     println!("Figure 4 — SPLASH-2-style FFT: queuing cycles (% of work cycles)");
     println!("bus delay = {FFT_BUS_DELAY} cycles, annotations at barriers\n");
 
+    // The full (cache, procs) grid is evaluated in parallel up front;
+    // printing below walks the deterministic, input-ordered results.
+    let points: Vec<(u64, usize)> = FFT_CACHES
+        .iter()
+        .flat_map(|&(cache_bytes, _)| FFT_PROC_SWEEP.map(|procs| (cache_bytes, procs)))
+        .collect();
+    let results = mesh_bench::sweep::sweep_labeled("fig4", &points, |&(cache_bytes, procs)| {
+        run_fft_point(procs, cache_bytes, FFT_BUS_DELAY)
+    });
+    let mut rows = points.iter().zip(results);
+
     for (cache_bytes, label) in FFT_CACHES {
         let mut analytical = Series::new("Analytical");
         let mut mesh = Series::new("MESH");
@@ -25,7 +36,8 @@ fn main() {
         let mut analytical_errs = Vec::new();
 
         for procs in FFT_PROC_SWEEP {
-            let p = run_fft_point(procs, cache_bytes, FFT_BUS_DELAY);
+            let (&point, p) = rows.next().expect("one result per grid point");
+            assert_eq!(point, (cache_bytes, procs));
             analytical.push(procs as f64, p.analytical_pct);
             mesh.push(procs as f64, p.mesh_pct);
             iss.push(procs as f64, p.iss_pct);
@@ -36,7 +48,10 @@ fn main() {
         println!("FFT, {label} cache");
         println!(
             "{}",
-            Table::from_series("# of processors", &[analytical.clone(), mesh.clone(), iss.clone()])
+            Table::from_series(
+                "# of processors",
+                &[analytical.clone(), mesh.clone(), iss.clone()]
+            )
         );
         println!(
             "average |error| vs ISS:  analytical {:6.1}%   MESH {:6.1}%\n",

@@ -24,18 +24,23 @@ fn main() {
     let mut mesh_errs = Vec::new();
     let mut analytical_errs = Vec::new();
 
-    for delay in FIG5_BUS_DELAYS {
-        let p = run_phm_point(0.90, delay, 0xC0FFEE);
-        mesh.push(delay as f64, p.mesh_pct);
-        iss.push(delay as f64, p.iss_pct);
-        analytical.push(delay as f64, p.analytical_pct);
+    let results = mesh_bench::sweep::sweep_labeled("fig5", &FIG5_BUS_DELAYS, |&delay| {
+        run_phm_point(0.90, delay, 0xC0FFEE)
+    });
+    for (delay, p) in FIG5_BUS_DELAYS.iter().zip(results) {
+        mesh.push(*delay as f64, p.mesh_pct);
+        iss.push(*delay as f64, p.iss_pct);
+        analytical.push(*delay as f64, p.analytical_pct);
         mesh_errs.push(p.mesh_error());
         analytical_errs.push(p.analytical_error());
     }
 
     println!(
         "{}",
-        Table::from_series("bus delay (cycles)", &[mesh.clone(), iss.clone(), analytical.clone()])
+        Table::from_series(
+            "bus delay (cycles)",
+            &[mesh.clone(), iss.clone(), analytical.clone()]
+        )
     );
     println!(
         "average |error| vs ISS:  MESH {:6.1}%   analytical {:6.1}%",

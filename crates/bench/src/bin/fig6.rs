@@ -15,6 +15,7 @@
 //! cargo run -p mesh-bench --bin fig6 --release
 //! ```
 
+use mesh_bench::sweep::FBits;
 use mesh_bench::{run_phm_point, FIG5_BUS_DELAYS, FIG6_IDLE_SWEEP};
 use mesh_metrics::{mean, series_to_csv, Series, Table};
 
@@ -25,14 +26,30 @@ fn main() {
     let mut mesh = Series::new("MESH error");
     let mut analytical = Series::new("Analytical error");
 
+    // The full (idle, delay, seed) grid — 7 x 5 x 3 = 105 independent
+    // points, the largest sweep in the harness and the one that benefits
+    // most from MESH_BENCH_JOBS > 1. Seeds smooth the sporadic
+    // interleavings; results come back in input order regardless of the
+    // worker count.
+    let points: Vec<(FBits, u64, u64)> = FIG6_IDLE_SWEEP
+        .iter()
+        .flat_map(|&idle| {
+            FIG5_BUS_DELAYS.iter().flat_map(move |&delay| {
+                [0xC0FFEE, 0xBEEF, 0xF00D].map(|seed| (FBits::new(idle), delay, seed))
+            })
+        })
+        .collect();
+    let results = mesh_bench::sweep::sweep_labeled("fig6", &points, |&(idle, delay, seed)| {
+        run_phm_point(idle.get(), delay, seed)
+    });
+    let mut rows = results.into_iter();
+
     for idle in FIG6_IDLE_SWEEP {
         let mut mesh_errs = Vec::new();
         let mut analytical_errs = Vec::new();
-        for delay in FIG5_BUS_DELAYS {
-            // Average over several scenario seeds to smooth the sporadic
-            // interleavings.
-            for seed in [0xC0FFEE, 0xBEEF, 0xF00D] {
-                let p = run_phm_point(idle, delay, seed);
+        for _delay in FIG5_BUS_DELAYS {
+            for _seed in [0xC0FFEE, 0xBEEF, 0xF00D] {
+                let p = rows.next().expect("one result per grid point");
                 mesh_errs.push(p.mesh_error());
                 analytical_errs.push(p.analytical_error());
             }

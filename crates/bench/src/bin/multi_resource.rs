@@ -47,7 +47,8 @@ fn main() {
         "io q% ISS",
         "total |err| %",
     ]);
-    for io_delay in [4u64, 8, 16, 32] {
+    let io_delays = [4u64, 8, 16, 32];
+    let results = mesh_bench::sweep::sweep_labeled("multi_resource", &io_delays, |&io_delay| {
         let machine = phm_machine(8).with_io(IoConfig::new(io_delay));
         let iss = mesh_cyclesim::simulate(&workload, &machine).expect("iss");
         let setup = assemble_with_io(
@@ -65,10 +66,14 @@ fn main() {
         let report = outcome.report;
 
         let pct = |q: f64| 100.0 * q / work;
-        let mesh_bus = pct(report.shared[bus.index()].queuing.as_cycles());
-        let mesh_io = pct(report.shared[io.index()].queuing.as_cycles());
-        let iss_bus = pct(iss.bus_queuing_total() as f64);
-        let iss_io = pct(iss.io_queuing_total() as f64);
+        (
+            pct(report.shared[bus.index()].queuing.as_cycles()),
+            pct(iss.bus_queuing_total() as f64),
+            pct(report.shared[io.index()].queuing.as_cycles()),
+            pct(iss.io_queuing_total() as f64),
+        )
+    });
+    for (io_delay, (mesh_bus, iss_bus, mesh_io, iss_io)) in io_delays.into_iter().zip(results) {
         let mesh_total = mesh_bus + mesh_io;
         let iss_total = iss_bus + iss_io;
         table.row(vec![

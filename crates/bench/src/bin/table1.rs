@@ -26,10 +26,23 @@ fn main() {
         "8KB speedup",
     ]);
     let mut min_speedup = f64::INFINITY;
+    // Note: this table reports wall-clock runtimes, so for the most faithful
+    // per-point timings run with MESH_BENCH_JOBS=1 (no co-scheduled workers
+    // competing for cores). The speedup *ratio* is robust either way because
+    // both simulators of a point run on the same worker.
+    let points: Vec<(usize, u64)> = FFT_PROC_SWEEP
+        .iter()
+        .flat_map(|&procs| FFT_CACHES.map(|(cache_bytes, _)| (procs, cache_bytes)))
+        .collect();
+    let results = mesh_bench::sweep::sweep_labeled("table1", &points, |&(procs, cache_bytes)| {
+        run_fft_point(procs, cache_bytes, FFT_BUS_DELAY)
+    });
+    let mut rows = points.iter().zip(results);
     for procs in FFT_PROC_SWEEP {
         let mut row = vec![procs.to_string()];
         for (cache_bytes, _) in FFT_CACHES {
-            let p = run_fft_point(procs, cache_bytes, FFT_BUS_DELAY);
+            let (&point, p) = rows.next().expect("one result per grid point");
+            assert_eq!(point, (procs, cache_bytes));
             row.push(format!("{:.6}", p.mesh_wall.as_secs_f64()));
             row.push(format!("{:.4}", p.iss_wall.as_secs_f64()));
             row.push(format!("{:.0}x", p.speedup()));

@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use mesh_annotate::{assemble, AnnotationPolicy, HybridSetup};
 use mesh_arch::{BusConfig, CacheConfig, MachineConfig, ProcConfig};
 use mesh_cyclesim::CycleReport;
@@ -100,10 +102,14 @@ impl Default for HybridOptions {
 ///
 /// Panics if the workload is invalid for the machine (the experiment
 /// definitions in this crate always produce matching pairs).
-pub fn compare(workload: &Workload, machine: &MachineConfig, options: HybridOptions) -> ComparisonPoint {
+pub fn compare(
+    workload: &Workload,
+    machine: &MachineConfig,
+    options: HybridOptions,
+) -> ComparisonPoint {
     // Ground truth.
-    let iss: CycleReport = mesh_cyclesim::simulate(workload, machine)
-        .expect("cycle-accurate simulation failed");
+    let iss: CycleReport =
+        mesh_cyclesim::simulate(workload, machine).expect("cycle-accurate simulation failed");
 
     // Hybrid (piecewise Chen-Lin).
     let setup: HybridSetup = assemble(workload, machine, ChenLinBus::new(), options.policy)
@@ -113,10 +119,12 @@ pub fn compare(workload: &Workload, machine: &MachineConfig, options: HybridOpti
     let profiles: Vec<ThreadProfile> = setup
         .tasks
         .iter()
-        .map(|t| ThreadProfile::new(
-            mesh_core::SimTime::from_cycles(t.work_cycles as f64),
-            t.misses as f64,
-        ))
+        .map(|t| {
+            ThreadProfile::new(
+                mesh_core::SimTime::from_cycles(t.work_cycles as f64),
+                t.misses as f64,
+            )
+        })
         .collect();
     let mut builder = setup.builder;
     builder.set_min_timeslice(mesh_core::SimTime::from_cycles(options.min_timeslice));
@@ -167,8 +175,8 @@ pub fn phm_machine(bus_delay: u64) -> MachineConfig {
     let cache = CacheConfig::new(8 * 1024, 32, 4).expect("valid cache geometry");
     MachineConfig::new(
         vec![
-            ProcConfig::new(cache),                      // ARM-like
-            ProcConfig::new(cache).with_power(0.8),      // M32R-like
+            ProcConfig::new(cache),                 // ARM-like
+            ProcConfig::new(cache).with_power(0.8), // M32R-like
         ],
         BusConfig::new(bus_delay),
     )

@@ -1,0 +1,405 @@
+//! # Parallel design-space sweep engine
+//!
+//! Every experiment binary in this crate walks a grid of scenario points
+//! (processor counts, bus delays, idle fractions, annotation policies, ...)
+//! and evaluates each point independently — typically one hybrid kernel run
+//! plus one cycle-accurate reference run per point. That makes the sweep
+//! layer embarrassingly parallel, and on multi-core hosts the dominant
+//! wall-clock cost of regenerating the paper's figures.
+//!
+//! This module provides the shared sweep engine the binaries route through:
+//!
+//! * **Parallel, pure `std`.** Points are distributed over
+//!   [`std::thread::scope`] workers that work-steal from a shared atomic
+//!   index — no external dependencies, no unsafe code.
+//! * **Deterministic ordering.** Results land in a slot per input index, so
+//!   the returned `Vec` is in input order and a binary's stdout is
+//!   byte-identical whatever the worker count. `MESH_BENCH_JOBS=1` restores
+//!   strictly serial evaluation (same thread, same order) for timing-faithful
+//!   runs.
+//! * **Memoization.** Each [`SweepEngine`] carries a hash-keyed in-memory
+//!   cache; repeated scenario keys — across sweep calls or within one grid —
+//!   are evaluated once. Ablation grids that revisit a baseline point get it
+//!   for free.
+//! * **Coarse progress.** When more than one worker runs and stderr is a
+//!   terminal (or [`PROGRESS_ENV`] is set), completion counts are reported to
+//!   stderr; stdout is never touched.
+//!
+//! ## Worker count
+//!
+//! The worker count comes from the [`JOBS_ENV`] environment variable
+//! (`MESH_BENCH_JOBS`), defaulting to [`std::thread::available_parallelism`]:
+//!
+//! ```bash
+//! MESH_BENCH_JOBS=8 cargo run -p mesh-bench --bin fig6 --release
+//! MESH_BENCH_JOBS=1 cargo run -p mesh-bench --bin table1 --release  # serial
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use mesh_bench::sweep::SweepEngine;
+//!
+//! let engine = SweepEngine::with_jobs(4);
+//! let squares = engine.run(&[1u64, 2, 3, 4], |&n| n * n);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! // Repeated keys hit the engine's cache instead of re-evaluating.
+//! let again = engine.run(&[4u64, 3], |&n| n * n);
+//! assert_eq!(again, vec![16, 9]);
+//! assert_eq!(engine.cache_hits(), 2);
+//! ```
+//!
+//! Floating-point sweep parameters are not `Hash`/`Eq`; wrap them in
+//! [`FBits`] to key them by bit pattern:
+//!
+//! ```
+//! use mesh_bench::sweep::{FBits, SweepEngine};
+//!
+//! let engine = SweepEngine::with_jobs(2);
+//! let doubled = engine.run(&[FBits::new(0.5), FBits::new(1.25)], |m| m.get() * 2.0);
+//! assert_eq!(doubled, vec![1.0, 2.5]);
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::io::IsTerminal as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable selecting the sweep worker count.
+///
+/// Unset or invalid values fall back to the host's available parallelism;
+/// `1` restores serial evaluation.
+pub const JOBS_ENV: &str = "MESH_BENCH_JOBS";
+
+/// Environment variable forcing progress reporting to stderr even when
+/// stderr is not a terminal (set to anything non-empty).
+pub const PROGRESS_ENV: &str = "MESH_BENCH_PROGRESS";
+
+/// Returns the sweep worker count: [`JOBS_ENV`] if set to a positive
+/// integer, otherwise the host's available parallelism.
+///
+/// # Examples
+///
+/// ```
+/// // With MESH_BENCH_JOBS unset this is the host's core count.
+/// assert!(mesh_bench::sweep::jobs_from_env() >= 1);
+/// ```
+pub fn jobs_from_env() -> usize {
+    match std::env::var(JOBS_ENV) {
+        Ok(value) => match value.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!(
+                    "mesh-bench: ignoring invalid {JOBS_ENV}={value:?} (want a positive integer)"
+                );
+                default_jobs()
+            }
+        },
+        Err(_) => default_jobs(),
+    }
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// An `f64` sweep parameter keyed by its bit pattern, so grids over
+/// floating-point knobs (idle fractions, minimum timeslices, ...) can use
+/// the engine's [`Hash`]-keyed cache.
+///
+/// Equality is bitwise: `-0.0 != 0.0` and `NaN == NaN` as keys, which is
+/// exactly what a memoization key wants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FBits(u64);
+
+impl FBits {
+    /// Wraps a float as a hashable sweep key.
+    pub fn new(value: f64) -> FBits {
+        FBits(value.to_bits())
+    }
+
+    /// The wrapped float.
+    pub fn get(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
+impl From<f64> for FBits {
+    fn from(value: f64) -> FBits {
+        FBits::new(value)
+    }
+}
+
+/// A parallel, memoizing design-space sweep runner.
+///
+/// One engine holds one result cache; binaries that run several grids over
+/// the same point type share the engine so overlapping points are evaluated
+/// once. See the [module docs](self) for the full contract and examples.
+pub struct SweepEngine<K, V> {
+    jobs: usize,
+    progress: bool,
+    cache: Mutex<HashMap<K, V>>,
+    hits: AtomicUsize,
+}
+
+impl<K, V> SweepEngine<K, V>
+where
+    K: Hash + Eq + Clone + Sync,
+    V: Clone + Send,
+{
+    /// Creates an engine with the worker count from the environment
+    /// ([`jobs_from_env`]).
+    pub fn from_env() -> SweepEngine<K, V> {
+        SweepEngine::with_jobs(jobs_from_env())
+    }
+
+    /// Creates an engine with an explicit worker count (`jobs >= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn with_jobs(jobs: usize) -> SweepEngine<K, V> {
+        assert!(jobs >= 1, "sweep needs at least one worker");
+        SweepEngine {
+            jobs,
+            progress: std::env::var_os(PROGRESS_ENV).is_some_and(|v| !v.is_empty())
+                || std::io::stderr().is_terminal(),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// The number of worker threads the engine will use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The number of points served from the cache so far (including
+    /// duplicate keys within a single [`run`](Self::run) call).
+    pub fn cache_hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Evaluates `eval` on every point, in parallel, returning results in
+    /// input order.
+    ///
+    /// Cached points are returned without re-evaluation; duplicate keys
+    /// within `points` are evaluated once. `eval` must be a pure function
+    /// of the point — the engine assumes a key identifies its result.
+    pub fn run<F>(&self, points: &[K], eval: F) -> Vec<V>
+    where
+        F: Fn(&K) -> V + Sync,
+    {
+        self.run_labeled("sweep", points, eval)
+    }
+
+    /// [`run`](Self::run) with a label used in progress reports.
+    pub fn run_labeled<F>(&self, label: &str, points: &[K], eval: F) -> Vec<V>
+    where
+        F: Fn(&K) -> V + Sync,
+    {
+        // Split points into cache hits and first-occurrence misses, keeping
+        // every input index so results can be reassembled in order.
+        let mut slots: Vec<Option<V>> = Vec::with_capacity(points.len());
+        let mut todo: Vec<(usize, &K)> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("sweep cache poisoned");
+            let mut claimed: HashSet<&K> = HashSet::new();
+            for key in points {
+                if let Some(value) = cache.get(key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    slots.push(Some(value.clone()));
+                } else if !claimed.insert(key) {
+                    // Duplicate of an uncached point: evaluated once by its
+                    // first occurrence, filled from the cache afterwards.
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    slots.push(None);
+                } else {
+                    slots.push(None);
+                    todo.push((slots.len() - 1, key));
+                }
+            }
+        }
+
+        if !todo.is_empty() {
+            let total = todo.len();
+            let done = AtomicUsize::new(0);
+            let next = AtomicUsize::new(0);
+            let results: Vec<Mutex<Option<V>>> = todo.iter().map(|_| Mutex::new(None)).collect();
+            let workers = self.jobs.min(total);
+            let progress = self.progress;
+            let worker = || loop {
+                let claim = next.fetch_add(1, Ordering::Relaxed);
+                if claim >= total {
+                    break;
+                }
+                let (_, key) = todo[claim];
+                let value = eval(key);
+                *results[claim].lock().expect("sweep slot poisoned") = Some(value);
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if progress && workers > 1 {
+                    eprintln!("mesh-bench {label}: {finished}/{total} points");
+                }
+            };
+            if workers == 1 {
+                // Serial: same thread, same order, no pool overhead.
+                worker();
+            } else {
+                let worker = &worker;
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(worker);
+                    }
+                });
+            }
+
+            let mut cache = self.cache.lock().expect("sweep cache poisoned");
+            for ((index, key), result) in todo.iter().zip(results) {
+                let value = result
+                    .into_inner()
+                    .expect("sweep slot poisoned")
+                    .expect("sweep worker completed every claimed point");
+                slots[*index] = Some(value.clone());
+                cache.insert((*key).clone(), value);
+            }
+        }
+
+        // Fill duplicate-of-miss slots from the now-populated cache, then
+        // unwrap in input order.
+        let cache = self.cache.lock().expect("sweep cache poisoned");
+        points
+            .iter()
+            .zip(slots)
+            .map(|(key, slot)| {
+                slot.unwrap_or_else(|| cache.get(key).expect("evaluated point").clone())
+            })
+            .collect()
+    }
+}
+
+/// Sweeps `points` with a fresh engine configured from the environment —
+/// the one-call entry point for binaries that run a single grid.
+///
+/// Results are in input order and byte-identical to a serial run; see
+/// [`SweepEngine::run`].
+///
+/// # Examples
+///
+/// ```
+/// let cubes = mesh_bench::sweep::sweep(&[1u64, 2, 3], |&n| n * n * n);
+/// assert_eq!(cubes, vec![1, 8, 27]);
+/// ```
+pub fn sweep<K, V, F>(points: &[K], eval: F) -> Vec<V>
+where
+    K: Hash + Eq + Clone + Sync,
+    V: Clone + Send,
+    F: Fn(&K) -> V + Sync,
+{
+    SweepEngine::<K, V>::from_env().run(points, eval)
+}
+
+/// [`sweep`] with a label used in progress reports.
+pub fn sweep_labeled<K, V, F>(label: &str, points: &[K], eval: F) -> Vec<V>
+where
+    K: Hash + Eq + Clone + Sync,
+    V: Clone + Send,
+    F: Fn(&K) -> V + Sync,
+{
+    SweepEngine::<K, V>::from_env().run_labeled(label, points, eval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_results_match_serial_order() {
+        // A fig5-style sweep: one result per (idle, bus delay, seed) point.
+        let mut points = Vec::new();
+        for idle in [0u64, 15, 30, 45, 60, 75, 90] {
+            for delay in [2u64, 4, 8, 12, 16] {
+                for seed in [1u64, 2, 3] {
+                    points.push((idle, delay, seed));
+                }
+            }
+        }
+        let eval = |&(idle, delay, seed): &(u64, u64, u64)| {
+            // Deterministic but non-trivial work.
+            let mut acc = idle.wrapping_mul(31) ^ delay.wrapping_mul(17) ^ seed;
+            for _ in 0..1000 {
+                acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+            }
+            acc
+        };
+        let serial = SweepEngine::with_jobs(1).run(&points, eval);
+        let parallel = SweepEngine::with_jobs(4).run(&points, eval);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn cache_returns_hit_for_repeated_scenario_key() {
+        let engine: SweepEngine<(u64, u64), u64> = SweepEngine::with_jobs(2);
+        let evals = AtomicU64::new(0);
+        let eval = |&(a, b): &(u64, u64)| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            a * 1000 + b
+        };
+        let first = engine.run(&[(1, 2), (3, 4)], eval);
+        assert_eq!(first, vec![1002, 3004]);
+        assert_eq!(engine.cache_hits(), 0);
+
+        // A second grid revisits (3, 4): it must come from the cache.
+        let second = engine.run(&[(3, 4), (5, 6)], eval);
+        assert_eq!(second, vec![3004, 5006]);
+        assert_eq!(engine.cache_hits(), 1);
+        assert_eq!(evals.load(Ordering::Relaxed), 3, "(3, 4) evaluated once");
+    }
+
+    #[test]
+    fn duplicate_keys_within_one_grid_evaluate_once() {
+        let engine: SweepEngine<u64, u64> = SweepEngine::with_jobs(3);
+        let evals = AtomicU64::new(0);
+        let results = engine.run(&[7, 7, 8, 7, 8], |&k| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            k * 2
+        });
+        assert_eq!(results, vec![14, 14, 16, 14, 16]);
+        assert_eq!(evals.load(Ordering::Relaxed), 2);
+        assert_eq!(engine.cache_hits(), 3);
+    }
+
+    #[test]
+    fn fbits_keys_round_trip_and_distinguish_payloads() {
+        assert_eq!(FBits::new(1.5).get(), 1.5);
+        assert_eq!(FBits::new(0.0), FBits::from(0.0));
+        assert_ne!(FBits::new(0.0), FBits::new(-0.0));
+        let engine: SweepEngine<FBits, u64> = SweepEngine::with_jobs(2);
+        let out = engine.run(&[FBits::new(0.25), FBits::new(0.5)], |m| m.get().to_bits());
+        assert_eq!(out, vec![0.25f64.to_bits(), 0.5f64.to_bits()]);
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let engine: SweepEngine<u64, u64> = SweepEngine::with_jobs(4);
+        let out: Vec<u64> = engine.run(&[], |&k| k);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_uses_calling_thread() {
+        let engine: SweepEngine<u64, u64> = SweepEngine::with_jobs(1);
+        let caller = std::thread::current().id();
+        let out = engine.run(&[1, 2, 3], |&k| {
+            assert_eq!(std::thread::current().id(), caller);
+            k + 10
+        });
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+}

@@ -1,4 +1,4 @@
-//! Collection strategies: [`vec`].
+//! Collection strategies: [`vec()`](fn@vec).
 
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
@@ -49,7 +49,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`](fn@vec).
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,

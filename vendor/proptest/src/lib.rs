@@ -53,7 +53,7 @@ pub mod prelude {
 
 /// Defines property tests.
 ///
-/// ```
+/// ```text
 /// use proptest::prelude::*;
 ///
 /// proptest! {

@@ -37,19 +37,22 @@ fn main() {
         .map(|&n| Some(n))
         .chain([None])
         .collect();
-    let results = mesh_bench::sweep::sweep_labeled("ablation_granularity", &sweep, |&spacing| {
-        compare(
-            &workload,
-            &machine,
-            HybridOptions {
-                policy: match spacing {
-                    Some(n) => AnnotationPolicy::EverySegments(n),
-                    None => AnnotationPolicy::AtBarriers,
+    let results = mesh_bench::or_exit(
+        "ablation_granularity",
+        mesh_bench::sweep::try_sweep_labeled("ablation_granularity", &sweep, |&spacing| {
+            compare(
+                &workload,
+                &machine,
+                HybridOptions {
+                    policy: match spacing {
+                        Some(n) => AnnotationPolicy::EverySegments(n),
+                        None => AnnotationPolicy::AtBarriers,
+                    },
+                    min_timeslice: 0.0,
                 },
-                min_timeslice: 0.0,
-            },
-        )
-    });
+            )
+        }),
+    );
     for (spacing, p) in sweep.iter().zip(results) {
         table.row(vec![
             match spacing {

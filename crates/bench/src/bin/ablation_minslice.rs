@@ -42,16 +42,19 @@ fn main() {
     ]
     .map(FBits::new)
     .to_vec();
-    let results = mesh_bench::sweep::sweep_labeled("ablation_minslice", &sweep, |&min| {
-        compare(
-            &workload,
-            &machine,
-            HybridOptions {
-                policy: AnnotationPolicy::AtBarriers,
-                min_timeslice: min.get(),
-            },
-        )
-    });
+    let results = mesh_bench::or_exit(
+        "ablation_minslice",
+        mesh_bench::sweep::try_sweep_labeled("ablation_minslice", &sweep, |&min| {
+            compare(
+                &workload,
+                &machine,
+                HybridOptions {
+                    policy: AnnotationPolicy::AtBarriers,
+                    min_timeslice: min.get(),
+                },
+            )
+        }),
+    );
     for (min, p) in sweep.iter().map(|m| m.get()).zip(results) {
         table.row(vec![
             format!("{min}"),

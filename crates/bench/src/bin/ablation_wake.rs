@@ -96,8 +96,9 @@ fn main() {
     let splits: Vec<(FBits, FBits)> = [(200.0, 800.0), (500.0, 500.0), (800.0, 200.0)]
         .map(|(pre, post_work)| (FBits::new(pre), FBits::new(post_work)))
         .to_vec();
-    let results =
-        mesh_bench::sweep::sweep_labeled("ablation_wake", &splits, |&(pre, post_work)| {
+    let results = mesh_bench::or_exit(
+        "ablation_wake",
+        mesh_bench::sweep::try_sweep_labeled("ablation_wake", &splits, |&(pre, post_work)| {
             let s = Scenario {
                 pre: pre.get(),
                 post_work: post_work.get(),
@@ -108,7 +109,8 @@ fn main() {
                 s.run_coarse(WakePolicy::EndOfRegion),
                 s.run_coarse(WakePolicy::StartOfRegion),
             )
-        });
+        }),
+    );
     for (&(pre, post_work), (fine, pess, opt)) in splits.iter().zip(results) {
         let (pre, post_work) = (pre.get(), post_work.get());
         assert!(

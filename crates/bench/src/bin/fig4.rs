@@ -23,9 +23,12 @@ fn main() {
         .iter()
         .flat_map(|&(cache_bytes, _)| FFT_PROC_SWEEP.map(|procs| (cache_bytes, procs)))
         .collect();
-    let results = mesh_bench::sweep::sweep_labeled("fig4", &points, |&(cache_bytes, procs)| {
-        run_fft_point(procs, cache_bytes, FFT_BUS_DELAY)
-    });
+    let results = mesh_bench::or_exit(
+        "fig4",
+        mesh_bench::sweep::try_sweep_labeled("fig4", &points, |&(cache_bytes, procs)| {
+            run_fft_point(procs, cache_bytes, FFT_BUS_DELAY)
+        }),
+    );
     let mut rows = points.iter().zip(results);
 
     for (cache_bytes, label) in FFT_CACHES {

@@ -24,9 +24,12 @@ fn main() {
     let mut mesh_errs = Vec::new();
     let mut analytical_errs = Vec::new();
 
-    let results = mesh_bench::sweep::sweep_labeled("fig5", &FIG5_BUS_DELAYS, |&delay| {
-        run_phm_point(0.90, delay, 0xC0FFEE)
-    });
+    let results = mesh_bench::or_exit(
+        "fig5",
+        mesh_bench::sweep::try_sweep_labeled("fig5", &FIG5_BUS_DELAYS, |&delay| {
+            run_phm_point(0.90, delay, 0xC0FFEE)
+        }),
+    );
     for (delay, p) in FIG5_BUS_DELAYS.iter().zip(results) {
         mesh.push(*delay as f64, p.mesh_pct);
         iss.push(*delay as f64, p.iss_pct);

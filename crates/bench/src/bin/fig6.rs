@@ -39,9 +39,12 @@ fn main() {
             })
         })
         .collect();
-    let results = mesh_bench::sweep::sweep_labeled("fig6", &points, |&(idle, delay, seed)| {
-        run_phm_point(idle.get(), delay, seed)
-    });
+    let results = mesh_bench::or_exit(
+        "fig6",
+        mesh_bench::sweep::try_sweep_labeled("fig6", &points, |&(idle, delay, seed)| {
+            run_phm_point(idle.get(), delay, seed)
+        }),
+    );
     let mut rows = results.into_iter();
 
     for idle in FIG6_IDLE_SWEEP {

@@ -34,9 +34,12 @@ fn main() {
         .iter()
         .flat_map(|&procs| FFT_CACHES.map(|(cache_bytes, _)| (procs, cache_bytes)))
         .collect();
-    let results = mesh_bench::sweep::sweep_labeled("table1", &points, |&(procs, cache_bytes)| {
-        run_fft_point(procs, cache_bytes, FFT_BUS_DELAY)
-    });
+    let results = mesh_bench::or_exit(
+        "table1",
+        mesh_bench::sweep::try_sweep_labeled("table1", &points, |&(procs, cache_bytes)| {
+            run_fft_point(procs, cache_bytes, FFT_BUS_DELAY)
+        }),
+    );
     let mut rows = points.iter().zip(results);
     for procs in FFT_PROC_SWEEP {
         let mut row = vec![procs.to_string()];

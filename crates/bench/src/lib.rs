@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod sweep;
 
 use mesh_annotate::{assemble, AnnotationPolicy, HybridSetup};
@@ -56,6 +57,63 @@ pub struct ComparisonPoint {
     pub work_cycles: u64,
     /// Shared bus accesses (cache misses).
     pub misses: u64,
+}
+
+/// Unwraps a result in an experiment binary's main path.
+///
+/// On error the message — for [`sweep::SweepError`], including every failed
+/// point's grid coordinates — is printed to stderr and the process exits
+/// with status 1, so scripted pipelines observe a clean failure instead of a
+/// panic backtrace. `context` names the failing stage (usually the sweep
+/// label or setup step).
+pub fn or_exit<T, E: std::fmt::Display>(context: &str, result: Result<T, E>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(e) => {
+            eprintln!("{context}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+impl crate::checkpoint::Checkpointable for ComparisonPoint {
+    fn encode(&self) -> String {
+        [
+            self.iss_pct.encode(),
+            self.mesh_pct.encode(),
+            self.analytical_pct.encode(),
+            self.iss_wall.encode(),
+            self.mesh_wall.encode(),
+            self.iss_cycles.encode(),
+            self.mesh_cycles.encode(),
+            self.mesh_regions.encode(),
+            self.mesh_slices.encode(),
+            self.work_cycles.encode(),
+            self.misses.encode(),
+        ]
+        .join(" ")
+    }
+
+    fn decode(s: &str) -> Option<ComparisonPoint> {
+        let mut it = s.split_whitespace();
+        let point = ComparisonPoint {
+            iss_pct: f64::decode(it.next()?)?,
+            mesh_pct: f64::decode(it.next()?)?,
+            analytical_pct: f64::decode(it.next()?)?,
+            iss_wall: Duration::decode(it.next()?)?,
+            mesh_wall: Duration::decode(it.next()?)?,
+            iss_cycles: u64::decode(it.next()?)?,
+            mesh_cycles: f64::decode(it.next()?)?,
+            mesh_regions: u64::decode(it.next()?)?,
+            mesh_slices: u64::decode(it.next()?)?,
+            work_cycles: u64::decode(it.next()?)?,
+            misses: u64::decode(it.next()?)?,
+        };
+        if it.next().is_some() {
+            return None;
+        }
+        Some(point)
+    }
 }
 
 impl ComparisonPoint {

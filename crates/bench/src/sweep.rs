@@ -21,18 +21,38 @@
 //!   cache; repeated scenario keys — across sweep calls or within one grid —
 //!   are evaluated once. Ablation grids that revisit a baseline point get it
 //!   for free.
+//! * **Crash isolation.** Each point is evaluated inside
+//!   [`std::panic::catch_unwind`] with a bounded retry ([`RETRIES_ENV`]) and
+//!   linear backoff. A panicking point never takes down the sweep: every
+//!   other point still completes, and the failure is reported as a
+//!   [`PointFailure`] carrying the point's grid coordinates and the panic
+//!   payload. The infallible [`SweepEngine::run`] /
+//!   [`SweepEngine::run_labeled`] entry points re-panic with that full
+//!   context instead of the generic "a scoped thread panicked" join failure.
+//! * **Checkpoint/resume.** With [`CHECKPOINT_ENV`] set to a file path,
+//!   every finished point is appended (and flushed) to an on-disk
+//!   [`Checkpoint`]; a re-run after a crash or kill reloads the finished
+//!   points and evaluates only the remainder. Values are encoded losslessly
+//!   ([`Checkpointable`]), so a resumed run's output is byte-identical to an
+//!   uninterrupted one.
 //! * **Coarse progress.** When more than one worker runs and stderr is a
 //!   terminal (or [`PROGRESS_ENV`] is set), completion counts are reported to
 //!   stderr; stdout is never touched.
 //!
-//! ## Worker count
+//! ## Environment knobs
 //!
-//! The worker count comes from the [`JOBS_ENV`] environment variable
-//! (`MESH_BENCH_JOBS`), defaulting to [`std::thread::available_parallelism`]:
+//! | Variable | Effect |
+//! |---|---|
+//! | `MESH_BENCH_JOBS` | worker count (default: available parallelism) |
+//! | `MESH_BENCH_PROGRESS` | force progress lines to stderr |
+//! | `MESH_BENCH_CHECKPOINT` | checkpoint file path enabling resume |
+//! | `MESH_BENCH_RETRIES` | extra attempts per panicking point (default 1) |
+//! | `MESH_BENCH_FAIL_POINT` | inject a panic at `index` or `label:index` |
 //!
 //! ```bash
 //! MESH_BENCH_JOBS=8 cargo run -p mesh-bench --bin fig6 --release
 //! MESH_BENCH_JOBS=1 cargo run -p mesh-bench --bin table1 --release  # serial
+//! MESH_BENCH_CHECKPOINT=/tmp/fig5.ckpt cargo run -p mesh-bench --bin fig5 --release
 //! ```
 //!
 //! ## Example
@@ -62,10 +82,16 @@
 //! ```
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::hash::Hash;
 use std::io::IsTerminal as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
+
+pub use crate::checkpoint::{stable_key_hash, Checkpoint, Checkpointable};
 
 /// Environment variable selecting the sweep worker count.
 ///
@@ -76,6 +102,23 @@ pub const JOBS_ENV: &str = "MESH_BENCH_JOBS";
 /// Environment variable forcing progress reporting to stderr even when
 /// stderr is not a terminal (set to anything non-empty).
 pub const PROGRESS_ENV: &str = "MESH_BENCH_PROGRESS";
+
+/// Environment variable naming the checkpoint file for resumable sweeps.
+///
+/// When set, every finished point is appended to the file, and a re-run
+/// (after a crash, a kill, or a reported point failure) skips the points
+/// already on disk. See [`crate::checkpoint`] for the format.
+pub const CHECKPOINT_ENV: &str = "MESH_BENCH_CHECKPOINT";
+
+/// Environment variable bounding the retries of a panicking point
+/// (non-negative integer; default 1 — one retry after the first failure).
+pub const RETRIES_ENV: &str = "MESH_BENCH_RETRIES";
+
+/// Environment variable injecting a deterministic panic at one grid point,
+/// for exercising the crash-isolation path end to end: either a bare input
+/// index (`3`) or `label:index` (`fig5:3`) to target one sweep of a
+/// multi-sweep binary.
+pub const FAIL_POINT_ENV: &str = "MESH_BENCH_FAIL_POINT";
 
 /// Returns the sweep worker count: [`JOBS_ENV`] if set to a positive
 /// integer, otherwise the host's available parallelism.
@@ -107,6 +150,62 @@ fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Returns the per-point retry budget: [`RETRIES_ENV`] if set to a
+/// non-negative integer, otherwise 1.
+pub fn retries_from_env() -> u32 {
+    match std::env::var(RETRIES_ENV) {
+        Ok(value) => match value.trim().parse::<u32>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!(
+                    "mesh-bench: ignoring invalid {RETRIES_ENV}={value:?} (want a non-negative integer)"
+                );
+                1
+            }
+        },
+        Err(_) => 1,
+    }
+}
+
+/// Parses [`FAIL_POINT_ENV`]: `index` or `label:index`.
+fn fail_point_from_env() -> Option<(Option<String>, usize)> {
+    let value = std::env::var(FAIL_POINT_ENV).ok()?;
+    let value = value.trim();
+    if value.is_empty() {
+        return None;
+    }
+    let parsed = match value.rsplit_once(':') {
+        Some((label, idx)) => idx.parse().ok().map(|i| (Some(label.to_string()), i)),
+        None => value.parse().ok().map(|i| (None, i)),
+    };
+    if parsed.is_none() {
+        eprintln!(
+            "mesh-bench: ignoring invalid {FAIL_POINT_ENV}={value:?} (want INDEX or LABEL:INDEX)"
+        );
+    }
+    parsed
+}
+
+/// Opens the checkpoint named by [`CHECKPOINT_ENV`], if any.
+///
+/// Returns `Ok(None)` when the variable is unset or empty; a set-but-unusable
+/// path is a hard [`SweepError::Checkpoint`] — silently dropping resumability
+/// the user asked for would be worse than failing.
+pub fn checkpoint_from_env() -> Result<Option<Checkpoint>, SweepError> {
+    match std::env::var_os(CHECKPOINT_ENV) {
+        Some(p) if !p.is_empty() => {
+            let path = PathBuf::from(&p);
+            Checkpoint::open(&path)
+                .map(Some)
+                .map_err(|e| SweepError::Checkpoint {
+                    path,
+                    error: e.to_string(),
+                })
+        }
+        _ => Ok(None),
+    }
+}
+
 /// An `f64` sweep parameter keyed by its bit pattern, so grids over
 /// floating-point knobs (idle fractions, minimum timeslices, ...) can use
 /// the engine's [`Hash`]-keyed cache.
@@ -134,7 +233,101 @@ impl From<f64> for FBits {
     }
 }
 
-/// A parallel, memoizing design-space sweep runner.
+/// One grid point that kept failing after every allowed attempt.
+///
+/// Carries everything needed to reproduce the failure from the command
+/// line: the sweep label, the point's input-order index, its coordinates
+/// (the `Debug` rendering of the grid key) and the panic payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PointFailure {
+    /// Label of the sweep the point belongs to.
+    pub label: String,
+    /// Input-order index of the point within the grid.
+    pub index: usize,
+    /// `Debug` rendering of the grid key — the point's coordinates.
+    pub coordinates: String,
+    /// Text of the panic payload from the last attempt.
+    pub payload: String,
+    /// Attempts made (1 + retries).
+    pub attempts: u32,
+}
+
+impl fmt::Display for PointFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "point #{} {} of sweep '{}' panicked after {} attempt(s): {}",
+            self.index, self.coordinates, self.label, self.attempts, self.payload
+        )
+    }
+}
+
+impl std::error::Error for PointFailure {}
+
+/// A failed sweep: either grid points that panicked (everything else still
+/// completed), or an unusable checkpoint file.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// One or more points panicked on every attempt.
+    Points {
+        /// Label of the sweep.
+        label: String,
+        /// Total points in the grid.
+        total: usize,
+        /// Points that produced a value (directly or via cache/checkpoint).
+        completed: usize,
+        /// The failed points, in input order.
+        failures: Vec<PointFailure>,
+    },
+    /// The checkpoint file requested via [`CHECKPOINT_ENV`] could not be
+    /// opened or created.
+    Checkpoint {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying I/O error, rendered.
+        error: String,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Points {
+                label,
+                total,
+                completed,
+                failures,
+            } => {
+                writeln!(
+                    f,
+                    "sweep '{label}' failed at {} of {total} points ({completed} completed):",
+                    failures.len()
+                )?;
+                for failure in failures {
+                    writeln!(f, "  {failure}")?;
+                }
+                write!(
+                    f,
+                    "  (set {CHECKPOINT_ENV}=<path> to keep finished points across re-runs)"
+                )
+            }
+            SweepError::Checkpoint { path, error } => {
+                write!(f, "cannot open checkpoint {}: {error}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Checkpoint-prefill callback: returns the stored value for a key, if any.
+type LookupFn<'a, K, V> = &'a dyn Fn(&K) -> Option<V>;
+
+/// Checkpoint-append callback, invoked from worker threads as points finish.
+type RecordFn<'a, K, V> = &'a (dyn Fn(&K, &V) + Sync);
+
+/// A parallel, memoizing, crash-isolating design-space sweep runner.
 ///
 /// One engine holds one result cache; binaries that run several grids over
 /// the same point type share the engine so overlapping points are evaluated
@@ -142,22 +335,30 @@ impl From<f64> for FBits {
 pub struct SweepEngine<K, V> {
     jobs: usize,
     progress: bool,
+    retries: u32,
+    backoff: Duration,
+    fail_point: Option<(Option<String>, usize)>,
     cache: Mutex<HashMap<K, V>>,
     hits: AtomicUsize,
 }
 
 impl<K, V> SweepEngine<K, V>
 where
-    K: Hash + Eq + Clone + Sync,
+    K: Hash + Eq + Clone + Sync + fmt::Debug,
     V: Clone + Send,
 {
-    /// Creates an engine with the worker count from the environment
-    /// ([`jobs_from_env`]).
+    /// Creates an engine configured from the environment: worker count from
+    /// [`jobs_from_env`], retry budget from [`retries_from_env`], fault
+    /// injection from [`FAIL_POINT_ENV`].
     pub fn from_env() -> SweepEngine<K, V> {
-        SweepEngine::with_jobs(jobs_from_env())
+        let mut engine = SweepEngine::with_jobs(jobs_from_env());
+        engine.retries = retries_from_env();
+        engine.fail_point = fail_point_from_env();
+        engine
     }
 
-    /// Creates an engine with an explicit worker count (`jobs >= 1`).
+    /// Creates an engine with an explicit worker count (`jobs >= 1`), one
+    /// retry per failed point and no fault injection.
     ///
     /// # Panics
     ///
@@ -168,9 +369,37 @@ where
             jobs,
             progress: std::env::var_os(PROGRESS_ENV).is_some_and(|v| !v.is_empty())
                 || std::io::stderr().is_terminal(),
+            retries: 1,
+            backoff: Duration::from_millis(25),
+            fail_point: None,
             cache: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
         }
+    }
+
+    /// Sets how many times a panicking point is re-attempted (builder
+    /// style). Zero disables retries.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> SweepEngine<K, V> {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the base backoff slept between attempts; attempt `n` waits
+    /// `n * backoff` (builder style).
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Duration) -> SweepEngine<K, V> {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Injects a deterministic panic at the given input index of every
+    /// sweep this engine runs (builder style) — the programmatic form of
+    /// [`FAIL_POINT_ENV`], for tests.
+    #[must_use]
+    pub fn with_fail_point(mut self, index: usize) -> SweepEngine<K, V> {
+        self.fail_point = Some((None, index));
+        self
     }
 
     /// The number of worker threads the engine will use.
@@ -190,6 +419,12 @@ where
     /// Cached points are returned without re-evaluation; duplicate keys
     /// within `points` are evaluated once. `eval` must be a pure function
     /// of the point — the engine assumes a key identifies its result.
+    ///
+    /// # Panics
+    ///
+    /// If a point fails every attempt, panics with a message naming the
+    /// point's coordinates and the original panic payload (the fallible
+    /// alternative is [`try_run_labeled`](Self::try_run_labeled)).
     pub fn run<F>(&self, points: &[K], eval: F) -> Vec<V>
     where
         F: Fn(&K) -> V + Sync,
@@ -198,21 +433,99 @@ where
     }
 
     /// [`run`](Self::run) with a label used in progress reports.
+    ///
+    /// # Panics
+    ///
+    /// See [`run`](Self::run).
     pub fn run_labeled<F>(&self, label: &str, points: &[K], eval: F) -> Vec<V>
     where
         F: Fn(&K) -> V + Sync,
     {
-        // Split points into cache hits and first-occurrence misses, keeping
-        // every input index so results can be reassembled in order.
+        match self.try_run_labeled(label, points, eval) {
+            Ok(values) => values,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Crash-isolated sweep: every point that panics (after the retry
+    /// budget) becomes a [`PointFailure`] in the returned error while all
+    /// other points still complete and populate the cache.
+    pub fn try_run_labeled<F>(
+        &self,
+        label: &str,
+        points: &[K],
+        eval: F,
+    ) -> Result<Vec<V>, SweepError>
+    where
+        F: Fn(&K) -> V + Sync,
+    {
+        self.run_core(label, points, eval, None, None)
+    }
+
+    /// [`try_run_labeled`](Self::try_run_labeled) with on-disk
+    /// checkpointing: points present in `checkpoint` are not re-evaluated,
+    /// and every newly finished point is appended to it immediately.
+    ///
+    /// Because [`Checkpointable`] encodings are lossless, a resumed sweep
+    /// returns values identical to an uninterrupted one.
+    pub fn try_run_resumable<F>(
+        &self,
+        label: &str,
+        points: &[K],
+        checkpoint: Option<&Checkpoint>,
+        eval: F,
+    ) -> Result<Vec<V>, SweepError>
+    where
+        F: Fn(&K) -> V + Sync,
+        V: Checkpointable,
+    {
+        match checkpoint {
+            None => self.run_core(label, points, eval, None, None),
+            Some(ck) => {
+                let lookup = |key: &K| ck.lookup::<V>(label, stable_key_hash(key));
+                let record = |key: &K, value: &V| {
+                    if let Err(e) = ck.record(label, stable_key_hash(key), value) {
+                        eprintln!(
+                            "mesh-bench: checkpoint write to {} failed: {e}",
+                            ck.path().display()
+                        );
+                    }
+                };
+                self.run_core(label, points, eval, Some(&lookup), Some(&record))
+            }
+        }
+    }
+
+    /// The shared core: cache/checkpoint prefill, crash-isolated parallel
+    /// evaluation, failure collection, cache writeback.
+    fn run_core<F>(
+        &self,
+        label: &str,
+        points: &[K],
+        eval: F,
+        lookup: Option<LookupFn<'_, K, V>>,
+        record: Option<RecordFn<'_, K, V>>,
+    ) -> Result<Vec<V>, SweepError>
+    where
+        F: Fn(&K) -> V + Sync,
+    {
+        // Split points into cache/checkpoint hits and first-occurrence
+        // misses, keeping every input index so results can be reassembled in
+        // order.
         let mut slots: Vec<Option<V>> = Vec::with_capacity(points.len());
         let mut todo: Vec<(usize, &K)> = Vec::new();
         {
-            let cache = self.cache.lock().expect("sweep cache poisoned");
+            let mut cache = self.cache.lock().expect("sweep cache poisoned");
             let mut claimed: HashSet<&K> = HashSet::new();
             for key in points {
                 if let Some(value) = cache.get(key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     slots.push(Some(value.clone()));
+                } else if let Some(value) = lookup.and_then(|f| f(key)) {
+                    // Finished by a previous (possibly killed) run: resume
+                    // from the checkpoint record instead of re-evaluating.
+                    cache.insert(key.clone(), value.clone());
+                    slots.push(Some(value));
                 } else if !claimed.insert(key) {
                     // Duplicate of an uncached point: evaluated once by its
                     // first occurrence, filled from the cache afterwards.
@@ -225,21 +538,43 @@ where
             }
         }
 
+        let mut failures: Vec<PointFailure> = Vec::new();
         if !todo.is_empty() {
             let total = todo.len();
             let done = AtomicUsize::new(0);
             let next = AtomicUsize::new(0);
-            let results: Vec<Mutex<Option<V>>> = todo.iter().map(|_| Mutex::new(None)).collect();
+            let results: Vec<Mutex<Option<Result<V, PointFailure>>>> =
+                todo.iter().map(|_| Mutex::new(None)).collect();
             let workers = self.jobs.min(total);
             let progress = self.progress;
+            let retries = self.retries;
+            let backoff = self.backoff;
+            let fail_index = match &self.fail_point {
+                Some((None, i)) => Some(*i),
+                Some((Some(l), i)) if l == label => Some(*i),
+                _ => None,
+            };
             let worker = || loop {
                 let claim = next.fetch_add(1, Ordering::Relaxed);
                 if claim >= total {
                     break;
                 }
-                let (_, key) = todo[claim];
-                let value = eval(key);
-                *results[claim].lock().expect("sweep slot poisoned") = Some(value);
+                let (index, key) = todo[claim];
+                let outcome = eval_isolated(
+                    label,
+                    index,
+                    key,
+                    &eval,
+                    retries,
+                    backoff,
+                    fail_index == Some(index),
+                );
+                if let (Ok(value), Some(record)) = (&outcome, record) {
+                    // Persist before reporting progress: a kill right after
+                    // this line loses at most the in-flight points.
+                    record(key, value);
+                }
+                *results[claim].lock().expect("sweep slot poisoned") = Some(outcome);
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if progress && workers > 1 {
                     eprintln!("mesh-bench {label}: {finished}/{total} points");
@@ -259,25 +594,101 @@ where
 
             let mut cache = self.cache.lock().expect("sweep cache poisoned");
             for ((index, key), result) in todo.iter().zip(results) {
-                let value = result
+                match result
                     .into_inner()
                     .expect("sweep slot poisoned")
-                    .expect("sweep worker completed every claimed point");
-                slots[*index] = Some(value.clone());
-                cache.insert((*key).clone(), value);
+                    .expect("sweep worker completed every claimed point")
+                {
+                    Ok(value) => {
+                        slots[*index] = Some(value.clone());
+                        cache.insert((*key).clone(), value);
+                    }
+                    Err(failure) => failures.push(failure),
+                }
             }
+        }
+
+        let cache = self.cache.lock().expect("sweep cache poisoned");
+        if !failures.is_empty() {
+            failures.sort_by_key(|f| f.index);
+            let completed = points
+                .iter()
+                .zip(&slots)
+                .filter(|(key, slot)| slot.is_some() || cache.contains_key(key))
+                .count();
+            return Err(SweepError::Points {
+                label: label.to_string(),
+                total: points.len(),
+                completed,
+                failures,
+            });
         }
 
         // Fill duplicate-of-miss slots from the now-populated cache, then
         // unwrap in input order.
-        let cache = self.cache.lock().expect("sweep cache poisoned");
-        points
+        Ok(points
             .iter()
             .zip(slots)
             .map(|(key, slot)| {
                 slot.unwrap_or_else(|| cache.get(key).expect("evaluated point").clone())
             })
-            .collect()
+            .collect())
+    }
+}
+
+/// Evaluates one point inside `catch_unwind`, retrying with linear backoff
+/// up to the budget. A free function so workers don't have to capture the
+/// whole engine (whose cache would demand `K: Send`).
+fn eval_isolated<K, V, F>(
+    label: &str,
+    index: usize,
+    key: &K,
+    eval: &F,
+    retries: u32,
+    backoff: Duration,
+    injected: bool,
+) -> Result<V, PointFailure>
+where
+    K: fmt::Debug,
+    F: Fn(&K) -> V + Sync,
+{
+    let attempts = retries + 1;
+    let mut payload = String::new();
+    for attempt in 1..=attempts {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if injected {
+                panic!("injected failure ({FAIL_POINT_ENV})");
+            }
+            eval(key)
+        }));
+        match result {
+            Ok(value) => return Ok(value),
+            Err(p) => {
+                payload = payload_text(p.as_ref());
+                if attempt < attempts {
+                    std::thread::sleep(backoff * attempt);
+                }
+            }
+        }
+    }
+    Err(PointFailure {
+        label: label.to_string(),
+        index,
+        coordinates: format!("{key:?}"),
+        payload,
+        attempts,
+    })
+}
+
+/// Renders a panic payload as text (panics carry `&str` or `String` in
+/// practice; anything else is reported as opaque).
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -295,7 +706,7 @@ where
 /// ```
 pub fn sweep<K, V, F>(points: &[K], eval: F) -> Vec<V>
 where
-    K: Hash + Eq + Clone + Sync,
+    K: Hash + Eq + Clone + Sync + fmt::Debug,
     V: Clone + Send,
     F: Fn(&K) -> V + Sync,
 {
@@ -305,11 +716,39 @@ where
 /// [`sweep`] with a label used in progress reports.
 pub fn sweep_labeled<K, V, F>(label: &str, points: &[K], eval: F) -> Vec<V>
 where
-    K: Hash + Eq + Clone + Sync,
+    K: Hash + Eq + Clone + Sync + fmt::Debug,
     V: Clone + Send,
     F: Fn(&K) -> V + Sync,
 {
     SweepEngine::<K, V>::from_env().run_labeled(label, points, eval)
+}
+
+/// Crash-isolated, resumable sweep — the entry point the experiment
+/// binaries use.
+///
+/// Engine configuration comes from the environment (see the [module
+/// docs](self)); if [`CHECKPOINT_ENV`] names a file, finished points are
+/// persisted there and a re-run resumes from it. On failure, every healthy
+/// point has still been evaluated (and checkpointed), and the error lists
+/// each failed point's grid coordinates.
+pub fn try_sweep_labeled<K, V, F>(label: &str, points: &[K], eval: F) -> Result<Vec<V>, SweepError>
+where
+    K: Hash + Eq + Clone + Sync + fmt::Debug,
+    V: Clone + Send + Checkpointable,
+    F: Fn(&K) -> V + Sync,
+{
+    let checkpoint = checkpoint_from_env()?;
+    SweepEngine::<K, V>::from_env().try_run_resumable(label, points, checkpoint.as_ref(), eval)
+}
+
+/// [`try_sweep_labeled`] with the default label.
+pub fn try_sweep<K, V, F>(points: &[K], eval: F) -> Result<Vec<V>, SweepError>
+where
+    K: Hash + Eq + Clone + Sync + fmt::Debug,
+    V: Clone + Send + Checkpointable,
+    F: Fn(&K) -> V + Sync,
+{
+    try_sweep_labeled("sweep", points, eval)
 }
 
 #[cfg(test)]
@@ -401,5 +840,180 @@ mod tests {
             k + 10
         });
         assert_eq!(out, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn panicking_point_is_isolated_and_named() {
+        let engine: SweepEngine<u64, u64> = SweepEngine::with_jobs(3).with_retries(0);
+        let err = engine
+            .try_run_labeled("grid", &[10, 20, 30, 40], |&k| {
+                if k == 30 {
+                    panic!("bad point {k}");
+                }
+                k + 1
+            })
+            .unwrap_err();
+        match err {
+            SweepError::Points {
+                label,
+                total,
+                completed,
+                failures,
+            } => {
+                assert_eq!(label, "grid");
+                assert_eq!(total, 4);
+                assert_eq!(completed, 3, "every healthy point still evaluated");
+                assert_eq!(failures.len(), 1);
+                assert_eq!(failures[0].index, 2);
+                assert_eq!(failures[0].coordinates, "30");
+                assert!(failures[0].payload.contains("bad point 30"));
+                assert_eq!(failures[0].attempts, 1);
+            }
+            other => panic!("expected point failure, got {other:?}"),
+        }
+        // The healthy points made it into the cache.
+        assert_eq!(
+            engine.run(&[10u64, 20, 40], |_| unreachable!()),
+            [11, 21, 41]
+        );
+    }
+
+    #[test]
+    fn run_labeled_propagates_panic_message_with_coordinates() {
+        let engine: SweepEngine<(u64, u64), u64> = SweepEngine::with_jobs(2).with_retries(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            engine.run_labeled("fig-test", &[(1, 2), (3, 4)], |&(a, _)| {
+                if a == 3 {
+                    panic!("exploded");
+                }
+                a
+            })
+        }))
+        .unwrap_err();
+        let message = payload_text(caught.as_ref());
+        assert!(message.contains("fig-test"), "names the sweep: {message}");
+        assert!(
+            message.contains("(3, 4)"),
+            "names the coordinates: {message}"
+        );
+        assert!(
+            message.contains("exploded"),
+            "carries the payload: {message}"
+        );
+    }
+
+    #[test]
+    fn retry_recovers_a_flaky_point() {
+        let engine: SweepEngine<u64, u64> = SweepEngine::with_jobs(1)
+            .with_retries(2)
+            .with_backoff(Duration::from_millis(1));
+        let attempts = AtomicU64::new(0);
+        let out = engine
+            .try_run_labeled("flaky", &[5], |&k| {
+                if attempts.fetch_add(1, Ordering::Relaxed) < 2 {
+                    panic!("transient");
+                }
+                k * 2
+            })
+            .unwrap();
+        assert_eq!(out, vec![10]);
+        assert_eq!(attempts.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn injected_fail_point_reports_its_coordinates() {
+        let engine: SweepEngine<u64, u64> =
+            SweepEngine::with_jobs(2).with_retries(0).with_fail_point(1);
+        let err = engine
+            .try_run_labeled("inject", &[100, 200, 300], |&k| k)
+            .unwrap_err();
+        match err {
+            SweepError::Points {
+                completed,
+                failures,
+                ..
+            } => {
+                assert_eq!(completed, 2);
+                assert_eq!(failures[0].coordinates, "200");
+                assert!(failures[0].payload.contains(FAIL_POINT_ENV));
+            }
+            other => panic!("expected point failure, got {other:?}"),
+        }
+    }
+
+    fn temp_checkpoint(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mesh-sweep-test-{}-{}",
+            std::process::id(),
+            stable_key_hash(name)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("sweep.ckpt")
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_byte_identical() {
+        let path = temp_checkpoint("resume");
+        let _ = std::fs::remove_file(&path);
+        let points: Vec<u64> = (0..8).collect();
+        let eval = |&k: &u64| (k as f64) * 1.5 + 0.1;
+
+        // Uninterrupted reference run, no checkpoint.
+        let reference: Vec<f64> = SweepEngine::with_jobs(2)
+            .try_run_labeled("resume", &points, eval)
+            .unwrap();
+
+        // First run "crashes" at point 5 (retries exhausted); the other
+        // points are on disk.
+        {
+            let ck = Checkpoint::open(&path).unwrap();
+            let engine: SweepEngine<u64, f64> =
+                SweepEngine::with_jobs(2).with_retries(0).with_fail_point(5);
+            let err = engine
+                .try_run_resumable("resume", &points, Some(&ck), eval)
+                .unwrap_err();
+            assert!(matches!(err, SweepError::Points { completed: 7, .. }));
+        }
+
+        // Second run resumes: only the failed point is evaluated.
+        let evals = AtomicU64::new(0);
+        let ck = Checkpoint::open(&path).unwrap();
+        assert_eq!(ck.loaded(), 7);
+        let engine: SweepEngine<u64, f64> = SweepEngine::with_jobs(2);
+        let resumed = engine
+            .try_run_resumable("resume", &points, Some(&ck), |k| {
+                evals.fetch_add(1, Ordering::Relaxed);
+                eval(k)
+            })
+            .unwrap();
+        assert_eq!(evals.load(Ordering::Relaxed), 1, "only point 5 re-ran");
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&resumed), bits(&reference), "byte-identical resume");
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_distinguishes_labels() {
+        let path = temp_checkpoint("labels");
+        let _ = std::fs::remove_file(&path);
+        let ck = Checkpoint::open(&path).unwrap();
+        let engine: SweepEngine<u64, u64> = SweepEngine::with_jobs(1);
+        let a = engine
+            .try_run_resumable("grid-a", &[1, 2], Some(&ck), |&k| k * 10)
+            .unwrap();
+        assert_eq!(a, vec![10, 20]);
+
+        // Same keys under another label must not hit grid-a's records.
+        let engine: SweepEngine<u64, u64> = SweepEngine::with_jobs(1);
+        let evals = AtomicU64::new(0);
+        let b = engine
+            .try_run_resumable("grid-b", &[1, 2], Some(&ck), |&k| {
+                evals.fetch_add(1, Ordering::Relaxed);
+                k * 100
+            })
+            .unwrap();
+        assert_eq!(b, vec![100, 200]);
+        assert_eq!(evals.load(Ordering::Relaxed), 2);
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 }

@@ -11,6 +11,7 @@ use crate::ids::{ProcId, SharedId, SyncId, ThreadId};
 use crate::model::ContentionModel;
 use crate::program::ThreadProgram;
 use crate::sched::{ExecScheduler, FifoScheduler};
+use crate::supervisor::{FaultPolicy, Supervisor};
 use crate::sync::SyncTable;
 use crate::time::{Power, SimTime};
 
@@ -76,6 +77,7 @@ pub struct SystemBuilder {
     pub(crate) wake_policy: crate::kernel::WakePolicy,
     pub(crate) trace: bool,
     pub(crate) step_limit: u64,
+    pub(crate) supervisor: Supervisor,
 }
 
 impl Default for SystemBuilder {
@@ -98,6 +100,7 @@ impl SystemBuilder {
             wake_policy: crate::kernel::WakePolicy::default(),
             trace: false,
             step_limit: u64::MAX,
+            supervisor: Supervisor::default(),
         }
     }
 
@@ -239,6 +242,59 @@ impl SystemBuilder {
     /// Caps the number of kernel steps, guarding against runaway programs.
     pub fn set_step_limit(&mut self, limit: u64) {
         self.step_limit = limit;
+    }
+
+    /// Caps the host wall-clock time of the run. A run that exceeds the
+    /// budget fails with
+    /// [`SimError::WallClockBudget`](crate::SimError::WallClockBudget) —
+    /// the guard against pathologically slow model evaluations. Off by
+    /// default.
+    ///
+    /// The budget is checked once per kernel step, so a single model
+    /// evaluation that blocks forever cannot be interrupted — but any run
+    /// that keeps stepping is bounded.
+    pub fn set_wall_clock_budget(&mut self, budget: std::time::Duration) {
+        self.supervisor.wall_clock_budget = Some(budget);
+    }
+
+    /// Caps the simulated time the run may reach. A run whose commit
+    /// frontier passes the budget fails with
+    /// [`SimError::SimTimeBudget`](crate::SimError::SimTimeBudget) — the
+    /// guard against oversized penalties, which are finite and non-negative
+    /// and therefore pass the model contract. Off by default.
+    pub fn set_sim_time_budget(&mut self, budget: SimTime) {
+        self.supervisor.sim_time_budget = Some(budget);
+    }
+
+    /// Arms the no-progress watchdog: if simulated time does not advance
+    /// for `window` consecutive kernel steps, the run fails with
+    /// [`SimError::Livelock`](crate::SimError::Livelock). Off by default.
+    ///
+    /// Chains of zero-duration regions legitimately commit without
+    /// advancing time, so pick a window comfortably above the longest such
+    /// chain a program can emit (a few thousand is a safe floor for the
+    /// workloads in this repository).
+    pub fn set_livelock_window(&mut self, window: u64) {
+        self.supervisor.livelock_window = Some(window);
+    }
+
+    /// Selects how the kernel reacts to a contention-model contract
+    /// violation. The default, [`FaultPolicy::Abort`], fails the run; the
+    /// other policies repair or replace the model and record an
+    /// [`Incident`](crate::supervisor::Incident) in the run's
+    /// [`Report`](crate::Report).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mesh_core::supervisor::FaultPolicy;
+    /// use mesh_core::SystemBuilder;
+    ///
+    /// let mut b = SystemBuilder::new();
+    /// b.set_fault_policy(FaultPolicy::FallbackModel);
+    /// ```
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        self.supervisor.fault_policy = policy;
     }
 
     /// Creates a mutex usable in [`SyncOp`](crate::SyncOp) operations.

@@ -2,6 +2,7 @@
 
 use crate::ids::{ProcId, SharedId, ThreadId};
 use crate::sync::SyncMisuseError;
+use crate::time::SimTime;
 use std::fmt;
 
 /// An error detected while building a [`System`](crate::System).
@@ -81,6 +82,33 @@ pub enum SimError {
         /// The limit that was exceeded.
         limit: u64,
     },
+    /// The run exceeded its host wall-clock budget
+    /// ([`SystemBuilder::set_wall_clock_budget`](crate::SystemBuilder::set_wall_clock_budget))
+    /// — a guard against pathologically slow model evaluations.
+    WallClockBudget {
+        /// The budget that was exceeded.
+        budget: std::time::Duration,
+    },
+    /// The commit frontier passed the simulated-time budget
+    /// ([`SystemBuilder::set_sim_time_budget`](crate::SystemBuilder::set_sim_time_budget))
+    /// — a guard against oversized penalties, which are finite and
+    /// non-negative and therefore pass the model contract.
+    SimTimeBudget {
+        /// The budget that was exceeded.
+        budget: SimTime,
+        /// The simulated time the frontier had reached.
+        now: SimTime,
+    },
+    /// Simulated time failed to advance across the configured number of
+    /// kernel steps
+    /// ([`SystemBuilder::set_livelock_window`](crate::SystemBuilder::set_livelock_window))
+    /// — e.g. an annotation stream emitting zero-duration regions forever.
+    Livelock {
+        /// The no-progress window that was exhausted, in kernel steps.
+        window: u64,
+        /// The simulated time the run was stuck at.
+        at: SimTime,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -108,6 +136,16 @@ impl fmt::Display for SimError {
             SimError::StepLimit { limit } => {
                 write!(f, "kernel step limit of {limit} exceeded")
             }
+            SimError::WallClockBudget { budget } => {
+                write!(f, "wall-clock budget of {budget:?} exceeded")
+            }
+            SimError::SimTimeBudget { budget, now } => {
+                write!(f, "simulated-time budget of {budget} exceeded at {now}")
+            }
+            SimError::Livelock { window, at } => write!(
+                f,
+                "livelock: simulated time stuck at {at} for {window} kernel steps"
+            ),
         }
     }
 }
@@ -141,6 +179,20 @@ mod tests {
         assert!(format!("{s}").contains("deadlock"));
         let s = SimError::StepLimit { limit: 10 };
         assert!(format!("{s}").contains("10"));
+        let s = SimError::WallClockBudget {
+            budget: std::time::Duration::from_millis(250),
+        };
+        assert!(format!("{s}").contains("wall-clock"));
+        let s = SimError::SimTimeBudget {
+            budget: SimTime::from_cycles(100.0),
+            now: SimTime::from_cycles(150.0),
+        };
+        assert!(format!("{s}").contains("simulated-time budget"));
+        let s = SimError::Livelock {
+            window: 64,
+            at: SimTime::from_cycles(5.0),
+        };
+        assert!(format!("{s}").contains("livelock"));
     }
 
     #[test]

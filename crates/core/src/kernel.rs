@@ -32,9 +32,10 @@ use crate::builder::{System, SystemBuilder};
 use crate::error::SimError;
 use crate::ids::{ProcId, SharedId, ThreadId};
 use crate::metrics::{ProcReport, Report, SharedReport, ThreadReport};
-use crate::model::{Slice, SliceRequest};
+use crate::model::{NoContention, Slice, SliceRequest};
 use crate::program::ProgramCtx;
 use crate::sched::SchedCtx;
+use crate::supervisor::{FaultAction, FaultPolicy, Incident};
 use crate::sync::{SyncOp, SyncOutcome};
 use crate::time::SimTime;
 use crate::trace::{Event, Trace};
@@ -160,6 +161,14 @@ pub(crate) struct Kernel {
     commits: u64,
     slices_analyzed: u64,
     kernel_steps: u64,
+    /// Host time the run started; set by `run`, read by the wall-clock
+    /// budget check.
+    start_wall: Option<std::time::Instant>,
+    /// `kernel_steps` value at the last advance of `now` (no-progress
+    /// watchdog).
+    steps_at_last_advance: u64,
+    /// Model-contract violations absorbed by a non-abort fault policy.
+    incidents: Vec<Incident>,
 }
 
 impl System {
@@ -242,12 +251,16 @@ impl Kernel {
             commits: 0,
             slices_analyzed: 0,
             kernel_steps: 0,
+            start_wall: None,
+            steps_at_last_advance: 0,
+            incidents: Vec::new(),
             spec,
         }
     }
 
     fn run(mut self) -> Result<SimOutcome, SimError> {
         let start_wall = std::time::Instant::now();
+        self.start_wall = Some(start_wall);
         loop {
             self.schedule_ready()?;
             match self.pop_next()? {
@@ -443,6 +456,7 @@ impl Kernel {
                     limit: self.spec.step_limit,
                 });
             }
+            self.check_supervisor()?;
             let region = &mut self.regions[idx];
             if region.done || region.end != end {
                 continue; // stale entry
@@ -469,7 +483,19 @@ impl Kernel {
         let end = self.regions[idx].end;
         // Backdated regions (optimistic wake policy) may end before the
         // commit frontier; the frontier itself never moves backwards.
+        let prev_now = self.now;
         self.now = self.now.max(end);
+        if self.now > prev_now {
+            self.steps_at_last_advance = self.kernel_steps;
+        }
+        if let Some(budget) = self.spec.supervisor.sim_time_budget {
+            if self.now > budget {
+                return Err(SimError::SimTimeBudget {
+                    budget,
+                    now: self.now,
+                });
+            }
+        }
 
         self.integrate_mass(idx);
         let dur = self.now - self.window_start;
@@ -702,25 +728,37 @@ impl Kernel {
                 service_time: self.spec.shared[s].service_time,
                 shared,
             };
-            let penalties = self.spec.shared[s].model.penalties(&slice, &requests);
-            if penalties.len() != requests.len() {
-                return Err(SimError::ModelContract {
-                    shared,
-                    detail: format!(
-                        "model returned {} penalties for {} requests",
-                        penalties.len(),
-                        requests.len()
-                    ),
-                });
+            let mut penalties = self.spec.shared[s].model.penalties(&slice, &requests);
+            if let Some(detail) = contract_violation(&penalties, &requests) {
+                match self.spec.supervisor.fault_policy {
+                    FaultPolicy::Abort => {
+                        return Err(SimError::ModelContract { shared, detail });
+                    }
+                    FaultPolicy::ClampPenalty => {
+                        sanitize_penalties(&mut penalties, requests.len(), dur);
+                        self.incidents.push(Incident {
+                            at: self.now,
+                            shared,
+                            detail,
+                            action: FaultAction::Clamped,
+                        });
+                    }
+                    FaultPolicy::FallbackModel => {
+                        // Swap in the safe baseline permanently; later
+                        // windows at this resource use it directly.
+                        self.spec.shared[s].model = Box::new(NoContention);
+                        penalties = self.spec.shared[s].model.penalties(&slice, &requests);
+                        self.incidents.push(Incident {
+                            at: self.now,
+                            shared,
+                            detail,
+                            action: FaultAction::FellBack,
+                        });
+                    }
+                }
             }
             let mut total_penalty = SimTime::ZERO;
             for (req, &p) in requests.iter().zip(&penalties) {
-                if !(p.as_cycles().is_finite() && p.as_cycles() >= 0.0) {
-                    return Err(SimError::ModelContract {
-                        shared,
-                        detail: format!("invalid penalty {p:?} for {}", req.thread),
-                    });
-                }
                 if p.is_zero() {
                     continue;
                 }
@@ -777,6 +815,28 @@ impl Kernel {
         &mut self.shared_reports[s]
     }
 
+    /// Per-step supervisor checks: the wall-clock budget and the
+    /// no-progress watchdog. Both are free when unconfigured; `Instant::now`
+    /// is only consulted when a wall-clock budget is set.
+    fn check_supervisor(&self) -> Result<(), SimError> {
+        if let Some(budget) = self.spec.supervisor.wall_clock_budget {
+            if let Some(start) = self.start_wall {
+                if start.elapsed() > budget {
+                    return Err(SimError::WallClockBudget { budget });
+                }
+            }
+        }
+        if let Some(window) = self.spec.supervisor.livelock_window {
+            if self.kernel_steps.saturating_sub(self.steps_at_last_advance) > window {
+                return Err(SimError::Livelock {
+                    window,
+                    at: self.now,
+                });
+            }
+        }
+        Ok(())
+    }
+
     fn into_report(self, wall: std::time::Duration) -> SimOutcome {
         let shared_reports = self.shared_reports;
         SimOutcome {
@@ -789,8 +849,42 @@ impl Kernel {
                 slices_analyzed: self.slices_analyzed,
                 kernel_steps: self.kernel_steps,
                 wall_clock: wall,
+                incidents: self.incidents,
             },
             trace: self.trace,
+        }
+    }
+}
+
+/// Returns a description of how `penalties` violates the model contract for
+/// `requests`, or `None` if the vector is well-formed.
+fn contract_violation(penalties: &[SimTime], requests: &[SliceRequest]) -> Option<String> {
+    if penalties.len() != requests.len() {
+        return Some(format!(
+            "model returned {} penalties for {} requests",
+            penalties.len(),
+            requests.len()
+        ));
+    }
+    requests
+        .iter()
+        .zip(penalties)
+        .find(|(_, p)| !p.is_valid())
+        .map(|(req, p)| format!("invalid penalty {p:?} for {}", req.thread))
+}
+
+/// Repairs an invalid penalty vector in place under
+/// [`FaultPolicy::ClampPenalty`]: wrong lengths are truncated or
+/// zero-padded, NaN and negative penalties become zero, and infinite
+/// penalties clamp to the analysis window's duration.
+fn sanitize_penalties(penalties: &mut Vec<SimTime>, n: usize, window: SimTime) {
+    penalties.resize(n, SimTime::ZERO);
+    for p in penalties {
+        let cycles = p.as_cycles();
+        if cycles.is_nan() || cycles < 0.0 {
+            *p = SimTime::ZERO;
+        } else if cycles.is_infinite() {
+            *p = window;
         }
     }
 }
@@ -1157,6 +1251,188 @@ mod tests {
             b.build().unwrap().run(),
             Err(SimError::StepLimit { limit: 1000 })
         ));
+    }
+
+    #[test]
+    fn sim_time_budget_bounds_runaway_schedules() {
+        use crate::program::FnProgram;
+        let mut b = SystemBuilder::new();
+        b.add_proc("p", Power::default());
+        b.add_thread(
+            "loop",
+            FnProgram::new(|_ctx: &ProgramCtx| Some(Annotation::compute(10.0))),
+        );
+        b.set_sim_time_budget(SimTime::from_cycles(100.0));
+        match b.build().unwrap().run() {
+            Err(SimError::SimTimeBudget { budget, now }) => {
+                assert_eq!(budget, SimTime::from_cycles(100.0));
+                assert!(now > budget);
+            }
+            other => panic!("expected sim-time budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn livelock_watchdog_detects_zero_advance_stream() {
+        use crate::program::FnProgram;
+        let mut b = SystemBuilder::new();
+        b.add_proc("p", Power::default());
+        b.add_thread(
+            "spinner",
+            FnProgram::new(|_ctx: &ProgramCtx| Some(Annotation::compute(0.0))),
+        );
+        b.set_livelock_window(128);
+        match b.build().unwrap().run() {
+            Err(SimError::Livelock { window, at }) => {
+                assert_eq!(window, 128);
+                assert_eq!(at, SimTime::ZERO);
+            }
+            other => panic!("expected livelock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn livelock_window_tolerates_bounded_zero_chains() {
+        // A finite chain of zero-duration regions shorter than the window
+        // must not trip the watchdog.
+        let mut b = SystemBuilder::new();
+        b.add_proc("p", Power::default());
+        let mut regions: Vec<Annotation> = (0..50).map(|_| Annotation::compute(0.0)).collect();
+        regions.push(Annotation::compute(10.0));
+        b.add_thread("t", VecProgram::new(regions));
+        b.set_livelock_window(1000);
+        let r = b.build().unwrap().run().unwrap().report;
+        assert_eq!(r.total_time.as_cycles(), 10.0);
+    }
+
+    #[test]
+    fn wall_clock_budget_aborts_long_runs() {
+        use crate::program::FnProgram;
+        let mut b = SystemBuilder::new();
+        b.add_proc("p", Power::default());
+        b.add_thread(
+            "loop",
+            FnProgram::new(|_ctx: &ProgramCtx| Some(Annotation::compute(1.0))),
+        );
+        b.set_wall_clock_budget(std::time::Duration::ZERO);
+        assert!(matches!(
+            b.build().unwrap().run(),
+            Err(SimError::WallClockBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn clamp_policy_completes_and_records_incident() {
+        #[derive(Debug)]
+        struct WrongLength;
+        impl ContentionModel for WrongLength {
+            fn penalties(&self, _s: &Slice, _r: &[SliceRequest]) -> Vec<SimTime> {
+                Vec::new()
+            }
+        }
+        let (mut b, p0, p1) = two_proc_builder();
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), WrongLength);
+        let t0 = b.add_thread(
+            "t0",
+            VecProgram::new(vec![Annotation::compute(10.0).with_accesses(bus, 1.0)]),
+        );
+        let t1 = b.add_thread(
+            "t1",
+            VecProgram::new(vec![Annotation::compute(10.0).with_accesses(bus, 1.0)]),
+        );
+        b.pin_thread(t0, &[p0]);
+        b.pin_thread(t1, &[p1]);
+        b.set_fault_policy(crate::supervisor::FaultPolicy::ClampPenalty);
+        let r = b.build().unwrap().run().unwrap().report;
+        // Clamped to zero penalties: contention-free timing, incident logged.
+        assert_eq!(r.total_time.as_cycles(), 10.0);
+        assert_eq!(r.queuing_total(), SimTime::ZERO);
+        assert!(!r.incidents.is_empty());
+        assert!(r
+            .incidents
+            .iter()
+            .all(|i| i.action == crate::supervisor::FaultAction::Clamped && i.shared == bus));
+    }
+
+    #[test]
+    fn clamp_policy_repairs_nan_and_infinite_penalties() {
+        #[derive(Debug)]
+        struct NanAndInf;
+        impl ContentionModel for NanAndInf {
+            fn penalties(&self, _s: &Slice, r: &[SliceRequest]) -> Vec<SimTime> {
+                r.iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        SimTime::from_cycles_unchecked(if i % 2 == 0 {
+                            f64::NAN
+                        } else {
+                            f64::INFINITY
+                        })
+                    })
+                    .collect()
+            }
+        }
+        let (mut b, p0, p1) = two_proc_builder();
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), NanAndInf);
+        let t0 = b.add_thread(
+            "t0",
+            VecProgram::new(vec![Annotation::compute(10.0).with_accesses(bus, 1.0)]),
+        );
+        let t1 = b.add_thread(
+            "t1",
+            VecProgram::new(vec![Annotation::compute(10.0).with_accesses(bus, 1.0)]),
+        );
+        b.pin_thread(t0, &[p0]);
+        b.pin_thread(t1, &[p1]);
+        b.set_fault_policy(crate::supervisor::FaultPolicy::ClampPenalty);
+        let r = b.build().unwrap().run().unwrap().report;
+        // NaN clamps to zero; infinity clamps to the window duration, so the
+        // run stays finite and completes.
+        assert!(r.total_time.as_cycles().is_finite());
+        assert!(r.queuing_total().as_cycles().is_finite());
+        assert!(!r.incidents.is_empty());
+    }
+
+    #[test]
+    fn fallback_policy_swaps_to_baseline_and_records_incident() {
+        #[derive(Debug)]
+        struct AlwaysInvalid;
+        impl ContentionModel for AlwaysInvalid {
+            fn penalties(&self, _s: &Slice, r: &[SliceRequest]) -> Vec<SimTime> {
+                vec![SimTime::from_cycles_unchecked(f64::NAN); r.len()]
+            }
+        }
+        let (mut b, p0, p1) = two_proc_builder();
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), AlwaysInvalid);
+        let t0 = b.add_thread(
+            "t0",
+            VecProgram::new(vec![
+                Annotation::compute(10.0).with_accesses(bus, 1.0),
+                Annotation::compute(10.0).with_accesses(bus, 1.0),
+            ]),
+        );
+        let t1 = b.add_thread(
+            "t1",
+            VecProgram::new(vec![
+                Annotation::compute(10.0).with_accesses(bus, 1.0),
+                Annotation::compute(10.0).with_accesses(bus, 1.0),
+            ]),
+        );
+        b.pin_thread(t0, &[p0]);
+        b.pin_thread(t1, &[p1]);
+        b.set_fault_policy(crate::supervisor::FaultPolicy::FallbackModel);
+        let r = b.build().unwrap().run().unwrap().report;
+        // The fallback (NoContention) assigns no penalties; the swap is
+        // permanent, so exactly one incident is recorded even though several
+        // windows are analyzed.
+        assert_eq!(r.total_time.as_cycles(), 20.0);
+        assert_eq!(r.queuing_total(), SimTime::ZERO);
+        assert_eq!(r.incidents.len(), 1);
+        assert_eq!(
+            r.incidents[0].action,
+            crate::supervisor::FaultAction::FellBack
+        );
+        assert_eq!(r.incidents[0].shared, bus);
     }
 
     #[test]

@@ -91,6 +91,7 @@
 //! | [`sched`] | execution-scheduler (`UE`) policies |
 //! | [`sync`] | mutex/semaphore/condvar/barrier operations |
 //! | [`builder`] | [`SystemBuilder`] / [`System`] |
+//! | [`supervisor`] | budgets, watchdogs and [`FaultPolicy`] incident handling |
 //! | [`kernel`] | the Figure-2 hybrid kernel and [`SimOutcome`] |
 //! | [`metrics`] | the [`Report`] produced by a run |
 //! | [`trace`] | optional event tracing |
@@ -107,6 +108,7 @@ pub mod metrics;
 pub mod model;
 pub mod program;
 pub mod sched;
+pub mod supervisor;
 pub mod sync;
 pub mod time;
 pub mod timeline;
@@ -119,5 +121,6 @@ pub use ids::{ProcId, SharedId, SyncId, ThreadId};
 pub use kernel::{SimOutcome, WakePolicy};
 pub use metrics::{ProcReport, Report, SharedReport, ThreadReport};
 pub use program::{FnProgram, ProgramCtx, ThreadProgram, VecProgram};
+pub use supervisor::{FaultAction, FaultPolicy, Incident};
 pub use sync::SyncOp;
 pub use time::{Complexity, Power, SimTime};

@@ -95,6 +95,10 @@ pub struct Report {
     pub kernel_steps: u64,
     /// Host wall-clock time the simulation took.
     pub wall_clock: std::time::Duration,
+    /// Model-contract violations absorbed by a non-abort
+    /// [`FaultPolicy`](crate::supervisor::FaultPolicy), in occurrence order.
+    /// Empty under the default abort policy and on healthy runs.
+    pub incidents: Vec<crate::supervisor::Incident>,
 }
 
 impl Report {

@@ -1,0 +1,174 @@
+//! The run supervisor: budgets, watchdogs and fault policies.
+//!
+//! A hybrid simulation is only useful for design-space exploration if a bad
+//! point cannot take down a multi-hour sweep. Three things can go wrong at
+//! the extreme operating points a sweep is meant to probe:
+//!
+//! 1. **A model misbehaves.** A mis-calibrated analytical model emits a NaN,
+//!    negative or wrong-length penalty vector — a
+//!    [`SimError::ModelContract`](crate::SimError::ModelContract) violation.
+//!    The [`FaultPolicy`] decides whether that aborts the run (the default),
+//!    is clamped to a safe value, or triggers a permanent fallback to a
+//!    baseline model — with every non-abort decision recorded as an
+//!    [`Incident`] in the run's [`Report`](crate::Report).
+//! 2. **The run exceeds its budget.** Wall-clock and simulated-time budgets
+//!    ([`SystemBuilder::set_wall_clock_budget`],
+//!    [`SystemBuilder::set_sim_time_budget`]) bound slow model evaluations
+//!    and runaway schedules (an "oversized" penalty is finite and
+//!    non-negative, so it passes the model contract — only a time budget
+//!    catches it).
+//! 3. **The run stops advancing.** The no-progress watchdog
+//!    ([`SystemBuilder::set_livelock_window`]) detects simulated time
+//!    standing still across many kernel steps — e.g. an annotation stream of
+//!    endless zero-duration regions — and fails the run with a typed
+//!    [`SimError::Livelock`](crate::SimError::Livelock) instead of spinning
+//!    until the step limit.
+//!
+//! All knobs are off by default; a supervised run with no budgets configured
+//! behaves exactly like an unsupervised one.
+//!
+//! [`SystemBuilder::set_wall_clock_budget`]: crate::SystemBuilder::set_wall_clock_budget
+//! [`SystemBuilder::set_sim_time_budget`]: crate::SystemBuilder::set_sim_time_budget
+//! [`SystemBuilder::set_livelock_window`]: crate::SystemBuilder::set_livelock_window
+
+use crate::ids::SharedId;
+use crate::time::SimTime;
+use std::fmt;
+use std::time::Duration;
+
+/// What the kernel does when a contention model violates its contract
+/// (wrong penalty count, or a NaN / infinite / negative penalty).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultPolicy {
+    /// Abort the run with [`SimError::ModelContract`](crate::SimError::ModelContract).
+    /// The default, and the right choice when a contract violation means the
+    /// experiment itself is wrong.
+    #[default]
+    Abort,
+    /// Repair the penalty vector in place: NaN and negative penalties become
+    /// zero, infinite penalties are clamped to the analysis window's
+    /// duration, and a wrong-length vector is truncated or zero-padded. The
+    /// run continues and the repair is recorded as an [`Incident`].
+    ClampPenalty,
+    /// Permanently replace the offending resource's model with the safe
+    /// baseline ([`NoContention`](crate::model::NoContention)), re-evaluate
+    /// the window under it, and continue. The swap is recorded as an
+    /// [`Incident`]; later windows use the fallback directly.
+    FallbackModel,
+}
+
+impl fmt::Display for FaultPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPolicy::Abort => write!(f, "abort"),
+            FaultPolicy::ClampPenalty => write!(f, "clamp-penalty"),
+            FaultPolicy::FallbackModel => write!(f, "fallback-model"),
+        }
+    }
+}
+
+/// The corrective action a non-abort [`FaultPolicy`] took, recorded in an
+/// [`Incident`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultAction {
+    /// Invalid penalties were clamped to safe values
+    /// ([`FaultPolicy::ClampPenalty`]).
+    Clamped,
+    /// The resource's model was swapped for the safe baseline
+    /// ([`FaultPolicy::FallbackModel`]).
+    FellBack,
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::Clamped => write!(f, "clamped"),
+            FaultAction::FellBack => write!(f, "fell back to baseline model"),
+        }
+    }
+}
+
+/// One model-contract violation the supervisor absorbed instead of aborting.
+///
+/// Incidents are appended to [`Report::incidents`](crate::Report::incidents)
+/// in the order they occurred, so a sweep can complete a degraded point and
+/// still tell the designer exactly what was repaired, where and when.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Incident {
+    /// Simulated time of the analysis window in which the violation occurred.
+    pub at: SimTime,
+    /// The shared resource whose model misbehaved.
+    pub shared: SharedId,
+    /// Human-readable description of the violation.
+    pub detail: String,
+    /// The corrective action taken.
+    pub action: FaultAction,
+}
+
+impl fmt::Display for Incident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "at {}: model of {} violated its contract ({}); {}",
+            self.at, self.shared, self.detail, self.action
+        )
+    }
+}
+
+/// Supervisor configuration carried by the
+/// [`SystemBuilder`](crate::SystemBuilder). All limits default to "off".
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Supervisor {
+    /// Maximum host wall-clock time for the run.
+    pub(crate) wall_clock_budget: Option<Duration>,
+    /// Maximum simulated time the commit frontier may reach.
+    pub(crate) sim_time_budget: Option<SimTime>,
+    /// Maximum kernel steps without simulated time advancing.
+    pub(crate) livelock_window: Option<u64>,
+    /// Reaction to model-contract violations.
+    pub(crate) fault_policy: FaultPolicy,
+}
+
+impl Default for Supervisor {
+    fn default() -> Supervisor {
+        Supervisor {
+            wall_clock_budget: None,
+            sim_time_budget: None,
+            livelock_window: None,
+            fault_policy: FaultPolicy::Abort,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_off() {
+        let s = Supervisor::default();
+        assert_eq!(s.wall_clock_budget, None);
+        assert_eq!(s.sim_time_budget, None);
+        assert_eq!(s.livelock_window, None);
+        assert_eq!(s.fault_policy, FaultPolicy::Abort);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(format!("{}", FaultPolicy::Abort), "abort");
+        assert_eq!(format!("{}", FaultPolicy::ClampPenalty), "clamp-penalty");
+        assert_eq!(format!("{}", FaultPolicy::FallbackModel), "fallback-model");
+        assert_eq!(format!("{}", FaultAction::Clamped), "clamped");
+        let i = Incident {
+            at: SimTime::from_cycles(10.0),
+            shared: SharedId(0),
+            detail: "NaN penalty".into(),
+            action: FaultAction::FellBack,
+        };
+        let s = format!("{i}");
+        assert!(s.contains("NaN penalty"));
+        assert!(s.contains("fell back"));
+    }
+}

@@ -81,6 +81,27 @@ impl SimTime {
         SimTime::new(cycles).expect("SimTime::from_cycles: invalid cycle count")
     }
 
+    /// Creates a `SimTime` from a raw cycle count **without validation**.
+    ///
+    /// This deliberately bypasses the NaN/infinity/negativity checks of
+    /// [`SimTime::new`] and exists for one purpose: letting fault-injection
+    /// harnesses (the `mesh-faults` crate) hand the kernel the malformed
+    /// penalties a buggy or mis-calibrated contention model could produce
+    /// through unchecked arithmetic, so the kernel's contract validation and
+    /// [`FaultPolicy`](crate::supervisor::FaultPolicy) handling can be
+    /// exercised. Production models should never call this.
+    pub fn from_cycles_unchecked(cycles: f64) -> SimTime {
+        SimTime(cycles)
+    }
+
+    /// Returns `true` if the value satisfies the `SimTime` invariant
+    /// (finite and non-negative). Only values produced by
+    /// [`SimTime::from_cycles_unchecked`] or overflowing arithmetic can
+    /// violate it; the kernel uses this to validate model outputs.
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+
     /// Returns the raw cycle count.
     pub fn as_cycles(self) -> f64 {
         self.0

@@ -1,0 +1,521 @@
+//! # mesh-faults — deterministic fault injection for the MESH kernel
+//!
+//! Robustness tooling for the hybrid simulation/analytical kernel: seed-driven
+//! decorators that make *well-behaved* components misbehave in controlled,
+//! reproducible ways, so tests can assert that the kernel always degrades into
+//! a typed [`SimError`](mesh_core::SimError) — never a panic, never a hang.
+//!
+//! Two families of fault sources are provided:
+//!
+//! * [`FaultyModel`] wraps any [`ContentionModel`] and injects contract
+//!   violations into its output: NaN, negative or oversized penalties, wrong
+//!   penalty-vector lengths, and artificially slow evaluations. Which call
+//!   misbehaves is decided by a deterministic [SplitMix64] stream, so a given
+//!   `(seed, rate, kinds)` triple always produces the same fault schedule.
+//! * [`FaultyProgram`] is a seed-driven [`ThreadProgram`] emitting randomized
+//!   annotation streams — including zero-duration regions and misused
+//!   synchronization operations — plus ready-made pathological workloads:
+//!   [`deadlocking_pair`], [`never_posted_wait`], [`zero_advance_program`] and
+//!   [`endless_compute_program`].
+//!
+//! Faults that pass the model contract (finite, non-negative, right length —
+//! e.g. [`FaultKind::OversizedPenalty`]) are caught by the supervisor budgets
+//! instead ([`SystemBuilder::set_sim_time_budget`],
+//! [`SystemBuilder::set_wall_clock_budget`],
+//! [`SystemBuilder::set_livelock_window`]); the property tests in this crate
+//! exercise both layers together.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//!
+//! ## Example
+//!
+//! ```
+//! use mesh_core::model::NoContention;
+//! use mesh_core::{Annotation, FaultPolicy, Power, SimTime, SystemBuilder, VecProgram};
+//! use mesh_faults::{FaultKind, FaultyModel};
+//!
+//! let mut b = SystemBuilder::new();
+//! let p0 = b.add_proc("p0", Power::default());
+//! let p1 = b.add_proc("p1", Power::default());
+//! let faulty = FaultyModel::new(NoContention, 42).with_kinds(&[FaultKind::NanPenalty]);
+//! let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), faulty);
+//! for (name, p) in [("a", p0), ("b", p1)] {
+//!     let t = b.add_thread(
+//!         name,
+//!         VecProgram::new(vec![Annotation::compute(10.0).with_accesses(bus, 2.0)]),
+//!     );
+//!     b.pin_thread(t, &[p]);
+//! }
+//! b.set_fault_policy(FaultPolicy::ClampPenalty);
+//! let report = b.build().unwrap().run().unwrap().report;
+//! assert!(!report.incidents.is_empty()); // the NaN was absorbed, not fatal
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+use mesh_core::{
+    Annotation, FnProgram, ProcId, ProgramCtx, SharedId, SimTime, SyncOp, SystemBuilder, ThreadId,
+    ThreadProgram, VecProgram,
+};
+
+/// A SplitMix64 pseudo-random stream: tiny, fast and fully deterministic.
+///
+/// Used instead of the vendored `rand` so fault schedules stay stable even if
+/// the vendored generator changes. The same seed always yields the same
+/// sequence.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Creates a stream from a seed. Distinct seeds give unrelated streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform index below `n`. `n` must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Fair coin flip.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// The ways a [`FaultyModel`] can corrupt a penalty evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Replace one penalty with NaN (violates the model contract).
+    NanPenalty,
+    /// Replace one penalty with a negative value (violates the contract).
+    NegativePenalty,
+    /// Replace one penalty with a huge *finite, non-negative* value. This
+    /// passes the model contract; only a simulated-time budget catches it.
+    OversizedPenalty,
+    /// Return a penalty vector of the wrong length (violates the contract).
+    WrongLength,
+    /// Evaluate correctly but stall the host thread first; only a wall-clock
+    /// budget catches it.
+    SlowEval,
+}
+
+impl FaultKind {
+    /// Every injectable fault kind, in declaration order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::NanPenalty,
+        FaultKind::NegativePenalty,
+        FaultKind::OversizedPenalty,
+        FaultKind::WrongLength,
+        FaultKind::SlowEval,
+    ];
+
+    /// The kinds that violate the model contract and are therefore visible to
+    /// the kernel's validation (everything except [`FaultKind::OversizedPenalty`]
+    /// and [`FaultKind::SlowEval`]).
+    pub const CONTRACT_VIOLATING: [FaultKind; 3] = [
+        FaultKind::NanPenalty,
+        FaultKind::NegativePenalty,
+        FaultKind::WrongLength,
+    ];
+}
+
+#[derive(Debug)]
+struct FaultState {
+    rng: SplitMix64,
+    injected: u64,
+}
+
+/// A decorator injecting deterministic faults into any [`ContentionModel`].
+///
+/// Each `penalties` call first asks the seeded stream whether to inject
+/// (probability [`with_rate`](FaultyModel::with_rate), default 1.0) and which
+/// [`FaultKind`] to use; the inner model's answer is then corrupted
+/// accordingly. Interior state lives behind a mutex so the decorator satisfies
+/// the `&self` model interface while staying deterministic for a fixed seed.
+#[derive(Debug)]
+pub struct FaultyModel<M> {
+    inner: M,
+    kinds: Vec<FaultKind>,
+    rate: f64,
+    oversize_cycles: f64,
+    slow_eval: Duration,
+    name: String,
+    state: Mutex<FaultState>,
+}
+
+impl<M: ContentionModel> FaultyModel<M> {
+    /// Wraps `inner`, drawing the fault schedule from `seed`. All fault kinds
+    /// are enabled and every call injects (rate 1.0) until configured
+    /// otherwise.
+    pub fn new(inner: M, seed: u64) -> FaultyModel<M> {
+        let name = format!("faulty-{}", inner.name());
+        FaultyModel {
+            inner,
+            kinds: FaultKind::ALL.to_vec(),
+            rate: 1.0,
+            oversize_cycles: 1e12,
+            slow_eval: Duration::from_millis(1),
+            name,
+            state: Mutex::new(FaultState {
+                rng: SplitMix64::new(seed),
+                injected: 0,
+            }),
+        }
+    }
+
+    /// Restricts injection to the given kinds. Panics if `kinds` is empty.
+    #[must_use]
+    pub fn with_kinds(mut self, kinds: &[FaultKind]) -> FaultyModel<M> {
+        assert!(!kinds.is_empty(), "fault kind set must be non-empty");
+        self.kinds = kinds.to_vec();
+        self
+    }
+
+    /// Sets the per-call injection probability (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn with_rate(mut self, rate: f64) -> FaultyModel<M> {
+        self.rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the cycle count used by [`FaultKind::OversizedPenalty`].
+    #[must_use]
+    pub fn with_oversize_cycles(mut self, cycles: f64) -> FaultyModel<M> {
+        self.oversize_cycles = cycles;
+        self
+    }
+
+    /// Sets the host-side stall used by [`FaultKind::SlowEval`].
+    #[must_use]
+    pub fn with_slow_eval(mut self, stall: Duration) -> FaultyModel<M> {
+        self.slow_eval = stall;
+        self
+    }
+
+    /// Number of faults injected so far — lets tests assert the schedule
+    /// actually fired.
+    pub fn injected(&self) -> u64 {
+        self.state.lock().expect("fault state poisoned").injected
+    }
+}
+
+impl<M: ContentionModel> ContentionModel for FaultyModel<M> {
+    fn penalties(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+        let fault = {
+            let mut st = self.state.lock().expect("fault state poisoned");
+            if st.rng.next_f64() < self.rate {
+                let kind = self.kinds[st.rng.below(self.kinds.len())];
+                let victim = st.rng.below(requests.len().max(1));
+                let grow = st.rng.coin();
+                st.injected += 1;
+                Some((kind, victim, grow))
+            } else {
+                None
+            }
+        };
+        if let Some((FaultKind::SlowEval, _, _)) = fault {
+            std::thread::sleep(self.slow_eval);
+        }
+        let mut penalties = self.inner.penalties(slice, requests);
+        let Some((kind, victim, grow)) = fault else {
+            return penalties;
+        };
+        let corrupt = |p: &mut Vec<SimTime>, value: f64| {
+            if let Some(slot) = p.get_mut(victim) {
+                *slot = SimTime::from_cycles_unchecked(value);
+            }
+        };
+        match kind {
+            FaultKind::NanPenalty => corrupt(&mut penalties, f64::NAN),
+            FaultKind::NegativePenalty => corrupt(&mut penalties, -1.0),
+            FaultKind::OversizedPenalty => corrupt(&mut penalties, self.oversize_cycles),
+            FaultKind::WrongLength => {
+                if grow || penalties.is_empty() {
+                    penalties.push(SimTime::ZERO);
+                } else {
+                    penalties.pop();
+                }
+            }
+            FaultKind::SlowEval => {} // already slept above
+        }
+        penalties
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A seed-driven program emitting randomized — possibly malformed —
+/// annotation streams.
+///
+/// Regions mix plain compute (sometimes zero-duration), shared-resource
+/// accesses and synchronization operations drawn from a caller-supplied pool.
+/// Because the pool may contain misuses (unlocking a mutex the thread never
+/// locked, waiting on a semaphore nobody posts), the resulting run can end in
+/// any typed [`SimError`](mesh_core::SimError) — which is exactly what the
+/// robustness property tests want to provoke.
+///
+/// The stream is a pure function of the seed and configuration: two programs
+/// built identically emit identical regions.
+#[derive(Clone, Debug)]
+pub struct FaultyProgram {
+    rng: SplitMix64,
+    remaining: u64,
+    shared: Vec<SharedId>,
+    sync_pool: Vec<SyncOp>,
+    max_complexity: f64,
+    zero_bias: f64,
+}
+
+impl FaultyProgram {
+    /// Creates a program of 32 regions with no shared accesses and no sync
+    /// operations; configure with the builder methods.
+    pub fn new(seed: u64) -> FaultyProgram {
+        FaultyProgram {
+            rng: SplitMix64::new(seed),
+            remaining: 32,
+            shared: Vec::new(),
+            sync_pool: Vec::new(),
+            max_complexity: 100.0,
+            zero_bias: 0.2,
+        }
+    }
+
+    /// Sets the number of regions to emit before terminating.
+    #[must_use]
+    pub fn with_regions(mut self, n: u64) -> FaultyProgram {
+        self.remaining = n;
+        self
+    }
+
+    /// Makes the stream infinite — pair with a step limit or supervisor
+    /// budget, or the run will be cut short by nothing at all.
+    #[must_use]
+    pub fn endless(mut self) -> FaultyProgram {
+        self.remaining = u64::MAX;
+        self
+    }
+
+    /// Shared resources that regions may (randomly) access.
+    #[must_use]
+    pub fn with_shared(mut self, shared: &[SharedId]) -> FaultyProgram {
+        self.shared = shared.to_vec();
+        self
+    }
+
+    /// Synchronization operations to sprinkle over the stream. Misuses are
+    /// welcome; that is the point.
+    #[must_use]
+    pub fn with_sync_pool(mut self, pool: &[SyncOp]) -> FaultyProgram {
+        self.sync_pool = pool.to_vec();
+        self
+    }
+
+    /// Probability that a region has zero duration (default 0.2).
+    #[must_use]
+    pub fn with_zero_bias(mut self, bias: f64) -> FaultyProgram {
+        self.zero_bias = bias.clamp(0.0, 1.0);
+        self
+    }
+}
+
+impl ThreadProgram for FaultyProgram {
+    fn next_region(&mut self, _ctx: &ProgramCtx) -> Option<Annotation> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let complexity = if self.rng.next_f64() < self.zero_bias {
+            0.0
+        } else {
+            self.rng.next_f64() * self.max_complexity
+        };
+        let mut region = Annotation::compute(complexity);
+        if !self.shared.is_empty() && self.rng.next_f64() < 0.5 {
+            let s = self.shared[self.rng.below(self.shared.len())];
+            region = region.with_accesses(s, self.rng.next_f64() * 16.0);
+        }
+        if !self.sync_pool.is_empty() && self.rng.next_f64() < 0.4 {
+            region = region.with_sync(self.sync_pool[self.rng.below(self.sync_pool.len())]);
+        }
+        Some(region)
+    }
+}
+
+/// Installs the classic AB/BA deadlock: two threads pinned to distinct
+/// resources acquire two mutexes in opposite order with compute in between,
+/// so both block forever and the kernel must report
+/// [`SimError::Deadlock`](mesh_core::SimError::Deadlock).
+pub fn deadlocking_pair(b: &mut SystemBuilder, p0: ProcId, p1: ProcId) -> (ThreadId, ThreadId) {
+    let a = b.add_mutex();
+    let z = b.add_mutex();
+    let t0 = b.add_thread(
+        "deadlock-ab",
+        VecProgram::new(vec![
+            Annotation::sync(SyncOp::MutexLock(a)),
+            Annotation::compute(10.0),
+            Annotation::sync(SyncOp::MutexLock(z)),
+        ]),
+    );
+    let t1 = b.add_thread(
+        "deadlock-ba",
+        VecProgram::new(vec![
+            Annotation::sync(SyncOp::MutexLock(z)),
+            Annotation::compute(10.0),
+            Annotation::sync(SyncOp::MutexLock(a)),
+        ]),
+    );
+    b.pin_thread(t0, &[p0]);
+    b.pin_thread(t1, &[p1]);
+    (t0, t1)
+}
+
+/// Installs a thread that waits on a semaphore nobody ever posts — the
+/// simplest guaranteed [`SimError::Deadlock`](mesh_core::SimError::Deadlock).
+pub fn never_posted_wait(b: &mut SystemBuilder) -> ThreadId {
+    let sem = b.add_semaphore(0);
+    b.add_thread(
+        "waits-forever",
+        VecProgram::new(vec![
+            Annotation::compute(5.0),
+            Annotation::sync(SyncOp::SemWait(sem)),
+        ]),
+    )
+}
+
+/// An endless stream of zero-duration regions: simulated time never advances,
+/// so only the livelock watchdog
+/// ([`SystemBuilder::set_livelock_window`]) terminates the run.
+pub fn zero_advance_program() -> impl ThreadProgram {
+    FnProgram::new(|_ctx: &ProgramCtx| Some(Annotation::compute(0.0)))
+}
+
+/// An endless stream of compute regions of the given complexity: time
+/// advances forever until a step limit or simulated-time budget intervenes.
+pub fn endless_compute_program(complexity: f64) -> impl ThreadProgram {
+    FnProgram::new(move |_ctx: &ProgramCtx| Some(Annotation::compute(complexity)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_core::model::NoContention;
+    use mesh_core::{SyncId, ThreadId};
+
+    fn slice() -> Slice {
+        Slice {
+            start: SimTime::ZERO,
+            duration: SimTime::from_cycles(100.0),
+            service_time: SimTime::from_cycles(1.0),
+            shared: SharedId::from_index(0),
+        }
+    }
+
+    fn requests(n: usize) -> Vec<SliceRequest> {
+        (0..n)
+            .map(|i| SliceRequest {
+                thread: ThreadId::from_index(i),
+                accesses: 1.0 + i as f64,
+                priority: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_seed_sensitive() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let mut c = SplitMix64::new(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+        let mut d = SplitMix64::new(1);
+        for _ in 0..100 {
+            let f = d.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn nan_injection_corrupts_one_penalty() {
+        let m = FaultyModel::new(NoContention, 3).with_kinds(&[FaultKind::NanPenalty]);
+        let p = m.penalties(&slice(), &requests(3));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.iter().filter(|t| !t.is_valid()).count(), 1);
+        assert_eq!(m.injected(), 1);
+    }
+
+    #[test]
+    fn wrong_length_changes_arity() {
+        let m = FaultyModel::new(NoContention, 5).with_kinds(&[FaultKind::WrongLength]);
+        let p = m.penalties(&slice(), &requests(4));
+        assert_ne!(p.len(), 4);
+    }
+
+    #[test]
+    fn oversized_is_contract_clean_but_huge() {
+        let m = FaultyModel::new(NoContention, 9)
+            .with_kinds(&[FaultKind::OversizedPenalty])
+            .with_oversize_cycles(1e9);
+        let p = m.penalties(&slice(), &requests(2));
+        assert!(p.iter().all(|t| t.is_valid()));
+        assert!(p.iter().any(|t| t.as_cycles() >= 1e9));
+    }
+
+    #[test]
+    fn rate_zero_never_injects() {
+        let m = FaultyModel::new(NoContention, 11).with_rate(0.0);
+        for _ in 0..50 {
+            let p = m.penalties(&slice(), &requests(2));
+            assert!(p.iter().all(|t| t.is_zero()));
+        }
+        assert_eq!(m.injected(), 0);
+        assert_eq!(m.name(), "faulty-no-contention");
+    }
+
+    #[test]
+    fn faulty_program_is_deterministic() {
+        let ctx = ProgramCtx {
+            thread: ThreadId::from_index(0),
+            proc: ProcId::from_index(0),
+            now: SimTime::ZERO,
+            regions_committed: 0,
+        };
+        let pool = [SyncOp::MutexUnlock(SyncId::from_index(0))];
+        let mk = || {
+            FaultyProgram::new(99)
+                .with_regions(20)
+                .with_shared(&[SharedId::from_index(0)])
+                .with_sync_pool(&pool)
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..21 {
+            assert_eq!(a.next_region(&ctx), b.next_region(&ctx));
+        }
+        assert!(a.next_region(&ctx).is_none());
+    }
+}

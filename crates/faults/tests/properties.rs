@@ -1,0 +1,249 @@
+//! Robustness property tests: the kernel under injected faults.
+//!
+//! Every test drives `kernel::run` with a fault source from `mesh-faults` —
+//! misbehaving contention models, malformed annotation streams, pathological
+//! synchronization — inside `catch_unwind`, and asserts the run ends in `Ok`
+//! or a *typed* [`SimError`]: no panic ever escapes the kernel, and the
+//! supervisor budgets guarantee no run hangs.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use mesh_core::model::NoContention;
+use mesh_core::{Annotation, FaultPolicy, Power, SimError, SimTime, SystemBuilder, VecProgram};
+use mesh_faults::{
+    deadlocking_pair, endless_compute_program, never_posted_wait, zero_advance_program, FaultKind,
+    FaultyModel, FaultyProgram,
+};
+use proptest::prelude::*;
+
+/// Runs a built system inside `catch_unwind` and asserts no panic escaped.
+fn run_no_panic(b: SystemBuilder) -> Result<mesh_core::Report, SimError> {
+    let sys = b.build().expect("faulty scenarios must still build");
+    let outcome = catch_unwind(AssertUnwindSafe(move || sys.run()));
+    match outcome {
+        Ok(Ok(o)) => Ok(o.report),
+        Ok(Err(e)) => Err(e),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            panic!("kernel panicked under fault injection: {msg}");
+        }
+    }
+}
+
+/// A two-proc system whose bus model injects the given fault kinds on every
+/// evaluation, with supervisor budgets so nothing can hang.
+fn faulty_bus_system(seed: u64, kinds: &[FaultKind], policy: FaultPolicy) -> SystemBuilder {
+    let mut b = SystemBuilder::new();
+    let p0 = b.add_proc("p0", Power::default());
+    let p1 = b.add_proc("p1", Power::default());
+    let model = FaultyModel::new(NoContention, seed)
+        .with_kinds(kinds)
+        .with_slow_eval(Duration::from_millis(1));
+    let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), model);
+    for (i, p) in [p0, p1].into_iter().enumerate() {
+        let regions: Vec<Annotation> = (0..8)
+            .map(|r| Annotation::compute(10.0 + r as f64).with_accesses(bus, 2.0))
+            .collect();
+        let t = b.add_thread(format!("t{i}"), VecProgram::new(regions));
+        b.pin_thread(t, &[p]);
+    }
+    b.set_fault_policy(policy);
+    b.set_sim_time_budget(SimTime::from_cycles(1e7));
+    b.set_step_limit(100_000);
+    b.set_livelock_window(10_000);
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Contract-violating models under the default Abort policy: the kernel
+    /// returns a typed error (usually `ModelContract`) and never panics.
+    #[test]
+    fn abort_policy_yields_typed_errors(seed in 0u64..10_000) {
+        let b = faulty_bus_system(seed, &FaultKind::CONTRACT_VIOLATING, FaultPolicy::Abort);
+        match run_no_panic(b) {
+            Ok(_) => {} // rate draws can miss contended slices entirely
+            Err(SimError::ModelContract { .. })
+            | Err(SimError::SimTimeBudget { .. })
+            | Err(SimError::StepLimit { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e:?}"),
+        }
+    }
+
+    /// ClampPenalty absorbs every contract violation: the run completes and
+    /// each absorbed violation is recorded as an incident.
+    #[test]
+    fn clamp_policy_always_completes(seed in 0u64..10_000) {
+        let b = faulty_bus_system(
+            seed,
+            &FaultKind::CONTRACT_VIOLATING,
+            FaultPolicy::ClampPenalty,
+        );
+        let report = run_no_panic(b).expect("clamp policy must complete");
+        prop_assert!(!report.incidents.is_empty());
+        prop_assert!(report.total_time.as_cycles().is_finite());
+    }
+
+    /// FallbackModel swaps the offender for the baseline: the run completes,
+    /// records the swap, and (because the baseline is NoContention) assigns
+    /// no further queuing after the swap.
+    #[test]
+    fn fallback_policy_always_completes(seed in 0u64..10_000) {
+        let b = faulty_bus_system(
+            seed,
+            &FaultKind::CONTRACT_VIOLATING,
+            FaultPolicy::FallbackModel,
+        );
+        let report = run_no_panic(b).expect("fallback policy must complete");
+        prop_assert_eq!(report.incidents.len(), 1);
+        prop_assert!(report.total_time.as_cycles().is_finite());
+    }
+
+    /// Oversized penalties pass the model contract; the simulated-time budget
+    /// is what bounds them. Either the run finishes under budget or it is cut
+    /// off with the typed budget error.
+    #[test]
+    fn oversized_penalties_hit_the_sim_budget(seed in 0u64..10_000) {
+        let mut b = SystemBuilder::new();
+        let p0 = b.add_proc("p0", Power::default());
+        let p1 = b.add_proc("p1", Power::default());
+        let model = FaultyModel::new(NoContention, seed)
+            .with_kinds(&[FaultKind::OversizedPenalty])
+            .with_oversize_cycles(1e9);
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), model);
+        for (i, p) in [p0, p1].into_iter().enumerate() {
+            let t = b.add_thread(
+                format!("t{i}"),
+                VecProgram::new(vec![Annotation::compute(10.0).with_accesses(bus, 2.0); 4]),
+            );
+            b.pin_thread(t, &[p]);
+        }
+        b.set_sim_time_budget(SimTime::from_cycles(1e6));
+        match run_no_panic(b) {
+            Err(SimError::SimTimeBudget { budget, now }) => {
+                prop_assert_eq!(budget, SimTime::from_cycles(1e6));
+                prop_assert!(now > budget);
+            }
+            other => prop_assert!(false, "expected SimTimeBudget, got {other:?}"),
+        }
+    }
+
+    /// Randomized malformed workloads — zero-duration regions, misused sync
+    /// operations, endless streams — always end in Ok or a typed error within
+    /// the supervisor's bounds.
+    #[test]
+    fn malformed_workloads_never_panic_or_hang(
+        seed in 0u64..10_000,
+        threads in 1usize..4,
+        endless in (0u32..2).prop_map(|b| b == 1),
+    ) {
+        let mut b = SystemBuilder::new();
+        let mut procs = Vec::new();
+        for i in 0..threads {
+            procs.push(b.add_proc(format!("p{i}"), Power::default()));
+        }
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(2.0), NoContention);
+        let mutex = b.add_mutex();
+        let sem = b.add_semaphore(0);
+        let pool = [
+            mesh_core::SyncOp::MutexLock(mutex),
+            mesh_core::SyncOp::MutexUnlock(mutex), // misuse when not held
+            mesh_core::SyncOp::SemWait(sem),       // nobody posts
+            mesh_core::SyncOp::SemPost(sem),
+        ];
+        for (i, &p) in procs.iter().enumerate() {
+            let mut prog = FaultyProgram::new(seed.wrapping_add(i as u64))
+                .with_shared(&[bus])
+                .with_sync_pool(&pool)
+                .with_zero_bias(0.3);
+            if endless {
+                prog = prog.endless();
+            }
+            let t = b.add_thread(format!("t{i}"), prog);
+            b.pin_thread(t, &[p]);
+        }
+        b.set_step_limit(50_000);
+        b.set_livelock_window(5_000);
+        b.set_sim_time_budget(SimTime::from_cycles(1e8));
+        // Any outcome is fine as long as it is typed and bounded.
+        let _ = run_no_panic(b);
+    }
+}
+
+#[test]
+fn deadlocking_pair_reports_deadlock() {
+    let mut b = SystemBuilder::new();
+    let p0 = b.add_proc("p0", Power::default());
+    let p1 = b.add_proc("p1", Power::default());
+    let (t0, t1) = deadlocking_pair(&mut b, p0, p1);
+    match run_no_panic(b) {
+        Err(SimError::Deadlock { blocked }) => {
+            assert!(blocked.contains(&t0) && blocked.contains(&t1));
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn never_posted_wait_reports_deadlock() {
+    let mut b = SystemBuilder::new();
+    b.add_proc("p0", Power::default());
+    let t = never_posted_wait(&mut b);
+    match run_no_panic(b) {
+        Err(SimError::Deadlock { blocked }) => assert_eq!(blocked, vec![t]),
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_advance_stream_trips_the_watchdog() {
+    let mut b = SystemBuilder::new();
+    b.add_proc("p0", Power::default());
+    b.add_thread("spin", zero_advance_program());
+    b.set_livelock_window(256);
+    assert!(matches!(
+        run_no_panic(b),
+        Err(SimError::Livelock { window: 256, .. })
+    ));
+}
+
+#[test]
+fn endless_compute_hits_a_budget() {
+    let mut b = SystemBuilder::new();
+    b.add_proc("p0", Power::default());
+    b.add_thread("hog", endless_compute_program(100.0));
+    b.set_sim_time_budget(SimTime::from_cycles(10_000.0));
+    assert!(matches!(
+        run_no_panic(b),
+        Err(SimError::SimTimeBudget { .. })
+    ));
+}
+
+#[test]
+fn slow_eval_hits_the_wall_clock_budget() {
+    let mut b = SystemBuilder::new();
+    let p0 = b.add_proc("p0", Power::default());
+    let p1 = b.add_proc("p1", Power::default());
+    let model = FaultyModel::new(NoContention, 1)
+        .with_kinds(&[FaultKind::SlowEval])
+        .with_slow_eval(Duration::from_millis(2));
+    let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), model);
+    for (i, p) in [p0, p1].into_iter().enumerate() {
+        let t = b.add_thread(
+            format!("t{i}"),
+            VecProgram::new(vec![Annotation::compute(10.0).with_accesses(bus, 2.0); 64]),
+        );
+        b.pin_thread(t, &[p]);
+    }
+    b.set_wall_clock_budget(Duration::from_millis(1));
+    assert!(matches!(
+        run_no_panic(b),
+        Err(SimError::WallClockBudget { .. })
+    ));
+}

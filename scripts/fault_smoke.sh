@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Fault-injection smoke test: exercises the robustness layer end to end.
+#
+#   ./scripts/fault_smoke.sh
+#
+# Three checks against the fig5 binary (5-point grid, fully deterministic
+# stdout — no wall-clock columns):
+#
+#   1. Crash isolation: with MESH_BENCH_FAIL_POINT injecting a panic at one
+#      grid point, the sweep still completes every other point, exits
+#      nonzero, and the error on stderr names the failed point's grid
+#      coordinates.
+#   2. Checkpoint/resume after the injected crash: re-running with the same
+#      MESH_BENCH_CHECKPOINT evaluates only the one missing point and the
+#      final stdout is byte-identical to an uninterrupted run.
+#   3. Checkpoint/resume after a real SIGKILL mid-run: same byte-identical
+#      guarantee, whatever subset of points the kill left on disk.
+#
+# The kernel-level fault-injection property tests live in
+# crates/faults/tests/properties.rs (`cargo test -p mesh-faults`); CI runs
+# them alongside this script. See docs/ROBUSTNESS.md.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIG5=target/release/fig5
+if [[ ! -x "$FIG5" ]]; then
+    echo "fault_smoke: building fig5 (release)..." >&2
+    cargo build -p mesh-bench --bin fig5 --release --quiet
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+    echo "fault_smoke: FAIL — $1" >&2
+    exit 1
+}
+
+# Golden reference: one clean, uncheckpointed run.
+"$FIG5" > "$WORK/golden.txt" 2>/dev/null
+
+# --- 1. Crash isolation: injected panic at point 3 of sweep 'fig5' --------
+set +e
+MESH_BENCH_CHECKPOINT="$WORK/crash.ckpt" \
+MESH_BENCH_FAIL_POINT=fig5:3 \
+MESH_BENCH_RETRIES=0 \
+    "$FIG5" > "$WORK/crash.out" 2> "$WORK/crash.err"
+status=$?
+set -e
+[[ $status -ne 0 ]] || fail "injected fail point did not produce a nonzero exit"
+grep -q "point #3" "$WORK/crash.err" \
+    || fail "failure report does not name the failed point index"
+grep -q "4 completed" "$WORK/crash.err" \
+    || fail "sweep did not complete the other 4 points around the crash"
+[[ "$(wc -l < "$WORK/crash.ckpt")" -eq 4 ]] \
+    || fail "checkpoint should hold exactly the 4 healthy points"
+echo "fault_smoke: [1/3] crash isolation ok (exit $status, 4/5 points checkpointed)"
+
+# --- 2. Resume after the crash: byte-identical to the golden run ----------
+MESH_BENCH_CHECKPOINT="$WORK/crash.ckpt" \
+    "$FIG5" > "$WORK/resumed.txt" 2>/dev/null
+cmp -s "$WORK/golden.txt" "$WORK/resumed.txt" \
+    || fail "resumed output differs from the uninterrupted run"
+echo "fault_smoke: [2/3] crash-then-resume output byte-identical"
+
+# --- 3. SIGKILL mid-run, then resume --------------------------------------
+set +e
+MESH_BENCH_CHECKPOINT="$WORK/kill.ckpt" MESH_BENCH_JOBS=1 \
+    "$FIG5" > /dev/null 2>&1 &
+pid=$!
+sleep 0.3
+kill -9 "$pid" 2>/dev/null
+wait "$pid" 2>/dev/null
+set -e
+done_points=0
+[[ -f "$WORK/kill.ckpt" ]] && done_points="$(wc -l < "$WORK/kill.ckpt")"
+MESH_BENCH_CHECKPOINT="$WORK/kill.ckpt" \
+    "$FIG5" > "$WORK/killresumed.txt" 2>/dev/null
+cmp -s "$WORK/golden.txt" "$WORK/killresumed.txt" \
+    || fail "output after SIGKILL + resume differs from the uninterrupted run"
+echo "fault_smoke: [3/3] kill-then-resume output byte-identical (${done_points} points survived the kill)"
+
+echo "fault_smoke: all checks passed"

@@ -158,8 +158,19 @@ impl Access {
 #[derive(Clone, Debug)]
 pub struct Cache {
     config: CacheConfig,
-    /// Per set: resident line tags, most recently used last.
-    sets: Vec<Vec<u64>>,
+    /// Resident line tags, `ways` slots per set, most recently used last
+    /// within each set's occupied prefix. Flat so an access touches one
+    /// contiguous stripe instead of chasing a per-set allocation.
+    tags: Vec<u64>,
+    /// Occupied slots per set.
+    lens: Vec<u32>,
+    /// `log2(line_bytes)` — the geometry is validated power-of-two, so
+    /// line/set indexing reduces to shifts and masks.
+    line_shift: u32,
+    /// `log2(sets)`.
+    set_shift: u32,
+    /// `sets - 1`.
+    set_mask: u64,
     stats: CacheStats,
 }
 
@@ -192,9 +203,14 @@ impl CacheStats {
 impl Cache {
     /// Creates an empty (all-invalid) cache of the given geometry.
     pub fn new(config: CacheConfig) -> Cache {
+        let sets = config.sets();
         Cache {
             config,
-            sets: vec![Vec::with_capacity(config.ways as usize); config.sets() as usize],
+            tags: vec![0; (sets * config.ways as u64) as usize],
+            lens: vec![0; sets as usize],
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_shift: sets.trailing_zeros(),
+            set_mask: sets - 1,
             stats: CacheStats::default(),
         }
     }
@@ -211,21 +227,27 @@ impl Cache {
 
     /// Performs one access, updating LRU state and counters.
     pub fn access(&mut self, addr: u64) -> Access {
-        let line = addr / self.config.line_bytes;
-        let set_idx = (line % self.config.sets()) as usize;
-        let tag = line / self.config.sets();
-        let set = &mut self.sets[set_idx];
+        let line = addr >> self.line_shift;
+        let set_idx = (line & self.set_mask) as usize;
+        let tag = line >> self.set_shift;
+        let ways = self.config.ways as usize;
+        let len = self.lens[set_idx] as usize;
+        let set = &mut self.tags[set_idx * ways..set_idx * ways + len];
         if let Some(pos) = set.iter().position(|&t| t == tag) {
-            // Move to MRU position.
-            let t = set.remove(pos);
-            set.push(t);
+            // Move to MRU position (the occupied prefix's end).
+            set.copy_within(pos + 1.., pos);
+            set[len - 1] = tag;
             self.stats.hits += 1;
             Access::Hit
         } else {
-            if set.len() == self.config.ways as usize {
-                set.remove(0); // evict LRU
+            if len == ways {
+                // Evict LRU: shift the set down and append at MRU.
+                set.copy_within(1.., 0);
+                set[len - 1] = tag;
+            } else {
+                self.tags[set_idx * ways + len] = tag;
+                self.lens[set_idx] += 1;
             }
-            set.push(tag);
             self.stats.misses += 1;
             Access::Miss
         }
@@ -233,9 +255,7 @@ impl Cache {
 
     /// Invalidates all lines and clears the counters.
     pub fn reset(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.lens.fill(0);
         self.stats = CacheStats::default();
     }
 }

@@ -1,0 +1,333 @@
+//! **perfsuite** — the repository's perf-trajectory benchmark suite.
+//!
+//! Times the three hot paths (hybrid kernel, contention-model `evaluate`s,
+//! and the cycle-accurate simulator in both engines) on the FFT, MiBench/PHM
+//! and uniform workloads, and writes the measurements to `BENCH_<sha>.json`
+//! so every commit's performance is a recorded, comparable artifact.
+//!
+//! ```bash
+//! cargo run -p mesh-bench --release --bin perfsuite            # full suite
+//! cargo run -p mesh-bench --release --bin perfsuite -- --quick # CI smoke
+//! cargo run -p mesh-bench --release --bin perfsuite -- \
+//!     --quick --out BENCH_ci.json --check BENCH_baseline.json  # perf gate
+//! ```
+//!
+//! `--check FILE` exits nonzero if any `cyclesim/` benchmark present in both
+//! runs regressed by more than 2x (override with `--max-regression`). The
+//! full suite also prints the fig4/fig5 event-skip vs. reference-ticker
+//! speedup table recorded in the JSON. See `docs/PERFORMANCE.md`.
+
+use mesh_annotate::{assemble, AnnotationPolicy};
+use mesh_arch::MachineConfig;
+use mesh_bench::perf::{
+    check_regression, git_sha, time_median_batched_ns, time_median_ns, BenchFile, BenchRecord,
+};
+use mesh_bench::{fft_machine, phm_machine, FFT_BUS_DELAY, FFT_CACHES, FFT_PROC_SWEEP};
+use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+use mesh_core::{SharedId, SimTime, ThreadId};
+use mesh_cyclesim::{simulate_with_options, SimOptions};
+use mesh_models::{ChenLinBus, Md1Queue, Mm1Queue, PriorityBus, RoundRobinBus};
+use mesh_workloads::fft::{self, FftConfig};
+use mesh_workloads::scenario::{self, PhmConfig};
+use mesh_workloads::uniform::{self, UniformConfig};
+use mesh_workloads::Workload;
+
+struct Args {
+    quick: bool,
+    out: Option<String>,
+    check: Option<String>,
+    max_regression: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: None,
+        check: None,
+        max_regression: 2.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next(),
+            "--check" => args.check = it.next(),
+            "--max-regression" => {
+                args.max_regression = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--max-regression needs a number"))
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: perfsuite [--quick] [--out FILE] [--check BASELINE] [--max-regression FACTOR]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Collects measurements while echoing each one as it lands.
+struct Suite {
+    records: Vec<BenchRecord>,
+}
+
+impl Suite {
+    fn record(&mut self, name: &str, median_ns: f64) {
+        println!("{name:<44} median {:>14.1} ns/iter", median_ns);
+        self.records.push(BenchRecord {
+            name: name.to_string(),
+            median_ns,
+        });
+    }
+}
+
+/// Times one cyclesim run in both engines and records `<name>_skip` and
+/// `<name>_tick`.
+fn bench_cyclesim(
+    suite: &mut Suite,
+    name: &str,
+    workload: &Workload,
+    machine: &MachineConfig,
+    samples: usize,
+) {
+    for (engine, reference_ticker) in [("skip", false), ("tick", true)] {
+        let options = SimOptions {
+            reference_ticker,
+            ..SimOptions::default()
+        };
+        let median = time_median_ns(samples, 1, || {
+            simulate_with_options(workload, machine, options).expect("cyclesim run")
+        });
+        suite.record(&format!("{name}_{engine}"), median);
+    }
+}
+
+fn bench_kernel(suite: &mut Suite, samples: usize) {
+    // A Figure-4 FFT point: barrier-grained annotations, few large slices.
+    let fft_w = fft::build(&FftConfig {
+        points: 16_384,
+        threads: 4,
+        ..FftConfig::default()
+    });
+    let fft_m = fft_machine(4, 8 * 1024, FFT_BUS_DELAY);
+    let median = time_median_batched_ns(
+        samples,
+        || {
+            assemble(
+                &fft_w,
+                &fft_m,
+                ChenLinBus::new(),
+                AnnotationPolicy::AtBarriers,
+            )
+            .expect("assemble")
+            .builder
+            .build()
+            .expect("build")
+        },
+        |system| system.run().expect("hybrid run"),
+    );
+    suite.record("kernel/fig4_fft", median);
+
+    // A Figure-6 PHM point: per-segment annotations, many small slices —
+    // the commit-rate stress case.
+    let phm_w = scenario::build(&PhmConfig {
+        target_ops: 300_000,
+        ..PhmConfig::with_second_idle(0.45)
+    });
+    let phm_m = phm_machine(8);
+    let median = time_median_batched_ns(
+        samples,
+        || {
+            assemble(
+                &phm_w,
+                &phm_m,
+                ChenLinBus::new(),
+                AnnotationPolicy::PerSegment,
+            )
+            .expect("assemble")
+            .builder
+            .build()
+            .expect("build")
+        },
+        |system| system.run().expect("hybrid run"),
+    );
+    suite.record("kernel/fig6_phm", median);
+}
+
+fn bench_models(suite: &mut Suite, samples: usize) {
+    // A representative contended slice: eight threads with uneven demand.
+    let slice = Slice {
+        start: SimTime::ZERO,
+        duration: SimTime::from_cycles(10_000.0),
+        service_time: SimTime::from_cycles(4.0),
+        shared: SharedId::from_index(0),
+    };
+    let requests: Vec<SliceRequest> = (0..8)
+        .map(|t| SliceRequest {
+            thread: ThreadId::from_index(t),
+            accesses: 50.0 + 37.0 * t as f64,
+            priority: (t % 3) as u32,
+        })
+        .collect();
+    let models: Vec<(&str, Box<dyn ContentionModel>)> = vec![
+        ("chen_lin", Box::new(ChenLinBus::new())),
+        ("md1_queue", Box::new(Md1Queue::new())),
+        ("mm1_queue", Box::new(Mm1Queue::new())),
+        ("round_robin", Box::new(RoundRobinBus::new())),
+        ("priority", Box::new(PriorityBus::new())),
+    ];
+    for (name, model) in &models {
+        let median = time_median_ns(samples, 512, || model.penalties(&slice, &requests));
+        suite.record(&format!("model/{name}"), median);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let sha = git_sha();
+    let mode = if args.quick { "quick" } else { "full" };
+    println!("perfsuite ({mode}) at {sha}\n");
+    let mut suite = Suite {
+        records: Vec::new(),
+    };
+    // Sample counts: medians stabilize quickly; quick mode keeps CI short.
+    let (s_fast, s_sim) = if args.quick { (5, 3) } else { (15, 7) };
+
+    bench_kernel(&mut suite, s_fast);
+    bench_models(&mut suite, s_fast);
+
+    // Smoke-grid cyclesim runs exist in both modes so a quick CI run is
+    // always comparable against a committed full baseline.
+    let smoke_fft = fft::build(&FftConfig {
+        points: 16_384,
+        threads: 4,
+        ..FftConfig::default()
+    });
+    bench_cyclesim(
+        &mut suite,
+        "cyclesim/smoke_fft",
+        &smoke_fft,
+        &fft_machine(4, 8 * 1024, FFT_BUS_DELAY),
+        s_sim,
+    );
+    let smoke_phm = scenario::build(&PhmConfig {
+        target_ops: 300_000,
+        ..PhmConfig::with_second_idle(0.45)
+    });
+    bench_cyclesim(
+        &mut suite,
+        "cyclesim/smoke_mibench_phm",
+        &smoke_phm,
+        &phm_machine(8),
+        s_sim,
+    );
+    let smoke_uniform = uniform::build(&UniformConfig::with_threads(4));
+    bench_cyclesim(
+        &mut suite,
+        "cyclesim/smoke_uniform",
+        &smoke_uniform,
+        &fft_machine(4, 8 * 1024, FFT_BUS_DELAY),
+        s_sim,
+    );
+
+    if !args.quick {
+        // The Figure-4 grid: processor sweep x both cache configurations.
+        for procs in FFT_PROC_SWEEP {
+            let workload = fft::build(&FftConfig::with_threads(procs));
+            for (cache_bytes, label) in FFT_CACHES {
+                bench_cyclesim(
+                    &mut suite,
+                    &format!("cyclesim/fig4_p{procs}_{label}"),
+                    &workload,
+                    &fft_machine(procs, cache_bytes, FFT_BUS_DELAY),
+                    s_sim,
+                );
+            }
+        }
+        // The Figure-5 bus-delay sweep on the PHM scenario.
+        for delay in mesh_bench::FIG5_BUS_DELAYS {
+            let workload = scenario::build(&PhmConfig::with_second_idle(0.45));
+            bench_cyclesim(
+                &mut suite,
+                &format!("cyclesim/fig5_d{delay}"),
+                &workload,
+                &phm_machine(delay),
+                s_sim,
+            );
+        }
+    }
+
+    let file = BenchFile {
+        git_sha: sha.clone(),
+        quick: args.quick,
+        benchmarks: suite.records,
+    };
+
+    // Event-skip vs. reference-ticker speedups, from the recorded medians.
+    println!("\n{:<40} {:>10}", "cyclesim speedup (tick/skip)", "factor");
+    let mut fig4_range: Option<(f64, f64)> = None;
+    for b in &file.benchmarks {
+        let Some(base) = b.name.strip_suffix("_skip") else {
+            continue;
+        };
+        if let Some(tick) = file.median_of(&format!("{base}_tick")) {
+            let speedup = tick / b.median_ns;
+            if base.starts_with("cyclesim/fig4") {
+                let (lo, hi) = fig4_range.unwrap_or((speedup, speedup));
+                fig4_range = Some((lo.min(speedup), hi.max(speedup)));
+            }
+            println!("{base:<40} {speedup:>9.1}x");
+        }
+    }
+    if let Some((lo, hi)) = fig4_range {
+        // Speedup is contention-dependent (see docs/PERFORMANCE.md): the
+        // coarse-grained points set the ceiling, the miss-dense points are
+        // floor-bound by the per-reference work both engines share.
+        println!("fig4 grid speedup range: {lo:.1}x - {hi:.1}x");
+    }
+
+    let out = args.out.unwrap_or_else(|| format!("BENCH_{sha}.json"));
+    std::fs::write(&out, file.to_json()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote {out}");
+
+    if let Some(baseline_path) = args.check {
+        let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline = BenchFile::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("error: malformed baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        match check_regression(&file, &baseline, "cyclesim/", args.max_regression) {
+            Ok(checked) => {
+                println!(
+                    "perf check OK: {checked} cyclesim benchmarks within {:.1}x of {} ({})",
+                    args.max_regression, baseline_path, baseline.git_sha
+                );
+            }
+            Err(failures) => {
+                eprintln!(
+                    "perf check FAILED vs {baseline_path} ({}):",
+                    baseline.git_sha
+                );
+                for f in failures {
+                    eprintln!("  {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! The perf-trajectory harness: timing primitives, the `BENCH_*.json`
+//! format, and the regression check used by the CI `perf-smoke` job.
+//!
+//! Timing follows the vendored criterion stand-in's methodology — a fixed
+//! number of samples, `black_box` around every routine, median reported —
+//! but exposes the numbers programmatically so `perfsuite` can persist them
+//! as a [`BenchFile`] instead of only printing. See `docs/PERFORMANCE.md`
+//! for how to run the suite and read the files.
+//!
+//! ## File format
+//!
+//! Hand-rolled JSON (the workspace has no serde):
+//!
+//! ```json
+//! {
+//!   "git_sha": "443d550",
+//!   "quick": false,
+//!   "benchmarks": [
+//!     { "name": "cyclesim/smoke_fft_skip", "median_ns": 1234567.0 }
+//!   ]
+//! }
+//! ```
+//!
+//! Benchmark names contain only `[A-Za-z0-9_/.-]`, so no string escaping is
+//! needed; [`BenchFile::from_json`] rejects anything else.
+
+use criterion::black_box;
+use std::time::Instant;
+
+/// One benchmark's result: its name and the median wall time per iteration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Hierarchical benchmark name, e.g. `cyclesim/fig4_p8_8KB_skip`.
+    pub name: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+}
+
+/// A full perfsuite run: the perf-trajectory artifact written as
+/// `BENCH_<git-sha>.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchFile {
+    /// Short git revision the suite ran at (`unknown` outside a checkout).
+    pub git_sha: String,
+    /// Whether the run used `--quick` (CI smoke) sizing.
+    pub quick: bool,
+    /// The measurements, in execution order.
+    pub benchmarks: Vec<BenchRecord>,
+}
+
+impl BenchFile {
+    /// Looks up a benchmark's median by exact name.
+    pub fn median_of(&self, name: &str) -> Option<f64> {
+        self.benchmarks
+            .iter()
+            .find(|b| b.name == name)
+            .map(|b| b.median_ns)
+    }
+
+    /// Serializes to the `BENCH_*.json` format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"git_sha\": \"{}\",\n", self.git_sha));
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, b) in self.benchmarks.iter().enumerate() {
+            let comma = if i + 1 == self.benchmarks.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"median_ns\": {:.1} }}{comma}\n",
+                b.name, b.median_ns
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses the format emitted by [`BenchFile::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field. This is a
+    /// purpose-built reader for our own writer, not a general JSON parser.
+    pub fn from_json(text: &str) -> Result<BenchFile, String> {
+        fn string_field(text: &str, key: &str) -> Result<String, String> {
+            let tag = format!("\"{key}\"");
+            let at = text.find(&tag).ok_or_else(|| format!("missing {key}"))?;
+            let rest = &text[at + tag.len()..];
+            let open = rest.find('"').ok_or_else(|| format!("bad {key}"))? + 1;
+            let close = rest[open..]
+                .find('"')
+                .ok_or_else(|| format!("unterminated {key}"))?;
+            let value = &rest[open..open + close];
+            if !value
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_/.-".contains(c))
+            {
+                return Err(format!("unsupported characters in {key}: {value:?}"));
+            }
+            Ok(value.to_string())
+        }
+        let git_sha = string_field(text, "git_sha")?;
+        let quick = {
+            let at = text.find("\"quick\"").ok_or("missing quick")?;
+            text[at..].contains("true")
+                && text[at..].find("true").unwrap() < text[at..].find(',').unwrap_or(usize::MAX)
+        };
+        let mut benchmarks = Vec::new();
+        let body = &text[text.find("\"benchmarks\"").ok_or("missing benchmarks")?..];
+        let mut rest = body;
+        while let Some(open) = rest.find('{') {
+            let close = rest[open..]
+                .find('}')
+                .ok_or("unterminated benchmark object")?;
+            let obj = &rest[open..open + close + 1];
+            let name = string_field(obj, "name")?;
+            let tag = "\"median_ns\":";
+            let at = obj
+                .find(tag)
+                .ok_or_else(|| format!("missing median_ns for {name}"))?;
+            let num: String = obj[at + tag.len()..]
+                .chars()
+                .skip_while(|c| c.is_whitespace())
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+                .collect();
+            let median_ns: f64 = num
+                .parse()
+                .map_err(|e| format!("bad median_ns for {name}: {e}"))?;
+            benchmarks.push(BenchRecord { name, median_ns });
+            rest = &rest[open + close + 1..];
+        }
+        Ok(BenchFile {
+            git_sha,
+            quick,
+            benchmarks,
+        })
+    }
+}
+
+/// The short git revision of the working tree, or `unknown`.
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Times `routine` for `samples` iterations and returns the median
+/// nanoseconds per iteration — the stand-in criterion's measurement, made
+/// programmatic. `inner` repeats the routine per sample (use > 1 for
+/// sub-microsecond routines so the clock resolution doesn't dominate).
+pub fn time_median_ns<O>(samples: usize, inner: u32, mut routine: impl FnMut() -> O) -> f64 {
+    assert!(samples >= 1 && inner >= 1);
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..inner {
+                black_box(routine());
+            }
+            start.elapsed().as_secs_f64() * 1e9 / f64::from(inner)
+        })
+        .collect();
+    times.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Like [`time_median_ns`], but rebuilds the input per sample outside the
+/// timed window (for consuming routines like `System::run`).
+pub fn time_median_batched_ns<I, O>(
+    samples: usize,
+    mut setup: impl FnMut() -> I,
+    mut routine: impl FnMut(I) -> O,
+) -> f64 {
+    assert!(samples >= 1);
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    times.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Compares `current` against `baseline` for every benchmark whose name
+/// starts with `prefix` and exists in both files; a benchmark regresses when
+/// its median exceeds `factor` times the baseline median.
+///
+/// # Errors
+///
+/// Returns one message per regressed benchmark.
+pub fn check_regression(
+    current: &BenchFile,
+    baseline: &BenchFile,
+    prefix: &str,
+    factor: f64,
+) -> Result<usize, Vec<String>> {
+    let mut checked = 0;
+    let mut failures = Vec::new();
+    for base in baseline
+        .benchmarks
+        .iter()
+        .filter(|b| b.name.starts_with(prefix))
+    {
+        let Some(now) = current.median_of(&base.name) else {
+            continue;
+        };
+        checked += 1;
+        if now > base.median_ns * factor {
+            failures.push(format!(
+                "{}: {:.0} ns vs baseline {:.0} ns ({:.2}x > {factor}x allowed)",
+                base.name,
+                now,
+                base.median_ns,
+                now / base.median_ns
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(checked)
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_file() -> BenchFile {
+        BenchFile {
+            git_sha: "abc123def456".to_string(),
+            quick: true,
+            benchmarks: vec![
+                BenchRecord {
+                    name: "cyclesim/smoke_fft_skip".to_string(),
+                    median_ns: 1234.5,
+                },
+                BenchRecord {
+                    name: "kernel/fig4".to_string(),
+                    median_ns: 99.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let file = sample_file();
+        let parsed = BenchFile::from_json(&file.to_json()).expect("parse");
+        // to_json rounds medians to 0.1 ns, which these values survive.
+        assert_eq!(parsed, file);
+    }
+
+    #[test]
+    fn parser_rejects_funny_names() {
+        let text = sample_file()
+            .to_json()
+            .replace("kernel/fig4", "kernel\\\"fig4");
+        assert!(BenchFile::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn regression_check_flags_only_prefix_matches() {
+        let baseline = sample_file();
+        let mut current = sample_file();
+        current.benchmarks[0].median_ns = 10_000.0; // 8x the cyclesim baseline
+        current.benchmarks[1].median_ns = 10_000.0; // kernel: not checked
+        let err = check_regression(&current, &baseline, "cyclesim/", 2.0).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].contains("cyclesim/smoke_fft_skip"));
+        // Within the allowance, the same prefix passes and reports coverage.
+        current.benchmarks[0].median_ns = 2000.0;
+        assert_eq!(
+            check_regression(&current, &baseline, "cyclesim/", 2.0),
+            Ok(1)
+        );
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut calls = 0u64;
+        let m = time_median_ns(5, 1, || {
+            calls += 1;
+            if calls == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        });
+        assert!(m < 5_000_000.0, "median {m} should not be the outlier");
+    }
+}

@@ -1,0 +1,204 @@
+//! Golden-value regression tests for the hybrid kernel's hot path.
+//!
+//! The kernel's timeslice bookkeeping was rewritten for zero allocation on
+//! the hot path (flat access-mass matrix, reusable scratch buffers). These
+//! tests pin the full deterministic `Report` of three representative
+//! scenarios — a Figure-4 FFT point, a Figure-6 PHM point, and the
+//! multi-resource (bus + I/O) extension — to values captured from the
+//! pre-refactor kernel, proving the refactor changed no observable output.
+//!
+//! All pinned floats are exact: the refactor preserves the arithmetic and
+//! its evaluation order, so the values are reproduced bit-for-bit.
+//!
+//! To regenerate the goldens after an *intentional* semantic change:
+//!
+//! ```bash
+//! MESH_GOLDEN_DUMP=1 cargo test -p mesh-bench --test kernel_equivalence -- --nocapture
+//! ```
+
+use mesh_annotate::{assemble, assemble_with_io, AnnotationPolicy};
+use mesh_arch::IoConfig;
+use mesh_bench::{fft_machine, phm_machine};
+use mesh_core::metrics::Report;
+use mesh_models::{ChenLinBus, Md1Queue};
+use mesh_workloads::fft::{self, FftConfig};
+use mesh_workloads::scenario::{self, PhmConfig};
+use mesh_workloads::SegmentKind;
+
+/// The deterministic fingerprint of a hybrid run (everything in `Report`
+/// except the wall clock).
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    total_time: f64,
+    commits: u64,
+    slices_analyzed: u64,
+    kernel_steps: u64,
+    thread_queuing: Vec<f64>,
+    thread_busy: Vec<f64>,
+    thread_blocked: Vec<f64>,
+    shared_queuing: Vec<f64>,
+    shared_accesses: Vec<f64>,
+    shared_contended: Vec<u64>,
+    proc_busy: Vec<f64>,
+}
+
+fn fingerprint(r: &Report) -> Fingerprint {
+    Fingerprint {
+        total_time: r.total_time.as_cycles(),
+        commits: r.commits,
+        slices_analyzed: r.slices_analyzed,
+        kernel_steps: r.kernel_steps,
+        thread_queuing: r.threads.iter().map(|t| t.queuing.as_cycles()).collect(),
+        thread_busy: r.threads.iter().map(|t| t.busy.as_cycles()).collect(),
+        thread_blocked: r.threads.iter().map(|t| t.blocked.as_cycles()).collect(),
+        shared_queuing: r.shared.iter().map(|s| s.queuing.as_cycles()).collect(),
+        shared_accesses: r.shared.iter().map(|s| s.accesses).collect(),
+        shared_contended: r.shared.iter().map(|s| s.contended_slices).collect(),
+        proc_busy: r.procs.iter().map(|p| p.busy.as_cycles()).collect(),
+    }
+}
+
+fn check(name: &str, actual: Fingerprint, golden: Fingerprint) {
+    if std::env::var_os("MESH_GOLDEN_DUMP").is_some() {
+        println!("=== {name} ===\n{actual:?}");
+        return;
+    }
+    assert_eq!(actual, golden, "{name}: kernel output drifted from golden");
+}
+
+/// A Figure-4 FFT point, small enough for debug-build tests: 4096 points on
+/// two processors with 8 KB caches, annotations at barriers.
+#[test]
+fn fig4_fft_point_matches_golden() {
+    let cfg = FftConfig {
+        points: 4096,
+        threads: 2,
+        ..FftConfig::default()
+    };
+    let workload = fft::build(&cfg);
+    let machine = fft_machine(2, 8 * 1024, 4);
+    let setup = assemble(
+        &workload,
+        &machine,
+        ChenLinBus::new(),
+        AnnotationPolicy::AtBarriers,
+    )
+    .expect("assemble");
+    let report = setup
+        .builder
+        .build()
+        .expect("build")
+        .run()
+        .expect("run")
+        .report;
+    check(
+        "fig4",
+        fingerprint(&report),
+        Fingerprint {
+            total_time: 2458524.4317573598,
+            commits: 10,
+            slices_analyzed: 10,
+            kernel_steps: 20,
+            thread_queuing: vec![924.4317573595004, 924.4317573595004],
+            thread_busy: vec![2457600.0, 2457600.0],
+            thread_blocked: vec![0.0, 0.0],
+            shared_queuing: vec![1848.8635147190007],
+            shared_accesses: vec![28672.0],
+            shared_contended: vec![5],
+            proc_busy: vec![2458524.4317573598, 2458524.4317573598],
+        },
+    );
+}
+
+/// A Figure-6 PHM point (45% second-processor idle), reduced to stay fast
+/// in debug builds.
+#[test]
+fn fig6_phm_point_matches_golden() {
+    let workload = scenario::build(&PhmConfig {
+        target_ops: 150_000,
+        ..PhmConfig::with_second_idle(0.45)
+    });
+    let machine = phm_machine(8);
+    let setup = assemble(
+        &workload,
+        &machine,
+        ChenLinBus::new(),
+        AnnotationPolicy::PerSegment,
+    )
+    .expect("assemble");
+    let report = setup
+        .builder
+        .build()
+        .expect("build")
+        .run()
+        .expect("run")
+        .report;
+    check(
+        "fig6",
+        fingerprint(&report),
+        Fingerprint {
+            total_time: 400984.97952179133,
+            commits: 48,
+            slices_analyzed: 79,
+            kernel_steps: 102,
+            thread_queuing: vec![7112.74053692959, 7979.97952179128],
+            thread_busy: vec![369419.0, 393005.0],
+            thread_blocked: vec![0.0, 0.0],
+            shared_queuing: vec![15092.720058720868],
+            shared_accesses: vec![18491.000000000004],
+            shared_contended: vec![31],
+            proc_busy: vec![376531.7405369296, 400984.97952179133],
+        },
+    );
+}
+
+/// The multi-resource extension: PHM workload pushing results through a
+/// shared I/O device next to the bus, different model per resource.
+#[test]
+fn multi_resource_point_matches_golden() {
+    let mut workload = scenario::build(&PhmConfig {
+        target_ops: 150_000,
+        ..PhmConfig::with_second_idle(0.60)
+    });
+    for task in &mut workload.tasks {
+        for seg in &mut task.segments {
+            if seg.kind == SegmentKind::Work {
+                seg.io_ops = (seg.compute_ops / 60).max(1);
+            }
+        }
+    }
+    workload.validate().expect("valid workload");
+    let machine = phm_machine(8).with_io(IoConfig::new(8));
+    let setup = assemble_with_io(
+        &workload,
+        &machine,
+        ChenLinBus::new(),
+        Md1Queue::new(),
+        AnnotationPolicy::PerSegment,
+    )
+    .expect("assemble");
+    let report = setup
+        .builder
+        .build()
+        .expect("build")
+        .run()
+        .expect("run")
+        .report;
+    check(
+        "multi_resource",
+        fingerprint(&report),
+        Fingerprint {
+            total_time: 529323.6847262162,
+            commits: 48,
+            slices_analyzed: 77,
+            kernel_steps: 98,
+            thread_queuing: vec![7233.611154478698, 7862.684726216189],
+            thread_busy: vec![401859.0, 521461.0],
+            thread_blocked: vec![0.0, 0.0],
+            shared_queuing: vec![13339.916767141294, 1756.379113553594],
+            shared_accesses: vec![18491.000000000004, 7007.0],
+            shared_contended: vec![29, 29],
+            proc_busy: vec![409092.61115447874, 529323.6847262162],
+        },
+    );
+}

@@ -154,8 +154,20 @@ pub(crate) struct Kernel {
     window_start: SimTime,
     /// Last time access mass was integrated up to.
     boundary: SimTime,
-    /// Access mass per shared resource per thread within the open window.
-    mass: Vec<Vec<f64>>,
+    /// Access mass per shared resource per thread within the open window,
+    /// flattened as `resource * n_threads + thread`. One allocation for the
+    /// whole run; windows reset it with a `fill(0.0)`.
+    mass: Vec<f64>,
+    /// Thread count, the row stride of `mass`.
+    n_threads: usize,
+    /// Arbitration priorities, index-aligned with threads. Priorities are
+    /// fixed at build time, so the scheduler context borrows this one
+    /// allocation instead of re-collecting per pick.
+    priorities: Vec<u32>,
+    /// Scratch for `schedule_ready`'s eligible set, reused across picks.
+    scratch_eligible: Vec<ThreadId>,
+    /// Scratch for `analyze_window`'s per-resource request list.
+    scratch_requests: Vec<SliceRequest>,
     shared_reports: Vec<SharedReport>,
     trace: Trace,
     commits: u64,
@@ -228,6 +240,7 @@ impl Kernel {
             .filter(|(_, t)| t.state == ThreadState::Ready)
             .map(|(i, _)| ThreadId(i))
             .collect();
+        let priorities = threads.iter().map(|t| t.priority).collect();
         Kernel {
             threads,
             procs: (0..n_procs)
@@ -245,7 +258,11 @@ impl Kernel {
             now: SimTime::ZERO,
             window_start: SimTime::ZERO,
             boundary: SimTime::ZERO,
-            mass: vec![vec![0.0; n_threads]; n_shared],
+            mass: vec![0.0; n_shared * n_threads],
+            n_threads,
+            priorities,
+            scratch_eligible: Vec::with_capacity(n_threads),
+            scratch_requests: Vec::with_capacity(n_threads),
             shared_reports: vec![SharedReport::default(); n_shared],
             trace,
             commits: 0,
@@ -308,6 +325,9 @@ impl Kernel {
     /// Figure 2, lines 2–7: fill every available resource with an eligible
     /// ready thread.
     fn schedule_ready(&mut self) -> Result<(), SimError> {
+        // The eligible set is rebuilt per pick into one reused scratch
+        // buffer; priorities are precomputed once for the whole run.
+        let mut eligible = std::mem::take(&mut self.scratch_eligible);
         loop {
             let mut progress = false;
             for p in 0..self.procs.len() {
@@ -315,33 +335,32 @@ impl Kernel {
                     continue;
                 }
                 let proc = ProcId(p);
-                let eligible: Vec<ThreadId> = self
-                    .ready
-                    .iter()
-                    .copied()
-                    .filter(|&t| match &self.threads[t.index()].affinity {
+                eligible.clear();
+                eligible.extend(self.ready.iter().copied().filter(|&t| {
+                    match &self.threads[t.index()].affinity {
                         Some(aff) => aff.contains(&proc),
                         None => true,
-                    })
-                    .collect();
+                    }
+                }));
                 if eligible.is_empty() {
                     continue;
                 }
-                let priorities: Vec<u32> = self.threads.iter().map(|t| t.priority).collect();
                 let ctx = SchedCtx {
                     now: self.now,
-                    priorities: &priorities,
+                    priorities: &self.priorities,
                 };
                 let Some(pick) = self.spec.scheduler.pick(proc, &eligible, &ctx) else {
                     continue;
                 };
                 if !eligible.contains(&pick) {
+                    self.scratch_eligible = eligible;
                     return Err(SimError::SchedulerContract { thread: pick });
                 }
                 self.start_region(pick, proc);
                 progress = true;
             }
             if !progress {
+                self.scratch_eligible = eligible;
                 return Ok(());
             }
         }
@@ -405,19 +424,20 @@ impl Kernel {
                 // integration boundary; fold that portion's access mass into
                 // the open analysis window immediately so no demand is lost.
                 if start < self.boundary {
+                    let nt = self.n_threads;
                     let r = &mut self.regions[idx];
                     if !r.accesses.is_empty() {
                         let annotated = r.annotated_end - r.start;
                         if annotated.is_zero() {
                             r.instant_mass_taken = true;
                             for (s, c) in r.accesses.iter() {
-                                self.mass[s.index()][ti] += c;
+                                self.mass[s.index() * nt + ti] += c;
                             }
                         } else {
                             let hi = self.boundary.min(r.annotated_end);
                             let frac = (hi - r.start) / annotated;
                             for (s, c) in r.accesses.iter() {
-                                self.mass[s.index()][ti] += c * frac;
+                                self.mass[s.index() * nt + ti] += c * frac;
                             }
                             // Shrink the live window so future integration
                             // only covers the part past the boundary.
@@ -652,9 +672,17 @@ impl Kernel {
         let from = self.boundary;
         let to = self.now;
         self.boundary = to;
-        let deposit = |region: &mut Region, mass: &mut Vec<Vec<f64>>| {
+        let nt = self.n_threads;
+        // Each thread has at most one in-flight region; the committing
+        // region is still registered as in flight here. `regions` and
+        // `mass` are disjoint fields, so no buffer swap is needed.
+        for t in 0..self.inflight_of.len() {
+            let Some(idx) = self.inflight_of[t] else {
+                continue;
+            };
+            let region = &mut self.regions[idx];
             if region.accesses.is_empty() {
-                return;
+                continue;
             }
             let ti = region.thread.index();
             let annotated = region.annotated_end - region.start;
@@ -664,34 +692,25 @@ impl Kernel {
                 if !region.instant_mass_taken && region.start >= from && region.start <= to {
                     region.instant_mass_taken = true;
                     for (s, c) in region.accesses.iter() {
-                        mass[s.index()][ti] += c;
+                        self.mass[s.index() * nt + ti] += c;
                     }
                 }
-                return;
+                continue;
             }
             let lo = from.max(region.start);
             let hi = to.min(region.annotated_end);
             if hi <= lo {
-                return;
+                continue;
             }
             let frac = (hi - lo) / annotated;
             for (s, c) in region.accesses.iter() {
-                mass[s.index()][ti] += c * frac;
-            }
-        };
-        // Each thread has at most one in-flight region; the committing
-        // region is still registered as in flight here.
-        let mut mass = std::mem::take(&mut self.mass);
-        for t in 0..self.inflight_of.len() {
-            if let Some(idx) = self.inflight_of[t] {
-                deposit(&mut self.regions[idx], &mut mass);
+                self.mass[s.index() * nt + ti] += c * frac;
             }
         }
         // Defensive: the committing region must have been covered above.
         debug_assert!(
             self.inflight_of[self.regions[committing].thread.index()] == Some(committing)
         );
-        self.mass = mass;
     }
 
     /// Figure 2, lines 15–16: evaluate each shared resource's analytical
@@ -700,15 +719,18 @@ impl Kernel {
         let dur = self.now - self.window_start;
         debug_assert!(!dur.is_zero());
         self.slices_analyzed += 1;
-        for s in 0..self.mass.len() {
+        let nt = self.n_threads;
+        let mut requests = std::mem::take(&mut self.scratch_requests);
+        for s in 0..self.spec.shared.len() {
             let shared = SharedId(s);
-            let mut requests: Vec<SliceRequest> = Vec::new();
-            for (t, &m) in self.mass[s].iter().enumerate() {
+            let row = &self.mass[s * nt..(s + 1) * nt];
+            requests.clear();
+            for (t, &m) in row.iter().enumerate() {
                 if m > MASS_EPS {
                     requests.push(SliceRequest {
                         thread: ThreadId(t),
                         accesses: m,
-                        priority: self.threads[t].priority,
+                        priority: self.priorities[t],
                     });
                 }
             }
@@ -719,7 +741,7 @@ impl Kernel {
             if requests.len() < 2 {
                 // A lone contender suffers no contention (paper §4.2: "only
                 // thread A accessed the shared resource ... no penalties").
-                self.mass[s].iter_mut().for_each(|m| *m = 0.0);
+                self.mass[s * nt..(s + 1) * nt].fill(0.0);
                 continue;
             }
             let slice = Slice {
@@ -732,6 +754,7 @@ impl Kernel {
             if let Some(detail) = contract_violation(&penalties, &requests) {
                 match self.spec.supervisor.fault_policy {
                     FaultPolicy::Abort => {
+                        self.scratch_requests = requests;
                         return Err(SimError::ModelContract { shared, detail });
                     }
                     FaultPolicy::ClampPenalty => {
@@ -788,8 +811,9 @@ impl Kernel {
                 contenders: requests.len(),
                 penalty_total: total_penalty,
             });
-            self.mass[s].iter_mut().for_each(|m| *m = 0.0);
+            self.mass[s * nt..(s + 1) * nt].fill(0.0);
         }
+        self.scratch_requests = requests;
         self.window_start = self.now;
         Ok(())
     }
@@ -799,10 +823,7 @@ impl Kernel {
     /// in the statistics.
     fn flush_window(&mut self) -> Result<(), SimError> {
         let dur = self.now - self.window_start;
-        let has_mass = self
-            .mass
-            .iter()
-            .any(|per| per.iter().any(|&m| m > MASS_EPS));
+        let has_mass = self.mass.iter().any(|&m| m > MASS_EPS);
         if !dur.is_zero() && has_mass {
             self.analyze_window()?;
             // Any penalties landed in carry_penalty / pending of nothing:

@@ -1,9 +1,15 @@
 //! # mesh-cyclesim — the cycle-accurate reference simulator
 //!
-//! A shared-bus multiprocessor simulator advancing one cycle at a time: the
-//! repository's stand-in for the paper's instruction-set simulators. It is
-//! the **ground truth** every contention model is measured against (Figures
-//! 4–6) and the slow baseline of the Table 1 runtime comparison.
+//! A shared-bus multiprocessor simulator: the repository's stand-in for the
+//! paper's instruction-set simulators. It is the **ground truth** every
+//! contention model is measured against (Figures 4–6) and the slow baseline
+//! of the Table 1 runtime comparison.
+//!
+//! The default engine is **event-skipping**: it jumps between interesting
+//! cycles and accounts statistics over the skipped interval in closed form.
+//! The original tick-every-cycle engine remains available behind
+//! [`SimOptions::reference_ticker`] as a differential-testing oracle; the
+//! two produce identical [`CycleReport`]s (see `docs/PERFORMANCE.md`).
 //!
 //! The simulator consumes the same [`Workload`](mesh_workloads::Workload)
 //! and [`MachineConfig`](mesh_arch::MachineConfig) the hybrid setup uses, so
@@ -14,6 +20,7 @@
 #![warn(missing_docs)]
 
 mod cursor;
+pub mod ring;
 pub mod sim;
 
 pub use cursor::{compute_cycles, Pacing};

@@ -3,10 +3,7 @@
 //! This is the repository's stand-in for the paper's instruction-set
 //! simulators (the SPLASH-2 ISS of §5.1 and the ARM + M32R GDB simulators of
 //! §5.2): the ground truth every model is judged against, and the slow
-//! baseline of Table 1. It advances the whole machine one cycle at a time —
-//! every processor, every bus transfer — which is exactly why it is orders
-//! of magnitude slower than the hybrid kernel and why the paper wants to
-//! avoid it during early design-space exploration.
+//! baseline of Table 1.
 //!
 //! ## Timing model
 //!
@@ -17,8 +14,33 @@
 //!   `delay_cycles`;
 //! * one outstanding request per processor (simple blocking embedded cores);
 //! * barriers: a processor stalls until all parties arrive.
+//!
+//! ## Two engines, one semantics
+//!
+//! The simulator ships two execution engines producing **identical**
+//! [`CycleReport`]s (up to the host wall clock):
+//!
+//! * the **event-skipping** engine (default) computes the next interesting
+//!   cycle — the earliest completion of any compute/hit/idle/bus/I/O
+//!   occupancy, pending barrier release, or grant opportunity — and jumps
+//!   straight to it, accounting busy/queue statistics in closed form over
+//!   the skipped interval. Consecutive compute chunks and cache hits are
+//!   additionally fused into one occupancy, because neither interacts with
+//!   shared state. Work is O(events), not O(cycles);
+//! * the **reference ticker** ([`SimOptions::reference_ticker`]) advances
+//!   the whole machine one cycle at a time, exactly like the original
+//!   implementation. It exists as the differential-testing oracle
+//!   (`tests/differential.rs`) and the speedup baseline of `perfsuite`.
+//!
+//! The invariants that keep the skip exact are spelled out in
+//! `docs/PERFORMANCE.md`: between two interesting cycles every processor is
+//! either occupied (its statistics grow linearly), waiting (likewise), or
+//! parked at a barrier, and no arbitration decision can occur because
+//! grants only happen when a resource frees or a waiter arrives — both
+//! interesting cycles by construction.
 
 use crate::cursor::{Item, Pacing, TaskCursor};
+use crate::ring::GrantRing;
 use mesh_arch::{Arbitration, Cache, MachineConfig};
 use mesh_workloads::Workload;
 use std::fmt;
@@ -32,6 +54,10 @@ pub struct SimOptions {
     pub pacing: Pacing,
     /// Abort when this many cycles elapse.
     pub cycle_limit: u64,
+    /// Run the original tick-every-cycle engine instead of the
+    /// event-skipping one. The two produce identical reports; the ticker is
+    /// kept as the differential-testing oracle and perf baseline.
+    pub reference_ticker: bool,
 }
 
 impl Default for SimOptions {
@@ -39,6 +65,7 @@ impl Default for SimOptions {
         SimOptions {
             pacing: Pacing::default(),
             cycle_limit: u64::MAX,
+            reference_ticker: false,
         }
     }
 }
@@ -182,6 +209,69 @@ impl fmt::Display for CycleSimError {
 
 impl std::error::Error for CycleSimError {}
 
+/// Builds the per-task micro-event cursors with decorrelated pacing seeds.
+fn make_cursors<'w>(
+    workload: &'w Workload,
+    machine: &MachineConfig,
+    pacing: Pacing,
+) -> Vec<TaskCursor<'w>> {
+    workload
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let pacing = match pacing {
+                Pacing::Even => Pacing::Even,
+                // Decorrelate the processors' jitter streams.
+                Pacing::Poisson(seed) => Pacing::Poisson(
+                    seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ),
+            };
+            TaskCursor::new(&t.segments, machine.procs[i], pacing)
+        })
+        .collect()
+}
+
+/// Runs the workload on the machine with explicit options.
+///
+/// # Errors
+///
+/// Returns [`CycleSimError`] if the workload does not fit the machine, is
+/// invalid, deadlocks at a barrier, or exceeds the cycle limit.
+pub fn simulate_with_options(
+    workload: &Workload,
+    machine: &MachineConfig,
+    options: SimOptions,
+) -> Result<CycleReport, CycleSimError> {
+    if workload.tasks.len() > machine.procs.len() {
+        return Err(CycleSimError::TaskCountMismatch {
+            tasks: workload.tasks.len(),
+            procs: machine.procs.len(),
+        });
+    }
+    workload
+        .validate()
+        .map_err(CycleSimError::InvalidWorkload)?;
+    let issues_io = workload
+        .tasks
+        .iter()
+        .any(|t| t.segments.iter().any(|s| s.io_ops > 0));
+    if issues_io && machine.io.is_none() {
+        return Err(CycleSimError::InvalidWorkload(
+            "workload issues I/O operations but the machine has no I/O device".to_string(),
+        ));
+    }
+    if options.reference_ticker {
+        run_ticked(workload, machine, options)
+    } else {
+        run_event_skip(workload, machine, options)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference ticker: the original tick-every-cycle engine.
+// ---------------------------------------------------------------------------
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PState {
     /// Needs its next micro-event.
@@ -209,68 +299,32 @@ enum PState {
     Done,
 }
 
-/// Runs the workload on the machine cycle by cycle with explicit options.
-///
-/// # Errors
-///
-/// Returns [`CycleSimError`] if the workload does not fit the machine, is
-/// invalid, deadlocks at a barrier, or exceeds the cycle limit.
-pub fn simulate_with_options(
+/// The original cycle-by-cycle loop, kept verbatim (modulo the [`GrantRing`]
+/// wait queues, which preserve grant order exactly) as the differential
+/// oracle for the event-skipping engine.
+fn run_ticked(
     workload: &Workload,
     machine: &MachineConfig,
     options: SimOptions,
 ) -> Result<CycleReport, CycleSimError> {
     let cycle_limit = options.cycle_limit;
-    if workload.tasks.len() > machine.procs.len() {
-        return Err(CycleSimError::TaskCountMismatch {
-            tasks: workload.tasks.len(),
-            procs: machine.procs.len(),
-        });
-    }
-    workload
-        .validate()
-        .map_err(CycleSimError::InvalidWorkload)?;
-    let issues_io = workload
-        .tasks
-        .iter()
-        .any(|t| t.segments.iter().any(|s| s.io_ops > 0));
-    if issues_io && machine.io.is_none() {
-        return Err(CycleSimError::InvalidWorkload(
-            "workload issues I/O operations but the machine has no I/O device".to_string(),
-        ));
-    }
-
     let start_wall = std::time::Instant::now();
     let n = workload.tasks.len();
-    let mut cursors: Vec<TaskCursor<'_>> = workload
-        .tasks
-        .iter()
-        .enumerate()
-        .map(|(i, t)| {
-            let pacing = match options.pacing {
-                Pacing::Even => Pacing::Even,
-                // Decorrelate the processors' jitter streams.
-                Pacing::Poisson(seed) => Pacing::Poisson(
-                    seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                ),
-            };
-            TaskCursor::new(&t.segments, machine.procs[i], pacing)
-        })
-        .collect();
+    let mut cursors = make_cursors(workload, machine, options.pacing);
     let mut caches: Vec<Cache> = (0..n).map(|i| Cache::new(machine.procs[i].cache)).collect();
     let mut states = vec![PState::Fetch; n];
     let mut stats = vec![ProcCycleStats::default(); n];
 
     // Shared bus state.
     let mut bus_left: u64 = 0;
-    let mut wait_queue: Vec<usize> = Vec::new(); // request order
+    let mut wait_queue = GrantRing::with_capacity(n);
     let mut rr_next: usize = 0;
     let mut bus_busy_cycles: u64 = 0;
 
     // Shared I/O device state (round-robin arbitration).
     let io_delay = machine.io.map(|io| io.delay_cycles).unwrap_or(0);
     let mut io_left: u64 = 0;
-    let mut io_wait_queue: Vec<usize> = Vec::new();
+    let mut io_wait_queue = GrantRing::with_capacity(n);
     let mut io_rr_next: usize = 0;
     let mut io_busy_cycles: u64 = 0;
 
@@ -289,8 +343,8 @@ pub fn simulate_with_options(
         cursors: &mut [TaskCursor<'_>],
         caches: &mut [Cache],
         stats: &mut [ProcCycleStats],
-        wait_queue: &mut Vec<usize>,
-        io_wait_queue: &mut Vec<usize>,
+        wait_queue: &mut GrantRing,
+        io_wait_queue: &mut GrantRing,
         arrived: &mut [Vec<usize>],
         machine: &MachineConfig,
         cycle: u64,
@@ -394,43 +448,21 @@ pub fn simulate_with_options(
         // Bus grant: if free, pick a requester.
         if bus_left == 0 && !wait_queue.is_empty() {
             let chosen = match machine.bus.arbitration {
-                Arbitration::FixedPriority => {
-                    let &p = wait_queue.iter().min().expect("non-empty");
-                    p
-                }
+                Arbitration::FixedPriority => wait_queue.grant_min(),
                 Arbitration::RoundRobin => {
-                    // Lowest index at or after the rotating pointer.
-                    let mut pick = None;
-                    for off in 0..n {
-                        let cand = (rr_next + off) % n;
-                        if wait_queue.contains(&cand) {
-                            pick = Some(cand);
-                            break;
-                        }
-                    }
-                    let p = pick.expect("queue non-empty");
+                    let p = wait_queue.grant_round_robin(rr_next);
                     rr_next = (p + 1) % n;
                     p
                 }
             };
-            wait_queue.retain(|&p| p != chosen);
             states[chosen] = PState::OnBus { left: delay };
             bus_left = delay;
         }
 
         // I/O device grant: round-robin among requesters.
         if io_left == 0 && !io_wait_queue.is_empty() {
-            let mut pick = None;
-            for off in 0..n {
-                let cand = (io_rr_next + off) % n;
-                if io_wait_queue.contains(&cand) {
-                    pick = Some(cand);
-                    break;
-                }
-            }
-            let chosen = pick.expect("queue non-empty");
+            let chosen = io_wait_queue.grant_round_robin(io_rr_next);
             io_rr_next = (chosen + 1) % n;
-            io_wait_queue.retain(|&p| p != chosen);
             states[chosen] = PState::OnIo { left: io_delay };
             io_left = io_delay;
         }
@@ -558,7 +590,401 @@ pub fn simulate_with_options(
     })
 }
 
-/// Runs the workload on the machine cycle by cycle, without a cycle limit.
+// ---------------------------------------------------------------------------
+// Event-skipping engine.
+// ---------------------------------------------------------------------------
+
+/// What a fused occupancy resolves into when it completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum After {
+    /// The cursor is exhausted: record `finished_at` and retire.
+    Finish,
+    /// A cache miss was discovered: join the bus wait queue.
+    Miss,
+    /// A shared-I/O operation was discovered: join the device wait queue.
+    Io,
+    /// An idle gap of this many cycles follows.
+    Idle(u64),
+    /// Arrive at this barrier.
+    Barrier(usize),
+}
+
+/// Processor state of the event-skipping engine. Compute chunks and cache
+/// hits are fused into a single [`EvState::Busy`] occupancy: neither
+/// interacts with shared state, and both accrue `work_cycles`, so the
+/// fusion is observationally identical to ticking them apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvState {
+    /// Occupied with compute and/or cache hits until the given cycle.
+    Busy { until: u64, then: After },
+    /// In an idle segment until the given cycle.
+    Idle { until: u64 },
+    /// Waiting for the bus grant since the given cycle.
+    WaitBus { since: u64 },
+    /// Transferring on the bus until the given cycle.
+    OnBus { until: u64 },
+    /// Waiting for the I/O device grant since the given cycle.
+    WaitIo { since: u64 },
+    /// Occupying the I/O device until the given cycle.
+    OnIo { until: u64 },
+    /// Parked at a barrier since the given cycle.
+    Barrier { id: usize, since: u64 },
+    /// Task complete.
+    Done,
+}
+
+impl EvState {
+    /// The cycle at which this state completes on its own, if any.
+    fn deadline(&self) -> Option<u64> {
+        match *self {
+            EvState::Busy { until, .. }
+            | EvState::Idle { until }
+            | EvState::OnBus { until }
+            | EvState::OnIo { until } => Some(until),
+            _ => None,
+        }
+    }
+}
+
+/// The event-skipping engine's mutable state. Bundled into a struct so the
+/// hot helpers are methods instead of ten-argument free functions, and so
+/// the bookkeeping that keeps every per-event check cheap — the deadline
+/// array and the done/parked/full counters — lives next to the state it
+/// shadows.
+struct SkipEngine<'w> {
+    machine: &'w MachineConfig,
+    /// Barrier party counts, from the workload.
+    barriers: &'w [usize],
+    cursors: Vec<TaskCursor<'w>>,
+    caches: Vec<Cache>,
+    stats: Vec<ProcCycleStats>,
+    states: Vec<EvState>,
+    /// Per-processor completion deadline, `u64::MAX` while the processor is
+    /// in an untimed state (waiting, parked, done). A timed state can only
+    /// leave at its deadline, so the entry is never stale. A flat array
+    /// beats any priority queue here: finding the next event and collecting
+    /// the processors due at it are two branch-predictable linear scans of
+    /// a few cache lines, installs are a single store, and scanning by
+    /// index yields completions in exactly the ticker's processor-phase
+    /// order.
+    deadlines: Vec<u64>,
+
+    // Shared bus: busy through `bus_busy_until - 1`; a new grant can happen
+    // at any top-of-cycle `>= bus_busy_until`.
+    bus_ring: GrantRing,
+    rr_next: usize,
+    bus_busy_until: u64,
+    bus_busy_cycles: u64,
+
+    // Shared I/O device (always round-robin).
+    io_delay: u64,
+    io_ring: GrantRing,
+    io_rr_next: usize,
+    io_busy_until: u64,
+    io_busy_cycles: u64,
+
+    arrived: Vec<Vec<usize>>,
+    /// Whether each barrier is currently full (will release at the next
+    /// top-of-cycle), plus the count of full barriers.
+    full: Vec<bool>,
+    full_count: usize,
+    /// Processors in `Done` state.
+    done_count: usize,
+    /// Processors in `Barrier` or `Done` state (the deadlock predicate).
+    parked_count: usize,
+}
+
+impl<'w> SkipEngine<'w> {
+    /// Records an arrival at barrier `id`, maintaining the fullness count.
+    fn arrive(&mut self, id: usize, p: usize) {
+        self.arrived[id].push(p);
+        if !self.full[id] && self.arrived[id].len() >= self.barriers[id] {
+            self.full[id] = true;
+            self.full_count += 1;
+        }
+    }
+
+    /// Installs processor `p`'s new state, updating the completion heap and
+    /// the O(1) counters.
+    fn install(&mut self, p: usize, state: EvState) {
+        match state {
+            EvState::Done => {
+                self.done_count += 1;
+                self.parked_count += 1;
+            }
+            EvState::Barrier { .. } => self.parked_count += 1,
+            _ => {}
+        }
+        self.deadlines[p] = state.deadline().unwrap_or(u64::MAX);
+        self.states[p] = state;
+    }
+
+    /// Consumes micro-events for processor `p` starting at `cycle`, fusing
+    /// consecutive compute chunks and cache hits, until the task blocks on
+    /// a shared resource, idles, arrives at a barrier, or finishes.
+    ///
+    /// Statistics whose final value does not depend on *when* they are
+    /// counted (work/idle cycle totals, hit/miss/io counters) are accrued
+    /// eagerly here; time-dependent fields (`finished_at`, queue/barrier
+    /// waits) are recorded at the corresponding transition.
+    fn resolve(&mut self, p: usize, cycle: u64) -> EvState {
+        let hit_cycles = self.machine.procs[p].hit_cycles;
+        let mut busy: u64 = 0;
+        macro_rules! busy_or {
+            ($then:expr, $otherwise:expr) => {
+                if busy > 0 {
+                    self.stats[p].work_cycles += busy;
+                    EvState::Busy {
+                        until: cycle + busy,
+                        then: $then,
+                    }
+                } else {
+                    $otherwise
+                }
+            };
+        }
+        loop {
+            match self.cursors[p].next_item() {
+                None => {
+                    return busy_or!(After::Finish, {
+                        self.stats[p].finished_at = cycle;
+                        EvState::Done
+                    });
+                }
+                Some(Item::Compute(c)) => busy += c,
+                Some(Item::Idle(c)) => {
+                    if c == 0 {
+                        continue;
+                    }
+                    return busy_or!(After::Idle(c), {
+                        self.stats[p].idle_cycles += c;
+                        EvState::Idle { until: cycle + c }
+                    });
+                }
+                Some(Item::Ref(addr)) => {
+                    if self.caches[p].access(addr).is_miss() {
+                        self.stats[p].misses += 1;
+                        return busy_or!(After::Miss, {
+                            self.bus_ring.push(p);
+                            EvState::WaitBus { since: cycle }
+                        });
+                    }
+                    self.stats[p].hits += 1;
+                    busy += hit_cycles;
+                }
+                Some(Item::Io) => {
+                    self.stats[p].io_ops += 1;
+                    return busy_or!(After::Io, {
+                        self.io_ring.push(p);
+                        EvState::WaitIo { since: cycle }
+                    });
+                }
+                Some(Item::Barrier(id)) => {
+                    return busy_or!(After::Barrier(id), {
+                        self.arrive(id, p);
+                        EvState::Barrier { id, since: cycle }
+                    });
+                }
+            }
+        }
+    }
+
+    /// Resolves and installs `p`'s next state.
+    fn resolve_into(&mut self, p: usize, cycle: u64) {
+        let state = self.resolve(p, cycle);
+        self.install(p, state);
+    }
+}
+
+/// The event-skipping engine: jumps from one interesting cycle to the next,
+/// accounting the skipped interval in closed form. Produces reports
+/// identical to [`run_ticked`] (see the module docs for the argument and
+/// `tests/differential.rs` for the proof-by-property-test).
+fn run_event_skip(
+    workload: &Workload,
+    machine: &MachineConfig,
+    options: SimOptions,
+) -> Result<CycleReport, CycleSimError> {
+    let cycle_limit = options.cycle_limit;
+    let start_wall = std::time::Instant::now();
+    let n = workload.tasks.len();
+    let n_barriers = workload.barriers.len();
+    let mut e = SkipEngine {
+        machine,
+        barriers: &workload.barriers,
+        cursors: make_cursors(workload, machine, options.pacing),
+        caches: (0..n).map(|i| Cache::new(machine.procs[i].cache)).collect(),
+        stats: vec![ProcCycleStats::default(); n],
+        states: vec![EvState::Done; n],
+        deadlines: vec![u64::MAX; n],
+        bus_ring: GrantRing::with_capacity(n),
+        rr_next: 0,
+        bus_busy_until: 0,
+        bus_busy_cycles: 0,
+        io_delay: machine.io.map(|io| io.delay_cycles).unwrap_or(0),
+        io_ring: GrantRing::with_capacity(n),
+        io_rr_next: 0,
+        io_busy_until: 0,
+        io_busy_cycles: 0,
+        arrived: vec![Vec::new(); n_barriers],
+        full: vec![false; n_barriers],
+        full_count: 0,
+        done_count: 0,
+        parked_count: 0,
+    };
+    let delay = machine.bus.delay_cycles;
+    let mut cycle: u64 = 0;
+
+    // Initial fetch: resolutions for cycle 0.
+    for p in 0..n {
+        e.resolve_into(p, 0);
+    }
+
+    loop {
+        // Top of (interesting) cycle `cycle`: all resolutions due at this
+        // cycle have been applied. The phases below mirror the ticker's
+        // per-cycle phases in the same order: barrier release, termination
+        // checks, bus grant, I/O grant.
+        let mut any_release = false;
+        if e.full_count > 0 {
+            for id in 0..n_barriers {
+                if !e.full[id] {
+                    continue;
+                }
+                any_release = true;
+                e.full[id] = false;
+                e.full_count -= 1;
+                for p in std::mem::take(&mut e.arrived[id]) {
+                    if let EvState::Barrier { since, .. } = e.states[p] {
+                        e.stats[p].barrier_wait_cycles += cycle - since;
+                    }
+                    e.parked_count -= 1;
+                    e.resolve_into(p, cycle);
+                }
+            }
+        }
+        if e.done_count == n {
+            break;
+        }
+        if cycle >= cycle_limit {
+            return Err(CycleSimError::CycleLimit { limit: cycle_limit });
+        }
+        if !any_release && e.parked_count == n {
+            // Not all Done (checked above), so at least one is at a barrier
+            // that did not release: every live processor is stuck.
+            return Err(CycleSimError::BarrierDeadlock { cycle });
+        }
+
+        // Bus grant: at most one per cycle, only when the bus is free. The
+        // waiter's queuing span closes here, in closed form.
+        if cycle >= e.bus_busy_until && !e.bus_ring.is_empty() {
+            let chosen = match machine.bus.arbitration {
+                Arbitration::FixedPriority => e.bus_ring.grant_min(),
+                Arbitration::RoundRobin => {
+                    let p = e.bus_ring.grant_round_robin(e.rr_next);
+                    e.rr_next = (p + 1) % n;
+                    p
+                }
+            };
+            let EvState::WaitBus { since } = e.states[chosen] else {
+                unreachable!("bus ring holds only WaitBus processors");
+            };
+            e.stats[chosen].queuing_cycles += cycle - since;
+            e.stats[chosen].work_cycles += delay;
+            e.bus_busy_cycles += delay;
+            e.bus_busy_until = cycle + delay;
+            e.install(
+                chosen,
+                EvState::OnBus {
+                    until: cycle + delay,
+                },
+            );
+        }
+
+        // I/O grant, identically.
+        if cycle >= e.io_busy_until && !e.io_ring.is_empty() {
+            let chosen = e.io_ring.grant_round_robin(e.io_rr_next);
+            e.io_rr_next = (chosen + 1) % n;
+            let EvState::WaitIo { since } = e.states[chosen] else {
+                unreachable!("io ring holds only WaitIo processors");
+            };
+            e.stats[chosen].io_queuing_cycles += cycle - since;
+            e.stats[chosen].work_cycles += e.io_delay;
+            e.io_busy_cycles += e.io_delay;
+            e.io_busy_until = cycle + e.io_delay;
+            let until = cycle + e.io_delay;
+            e.install(chosen, EvState::OnIo { until });
+        }
+
+        // Next interesting cycle: the earliest occupancy completion, or one
+        // cycle ahead when a barrier filled during this cycle's release
+        // pass (the ticker would release it at the very next top). If
+        // nothing is scheduled at all, every live processor is parked at a
+        // barrier that just released others — the next top detects the
+        // deadlock one cycle later, exactly like the ticker.
+        let mut next = e.deadlines.iter().copied().min().unwrap_or(u64::MAX);
+        if e.full_count > 0 {
+            next = next.min(cycle + 1);
+        }
+        if next == u64::MAX {
+            next = cycle + 1;
+        }
+        // Never jump past the cycle limit: the ticker reports the limit
+        // violation at top-of-cycle `cycle_limit` exactly.
+        next = next.min(cycle_limit);
+        debug_assert!(next > cycle, "event time must advance");
+
+        // Process every completion due at `next`, in processor-index order —
+        // the same order the ticker's processor phase resolves them. A
+        // processor's handler only reinstalls that same processor, always
+        // with a deadline beyond `next`, so the scan never revisits one.
+        for p in 0..n {
+            if e.deadlines[p] != next {
+                continue;
+            }
+            debug_assert_eq!(e.states[p].deadline(), Some(next), "stale deadline entry");
+            match e.states[p] {
+                EvState::Busy { then, .. } => match then {
+                    After::Finish => {
+                        e.stats[p].finished_at = next;
+                        e.install(p, EvState::Done);
+                    }
+                    After::Miss => {
+                        e.bus_ring.push(p);
+                        e.install(p, EvState::WaitBus { since: next });
+                    }
+                    After::Io => {
+                        e.io_ring.push(p);
+                        e.install(p, EvState::WaitIo { since: next });
+                    }
+                    After::Idle(c) => {
+                        e.stats[p].idle_cycles += c;
+                        e.install(p, EvState::Idle { until: next + c });
+                    }
+                    After::Barrier(id) => {
+                        e.arrive(id, p);
+                        e.install(p, EvState::Barrier { id, since: next });
+                    }
+                },
+                EvState::Idle { .. } | EvState::OnBus { .. } | EvState::OnIo { .. } => {
+                    e.resolve_into(p, next);
+                }
+                _ => unreachable!("only occupancy states carry deadlines"),
+            }
+        }
+        cycle = next;
+    }
+
+    Ok(CycleReport {
+        total_cycles: cycle,
+        procs: e.stats,
+        bus_busy_cycles: e.bus_busy_cycles,
+        io_busy_cycles: e.io_busy_cycles,
+        wall_clock: start_wall.elapsed(),
+    })
+}
+
+/// Runs the workload on the machine, without a cycle limit.
 ///
 /// # Errors
 ///

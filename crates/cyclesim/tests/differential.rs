@@ -1,0 +1,260 @@
+//! Differential property tests: the event-skipping engine must reproduce
+//! the reference ticker's [`CycleReport`] **exactly** — every statistic of
+//! every processor, the shared-resource busy counters and the final cycle —
+//! across randomized workloads (compute, strided/random memory traffic,
+//! idle gaps, barriers, shared I/O), randomized machines (heterogeneous
+//! powers, hit latencies, both arbitration policies, bus and I/O delays)
+//! and both pacing policies, including every error path.
+//!
+//! `mesh-faults` injects faults into contention models and thread programs,
+//! which the cycle simulator does not consume; the applicable analogue here
+//! is the pathological-input family — workloads that deadlock, exceed the
+//! cycle limit, overflow the machine, or issue I/O with no device — all of
+//! which must produce identical `CycleSimError`s from both engines.
+
+use mesh_arch::{Arbitration, BusConfig, CacheConfig, IoConfig, MachineConfig, ProcConfig};
+use mesh_cyclesim::{simulate_with_options, CycleReport, CycleSimError, Pacing, SimOptions};
+use mesh_workloads::{MemPattern, Segment, TaskProgram, Workload};
+use proptest::prelude::*;
+
+/// (compute_ops, refs, use_random_pattern, idle_cycles, io_ops)
+type SegSpec = (u64, u64, bool, u64, u64);
+
+fn arb_task() -> impl Strategy<Value = Vec<SegSpec>> {
+    prop::collection::vec(
+        (1u64..300, 0u64..40, any::<bool>(), 0u64..80, 0u64..4),
+        1..6,
+    )
+}
+
+/// Builds a workload from the task specs; with `barriers`, all tasks
+/// synchronize at a start barrier and again at their last work segment.
+fn build_workload(tasks: &[Vec<SegSpec>], barriers: bool) -> Workload {
+    let mut w = Workload::new();
+    let sync = if barriers {
+        Some((w.add_barrier(tasks.len()), w.add_barrier(tasks.len())))
+    } else {
+        None
+    };
+    for (ti, segs) in tasks.iter().enumerate() {
+        let mut task = TaskProgram::new(format!("t{ti}"));
+        let mut built: Vec<Segment> = Vec::new();
+        for (si, &(ops, refs, random, idle, io)) in segs.iter().enumerate() {
+            let mut seg = Segment::work(ops);
+            if refs > 0 {
+                let base = (ti as u64) << 24;
+                seg = seg.with_pattern(if random {
+                    MemPattern::Random {
+                        base,
+                        span: 64 * 1024,
+                        count: refs,
+                        seed: (ti * 31 + si) as u64,
+                    }
+                } else {
+                    MemPattern::Strided {
+                        base: base + (si as u64) * 4096,
+                        stride: 32,
+                        count: refs,
+                    }
+                });
+            }
+            seg.io_ops = io;
+            built.push(seg);
+            if idle > 0 {
+                built.push(Segment::idle(idle));
+            }
+        }
+        if let Some((start, end)) = sync {
+            built[0] = built[0].clone().with_barrier(start);
+            let last = built.len() - 1;
+            built[last] = built[last].clone().with_barrier(end);
+        }
+        for seg in built {
+            task.push(seg);
+        }
+        w.add_task(task);
+    }
+    w
+}
+
+fn machine(
+    n: usize,
+    bus_delay: u64,
+    round_robin: bool,
+    hit_cycles: u64,
+    io_delay: u64,
+    hetero: bool,
+) -> MachineConfig {
+    let powers = [1.0, 0.8, 1.3, 0.5];
+    let procs = (0..n)
+        .map(|i| {
+            let cache = CacheConfig::new(4 * 1024, 32, 2).unwrap();
+            let p = ProcConfig::new(cache).with_hit_cycles(hit_cycles);
+            if hetero {
+                p.with_power(powers[i % powers.len()])
+            } else {
+                p
+            }
+        })
+        .collect();
+    let arbitration = if round_robin {
+        Arbitration::RoundRobin
+    } else {
+        Arbitration::FixedPriority
+    };
+    MachineConfig::new(
+        procs,
+        BusConfig::new(bus_delay).with_arbitration(arbitration),
+    )
+    .with_io(IoConfig::new(io_delay))
+}
+
+fn normalize(mut r: CycleReport) -> CycleReport {
+    r.wall_clock = std::time::Duration::ZERO;
+    r
+}
+
+/// Runs both engines on identical inputs and returns the (normalized)
+/// results for comparison.
+fn run_both(
+    w: &Workload,
+    m: &MachineConfig,
+    pacing: Pacing,
+    cycle_limit: u64,
+) -> (
+    Result<CycleReport, CycleSimError>,
+    Result<CycleReport, CycleSimError>,
+) {
+    let skip = simulate_with_options(
+        w,
+        m,
+        SimOptions {
+            pacing,
+            cycle_limit,
+            reference_ticker: false,
+        },
+    )
+    .map(normalize);
+    let tick = simulate_with_options(
+        w,
+        m,
+        SimOptions {
+            pacing,
+            cycle_limit,
+            reference_ticker: true,
+        },
+    )
+    .map(normalize);
+    (skip, tick)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The flagship differential: full report equality on random workloads,
+    /// machines and Poisson seeds.
+    #[test]
+    fn engines_agree_under_poisson_pacing(
+        tasks in prop::collection::vec(arb_task(), 1..5),
+        seed in any::<u64>(),
+        bus_delay in 1u64..9,
+        io_delay in 1u64..9,
+        hit_cycles in 0u64..3,
+        flags in (any::<bool>(), any::<bool>(), any::<bool>()),
+    ) {
+        let (round_robin, hetero, barriers) = flags;
+        let w = build_workload(&tasks, barriers);
+        let m = machine(tasks.len(), bus_delay, round_robin, hit_cycles, io_delay, hetero);
+        let (skip, tick) = run_both(&w, &m, Pacing::Poisson(seed), u64::MAX);
+        prop_assert_eq!(skip, tick);
+    }
+
+    /// Same under deterministic even pacing.
+    #[test]
+    fn engines_agree_under_even_pacing(
+        tasks in prop::collection::vec(arb_task(), 1..5),
+        bus_delay in 1u64..9,
+        io_delay in 1u64..9,
+        hit_cycles in 0u64..3,
+        flags in (any::<bool>(), any::<bool>()),
+    ) {
+        let (round_robin, barriers) = flags;
+        let w = build_workload(&tasks, barriers);
+        let m = machine(tasks.len(), bus_delay, round_robin, hit_cycles, io_delay, false);
+        let (skip, tick) = run_both(&w, &m, Pacing::Even, u64::MAX);
+        prop_assert_eq!(skip, tick);
+    }
+
+    /// Tight cycle limits: the event skipper clamps its jumps so the limit
+    /// violation is reported at exactly the same cycle as the ticker —
+    /// and runs that just fit still agree in full.
+    #[test]
+    fn engines_agree_on_cycle_limits(
+        tasks in prop::collection::vec(arb_task(), 1..4),
+        seed in any::<u64>(),
+        limit in 0u64..2_000,
+    ) {
+        let w = build_workload(&tasks, false);
+        let m = machine(tasks.len(), 4, true, 1, 6, true);
+        let (skip, tick) = run_both(&w, &m, Pacing::Poisson(seed), limit);
+        prop_assert_eq!(skip, tick);
+    }
+
+    /// Barrier deadlocks (a barrier expecting more parties than exist) are
+    /// detected by both engines at the same cycle.
+    #[test]
+    fn engines_agree_on_barrier_deadlocks(
+        tasks in prop::collection::vec(arb_task(), 1..4),
+        seed in any::<u64>(),
+    ) {
+        let mut w = Workload::new();
+        let bid = w.add_barrier(tasks.len() + 1); // can never fill
+        for (ti, segs) in tasks.iter().enumerate() {
+            let mut task = TaskProgram::new(format!("t{ti}"));
+            for &(ops, _, _, idle, _) in segs {
+                task.push(Segment::work(ops));
+                if idle > 0 {
+                    task.push(Segment::idle(idle));
+                }
+            }
+            task.push(Segment::work(1).with_barrier(bid));
+            w.add_task(task);
+        }
+        let m = machine(tasks.len(), 4, true, 1, 6, false);
+        let (skip, tick) = run_both(&w, &m, Pacing::Poisson(seed), u64::MAX);
+        prop_assert!(matches!(tick, Err(CycleSimError::BarrierDeadlock { .. })));
+        prop_assert_eq!(skip, tick);
+    }
+}
+
+#[test]
+fn engines_agree_on_task_overflow() {
+    let mut w = Workload::new();
+    for i in 0..3 {
+        let mut t = TaskProgram::new(format!("t{i}"));
+        t.push(Segment::work(10));
+        w.add_task(t);
+    }
+    let m = machine(2, 4, true, 1, 6, false);
+    let (skip, tick) = run_both(&w, &m, Pacing::Even, u64::MAX);
+    assert!(matches!(
+        tick,
+        Err(CycleSimError::TaskCountMismatch { tasks: 3, procs: 2 })
+    ));
+    assert_eq!(skip, tick);
+}
+
+#[test]
+fn engines_agree_on_io_without_device() {
+    let mut w = Workload::new();
+    let mut t = TaskProgram::new("t0");
+    let mut seg = Segment::work(10);
+    seg.io_ops = 2;
+    t.push(seg);
+    w.add_task(t);
+    let cache = CacheConfig::new(4 * 1024, 32, 2).unwrap();
+    let m = MachineConfig::homogeneous(1, ProcConfig::new(cache), BusConfig::new(4));
+    let (skip, tick) = run_both(&w, &m, Pacing::Even, u64::MAX);
+    assert!(matches!(tick, Err(CycleSimError::InvalidWorkload(_))));
+    assert_eq!(skip, tick);
+}

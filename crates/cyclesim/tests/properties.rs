@@ -56,7 +56,7 @@ fn run(w: &Workload, m: &MachineConfig, pacing: Pacing) -> mesh_cyclesim::CycleR
         m,
         SimOptions {
             pacing,
-            cycle_limit: u64::MAX,
+            ..SimOptions::default()
         },
     )
     .unwrap()

@@ -125,6 +125,15 @@ impl CacheConfig {
     pub fn sets(&self) -> u64 {
         self.size_bytes / self.line_bytes / self.ways as u64
     }
+
+    /// The geometry as a fixed word tuple `[size, line, ways]` for stable
+    /// content hashing. Two configs produce the same words iff they are
+    /// equal, and the encoding is independent of the process, platform and
+    /// std's `Hash` implementation details — suitable for keying caches that
+    /// must agree across runs (e.g. `mesh-cyclesim`'s trace cache).
+    pub fn geometry_words(&self) -> [u64; 3] {
+        [self.size_bytes, self.line_bytes, u64::from(self.ways)]
+    }
 }
 
 /// Outcome of a cache access.

@@ -60,6 +60,16 @@ impl ProcConfig {
     pub fn cycles_per_op(&self) -> f64 {
         1.0 / self.power
     }
+
+    /// Everything that determines this processor's timing behaviour, as a
+    /// fixed word tuple for stable content hashing: the power's IEEE-754
+    /// bits (`ProcConfig` cannot derive `Hash` because of the `f64`), the
+    /// cache geometry words, and the hit cost. Two configs that simulate
+    /// identically produce identical words.
+    pub fn digest_words(&self) -> [u64; 5] {
+        let [size, line, ways] = self.cache.geometry_words();
+        [self.power.to_bits(), size, line, ways, self.hit_cycles]
+    }
 }
 
 /// Bus arbitration policy of the cycle-accurate simulator.

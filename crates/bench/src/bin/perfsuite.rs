@@ -12,10 +12,18 @@
 //!     --quick --out BENCH_ci.json --check BENCH_baseline.json  # perf gate
 //! ```
 //!
+//! Each cyclesim workload is timed four ways: `_skip` and `_tick` (both
+//! engines, fed by compiled traces — the defaults), `_skip_cursor` (the
+//! skip engine on the on-the-fly cursor path) and `_compile` (the cold
+//! trace-compile cost, cache bypassed) — the compile/consume split of the
+//! trace pipeline.
+//!
 //! `--check FILE` exits nonzero if any `cyclesim/` benchmark present in both
-//! runs regressed by more than 2x (override with `--max-regression`). The
-//! full suite also prints the fig4/fig5 event-skip vs. reference-ticker
-//! speedup table recorded in the JSON. See `docs/PERFORMANCE.md`.
+//! runs regressed by more than `--factor` times (default 2x;
+//! `--max-regression` is an alias). After a run the suite prints a speedup
+//! summary — tick/skip per workload, trace-vs-cursor, and the compile cost —
+//! so BENCH deltas are readable without hand-diffing JSON. See
+//! `docs/PERFORMANCE.md`.
 
 use mesh_annotate::{assemble, AnnotationPolicy};
 use mesh_arch::MachineConfig;
@@ -25,7 +33,7 @@ use mesh_bench::perf::{
 use mesh_bench::{fft_machine, phm_machine, FFT_BUS_DELAY, FFT_CACHES, FFT_PROC_SWEEP};
 use mesh_core::model::{ContentionModel, Slice, SliceRequest};
 use mesh_core::{SharedId, SimTime, ThreadId};
-use mesh_cyclesim::{simulate_with_options, SimOptions};
+use mesh_cyclesim::{simulate_with_options, Pacing, SimOptions, TraceMode};
 use mesh_models::{ChenLinBus, Md1Queue, Mm1Queue, PriorityBus, RoundRobinBus};
 use mesh_workloads::fft::{self, FftConfig};
 use mesh_workloads::scenario::{self, PhmConfig};
@@ -52,11 +60,13 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--out" => args.out = it.next(),
             "--check" => args.check = it.next(),
-            "--max-regression" => {
+            // `--factor` is the documented name (what the CI perf-smoke job
+            // passes); `--max-regression` is kept as a compatible alias.
+            "--factor" | "--max-regression" => {
                 args.max_regression = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--max-regression needs a number"))
+                    .unwrap_or_else(|| usage(&format!("{arg} needs a number")))
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
@@ -69,9 +79,7 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
-    eprintln!(
-        "usage: perfsuite [--quick] [--out FILE] [--check BASELINE] [--max-regression FACTOR]"
-    );
+    eprintln!("usage: perfsuite [--quick] [--out FILE] [--check BASELINE] [--factor FACTOR]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -90,8 +98,16 @@ impl Suite {
     }
 }
 
-/// Times one cyclesim run in both engines and records `<name>_skip` and
-/// `<name>_tick`.
+/// Times one cyclesim configuration across the trace pipeline's
+/// compile/consume split and records four entries:
+///
+/// * `<name>_skip` / `<name>_tick` — both engines fed by compiled traces
+///   (the default mode), measured with the cross-sweep cache warm so they
+///   time pure consumption;
+/// * `<name>_skip_cursor` — the skip engine on the on-the-fly cursor path,
+///   the pre-trace-pipeline hot loop;
+/// * `<name>_compile` — the cold per-workload trace-compile cost, cache
+///   bypassed.
 fn bench_cyclesim(
     suite: &mut Suite,
     name: &str,
@@ -99,16 +115,35 @@ fn bench_cyclesim(
     machine: &MachineConfig,
     samples: usize,
 ) {
-    for (engine, reference_ticker) in [("skip", false), ("tick", true)] {
+    // Warm the trace cache so the `_skip`/`_tick` medians below price
+    // consumption only; `_compile` prices the compile side separately. The
+    // modes are explicit so the suite measures the same thing regardless of
+    // any MESH_CYCLESIM_TRACE setting in the caller's environment.
+    let warmup = SimOptions {
+        trace: TraceMode::Compiled,
+        ..SimOptions::default()
+    };
+    simulate_with_options(workload, machine, warmup).expect("cyclesim warmup");
+    let variants = [
+        ("skip", false, TraceMode::Compiled),
+        ("tick", true, TraceMode::Compiled),
+        ("skip_cursor", false, TraceMode::OnTheFly),
+    ];
+    for (suffix, reference_ticker, trace) in variants {
         let options = SimOptions {
             reference_ticker,
+            trace,
             ..SimOptions::default()
         };
         let median = time_median_ns(samples, 1, || {
             simulate_with_options(workload, machine, options).expect("cyclesim run")
         });
-        suite.record(&format!("{name}_{engine}"), median);
+        suite.record(&format!("{name}_{suffix}"), median);
     }
+    let median = time_median_ns(samples, 1, || {
+        mesh_cyclesim::trace::compile_uncached(workload, machine, Pacing::default())
+    });
+    suite.record(&format!("{name}_compile"), median);
 }
 
 fn bench_kernel(suite: &mut Suite, samples: usize) {
@@ -272,27 +307,42 @@ fn main() {
         benchmarks: suite.records,
     };
 
-    // Event-skip vs. reference-ticker speedups, from the recorded medians.
-    println!("\n{:<40} {:>10}", "cyclesim speedup (tick/skip)", "factor");
+    // Speedup summary from the recorded medians: tick/skip is the
+    // event-skipping win, cursor/trace the trace-pipeline win on the skip
+    // engine, and compile the one-off per-workload trace build cost that
+    // the cross-sweep cache amortizes away.
+    println!(
+        "\n{:<40} {:>10} {:>13} {:>12}",
+        "cyclesim speedup", "tick/skip", "cursor/trace", "compile(ms)"
+    );
     let mut fig4_range: Option<(f64, f64)> = None;
     for b in &file.benchmarks {
         let Some(base) = b.name.strip_suffix("_skip") else {
             continue;
         };
-        if let Some(tick) = file.median_of(&format!("{base}_tick")) {
-            let speedup = tick / b.median_ns;
-            if base.starts_with("cyclesim/fig4") {
-                let (lo, hi) = fig4_range.unwrap_or((speedup, speedup));
-                fig4_range = Some((lo.min(speedup), hi.max(speedup)));
-            }
-            println!("{base:<40} {speedup:>9.1}x");
+        let Some(tick) = file.median_of(&format!("{base}_tick")) else {
+            continue;
+        };
+        let speedup = tick / b.median_ns;
+        if base.starts_with("cyclesim/fig4") {
+            let (lo, hi) = fig4_range.unwrap_or((speedup, speedup));
+            fig4_range = Some((lo.min(speedup), hi.max(speedup)));
         }
+        let cursor = file
+            .median_of(&format!("{base}_skip_cursor"))
+            .map(|c| format!("{:.1}x", c / b.median_ns))
+            .unwrap_or_else(|| "-".into());
+        let compile = file
+            .median_of(&format!("{base}_compile"))
+            .map(|c| format!("{:.2}", c / 1.0e6))
+            .unwrap_or_else(|| "-".into());
+        println!("{base:<40} {:>9.1}x {cursor:>13} {compile:>12}", speedup);
     }
     if let Some((lo, hi)) = fig4_range {
         // Speedup is contention-dependent (see docs/PERFORMANCE.md): the
         // coarse-grained points set the ceiling, the miss-dense points are
         // floor-bound by the per-reference work both engines share.
-        println!("fig4 grid speedup range: {lo:.1}x - {hi:.1}x");
+        println!("fig4 grid speedup range (tick/skip): {lo:.1}x - {hi:.1}x");
     }
 
     let out = args.out.unwrap_or_else(|| format!("BENCH_{sha}.json"));

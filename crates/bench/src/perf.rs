@@ -105,9 +105,18 @@ impl BenchFile {
         }
         let git_sha = string_field(text, "git_sha")?;
         let quick = {
-            let at = text.find("\"quick\"").ok_or("missing quick")?;
-            text[at..].contains("true")
-                && text[at..].find("true").unwrap() < text[at..].find(',').unwrap_or(usize::MAX)
+            // Match the key with its colon so a string *value* that happens
+            // to read `quick` (a legal git_sha) cannot shadow the field.
+            let tag = "\"quick\":";
+            let at = text.find(tag).ok_or("missing quick")?;
+            let rest = text[at + tag.len()..].trim_start();
+            if rest.starts_with("true") {
+                true
+            } else if rest.starts_with("false") {
+                false
+            } else {
+                return Err("quick is not a boolean".to_string());
+            }
         };
         let mut benchmarks = Vec::new();
         let body = &text[text.find("\"benchmarks\"").ok_or("missing benchmarks")?..];
@@ -142,16 +151,35 @@ impl BenchFile {
 }
 
 /// The short git revision of the working tree, or `unknown`.
+///
+/// Resolved against the repository this crate lives in (via
+/// `CARGO_MANIFEST_DIR`), not the process working directory, so perfsuite
+/// names its artifact correctly when launched from a subdirectory — or from
+/// anywhere else entirely. Falls back to a plain cwd-relative invocation
+/// (for relocated builds where the compiled-in path no longer exists) before
+/// giving up with `unknown`.
 pub fn git_sha() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short=12", "HEAD"])
+    git_short_sha_in(Some(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")))
+        .or_else(|| git_short_sha_in(None))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Runs `git rev-parse --short=12 HEAD`, in `dir` when given, and returns
+/// the trimmed stdout on success.
+fn git_short_sha_in(dir: Option<&str>) -> Option<String> {
+    let mut cmd = std::process::Command::new("git");
+    if let Some(dir) = dir {
+        // `git -C <missing-dir>` fails cleanly, which is what we want for
+        // builds whose source tree has moved.
+        cmd.args(["-C", dir]);
+    }
+    cmd.args(["rev-parse", "--short=12", "HEAD"])
         .output()
         .ok()
         .filter(|o| o.status.success())
         .and_then(|o| String::from_utf8(o.stdout).ok())
         .map(|s| s.trim().to_string())
         .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Times `routine` for `samples` iterations and returns the median
@@ -286,6 +314,20 @@ mod tests {
             check_regression(&current, &baseline, "cyclesim/", 2.0),
             Ok(1)
         );
+    }
+
+    #[test]
+    fn git_sha_resolves_independent_of_cwd() {
+        // The manifest-anchored lookup must succeed inside a checkout no
+        // matter where the process was launched from; the test binary runs
+        // somewhere under the repo, so this is the subdirectory case.
+        let sha = git_short_sha_in(Some(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")))
+            .expect("repo root lookup");
+        assert_eq!(sha.len(), 12, "short=12 sha: {sha}");
+        assert!(sha.chars().all(|c| c.is_ascii_hexdigit()), "{sha}");
+        assert_eq!(git_sha(), sha);
+        // A nonexistent directory fails cleanly rather than panicking.
+        assert_eq!(git_short_sha_in(Some("/nonexistent/do-not-create")), None);
     }
 
     #[test]

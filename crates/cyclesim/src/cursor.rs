@@ -37,6 +37,21 @@ impl Default for Pacing {
     }
 }
 
+/// The pacing policy processor `index` actually runs under: even pacing is
+/// shared, Poisson seeds are decorrelated per processor (otherwise symmetric
+/// tasks would artificially run in jitter lockstep). Both engines and the
+/// trace compiler derive per-processor pacing through this one function, so
+/// a compiled trace is guaranteed to replay the exact stream the on-the-fly
+/// cursor would produce.
+pub(crate) fn derived_pacing(pacing: Pacing, index: usize) -> Pacing {
+    match pacing {
+        Pacing::Even => Pacing::Even,
+        Pacing::Poisson(seed) => {
+            Pacing::Poisson(seed.wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        }
+    }
+}
+
 /// One micro-event of a task's execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Item {

@@ -4,7 +4,9 @@
 //! and every round-robin grant scanned candidate processor indices from the
 //! rotating pointer while calling `Vec::contains` — an O(n²) scan per grant,
 //! plus an O(n) `Vec::retain` to dequeue the winner. [`GrantRing`] keeps the
-//! waiting processor indices in a [`VecDeque`] sorted ascending, so both
+//! waiting processor indices sorted ascending in a plain `Vec` behind a head
+//! index (dequeues at the front advance the head instead of shifting memory;
+//! the dead prefix is compacted away once it outgrows the live set), so both
 //! arbitration policies become cheap while preserving the grant order of the
 //! original scan **exactly**:
 //!
@@ -17,38 +19,48 @@
 //! tests (`tests/differential.rs`) additionally prove whole-run equivalence
 //! against the reference ticker.
 
-use std::collections::VecDeque;
-
 /// A set of waiting processor indices supporting the two arbitration
 /// policies of [`Arbitration`](mesh_arch::Arbitration).
 #[derive(Clone, Debug, Default)]
 pub struct GrantRing {
-    /// Waiting processor indices, ascending.
-    waiting: VecDeque<usize>,
+    /// Waiting processor indices; the live set is `waiting[head..]`,
+    /// ascending. Entries before `head` are already-granted garbage.
+    waiting: Vec<usize>,
+    head: usize,
 }
 
 impl GrantRing {
     /// Creates an empty ring with capacity for `n` processors.
     pub fn with_capacity(n: usize) -> GrantRing {
         GrantRing {
-            waiting: VecDeque::with_capacity(n),
+            waiting: Vec::with_capacity(2 * n),
+            head: 0,
         }
     }
 
     /// Whether no processor is waiting.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.waiting.is_empty()
+        self.head == self.waiting.len()
     }
 
     /// Number of waiting processors.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.waiting.len()
+        self.waiting.len() - self.head
     }
 
     /// Enqueues processor `p`. Each processor has at most one outstanding
     /// request, so `p` must not already be waiting.
+    #[inline]
     pub fn push(&mut self, p: usize) {
-        let at = self.waiting.partition_point(|&q| q < p);
+        // Compact once the dead prefix outgrows any plausible live set, so
+        // the buffer stays a few cache lines regardless of run length.
+        if self.head >= 32 {
+            self.waiting.drain(..self.head);
+            self.head = 0;
+        }
+        let at = self.head + self.waiting[self.head..].partition_point(|&q| q < p);
         debug_assert!(self.waiting.get(at) != Some(&p), "duplicate request");
         self.waiting.insert(at, p);
     }
@@ -58,8 +70,11 @@ impl GrantRing {
     /// # Panics
     ///
     /// Panics if the ring is empty.
+    #[inline]
     pub fn grant_min(&mut self) -> usize {
-        self.waiting.pop_front().expect("grant on empty ring")
+        let p = self.waiting[self.head];
+        self.head += 1;
+        p
     }
 
     /// Grants the lowest waiting index at or after `cursor`, wrapping to the
@@ -69,10 +84,16 @@ impl GrantRing {
     /// # Panics
     ///
     /// Panics if the ring is empty.
+    #[inline]
     pub fn grant_round_robin(&mut self, cursor: usize) -> usize {
-        let at = self.waiting.partition_point(|&q| q < cursor);
-        let at = if at == self.waiting.len() { 0 } else { at };
-        self.waiting.remove(at).expect("grant on empty ring")
+        let live = &self.waiting[self.head..];
+        let at = live.partition_point(|&q| q < cursor);
+        let at = if at == live.len() { 0 } else { at };
+        if at == 0 {
+            self.grant_min()
+        } else {
+            self.waiting.remove(self.head + at)
+        }
     }
 }
 

@@ -21,12 +21,14 @@
 //! [`CycleReport`]s (up to the host wall clock):
 //!
 //! * the **event-skipping** engine (default) computes the next interesting
-//!   cycle — the earliest completion of any compute/hit/idle/bus/I/O
-//!   occupancy, pending barrier release, or grant opportunity — and jumps
-//!   straight to it, accounting busy/queue statistics in closed form over
-//!   the skipped interval. Consecutive compute chunks and cache hits are
-//!   additionally fused into one occupancy, because neither interacts with
-//!   shared state. Work is O(events), not O(cycles);
+//!   cycle — the earliest completion of any busy/idle occupancy, pending
+//!   barrier release, or grant opportunity on a contended resource — and
+//!   jumps straight to it, accounting busy/queue statistics in closed form
+//!   over the skipped interval. Consecutive compute chunks and cache hits
+//!   are fused into one occupancy, because neither interacts with shared
+//!   state; a granted bus/I-O service is further fused with the winner's
+//!   next busy span, its side effects deferred to the fused completion.
+//!   Work is O(events), not O(cycles);
 //! * the **reference ticker** ([`SimOptions::reference_ticker`]) advances
 //!   the whole machine one cycle at a time, exactly like the original
 //!   implementation. It exists as the differential-testing oracle
@@ -38,10 +40,21 @@
 //! parked at a barrier, and no arbitration decision can occur because
 //! grants only happen when a resource frees or a waiter arrives — both
 //! interesting cycles by construction.
+//!
+//! ## Feeds: compiled traces vs. the on-the-fly cursor
+//!
+//! Orthogonally to the engine choice, each processor draws its micro-events
+//! from a **feed** ([`SimOptions::trace`]): either a pre-compiled trace of
+//! resolved steps (the default — see the [`crate::trace`] module for the
+//! compiler, the parallel compile stage and the cross-sweep cache) or the
+//! original on-the-fly segment cursor plus live cache. All four
+//! engine × feed combinations produce identical reports, which
+//! `tests/differential.rs` pins against the cursor-fed ticker.
 
-use crate::cursor::{Item, Pacing, TaskCursor};
+use crate::cursor::{derived_pacing, Item, Pacing};
 use crate::ring::GrantRing;
-use mesh_arch::{Arbitration, Cache, MachineConfig};
+use crate::trace::{self, CursorFeed, StepEvent, TraceCursor, TraceMode, TraceStep};
+use mesh_arch::{Arbitration, MachineConfig};
 use mesh_workloads::Workload;
 use std::fmt;
 
@@ -58,6 +71,10 @@ pub struct SimOptions {
     /// event-skipping one. The two produce identical reports; the ticker is
     /// kept as the differential-testing oracle and perf baseline.
     pub reference_ticker: bool,
+    /// Where micro-events come from: compiled (and cross-sweep cached)
+    /// traces, or the on-the-fly cursor. The feeds produce identical
+    /// reports; compiled is the fast default.
+    pub trace: TraceMode,
 }
 
 impl Default for SimOptions {
@@ -66,6 +83,8 @@ impl Default for SimOptions {
             pacing: Pacing::default(),
             cycle_limit: u64::MAX,
             reference_ticker: false,
+            // Compiled unless MESH_CYCLESIM_TRACE opts the process out.
+            trace: TraceMode::from_env(),
         }
     }
 }
@@ -209,25 +228,51 @@ impl fmt::Display for CycleSimError {
 
 impl std::error::Error for CycleSimError {}
 
-/// Builds the per-task micro-event cursors with decorrelated pacing seeds.
-fn make_cursors<'w>(
+/// One processor's micro-event source. Both engines consume fused
+/// [`TraceStep`]s through [`Feed::next_step`]; the ticker's cursor path
+/// additionally reads the raw items to replicate the original per-item
+/// state machine exactly.
+enum Feed<'w> {
+    /// Live segment cursor + private cache (fusion happens per call).
+    /// Boxed: the cache model dwarfs the common `Trace` variant.
+    Cursor(Box<CursorFeed<'w>>),
+    /// Pre-compiled trace (fusion happened at compile time).
+    Trace(TraceCursor),
+}
+
+impl Feed<'_> {
+    fn next_step(&mut self) -> TraceStep {
+        match self {
+            Feed::Cursor(feed) => feed.next_step(),
+            Feed::Trace(reader) => reader.next_step(),
+        }
+    }
+}
+
+/// Builds the per-task feeds with decorrelated pacing seeds: compiled
+/// traces (via the cross-sweep cache) under [`TraceMode::Compiled`], with a
+/// per-task cursor fallback for traces past the step cap.
+fn make_feeds<'w>(
     workload: &'w Workload,
     machine: &MachineConfig,
-    pacing: Pacing,
-) -> Vec<TaskCursor<'w>> {
+    options: SimOptions,
+) -> Vec<Feed<'w>> {
+    let compiled = match options.trace {
+        TraceMode::Compiled => trace::compiled_for(workload, machine, options.pacing),
+        TraceMode::OnTheFly => workload.tasks.iter().map(|_| None).collect(),
+    };
     workload
         .tasks
         .iter()
+        .zip(compiled)
         .enumerate()
-        .map(|(i, t)| {
-            let pacing = match pacing {
-                Pacing::Even => Pacing::Even,
-                // Decorrelate the processors' jitter streams.
-                Pacing::Poisson(seed) => Pacing::Poisson(
-                    seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                ),
-            };
-            TaskCursor::new(&t.segments, machine.procs[i], pacing)
+        .map(|(i, (t, compiled_trace))| match compiled_trace {
+            Some(tr) => Feed::Trace(TraceCursor::new(tr)),
+            None => Feed::Cursor(Box::new(CursorFeed::new(
+                &t.segments,
+                machine.procs[i],
+                derived_pacing(options.pacing, i),
+            ))),
         })
         .collect()
 }
@@ -310,8 +355,10 @@ fn run_ticked(
     let cycle_limit = options.cycle_limit;
     let start_wall = std::time::Instant::now();
     let n = workload.tasks.len();
-    let mut cursors = make_cursors(workload, machine, options.pacing);
-    let mut caches: Vec<Cache> = (0..n).map(|i| Cache::new(machine.procs[i].cache)).collect();
+    let mut feeds = make_feeds(workload, machine, options);
+    // Trace feeds only: the blocking event of a busy span in flight, applied
+    // when the span's Compute state completes.
+    let mut pending: Vec<Option<StepEvent>> = vec![None; n];
     let mut states = vec![PState::Fetch; n];
     let mut stats = vec![ProcCycleStats::default(); n];
 
@@ -336,55 +383,95 @@ fn run_ticked(
 
     // Resolve Fetch states (zero-width transitions) for processor `p`.
     // Returns the new state after consuming as many zero-cycle items as
-    // needed.
+    // needed. The cursor arm is the original per-item loop, kept verbatim;
+    // the trace arm splits each pre-fused step into the busy span (reusing
+    // `PState::Compute` — compute, hits and their order within the span are
+    // timing-equivalent) and its pending blocking event.
     #[allow(clippy::too_many_arguments)]
     fn resolve_fetch(
         p: usize,
-        cursors: &mut [TaskCursor<'_>],
-        caches: &mut [Cache],
+        feeds: &mut [Feed<'_>],
+        pending: &mut [Option<StepEvent>],
         stats: &mut [ProcCycleStats],
         wait_queue: &mut GrantRing,
         io_wait_queue: &mut GrantRing,
         arrived: &mut [Vec<usize>],
-        machine: &MachineConfig,
         cycle: u64,
     ) -> PState {
-        loop {
-            match cursors[p].next_item() {
-                None => {
-                    stats[p].finished_at = cycle;
-                    return PState::Done;
-                }
-                Some(Item::Compute(c)) => {
-                    if c > 0 {
-                        return PState::Compute { left: c };
+        match &mut feeds[p] {
+            Feed::Cursor(feed) => loop {
+                match feed.cursor.next_item() {
+                    None => {
+                        stats[p].finished_at = cycle;
+                        return PState::Done;
+                    }
+                    Some(Item::Compute(c)) => {
+                        if c > 0 {
+                            return PState::Compute { left: c };
+                        }
+                    }
+                    Some(Item::Idle(c)) => {
+                        if c > 0 {
+                            return PState::Idle { left: c };
+                        }
+                    }
+                    Some(Item::Ref(addr)) => {
+                        if feed.cache.access(addr).is_miss() {
+                            stats[p].misses += 1;
+                            wait_queue.push(p);
+                            return PState::WaitBus;
+                        }
+                        stats[p].hits += 1;
+                        if feed.hit_cycles > 0 {
+                            return PState::HitWait {
+                                left: feed.hit_cycles,
+                            };
+                        }
+                    }
+                    Some(Item::Io) => {
+                        stats[p].io_ops += 1;
+                        io_wait_queue.push(p);
+                        return PState::WaitIo;
+                    }
+                    Some(Item::Barrier(id)) => {
+                        arrived[id].push(p);
+                        return PState::Barrier { id };
                     }
                 }
-                Some(Item::Idle(c)) => {
-                    if c > 0 {
-                        return PState::Idle { left: c };
+            },
+            Feed::Trace(reader) => {
+                let event = match pending[p].take() {
+                    Some(event) => event,
+                    None => {
+                        let step = reader.next_step();
+                        stats[p].hits += step.hits;
+                        if step.busy > 0 {
+                            pending[p] = Some(step.event);
+                            return PState::Compute { left: step.busy };
+                        }
+                        step.event
                     }
-                }
-                Some(Item::Ref(addr)) => {
-                    if caches[p].access(addr).is_miss() {
+                };
+                match event {
+                    StepEvent::Finish => {
+                        stats[p].finished_at = cycle;
+                        PState::Done
+                    }
+                    StepEvent::Miss => {
                         stats[p].misses += 1;
                         wait_queue.push(p);
-                        return PState::WaitBus;
+                        PState::WaitBus
                     }
-                    stats[p].hits += 1;
-                    let hc = machine.procs[p].hit_cycles;
-                    if hc > 0 {
-                        return PState::HitWait { left: hc };
+                    StepEvent::Io => {
+                        stats[p].io_ops += 1;
+                        io_wait_queue.push(p);
+                        PState::WaitIo
                     }
-                }
-                Some(Item::Io) => {
-                    stats[p].io_ops += 1;
-                    io_wait_queue.push(p);
-                    return PState::WaitIo;
-                }
-                Some(Item::Barrier(id)) => {
-                    arrived[id].push(p);
-                    return PState::Barrier { id };
+                    StepEvent::Idle(c) => PState::Idle { left: c },
+                    StepEvent::Barrier(id) => {
+                        arrived[id].push(p);
+                        PState::Barrier { id }
+                    }
                 }
             }
         }
@@ -395,13 +482,12 @@ fn run_ticked(
     for p in 0..n {
         states[p] = resolve_fetch(
             p,
-            &mut cursors,
-            &mut caches,
+            &mut feeds,
+            &mut pending,
             &mut stats,
             &mut wait_queue,
             &mut io_wait_queue,
             &mut arrived,
-            machine,
             cycle,
         );
     }
@@ -416,13 +502,12 @@ fn run_ticked(
                 for p in std::mem::take(&mut arrived[id]) {
                     states[p] = resolve_fetch(
                         p,
-                        &mut cursors,
-                        &mut caches,
+                        &mut feeds,
+                        &mut pending,
                         &mut stats,
                         &mut wait_queue,
                         &mut io_wait_queue,
                         &mut arrived,
-                        machine,
                         cycle,
                     );
                 }
@@ -477,13 +562,12 @@ fn run_ticked(
                     states[p] = if left == 1 {
                         resolve_fetch(
                             p,
-                            &mut cursors,
-                            &mut caches,
+                            &mut feeds,
+                            &mut pending,
                             &mut stats,
                             &mut wait_queue,
                             &mut io_wait_queue,
                             &mut arrived,
-                            machine,
                             cycle + 1,
                         )
                     } else {
@@ -495,13 +579,12 @@ fn run_ticked(
                     states[p] = if left == 1 {
                         resolve_fetch(
                             p,
-                            &mut cursors,
-                            &mut caches,
+                            &mut feeds,
+                            &mut pending,
                             &mut stats,
                             &mut wait_queue,
                             &mut io_wait_queue,
                             &mut arrived,
-                            machine,
                             cycle + 1,
                         )
                     } else {
@@ -518,13 +601,12 @@ fn run_ticked(
                     states[p] = if left == 1 {
                         resolve_fetch(
                             p,
-                            &mut cursors,
-                            &mut caches,
+                            &mut feeds,
+                            &mut pending,
                             &mut stats,
                             &mut wait_queue,
                             &mut io_wait_queue,
                             &mut arrived,
-                            machine,
                             cycle + 1,
                         )
                     } else {
@@ -541,13 +623,12 @@ fn run_ticked(
                     states[p] = if left == 1 {
                         resolve_fetch(
                             p,
-                            &mut cursors,
-                            &mut caches,
+                            &mut feeds,
+                            &mut pending,
                             &mut stats,
                             &mut wait_queue,
                             &mut io_wait_queue,
                             &mut arrived,
-                            machine,
                             cycle + 1,
                         )
                     } else {
@@ -559,13 +640,12 @@ fn run_ticked(
                     states[p] = if left == 1 {
                         resolve_fetch(
                             p,
-                            &mut cursors,
-                            &mut caches,
+                            &mut feeds,
+                            &mut pending,
                             &mut stats,
                             &mut wait_queue,
                             &mut io_wait_queue,
                             &mut arrived,
-                            machine,
                             cycle + 1,
                         )
                     } else {
@@ -594,39 +674,30 @@ fn run_ticked(
 // Event-skipping engine.
 // ---------------------------------------------------------------------------
 
-/// What a fused occupancy resolves into when it completes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum After {
-    /// The cursor is exhausted: record `finished_at` and retire.
-    Finish,
-    /// A cache miss was discovered: join the bus wait queue.
-    Miss,
-    /// A shared-I/O operation was discovered: join the device wait queue.
-    Io,
-    /// An idle gap of this many cycles follows.
-    Idle(u64),
-    /// Arrive at this barrier.
-    Barrier(usize),
-}
-
 /// Processor state of the event-skipping engine. Compute chunks and cache
 /// hits are fused into a single [`EvState::Busy`] occupancy: neither
 /// interacts with shared state, and both accrue `work_cycles`, so the
-/// fusion is observationally identical to ticking them apart.
+/// fusion is observationally identical to ticking them apart. The fusion
+/// itself lives in the feed ([`Feed::next_step`]): per-call for the cursor
+/// path, pre-resolved for compiled traces — the engine consumes identical
+/// [`TraceStep`]s either way, its completion carrying the step's blocking
+/// [`StepEvent`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EvState {
-    /// Occupied with compute and/or cache hits until the given cycle.
-    Busy { until: u64, then: After },
+    /// Occupied until the given cycle: compute and/or cache hits, possibly
+    /// fused with a preceding bus/I-O occupancy (see
+    /// [`SkipEngine::resolve_after_grant`]). A shared-resource occupancy
+    /// never needs its own state here: the bus frees at
+    /// [`SkipEngine::bus_busy_until`] regardless, and the occupant's next
+    /// step is drawn eagerly at the grant — only its *side effects* wait,
+    /// parked in `then`, executed when this fused span completes.
+    Busy { until: u64, then: StepEvent },
     /// In an idle segment until the given cycle.
     Idle { until: u64 },
     /// Waiting for the bus grant since the given cycle.
     WaitBus { since: u64 },
-    /// Transferring on the bus until the given cycle.
-    OnBus { until: u64 },
     /// Waiting for the I/O device grant since the given cycle.
     WaitIo { since: u64 },
-    /// Occupying the I/O device until the given cycle.
-    OnIo { until: u64 },
     /// Parked at a barrier since the given cycle.
     Barrier { id: usize, since: u64 },
     /// Task complete.
@@ -635,12 +706,10 @@ enum EvState {
 
 impl EvState {
     /// The cycle at which this state completes on its own, if any.
+    #[inline]
     fn deadline(&self) -> Option<u64> {
         match *self {
-            EvState::Busy { until, .. }
-            | EvState::Idle { until }
-            | EvState::OnBus { until }
-            | EvState::OnIo { until } => Some(until),
+            EvState::Busy { until, .. } | EvState::Idle { until } => Some(until),
             _ => None,
         }
     }
@@ -652,22 +721,28 @@ impl EvState {
 /// array and the done/parked/full counters — lives next to the state it
 /// shadows.
 struct SkipEngine<'w> {
-    machine: &'w MachineConfig,
     /// Barrier party counts, from the workload.
     barriers: &'w [usize],
-    cursors: Vec<TaskCursor<'w>>,
-    caches: Vec<Cache>,
+    feeds: Vec<Feed<'w>>,
     stats: Vec<ProcCycleStats>,
     states: Vec<EvState>,
-    /// Per-processor completion deadline, `u64::MAX` while the processor is
-    /// in an untimed state (waiting, parked, done). A timed state can only
-    /// leave at its deadline, so the entry is never stale. A flat array
-    /// beats any priority queue here: finding the next event and collecting
-    /// the processors due at it are two branch-predictable linear scans of
-    /// a few cache lines, installs are a single store, and scanning by
-    /// index yields completions in exactly the ticker's processor-phase
-    /// order.
-    deadlines: Vec<u64>,
+    /// Pending occupancy completions `(deadline, processor)`: the live set
+    /// is `events[events_head..]`, lexicographically ascending (entries
+    /// before the head are already-processed garbage, compacted away once
+    /// the dead prefix outgrows the live set). A timed state can only
+    /// leave at its deadline and each processor has at most one timed
+    /// state, so entries are never stale and never removed early —
+    /// installs are a sorted insert (new deadlines usually land at the
+    /// back, so the memmove is short), the next interesting cycle is a
+    /// front peek, and walking the equal-deadline prefix yields
+    /// completions in exactly the ticker's processor-phase order
+    /// (ascending index). The tiny sorted vec beats a per-event full
+    /// rescan (O(procs) twice per event — measurably the hot-loop floor at
+    /// 16 processors), a `VecDeque` (two-lane index math on every probe),
+    /// and a binary heap (whose lazy-deletion bookkeeping costs more than
+    /// a short memmove at these sizes).
+    events: Vec<(u64, usize)>,
+    events_head: usize,
 
     // Shared bus: busy through `bus_busy_until - 1`; a new grant can happen
     // at any top-of-cycle `>= bus_busy_until`.
@@ -715,76 +790,74 @@ impl<'w> SkipEngine<'w> {
             EvState::Barrier { .. } => self.parked_count += 1,
             _ => {}
         }
-        self.deadlines[p] = state.deadline().unwrap_or(u64::MAX);
+        if let Some(d) = state.deadline() {
+            if self.events_head >= 64 {
+                self.events.drain(..self.events_head);
+                self.events_head = 0;
+            }
+            // Insertion-sort style scan-and-shift from the back: new
+            // deadlines are in the future of everything already queued more
+            // often than not, so the common case is a plain push with zero
+            // shifts — cheaper and better predicted than a binary search,
+            // whose log2(live) compares are each a coin flip.
+            self.events.push((d, p));
+            let mut i = self.events.len() - 1;
+            while i > self.events_head && self.events[i - 1] > (d, p) {
+                self.events[i] = self.events[i - 1];
+                i -= 1;
+            }
+            self.events[i] = (d, p);
+        }
         self.states[p] = state;
     }
 
-    /// Consumes micro-events for processor `p` starting at `cycle`, fusing
-    /// consecutive compute chunks and cache hits, until the task blocks on
-    /// a shared resource, idles, arrives at a barrier, or finishes.
+    /// Draws processor `p`'s next fused step from its feed at `cycle` —
+    /// compute chunks and cache hits already merged into one busy span,
+    /// whether by the live cursor feed or at trace-compile time — and turns
+    /// it into the corresponding engine state.
     ///
     /// Statistics whose final value does not depend on *when* they are
     /// counted (work/idle cycle totals, hit/miss/io counters) are accrued
     /// eagerly here; time-dependent fields (`finished_at`, queue/barrier
     /// waits) are recorded at the corresponding transition.
     fn resolve(&mut self, p: usize, cycle: u64) -> EvState {
-        let hit_cycles = self.machine.procs[p].hit_cycles;
-        let mut busy: u64 = 0;
-        macro_rules! busy_or {
-            ($then:expr, $otherwise:expr) => {
-                if busy > 0 {
-                    self.stats[p].work_cycles += busy;
-                    EvState::Busy {
-                        until: cycle + busy,
-                        then: $then,
-                    }
-                } else {
-                    $otherwise
-                }
-            };
+        let step = self.feeds[p].next_step();
+        {
+            let stats = &mut self.stats[p];
+            stats.hits += step.hits;
+            match step.event {
+                StepEvent::Miss => stats.misses += 1,
+                StepEvent::Io => stats.io_ops += 1,
+                _ => {}
+            }
+            if step.busy > 0 {
+                stats.work_cycles += step.busy;
+                return EvState::Busy {
+                    until: cycle + step.busy,
+                    then: step.event,
+                };
+            }
         }
-        loop {
-            match self.cursors[p].next_item() {
-                None => {
-                    return busy_or!(After::Finish, {
-                        self.stats[p].finished_at = cycle;
-                        EvState::Done
-                    });
-                }
-                Some(Item::Compute(c)) => busy += c,
-                Some(Item::Idle(c)) => {
-                    if c == 0 {
-                        continue;
-                    }
-                    return busy_or!(After::Idle(c), {
-                        self.stats[p].idle_cycles += c;
-                        EvState::Idle { until: cycle + c }
-                    });
-                }
-                Some(Item::Ref(addr)) => {
-                    if self.caches[p].access(addr).is_miss() {
-                        self.stats[p].misses += 1;
-                        return busy_or!(After::Miss, {
-                            self.bus_ring.push(p);
-                            EvState::WaitBus { since: cycle }
-                        });
-                    }
-                    self.stats[p].hits += 1;
-                    busy += hit_cycles;
-                }
-                Some(Item::Io) => {
-                    self.stats[p].io_ops += 1;
-                    return busy_or!(After::Io, {
-                        self.io_ring.push(p);
-                        EvState::WaitIo { since: cycle }
-                    });
-                }
-                Some(Item::Barrier(id)) => {
-                    return busy_or!(After::Barrier(id), {
-                        self.arrive(id, p);
-                        EvState::Barrier { id, since: cycle }
-                    });
-                }
+        match step.event {
+            StepEvent::Finish => {
+                self.stats[p].finished_at = cycle;
+                EvState::Done
+            }
+            StepEvent::Miss => {
+                self.bus_ring.push(p);
+                EvState::WaitBus { since: cycle }
+            }
+            StepEvent::Io => {
+                self.io_ring.push(p);
+                EvState::WaitIo { since: cycle }
+            }
+            StepEvent::Idle(c) => {
+                self.stats[p].idle_cycles += c;
+                EvState::Idle { until: cycle + c }
+            }
+            StepEvent::Barrier(id) => {
+                self.arrive(id, p);
+                EvState::Barrier { id, since: cycle }
             }
         }
     }
@@ -793,6 +866,35 @@ impl<'w> SkipEngine<'w> {
     fn resolve_into(&mut self, p: usize, cycle: u64) {
         let state = self.resolve(p, cycle);
         self.install(p, state);
+    }
+
+    /// Draws `p`'s next step at the moment a shared-resource grant is
+    /// issued, fusing the resource occupancy (which runs through
+    /// `freed - 1`) and the step's busy span into a single completion at
+    /// `freed + busy`. The draw is safe this early because feeds are
+    /// per-processor pure — a private trace cursor, or a private
+    /// cache + RNG — so *when* a step is drawn cannot change its value;
+    /// only the step's side effects are phase-sensitive, and those stay
+    /// parked in `then` until the completion handler runs them at exactly
+    /// the cycle the ticker would (a zero-length busy span completes at
+    /// `freed` itself). This halves the event traffic per transaction and
+    /// drops the resource-occupancy states entirely; the grant opportunity
+    /// the old completion event used to create is restored by the
+    /// `next = min(next, busy_until)` clauses in the main loop.
+    fn resolve_after_grant(&mut self, p: usize, freed: u64) -> EvState {
+        let step = self.feeds[p].next_step();
+        let stats = &mut self.stats[p];
+        stats.hits += step.hits;
+        match step.event {
+            StepEvent::Miss => stats.misses += 1,
+            StepEvent::Io => stats.io_ops += 1,
+            _ => {}
+        }
+        stats.work_cycles += step.busy;
+        EvState::Busy {
+            until: freed + step.busy,
+            then: step.event,
+        }
     }
 }
 
@@ -810,13 +912,12 @@ fn run_event_skip(
     let n = workload.tasks.len();
     let n_barriers = workload.barriers.len();
     let mut e = SkipEngine {
-        machine,
         barriers: &workload.barriers,
-        cursors: make_cursors(workload, machine, options.pacing),
-        caches: (0..n).map(|i| Cache::new(machine.procs[i].cache)).collect(),
+        feeds: make_feeds(workload, machine, options),
         stats: vec![ProcCycleStats::default(); n],
         states: vec![EvState::Done; n],
-        deadlines: vec![u64::MAX; n],
+        events: Vec::with_capacity(64 + n),
+        events_head: 0,
         bus_ring: GrantRing::with_capacity(n),
         rr_next: 0,
         bus_busy_until: 0,
@@ -893,12 +994,8 @@ fn run_event_skip(
             e.stats[chosen].work_cycles += delay;
             e.bus_busy_cycles += delay;
             e.bus_busy_until = cycle + delay;
-            e.install(
-                chosen,
-                EvState::OnBus {
-                    until: cycle + delay,
-                },
-            );
+            let state = e.resolve_after_grant(chosen, cycle + delay);
+            e.install(chosen, state);
         }
 
         // I/O grant, identically.
@@ -912,17 +1009,27 @@ fn run_event_skip(
             e.stats[chosen].work_cycles += e.io_delay;
             e.io_busy_cycles += e.io_delay;
             e.io_busy_until = cycle + e.io_delay;
-            let until = cycle + e.io_delay;
-            e.install(chosen, EvState::OnIo { until });
+            let state = e.resolve_after_grant(chosen, cycle + e.io_delay);
+            e.install(chosen, state);
         }
 
-        // Next interesting cycle: the earliest occupancy completion, or one
-        // cycle ahead when a barrier filled during this cycle's release
-        // pass (the ticker would release it at the very next top). If
-        // nothing is scheduled at all, every live processor is parked at a
-        // barrier that just released others — the next top detects the
-        // deadlock one cycle later, exactly like the ticker.
-        let mut next = e.deadlines.iter().copied().min().unwrap_or(u64::MAX);
+        // Next interesting cycle: the earliest occupancy completion, the
+        // next grant opportunity on a contended resource (it frees with
+        // waiters still queued — both `busy_until`s exceed `cycle` whenever
+        // their ring is non-empty here, since a free resource would have
+        // granted above), or one cycle ahead when a barrier filled during
+        // this cycle's release pass (the ticker would release it at the
+        // very next top). If nothing is scheduled at all, every live
+        // processor is parked at a barrier that just released others — the
+        // next top detects the deadlock one cycle later, exactly like the
+        // ticker.
+        let mut next = e.events.get(e.events_head).map_or(u64::MAX, |&(d, _)| d);
+        if !e.bus_ring.is_empty() {
+            next = next.min(e.bus_busy_until);
+        }
+        if !e.io_ring.is_empty() {
+            next = next.min(e.io_busy_until);
+        }
         if e.full_count > 0 {
             next = next.min(cycle + 1);
         }
@@ -935,38 +1042,41 @@ fn run_event_skip(
         debug_assert!(next > cycle, "event time must advance");
 
         // Process every completion due at `next`, in processor-index order —
-        // the same order the ticker's processor phase resolves them. A
-        // processor's handler only reinstalls that same processor, always
-        // with a deadline beyond `next`, so the scan never revisits one.
-        for p in 0..n {
-            if e.deadlines[p] != next {
-                continue;
+        // the ascending lex-sorted event queue yields exactly the ticker's
+        // processor-phase order off its front. A processor's handler only
+        // reinstalls that same processor, always with a deadline beyond
+        // `next`, so new entries land after the due prefix and are never
+        // popped here.
+        while let Some(&(d, p)) = e.events.get(e.events_head) {
+            if d != next {
+                break;
             }
-            debug_assert_eq!(e.states[p].deadline(), Some(next), "stale deadline entry");
+            e.events_head += 1;
+            debug_assert_eq!(e.states[p].deadline(), Some(next), "stale event entry");
             match e.states[p] {
                 EvState::Busy { then, .. } => match then {
-                    After::Finish => {
+                    StepEvent::Finish => {
                         e.stats[p].finished_at = next;
                         e.install(p, EvState::Done);
                     }
-                    After::Miss => {
+                    StepEvent::Miss => {
                         e.bus_ring.push(p);
                         e.install(p, EvState::WaitBus { since: next });
                     }
-                    After::Io => {
+                    StepEvent::Io => {
                         e.io_ring.push(p);
                         e.install(p, EvState::WaitIo { since: next });
                     }
-                    After::Idle(c) => {
+                    StepEvent::Idle(c) => {
                         e.stats[p].idle_cycles += c;
                         e.install(p, EvState::Idle { until: next + c });
                     }
-                    After::Barrier(id) => {
+                    StepEvent::Barrier(id) => {
                         e.arrive(id, p);
                         e.install(p, EvState::Barrier { id, since: next });
                     }
                 },
-                EvState::Idle { .. } | EvState::OnBus { .. } | EvState::OnIo { .. } => {
+                EvState::Idle { .. } => {
                     e.resolve_into(p, next);
                 }
                 _ => unreachable!("only occupancy states carry deadlines"),

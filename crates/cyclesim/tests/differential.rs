@@ -6,6 +6,13 @@
 //! powers, hit latencies, both arbitration policies, bus and I/O delays)
 //! and both pacing policies, including every error path.
 //!
+//! The same oracle pins the **feed** axis: every configuration runs as the
+//! full engine × feed matrix — {skip, tick} × {compiled trace, on-the-fly
+//! cursor} — and all four cells must be field-identical (including equal
+//! errors). The cursor-fed ticker is the unchanged original loop, so one
+//! anchor transitively proves the trace compiler, the chunked trace
+//! storage, the cross-sweep cache and both trace-consuming hot paths.
+//!
 //! `mesh-faults` injects faults into contention models and thread programs,
 //! which the cycle simulator does not consume; the applicable analogue here
 //! is the pathological-input family — workloads that deadlock, exceed the
@@ -13,7 +20,9 @@
 //! which must produce identical `CycleSimError`s from both engines.
 
 use mesh_arch::{Arbitration, BusConfig, CacheConfig, IoConfig, MachineConfig, ProcConfig};
-use mesh_cyclesim::{simulate_with_options, CycleReport, CycleSimError, Pacing, SimOptions};
+use mesh_cyclesim::{
+    simulate_with_options, CycleReport, CycleSimError, Pacing, SimOptions, TraceMode,
+};
 use mesh_workloads::{MemPattern, Segment, TaskProgram, Workload};
 use proptest::prelude::*;
 
@@ -114,8 +123,11 @@ fn normalize(mut r: CycleReport) -> CycleReport {
     r
 }
 
-/// Runs both engines on identical inputs and returns the (normalized)
-/// results for comparison.
+/// Runs the full engine × feed matrix on identical inputs and returns
+/// (skip-trace, tick-cursor): the fastest configuration and the verbatim
+/// original. The other two cells — skip-cursor and trace-fed tick — are
+/// asserted equal to the tick-cursor oracle in here, so every caller's
+/// `skip == tick` comparison covers all four.
 fn run_both(
     w: &Workload,
     m: &MachineConfig,
@@ -125,27 +137,26 @@ fn run_both(
     Result<CycleReport, CycleSimError>,
     Result<CycleReport, CycleSimError>,
 ) {
-    let skip = simulate_with_options(
-        w,
-        m,
-        SimOptions {
-            pacing,
-            cycle_limit,
-            reference_ticker: false,
-        },
-    )
-    .map(normalize);
-    let tick = simulate_with_options(
-        w,
-        m,
-        SimOptions {
-            pacing,
-            cycle_limit,
-            reference_ticker: true,
-        },
-    )
-    .map(normalize);
-    (skip, tick)
+    let run = |reference_ticker: bool, trace: TraceMode| {
+        simulate_with_options(
+            w,
+            m,
+            SimOptions {
+                pacing,
+                cycle_limit,
+                reference_ticker,
+                trace,
+            },
+        )
+        .map(normalize)
+    };
+    let tick_cursor = run(true, TraceMode::OnTheFly);
+    let skip_cursor = run(false, TraceMode::OnTheFly);
+    let tick_trace = run(true, TraceMode::Compiled);
+    let skip_trace = run(false, TraceMode::Compiled);
+    assert_eq!(skip_cursor, tick_cursor, "skip engine, on-the-fly cursor");
+    assert_eq!(tick_trace, tick_cursor, "ticker fed by compiled traces");
+    (skip_trace, tick_cursor)
 }
 
 proptest! {

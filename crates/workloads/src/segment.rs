@@ -15,7 +15,11 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// A parametric memory-reference stream.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Derives `Hash` (all fields are integers) so downstream consumers can
+/// content-address workloads — `mesh-cyclesim` keys its cross-sweep trace
+/// cache on the segments' hash.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum MemPattern {
     /// `count` addresses starting at `base`, `stride` bytes apart.
     Strided {
@@ -150,7 +154,7 @@ impl Iterator for PatternIter {
 /// no processor work and issue no bus traffic. Work is measured in
 /// *operations* (scaled by processor power); idle is measured directly in
 /// *cycles*.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum SegmentKind {
     /// Executing instructions (ops scaled by processor power).
     #[default]
@@ -161,7 +165,11 @@ pub enum SegmentKind {
 
 /// One contiguous piece of a task: compute plus interleaved memory traffic,
 /// optionally issuing shared-I/O operations, optionally ending at a barrier.
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// `Hash` covers every field, so equal hashes of two segment lists mean (up
+/// to collisions) identical micro-event streams — the property the
+/// cycle-accurate simulator's trace cache relies on.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Segment {
     /// Work or idle.
     pub kind: SegmentKind,

@@ -183,13 +183,16 @@ pub struct Cache {
     stats: CacheStats,
 }
 
-/// Hit/miss counters.
+/// Hit/miss/eviction counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses that found their line resident.
     pub hits: u64,
     /// Accesses that allocated a line.
     pub misses: u64,
+    /// Misses that displaced a resident line (the set was full). Always
+    /// `<= misses`; the difference is cold allocations into empty slots.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -253,6 +256,7 @@ impl Cache {
                 // Evict LRU: shift the set down and append at MRU.
                 set.copy_within(1.., 0);
                 set[len - 1] = tag;
+                self.stats.evictions += 1;
             } else {
                 self.tags[set_idx * ways + len] = tag;
                 self.lens[set_idx] += 1;
@@ -350,6 +354,19 @@ mod tests {
     }
 
     #[test]
+    fn evictions_count_displacements_only() {
+        // 1-set, 2-way cache: two cold misses fill the set without evicting;
+        // the third distinct line displaces the LRU.
+        let mut c = Cache::new(CacheConfig::new(64, 32, 2).unwrap());
+        c.access(0);
+        c.access(32);
+        assert_eq!(c.stats().evictions, 0);
+        c.access(64);
+        assert_eq!(c.stats().misses, 3);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
     fn reset_clears_state() {
         let mut c = Cache::new(CacheConfig::direct_mapped(1024, 32).unwrap());
         c.access(0);
@@ -362,7 +379,11 @@ mod tests {
     fn miss_rate_edge_cases() {
         let s = CacheStats::default();
         assert_eq!(s.miss_rate(), 0.0);
-        let s = CacheStats { hits: 3, misses: 1 };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
         assert!((s.miss_rate() - 0.25).abs() < 1e-12);
     }
 }

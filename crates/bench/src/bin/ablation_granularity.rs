@@ -71,4 +71,5 @@ fn main() {
     println!(" The curve plateaus once every burst is a single region: idle gaps");
     println!(" always remain region boundaries, so the hybrid keeps seeing the");
     println!(" unbalance that destroys the whole-program analytical model.)");
+    mesh_bench::obs_finish();
 }

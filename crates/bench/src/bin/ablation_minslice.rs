@@ -68,4 +68,5 @@ fn main() {
     println!("{table}");
     println!("(larger minimum timeslices merge analysis windows: fewer model");
     println!(" evaluations, degraded accuracy — the paper's designer trade-off)");
+    mesh_bench::obs_finish();
 }

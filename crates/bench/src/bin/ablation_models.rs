@@ -109,4 +109,5 @@ fn main() {
     println!("{table}");
     println!("(every model is evaluated piecewise by the same kernel; the piecewise");
     println!(" evaluation, not the specific formula, carries most of the accuracy)");
+    mesh_bench::obs_finish();
 }

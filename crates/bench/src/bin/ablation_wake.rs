@@ -132,4 +132,5 @@ fn main() {
     println!(" under-predicts; together they bound the truth — and the bias");
     println!(" vanishes when annotations are placed at synchronization points,");
     println!(" which is exactly what mesh-annotate does.)");
+    mesh_bench::obs_finish();
 }

@@ -65,4 +65,5 @@ fn main() {
             println!("{}", series_to_csv("procs", &[analytical, mesh, iss]));
         }
     }
+    mesh_bench::obs_finish();
 }

@@ -54,4 +54,5 @@ fn main() {
     if std::env::args().any(|a| a == "--csv") {
         println!("{}", series_to_csv("bus_delay", &[mesh, iss, analytical]));
     }
+    mesh_bench::obs_finish();
 }

@@ -69,4 +69,5 @@ fn main() {
     if std::env::args().any(|a| a == "--csv") {
         println!("{}", series_to_csv("pct_idle", &[mesh, analytical]));
     }
+    mesh_bench::obs_finish();
 }

@@ -94,4 +94,5 @@ fn main() {
     println!(" open-form M/D/1 overshoots as the I/O device saturates — swap in");
     println!(" ChenLinBus, whose blocking-master bound fits blocking cores, to");
     println!(" tighten the high-delay rows: models are one line to interchange.)");
+    mesh_bench::obs_finish();
 }

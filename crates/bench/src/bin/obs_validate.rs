@@ -1,0 +1,40 @@
+//! **obs_validate** — CI validator for mesh-obs Chrome-trace exports.
+//!
+//! Reads the Chrome-trace JSON file produced by a `MESH_OBS_TRACE=<path>`
+//! run, checks it is well-formed and nonempty with monotonic timestamps per
+//! track (via [`mesh_obs::chrome::validate`]), prints a one-line summary and
+//! exits nonzero on any violation — so the perf-smoke job can gate the
+//! artifact it uploads.
+//!
+//! ```bash
+//! cargo run -p mesh-bench --release --bin obs_validate -- trace.json
+//! ```
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: obs_validate <trace.json>");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_validate: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match mesh_obs::chrome::validate(&text) {
+        Ok(summary) => {
+            println!(
+                "obs_validate OK: {path}: {} slices, {} instants, {} tracks",
+                summary.slices, summary.instants, summary.tracks
+            );
+        }
+        Err(e) => {
+            eprintln!("obs_validate FAILED: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -146,6 +146,31 @@ fn bench_cyclesim(
     suite.record(&format!("{name}_compile"), median);
 }
 
+/// Times the observability layer itself: the same cyclesim smoke workload
+/// with the mesh-obs registry disabled (the default no-op path) and
+/// force-enabled, so the BENCH file records the instrumentation overhead
+/// commit over commit and `--check` can gate it like any other benchmark.
+fn bench_obs(suite: &mut Suite, workload: &Workload, machine: &MachineConfig, samples: usize) {
+    let options = SimOptions {
+        trace: TraceMode::Compiled,
+        ..SimOptions::default()
+    };
+    simulate_with_options(workload, machine, options).expect("obs warmup");
+    let was_enabled = mesh_obs::enabled();
+    mesh_obs::set_enabled(false);
+    let off = time_median_ns(samples, 1, || {
+        simulate_with_options(workload, machine, options).expect("cyclesim run")
+    });
+    mesh_obs::set_enabled(true);
+    let on = time_median_ns(samples, 1, || {
+        simulate_with_options(workload, machine, options).expect("cyclesim run")
+    });
+    mesh_obs::set_enabled(was_enabled);
+    suite.record("obs/smoke_fft_disabled", off);
+    suite.record("obs/smoke_fft_enabled", on);
+    println!("obs overhead (enabled/disabled): {:.3}x", on / off);
+}
+
 fn bench_kernel(suite: &mut Suite, samples: usize) {
     // A Figure-4 FFT point: barrier-grained annotations, few large slices.
     let fft_w = fft::build(&FftConfig {
@@ -274,6 +299,15 @@ fn main() {
         s_sim,
     );
 
+    // Observability overhead, after the cyclesim benches so the forced
+    // enable cannot perturb them.
+    bench_obs(
+        &mut suite,
+        &smoke_fft,
+        &fft_machine(4, 8 * 1024, FFT_BUS_DELAY),
+        s_sim,
+    );
+
     if !args.quick {
         // The Figure-4 grid: processor sweep x both cache configurations.
         for procs in FFT_PROC_SWEEP {
@@ -361,23 +395,29 @@ fn main() {
             eprintln!("error: malformed baseline {baseline_path}: {e}");
             std::process::exit(1);
         });
-        match check_regression(&file, &baseline, "cyclesim/", args.max_regression) {
-            Ok(checked) => {
-                println!(
-                    "perf check OK: {checked} cyclesim benchmarks within {:.1}x of {} ({})",
-                    args.max_regression, baseline_path, baseline.git_sha
-                );
-            }
-            Err(failures) => {
-                eprintln!(
-                    "perf check FAILED vs {baseline_path} ({}):",
-                    baseline.git_sha
-                );
-                for f in failures {
-                    eprintln!("  {f}");
+        // The obs/ prefix gates the instrumentation overhead the same way
+        // (a no-op against baselines that predate the obs section, since
+        // only benchmarks present in both files are compared).
+        for prefix in ["cyclesim/", "obs/"] {
+            match check_regression(&file, &baseline, prefix, args.max_regression) {
+                Ok(checked) => {
+                    println!(
+                        "perf check OK: {checked} {prefix} benchmarks within {:.1}x of {} ({})",
+                        args.max_regression, baseline_path, baseline.git_sha
+                    );
                 }
-                std::process::exit(1);
+                Err(failures) => {
+                    eprintln!(
+                        "perf check FAILED vs {baseline_path} ({}):",
+                        baseline.git_sha
+                    );
+                    for f in failures {
+                        eprintln!("  {f}");
+                    }
+                    std::process::exit(1);
+                }
             }
         }
     }
+    mesh_bench::obs_finish();
 }

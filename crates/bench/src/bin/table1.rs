@@ -55,4 +55,5 @@ fn main() {
     }
     println!("{table}");
     println!("minimum speedup across configurations: {min_speedup:.0}x (paper: >= 100x)");
+    mesh_bench::obs_finish();
 }

@@ -65,4 +65,5 @@ fn main() {
     );
     println!("(paper: \"In the other SPLASH-2 benchmarks the Chen-Lin model performs");
     println!(" well, as does the corresponding MESH model\")");
+    mesh_bench::obs_finish();
 }

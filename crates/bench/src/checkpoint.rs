@@ -166,6 +166,9 @@ impl Checkpoint {
             }
         }
         let writer = OpenOptions::new().create(true).append(true).open(path)?;
+        if mesh_obs::enabled() {
+            mesh_obs::counter("sweep.checkpoint.loaded").add(entries.len() as u64);
+        }
         Ok(Checkpoint {
             path: path.to_path_buf(),
             entries,
@@ -200,6 +203,10 @@ impl Checkpoint {
         value: &V,
     ) -> std::io::Result<()> {
         let line = format!("{} {key_hash:016x} {}\n", sanitize(label), value.encode());
+        if mesh_obs::enabled() {
+            mesh_obs::counter("sweep.checkpoint.records").inc();
+            mesh_obs::counter("sweep.checkpoint.bytes_written").add(line.len() as u64);
+        }
         let mut w = self.writer.lock().expect("checkpoint writer poisoned");
         w.write_all(line.as_bytes())?;
         w.flush()

@@ -77,6 +77,28 @@ pub fn or_exit<T, E: std::fmt::Display>(context: &str, result: Result<T, E>) -> 
     }
 }
 
+/// End-of-run observability epilogue, called by every experiment binary just
+/// before it exits:
+///
+/// * with `MESH_BENCH_PROGRESS` set, a one-line cross-sweep trace-cache
+///   summary goes to stderr (stdout is never touched);
+/// * [`mesh_obs::finish`] writes the metrics snapshot (`MESH_OBS_OUT`) and
+///   the Chrome-trace timeline (`MESH_OBS_TRACE`) if those were requested.
+///
+/// A complete no-op when neither progress reporting nor observability is
+/// enabled.
+pub fn obs_finish() {
+    if std::env::var_os(sweep::PROGRESS_ENV).is_some_and(|v| !v.is_empty()) {
+        let s = mesh_cyclesim::cache_stats();
+        eprintln!(
+            "mesh-bench trace-cache: {} hits, {} misses, {} evictions, {} fallbacks \
+             ({} entries, {} steps resident)",
+            s.hits, s.misses, s.evictions, s.fallbacks, s.entries, s.resident_steps
+        );
+    }
+    mesh_obs::finish();
+}
+
 impl crate::checkpoint::Checkpointable for ComparisonPoint {
     fn encode(&self) -> String {
         [

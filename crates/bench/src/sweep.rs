@@ -538,9 +538,16 @@ where
             }
         }
 
+        let obs_on = mesh_obs::enabled();
+        if obs_on {
+            mesh_obs::gauge("sweep.points_total").set(points.len() as u64);
+            mesh_obs::gauge("sweep.points_done").set((points.len() - todo.len()) as u64);
+        }
         let mut failures: Vec<PointFailure> = Vec::new();
         if !todo.is_empty() {
             let total = todo.len();
+            let prefilled = points.len() - total;
+            let sweep_start = std::time::Instant::now();
             let done = AtomicUsize::new(0);
             let next = AtomicUsize::new(0);
             let results: Vec<Mutex<Option<Result<V, PointFailure>>>> =
@@ -560,15 +567,20 @@ where
                     break;
                 }
                 let (index, key) = todo[claim];
-                let outcome = eval_isolated(
-                    label,
-                    index,
-                    key,
-                    &eval,
-                    retries,
-                    backoff,
-                    fail_index == Some(index),
-                );
+                let outcome = {
+                    let _point_span = obs_on.then(|| {
+                        mesh_obs::span_labeled("sweep.point_ns", format!("{label}[{index}]"))
+                    });
+                    eval_isolated(
+                        label,
+                        index,
+                        key,
+                        &eval,
+                        retries,
+                        backoff,
+                        fail_index == Some(index),
+                    )
+                };
                 if let (Ok(value), Some(record)) = (&outcome, record) {
                     // Persist before reporting progress: a kill right after
                     // this line loses at most the in-flight points.
@@ -576,8 +588,16 @@ where
                 }
                 *results[claim].lock().expect("sweep slot poisoned") = Some(outcome);
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if obs_on {
+                    mesh_obs::gauge("sweep.points_done").set((prefilled + finished) as u64);
+                }
                 if progress && workers > 1 {
-                    eprintln!("mesh-bench {label}: {finished}/{total} points");
+                    let elapsed = sweep_start.elapsed().as_secs_f64();
+                    let eta = elapsed / finished as f64 * (total - finished) as f64;
+                    eprintln!(
+                        "mesh-bench {label}: {finished}/{total} points \
+                         ({elapsed:.1}s elapsed, eta {eta:.1}s)"
+                    );
                 }
             };
             if workers == 1 {
@@ -666,6 +686,9 @@ where
             Err(p) => {
                 payload = payload_text(p.as_ref());
                 if attempt < attempts {
+                    if mesh_obs::enabled() {
+                        mesh_obs::counter("sweep.retries").inc();
+                    }
                     std::thread::sleep(backoff * attempt);
                 }
             }

@@ -135,6 +135,55 @@ struct ProcRt {
     report: ProcReport,
 }
 
+/// Cached `mesh-obs` handles for the kernel's hot paths.
+///
+/// Built once per run, and only when observability is enabled — a disabled
+/// run never touches the registry and pays one `Option` check per hook.
+/// Every counter here reports behaviour the statistics [`Report`] cannot:
+/// how the run was *executed*, not what it computed. Recording therefore
+/// never changes simulated output.
+struct KernelObs {
+    /// Analysis windows evaluated (`kernel.slices_analyzed`).
+    slices: mesh_obs::Counter,
+    /// Penalty folds — heap re-inserts that extend a region
+    /// (`kernel.penalties_folded`).
+    folds: mesh_obs::Counter,
+    /// Penalty-free region commits (`kernel.commits`).
+    commits: mesh_obs::Counter,
+    /// Scheduler placements of a thread onto a resource
+    /// (`kernel.sched_decisions`).
+    sched_decisions: mesh_obs::Counter,
+    /// High-water mark of the commit queue (`kernel.commit_queue_depth`).
+    queue_depth: mesh_obs::Gauge,
+    /// Wall-clock nanoseconds per analytical-model evaluation
+    /// (`kernel.model_eval_ns`).
+    model_eval_ns: mesh_obs::Histogram,
+    /// Fault-policy incidents absorbed (`kernel.incidents`), plus the
+    /// per-action split.
+    incidents: mesh_obs::Counter,
+    incidents_clamped: mesh_obs::Counter,
+    incidents_fell_back: mesh_obs::Counter,
+    /// Kernel runs started (`kernel.runs`).
+    runs: mesh_obs::Counter,
+}
+
+impl KernelObs {
+    fn new() -> KernelObs {
+        KernelObs {
+            slices: mesh_obs::counter("kernel.slices_analyzed"),
+            folds: mesh_obs::counter("kernel.penalties_folded"),
+            commits: mesh_obs::counter("kernel.commits"),
+            sched_decisions: mesh_obs::counter("kernel.sched_decisions"),
+            queue_depth: mesh_obs::gauge("kernel.commit_queue_depth"),
+            model_eval_ns: mesh_obs::histogram("kernel.model_eval_ns"),
+            incidents: mesh_obs::counter("kernel.incidents"),
+            incidents_clamped: mesh_obs::counter("kernel.incidents.clamped"),
+            incidents_fell_back: mesh_obs::counter("kernel.incidents.fell_back"),
+            runs: mesh_obs::counter("kernel.runs"),
+        }
+    }
+}
+
 pub(crate) struct Kernel {
     spec: SystemBuilder,
     threads: Vec<ThreadRt>,
@@ -181,6 +230,8 @@ pub(crate) struct Kernel {
     steps_at_last_advance: u64,
     /// Model-contract violations absorbed by a non-abort fault policy.
     incidents: Vec<Incident>,
+    /// Observability handles; `None` when `mesh-obs` is disabled.
+    obs: Option<KernelObs>,
 }
 
 impl System {
@@ -213,7 +264,14 @@ impl Kernel {
         let n_threads = spec.threads.len();
         let n_procs = spec.procs.len();
         let n_shared = spec.shared.len();
-        let trace = Trace::new(spec.trace);
+        // A requested Chrome-trace timeline needs the event trace as its
+        // source; collecting it changes nothing about the simulation, only
+        // what is reported afterwards.
+        let trace = Trace::new(spec.trace || mesh_obs::chrome::timeline_enabled());
+        let obs = mesh_obs::enabled().then(KernelObs::new);
+        if let Some(obs) = &obs {
+            obs.runs.inc();
+        }
         let threads: Vec<ThreadRt> = spec
             .threads
             .iter()
@@ -271,6 +329,7 @@ impl Kernel {
             start_wall: None,
             steps_at_last_advance: 0,
             incidents: Vec::new(),
+            obs,
             spec,
         }
     }
@@ -419,6 +478,9 @@ impl Kernel {
                 self.regions.push(region);
                 self.inflight_of[ti] = Some(idx);
                 self.procs[proc.index()].available = false;
+                if let Some(obs) = &self.obs {
+                    obs.sched_decisions.inc();
+                }
                 self.push_heap(idx);
                 // A backdated region (optimistic wake) partially precedes the
                 // integration boundary; fold that portion's access mass into
@@ -461,6 +523,9 @@ impl Kernel {
         let end = self.regions[idx].end;
         self.heap.push(Reverse((end, self.seq, idx)));
         self.seq += 1;
+        if let Some(obs) = &self.obs {
+            obs.queue_depth.set_max(self.heap.len() as u64);
+        }
     }
 
     /// Figure 2, lines 8–13: pop the earliest region, folding unapplied
@@ -490,6 +555,9 @@ impl Kernel {
                     amount: penalty,
                     new_end,
                 });
+                if let Some(obs) = &self.obs {
+                    obs.folds.inc();
+                }
                 self.push_heap(idx);
                 continue;
             }
@@ -535,6 +603,9 @@ impl Kernel {
                 amount: penalty,
                 new_end,
             });
+            if let Some(obs) = &self.obs {
+                obs.folds.inc();
+            }
             self.push_heap(idx);
             return Ok(());
         }
@@ -560,6 +631,9 @@ impl Kernel {
         self.threads[ti].report.regions += 1;
         self.threads[ti].regions_committed += 1;
         self.commits += 1;
+        if let Some(obs) = &self.obs {
+            obs.commits.inc();
+        }
         self.trace.push(Event::RegionCommitted {
             thread,
             proc,
@@ -719,6 +793,9 @@ impl Kernel {
         let dur = self.now - self.window_start;
         debug_assert!(!dur.is_zero());
         self.slices_analyzed += 1;
+        if let Some(obs) = &self.obs {
+            obs.slices.inc();
+        }
         let nt = self.n_threads;
         let mut requests = std::mem::take(&mut self.scratch_requests);
         for s in 0..self.spec.shared.len() {
@@ -750,7 +827,14 @@ impl Kernel {
                 service_time: self.spec.shared[s].service_time,
                 shared,
             };
+            // Time the analytical model only when observability is on; the
+            // clock read must not reach the disabled hot path.
+            let eval_start = self.obs.as_ref().map(|_| std::time::Instant::now());
             let mut penalties = self.spec.shared[s].model.penalties(&slice, &requests);
+            if let (Some(obs), Some(start)) = (&self.obs, eval_start) {
+                let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                obs.model_eval_ns.record(ns);
+            }
             if let Some(detail) = contract_violation(&penalties, &requests) {
                 match self.spec.supervisor.fault_policy {
                     FaultPolicy::Abort => {
@@ -759,6 +843,10 @@ impl Kernel {
                     }
                     FaultPolicy::ClampPenalty => {
                         sanitize_penalties(&mut penalties, requests.len(), dur);
+                        if let Some(obs) = &self.obs {
+                            obs.incidents.inc();
+                            obs.incidents_clamped.inc();
+                        }
                         self.incidents.push(Incident {
                             at: self.now,
                             shared,
@@ -771,6 +859,10 @@ impl Kernel {
                         // windows at this resource use it directly.
                         self.spec.shared[s].model = Box::new(NoContention);
                         penalties = self.spec.shared[s].model.penalties(&slice, &requests);
+                        if let Some(obs) = &self.obs {
+                            obs.incidents.inc();
+                            obs.incidents_fell_back.inc();
+                        }
                         self.incidents.push(Incident {
                             at: self.now,
                             shared,
@@ -858,7 +950,152 @@ impl Kernel {
         Ok(())
     }
 
+    /// Exports the recorded event trace as Chrome-trace timeline slices:
+    /// one track per physical resource (regions, folded penalties, thread
+    /// lifecycle) and one per shared resource (analyzed timeslices with
+    /// penalty instants). Simulated cycles map 1:1 to trace microseconds.
+    fn export_timeline(&self) {
+        use mesh_obs::chrome;
+        if !chrome::timeline_enabled() || self.trace.is_empty() {
+            return;
+        }
+        let pid = chrome::next_pid();
+        chrome::name_process(pid, format!("kernel run {pid}"));
+        let nprocs = self.procs.len();
+        for (p, spec) in self.spec.procs.iter().enumerate() {
+            chrome::name_thread(pid, p as u32, format!("proc {}", spec.name));
+        }
+        for (s, spec) in self.spec.shared.iter().enumerate() {
+            chrome::name_thread(pid, (nprocs + s) as u32, format!("shared {}", spec.name));
+        }
+        // Where each thread last ran, so penalty/lifecycle events (which only
+        // carry a thread id) land on the right physical-resource track.
+        let mut proc_of: Vec<usize> = vec![0; self.spec.threads.len()];
+        // `PenaltyAssigned` events carry no timestamp and precede their
+        // window's `SliceAnalyzed`; buffer them and flush at the window end.
+        let mut pending: Vec<(usize, usize, f64)> = Vec::new();
+        for event in &self.trace {
+            match *event {
+                Event::RegionScheduled {
+                    thread,
+                    proc,
+                    start,
+                    annotated_end,
+                } => {
+                    proc_of[thread.index()] = proc.index();
+                    chrome::slice(
+                        pid,
+                        proc.index() as u32,
+                        self.spec.threads[thread.index()].name.clone(),
+                        "region",
+                        start.as_cycles(),
+                        (annotated_end - start).as_cycles(),
+                        &[],
+                    );
+                }
+                Event::PenaltyFolded {
+                    thread,
+                    amount,
+                    new_end,
+                } => {
+                    chrome::slice(
+                        pid,
+                        proc_of[thread.index()] as u32,
+                        "penalty",
+                        "penalty",
+                        (new_end - amount).as_cycles(),
+                        amount.as_cycles(),
+                        &[("amount", amount.as_cycles())],
+                    );
+                }
+                Event::RegionCommitted {
+                    thread: _,
+                    proc,
+                    at,
+                } => {
+                    chrome::instant(
+                        pid,
+                        proc.index() as u32,
+                        "commit",
+                        "commit",
+                        at.as_cycles(),
+                        &[],
+                    );
+                }
+                Event::SliceAnalyzed {
+                    shared,
+                    start,
+                    end,
+                    contenders,
+                    penalty_total,
+                } => {
+                    let tid = (nprocs + shared.index()) as u32;
+                    chrome::slice(
+                        pid,
+                        tid,
+                        "timeslice",
+                        "timeslice",
+                        start.as_cycles(),
+                        (end - start).as_cycles(),
+                        &[
+                            ("contenders", contenders as f64),
+                            ("penalty_total", penalty_total.as_cycles()),
+                        ],
+                    );
+                    for (s, thread, amount) in pending.drain(..) {
+                        chrome::instant(
+                            pid,
+                            (nprocs + s) as u32,
+                            format!("penalty {}", self.spec.threads[thread].name),
+                            "penalty",
+                            end.as_cycles(),
+                            &[("amount", amount)],
+                        );
+                    }
+                }
+                Event::PenaltyAssigned {
+                    shared,
+                    thread,
+                    amount,
+                } => {
+                    pending.push((shared.index(), thread.index(), amount.as_cycles()));
+                }
+                Event::ThreadBlocked { thread, at, .. } => {
+                    chrome::instant(
+                        pid,
+                        proc_of[thread.index()] as u32,
+                        format!("blocked {}", self.spec.threads[thread.index()].name),
+                        "sync",
+                        at.as_cycles(),
+                        &[],
+                    );
+                }
+                Event::ThreadWoken { thread, at } => {
+                    chrome::instant(
+                        pid,
+                        proc_of[thread.index()] as u32,
+                        format!("woken {}", self.spec.threads[thread.index()].name),
+                        "sync",
+                        at.as_cycles(),
+                        &[],
+                    );
+                }
+                Event::ThreadFinished { thread, at } => {
+                    chrome::instant(
+                        pid,
+                        proc_of[thread.index()] as u32,
+                        format!("finished {}", self.spec.threads[thread.index()].name),
+                        "sync",
+                        at.as_cycles(),
+                        &[],
+                    );
+                }
+            }
+        }
+    }
+
     fn into_report(self, wall: std::time::Duration) -> SimOutcome {
+        self.export_timeline();
         let shared_reports = self.shared_reports;
         SimOutcome {
             report: Report {

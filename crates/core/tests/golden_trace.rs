@@ -1,0 +1,188 @@
+//! Golden test for the kernel's [`Event`] stream.
+//!
+//! Pins the exact trace — event order *and* simulated times — of a small
+//! two-thread contended scenario (the Figure-3 walkthrough from the design
+//! notes: A runs one 100-cycle region with 10 bus accesses on p0, B runs two
+//! 50-cycle regions with 5 accesses each on p1, and the model charges every
+//! contender a flat 10 cycles per contended slice). Any change to scheduling
+//! order, window analysis or penalty folding shows up here as a readable
+//! one-line diff.
+//!
+//! The same fixture doubles as the Chrome-trace exporter's test input: the
+//! second test forces the mesh-obs timeline on, replays the run, and
+//! validates the exported JSON.
+
+use std::sync::Mutex;
+
+use mesh_core::annotation::Annotation;
+use mesh_core::kernel::SimOutcome;
+use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+use mesh_core::trace::Event;
+use mesh_core::{Power, SimTime, SystemBuilder, VecProgram};
+
+/// Serializes the tests in this file: the Chrome-trace exporter writes into
+/// a process-global buffer, so a kernel run from a concurrently executing
+/// test would pollute the drained timeline while the force flag is set.
+static TIMELINE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Penalizes every contender by a fixed amount whenever the kernel finds
+/// contention (the walkthrough's hand-checkable model).
+#[derive(Debug)]
+struct FlatPenalty(f64);
+
+impl ContentionModel for FlatPenalty {
+    fn penalties(&self, _slice: &Slice, reqs: &[SliceRequest]) -> Vec<SimTime> {
+        vec![SimTime::from_cycles(self.0); reqs.len()]
+    }
+    fn name(&self) -> &str {
+        "flat"
+    }
+}
+
+/// Runs the Figure-3 walkthrough with tracing enabled.
+fn figure3_outcome() -> SimOutcome {
+    let mut b = SystemBuilder::new();
+    let p0 = b.add_proc("p0", Power::default());
+    let p1 = b.add_proc("p1", Power::default());
+    let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), FlatPenalty(10.0));
+    let a = b.add_thread(
+        "A",
+        VecProgram::new(vec![Annotation::compute(100.0).with_accesses(bus, 10.0)]),
+    );
+    let bt = b.add_thread(
+        "B",
+        VecProgram::new(vec![
+            Annotation::compute(50.0).with_accesses(bus, 5.0),
+            Annotation::compute(50.0).with_accesses(bus, 5.0),
+        ]),
+    );
+    b.pin_thread(a, &[p0]);
+    b.pin_thread(bt, &[p1]);
+    b.enable_trace();
+    b.build().unwrap().run().unwrap()
+}
+
+/// One-line, diff-friendly rendering of an event, times in cycles.
+fn render(e: &Event) -> String {
+    match *e {
+        Event::RegionScheduled {
+            thread,
+            proc,
+            start,
+            annotated_end,
+        } => format!(
+            "sched   t{} p{} {}..{}",
+            thread.index(),
+            proc.index(),
+            start.as_cycles(),
+            annotated_end.as_cycles()
+        ),
+        Event::PenaltyFolded {
+            thread,
+            amount,
+            new_end,
+        } => format!(
+            "fold    t{} +{} ->{}",
+            thread.index(),
+            amount.as_cycles(),
+            new_end.as_cycles()
+        ),
+        Event::RegionCommitted { thread, proc, at } => format!(
+            "commit  t{} p{} @{}",
+            thread.index(),
+            proc.index(),
+            at.as_cycles()
+        ),
+        Event::SliceAnalyzed {
+            shared,
+            start,
+            end,
+            contenders,
+            penalty_total,
+        } => format!(
+            "slice   s{} {}..{} n={} p={}",
+            shared.index(),
+            start.as_cycles(),
+            end.as_cycles(),
+            contenders,
+            penalty_total.as_cycles()
+        ),
+        Event::PenaltyAssigned {
+            shared,
+            thread,
+            amount,
+        } => format!(
+            "penalty s{} t{} +{}",
+            shared.index(),
+            thread.index(),
+            amount.as_cycles()
+        ),
+        Event::ThreadBlocked { thread, at, .. } => {
+            format!("blocked t{} @{}", thread.index(), at.as_cycles())
+        }
+        Event::ThreadWoken { thread, at } => {
+            format!("woken   t{} @{}", thread.index(), at.as_cycles())
+        }
+        Event::ThreadFinished { thread, at } => {
+            format!("finish  t{} @{}", thread.index(), at.as_cycles())
+        }
+    }
+}
+
+#[test]
+fn figure3_event_stream_is_pinned() {
+    let _guard = TIMELINE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let outcome = figure3_outcome();
+    let actual: Vec<String> = outcome.trace.iter().map(render).collect();
+    // Hand-derived (and matching `figure3_walkthrough_penalty_timeline` in
+    // the kernel's unit tests): B1 is penalized in slice (0,50] and ends at
+    // 60; A accumulates 10 there and 10 more in (60,110]; B2 runs (60,110]
+    // and folds to 120; A folds to 110 then 120; both finish at 120.
+    let expected: Vec<&str> = vec![
+        "sched   t0 p0 0..100",
+        "sched   t1 p1 0..50",
+        "penalty s0 t0 +10",
+        "penalty s0 t1 +10",
+        "slice   s0 0..50 n=2 p=20",
+        "fold    t1 +10 ->60",
+        "commit  t1 p1 @60",
+        "sched   t1 p1 60..110",
+        "fold    t0 +10 ->110",
+        "penalty s0 t0 +10",
+        "penalty s0 t1 +10",
+        "slice   s0 60..110 n=2 p=20",
+        "fold    t1 +10 ->120",
+        "fold    t0 +10 ->120",
+        "commit  t1 p1 @120",
+        "finish  t1 @120",
+        "commit  t0 p0 @120",
+        "finish  t0 @120",
+    ];
+    assert_eq!(
+        actual,
+        expected,
+        "golden event stream changed:\n{}",
+        actual.join("\n")
+    );
+}
+
+#[test]
+fn figure3_chrome_trace_exports_and_validates() {
+    let _guard = TIMELINE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    mesh_obs::chrome::force_timeline(true);
+    let _ = mesh_obs::chrome::drain_json(); // discard anything buffered
+    let outcome = figure3_outcome();
+    mesh_obs::chrome::force_timeline(false);
+    let json = mesh_obs::chrome::drain_json();
+
+    assert_eq!(outcome.report.total_time.as_cycles(), 120.0);
+    let summary = mesh_obs::chrome::validate(&json).expect("exported trace must validate");
+    // Two proc tracks carrying region/penalty slices plus the shared bus
+    // track carrying timeslice slices.
+    assert_eq!(summary.tracks, 3, "trace:\n{json}");
+    assert!(summary.slices > 0 && summary.instants > 0);
+    // The Figure-3 picture: region, penalty and timeslice slices all present.
+    for needle in ["\"region\"", "\"penalty\"", "\"timeslice\""] {
+        assert!(json.contains(needle), "missing {needle} in:\n{json}");
+    }
+}

@@ -36,4 +36,4 @@ pub use sim::{
     simulate, simulate_with_limit, simulate_with_options, CycleReport, CycleSimError,
     ProcCycleStats, SimOptions,
 };
-pub use trace::TraceMode;
+pub use trace::{cache_stats, TraceCacheStats, TraceMode};

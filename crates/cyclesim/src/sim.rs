@@ -249,6 +249,84 @@ impl Feed<'_> {
     }
 }
 
+/// Flushes the run's private-cache counters into the mesh-obs registry.
+/// Hits and misses come from the per-processor statistics (identical for
+/// both feeds); evictions only exist on live cursor feeds — compiled traces
+/// pay theirs at compile time, where [`trace::compile`] accounts them.
+fn flush_private_cache_obs(feeds: &[Feed<'_>], stats: &[ProcCycleStats]) {
+    if !mesh_obs::enabled() {
+        return;
+    }
+    mesh_obs::counter("cyclesim.cache.hits").add(stats.iter().map(|s| s.hits).sum());
+    mesh_obs::counter("cyclesim.cache.misses").add(stats.iter().map(|s| s.misses).sum());
+    let evictions: u64 = feeds
+        .iter()
+        .map(|f| match f {
+            Feed::Cursor(c) => c.cache.stats().evictions,
+            Feed::Trace(_) => 0,
+        })
+        .sum();
+    mesh_obs::counter("cyclesim.cache.evictions").add(evictions);
+}
+
+/// Local accumulator for the event-skipping engine's observability
+/// counters: plain integers bumped in the hot loop (one well-predicted
+/// branch when disabled — the engine holds `None`), flushed into the
+/// process-global registry once per run.
+struct SkipObs {
+    /// Interesting cycles visited (jumps taken).
+    events: u64,
+    /// Occupancy completions dispatched off the event queue.
+    dispatched: u64,
+    /// Cycles jumped over without per-cycle work (`distance - 1` per jump).
+    cycles_skipped: u64,
+    /// High-water mark of the live event-queue length.
+    queue_depth_max: u64,
+    /// Grant-fused draws ([`SkipEngine::resolve_after_grant`]).
+    grant_fusions: u64,
+    dist_buckets: [u64; mesh_obs::HISTOGRAM_BUCKETS],
+    dist_count: u64,
+    dist_sum: u64,
+}
+
+impl SkipObs {
+    fn new() -> SkipObs {
+        SkipObs {
+            events: 0,
+            dispatched: 0,
+            cycles_skipped: 0,
+            queue_depth_max: 0,
+            grant_fusions: 0,
+            dist_buckets: [0; mesh_obs::HISTOGRAM_BUCKETS],
+            dist_count: 0,
+            dist_sum: 0,
+        }
+    }
+
+    /// Accounts one jump from `from` to `to` (`to > from`).
+    fn record_jump(&mut self, from: u64, to: u64) {
+        let distance = to - from;
+        self.events += 1;
+        self.cycles_skipped += distance - 1;
+        self.dist_buckets[mesh_obs::bucket_index(distance)] += 1;
+        self.dist_count += 1;
+        self.dist_sum = self.dist_sum.saturating_add(distance);
+    }
+
+    fn flush(&self) {
+        mesh_obs::counter("cyclesim.skip.events").add(self.events);
+        mesh_obs::counter("cyclesim.skip.dispatched").add(self.dispatched);
+        mesh_obs::counter("cyclesim.skip.cycles_skipped").add(self.cycles_skipped);
+        mesh_obs::counter("cyclesim.skip.grant_fusions").add(self.grant_fusions);
+        mesh_obs::gauge("cyclesim.skip.queue_depth").set_max(self.queue_depth_max);
+        mesh_obs::histogram("cyclesim.skip.distance").merge(
+            &self.dist_buckets,
+            self.dist_count,
+            self.dist_sum,
+        );
+    }
+}
+
 /// Builds the per-task feeds with decorrelated pacing seeds: compiled
 /// traces (via the cross-sweep cache) under [`TraceMode::Compiled`], with a
 /// per-task cursor fallback for traces past the step cap.
@@ -356,6 +434,7 @@ fn run_ticked(
     let start_wall = std::time::Instant::now();
     let n = workload.tasks.len();
     let mut feeds = make_feeds(workload, machine, options);
+    let _consume_span = mesh_obs::span("cyclesim.consume_ns");
     // Trace feeds only: the blocking event of a busy span in flight, applied
     // when the span's Compute state completes.
     let mut pending: Vec<Option<StepEvent>> = vec![None; n];
@@ -661,6 +740,10 @@ fn run_ticked(
         cycle += 1;
     }
 
+    if mesh_obs::enabled() {
+        mesh_obs::counter("cyclesim.tick.cycles").add(cycle);
+        flush_private_cache_obs(&feeds, &stats);
+    }
     Ok(CycleReport {
         total_cycles: cycle,
         procs: stats,
@@ -935,6 +1018,8 @@ fn run_event_skip(
     };
     let delay = machine.bus.delay_cycles;
     let mut cycle: u64 = 0;
+    let mut obs = mesh_obs::enabled().then(SkipObs::new);
+    let _consume_span = mesh_obs::span("cyclesim.consume_ns");
 
     // Initial fetch: resolutions for cycle 0.
     for p in 0..n {
@@ -996,6 +1081,9 @@ fn run_event_skip(
             e.bus_busy_until = cycle + delay;
             let state = e.resolve_after_grant(chosen, cycle + delay);
             e.install(chosen, state);
+            if let Some(o) = obs.as_mut() {
+                o.grant_fusions += 1;
+            }
         }
 
         // I/O grant, identically.
@@ -1011,6 +1099,9 @@ fn run_event_skip(
             e.io_busy_until = cycle + e.io_delay;
             let state = e.resolve_after_grant(chosen, cycle + e.io_delay);
             e.install(chosen, state);
+            if let Some(o) = obs.as_mut() {
+                o.grant_fusions += 1;
+            }
         }
 
         // Next interesting cycle: the earliest occupancy completion, the
@@ -1040,6 +1131,11 @@ fn run_event_skip(
         // violation at top-of-cycle `cycle_limit` exactly.
         next = next.min(cycle_limit);
         debug_assert!(next > cycle, "event time must advance");
+        if let Some(o) = obs.as_mut() {
+            o.record_jump(cycle, next);
+            let live = (e.events.len() - e.events_head) as u64;
+            o.queue_depth_max = o.queue_depth_max.max(live);
+        }
 
         // Process every completion due at `next`, in processor-index order —
         // the ascending lex-sorted event queue yields exactly the ticker's
@@ -1047,11 +1143,15 @@ fn run_event_skip(
         // reinstalls that same processor, always with a deadline beyond
         // `next`, so new entries land after the due prefix and are never
         // popped here.
+        // Counted directly: `install` may compact the queue mid-loop, so
+        // `events_head` deltas are not a reliable dispatch count.
+        let mut dispatched_here: u64 = 0;
         while let Some(&(d, p)) = e.events.get(e.events_head) {
             if d != next {
                 break;
             }
             e.events_head += 1;
+            dispatched_here += 1;
             debug_assert_eq!(e.states[p].deadline(), Some(next), "stale event entry");
             match e.states[p] {
                 EvState::Busy { then, .. } => match then {
@@ -1082,9 +1182,16 @@ fn run_event_skip(
                 _ => unreachable!("only occupancy states carry deadlines"),
             }
         }
+        if let Some(o) = obs.as_mut() {
+            o.dispatched += dispatched_here;
+        }
         cycle = next;
     }
 
+    if let Some(o) = &obs {
+        o.flush();
+        flush_private_cache_obs(&e.feeds, &e.stats);
+    }
     Ok(CycleReport {
         total_cycles: cycle,
         procs: e.stats,

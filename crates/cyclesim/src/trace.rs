@@ -257,6 +257,11 @@ pub(crate) fn compile(
     if !current.is_empty() {
         chunks.push(current.into_boxed_slice());
     }
+    if mesh_obs::enabled() {
+        // Compiled feeds replay hit/miss verdicts without a cache, so the
+        // private cache's evictions are only observable here, at compile.
+        mesh_obs::counter("cyclesim.cache.evictions").add(feed.cache.stats().evictions);
+    }
     Some(TaskTrace { chunks, steps })
 }
 
@@ -346,6 +351,10 @@ struct TraceCache {
     resident_steps: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    /// Lookups that resolved to a negative (too-large) entry, sending the
+    /// engines to the on-the-fly cursor fallback.
+    fallbacks: u64,
 }
 
 impl TraceCache {
@@ -367,6 +376,7 @@ impl TraceCache {
             };
             if let Some(evicted) = self.map.remove(&oldest) {
                 self.resident_steps -= evicted.steps();
+                self.evictions += 1;
             }
         }
         self.resident_steps += steps;
@@ -436,6 +446,9 @@ pub(crate) fn compiled_for(
     let mut out: Vec<Option<Arc<TaskTrace>>> = (0..n).map(|_| None).collect();
     // First task index per distinct key still to compile.
     let mut missing: Vec<usize> = Vec::new();
+    // Per-call deltas mirrored into the mesh-obs registry after the lock
+    // drops, so the observability flush never holds the cache mutex.
+    let (mut d_hits, mut d_misses, mut d_fallbacks, mut d_evictions) = (0u64, 0u64, 0u64, 0u64);
     {
         let mut cache = global();
         for i in 0..n {
@@ -443,10 +456,17 @@ pub(crate) fn compiled_for(
                 Some(CacheEntry::Compiled(t)) => {
                     out[i] = Some(Arc::clone(t));
                     cache.hits += 1;
+                    d_hits += 1;
                 }
-                Some(CacheEntry::TooLarge) => cache.hits += 1,
+                Some(CacheEntry::TooLarge) => {
+                    cache.hits += 1;
+                    cache.fallbacks += 1;
+                    d_hits += 1;
+                    d_fallbacks += 1;
+                }
                 None => {
                     cache.misses += 1;
+                    d_misses += 1;
                     if !missing.iter().any(|&j| keys[j] == keys[i]) {
                         missing.push(i);
                     }
@@ -455,21 +475,39 @@ pub(crate) fn compiled_for(
         }
     }
     if missing.is_empty() {
+        flush_cache_obs(d_hits, d_misses, d_fallbacks, d_evictions);
         return out;
     }
 
     let max_steps = env_steps(MAX_STEPS_ENV, DEFAULT_MAX_STEPS);
-    let compiled = compile_parallel(&missing, workload, machine, pacing, max_steps);
+    let compiled = {
+        let _span = mesh_obs::span("cyclesim.compile_ns");
+        compile_parallel(&missing, workload, machine, pacing, max_steps)
+    };
 
     let budget = env_steps(CACHE_STEPS_ENV, DEFAULT_CACHE_STEPS);
     let mut cache = global();
+    let evictions_before = cache.evictions;
     for (&i, trace) in missing.iter().zip(&compiled) {
         let entry = match trace {
             Some(t) => CacheEntry::Compiled(Arc::clone(t)),
-            None => CacheEntry::TooLarge,
+            None => {
+                cache.fallbacks += 1;
+                d_fallbacks += 1;
+                CacheEntry::TooLarge
+            }
         };
         cache.insert(keys[i], entry, budget);
+        if mesh_obs::enabled() {
+            // Fold freshly-compiled trace keys into the run manifest's
+            // workload fingerprint (XOR fold: order-independent across
+            // parallel sweep workers).
+            mesh_obs::merge_fingerprint((keys[i] as u64) ^ ((keys[i] >> 64) as u64));
+        }
     }
+    d_evictions += cache.evictions - evictions_before;
+    drop(cache);
+    flush_cache_obs(d_hits, d_misses, d_fallbacks, d_evictions);
     // Fill the remaining slots from the fresh compiles directly (an insert
     // may already have been evicted; the Arcs stay valid regardless).
     for i in 0..n {
@@ -482,6 +520,18 @@ pub(crate) fn compiled_for(
         // else: the key was negative-cached (TooLarge) before this call.
     }
     out
+}
+
+/// Mirrors one `compiled_for` call's trace-cache deltas into the mesh-obs
+/// registry. A no-op when observability is disabled or nothing happened.
+fn flush_cache_obs(hits: u64, misses: u64, fallbacks: u64, evictions: u64) {
+    if !mesh_obs::enabled() || hits + misses + fallbacks + evictions == 0 {
+        return;
+    }
+    mesh_obs::counter("cyclesim.trace_cache.hits").add(hits);
+    mesh_obs::counter("cyclesim.trace_cache.misses").add(misses);
+    mesh_obs::counter("cyclesim.trace_cache.fallbacks").add(fallbacks);
+    mesh_obs::counter("cyclesim.trace_cache.evictions").add(evictions);
 }
 
 /// Compiles the given task indices, spreading distinct tasks over scoped
@@ -546,6 +596,11 @@ pub struct TraceCacheStats {
     pub hits: u64,
     /// Per-task lookups that required a compile since process start.
     pub misses: u64,
+    /// Entries evicted oldest-first to stay within the resident budget.
+    pub evictions: u64,
+    /// Lookups (or fresh compiles) that resolved to a too-large verdict,
+    /// sending the engines to the on-the-fly cursor fallback.
+    pub fallbacks: u64,
 }
 
 /// Snapshot of the cross-sweep cache's counters.
@@ -556,6 +611,8 @@ pub fn cache_stats() -> TraceCacheStats {
         resident_steps: cache.resident_steps,
         hits: cache.hits,
         misses: cache.misses,
+        evictions: cache.evictions,
+        fallbacks: cache.fallbacks,
     }
 }
 

@@ -1,0 +1,44 @@
+//! **incident_smoke** — a tiny end-to-end fault run for the CI smoke test.
+//!
+//! Runs a two-thread contended system whose contention model injects NaN
+//! penalties under `FaultPolicy::ClampPenalty`, prints the incident count,
+//! and flushes the mesh-obs exporters. With `MESH_OBS_OUT=<dir>` set, the
+//! resulting `metrics.json` must contain nonzero `kernel.incidents`
+//! counters — `scripts/fault_smoke.sh` asserts exactly that, proving that
+//! `Report.incidents` lands in the metrics snapshot.
+//!
+//! Exits nonzero if the run produced no incidents (the smoke would be
+//! asserting on air).
+
+use mesh_core::model::NoContention;
+use mesh_core::{Annotation, FaultPolicy, Power, SimTime, SystemBuilder, VecProgram};
+use mesh_faults::{FaultKind, FaultyModel};
+
+fn main() {
+    let mut b = SystemBuilder::new();
+    let p0 = b.add_proc("p0", Power::default());
+    let p1 = b.add_proc("p1", Power::default());
+    let faulty = FaultyModel::new(NoContention, 42)
+        .with_kinds(&[FaultKind::NanPenalty])
+        .with_rate(1.0);
+    let bus = b.add_shared_resource("bus", SimTime::from_cycles(1.0), faulty);
+    for (name, p) in [("a", p0), ("b", p1)] {
+        let t = b.add_thread(
+            name,
+            VecProgram::new(vec![Annotation::compute(10.0).with_accesses(bus, 2.0)]),
+        );
+        b.pin_thread(t, &[p]);
+    }
+    b.set_fault_policy(FaultPolicy::ClampPenalty);
+    let report = b.build().expect("build").run().expect("run").report;
+    println!(
+        "incident_smoke: {} incidents under ClampPenalty, total time {} cycles",
+        report.incidents.len(),
+        report.total_time.as_cycles()
+    );
+    mesh_obs::finish();
+    if report.incidents.is_empty() {
+        eprintln!("incident_smoke: expected injected faults to produce incidents");
+        std::process::exit(1);
+    }
+}

@@ -12,8 +12,12 @@ use std::fmt::Write as _;
 
 /// Signed percent error of `measured` against `reference`.
 ///
-/// Positive means over-estimation. When the reference is zero the error is
-/// defined as zero if the measurement is also zero, and infinity otherwise.
+/// Positive always means `measured > reference`: the deviation is divided by
+/// `reference.abs()`, so a negative reference does not flip the sign (with a
+/// plain `/ reference`, measuring −90 against −100 would report −10% even
+/// though the measurement is numerically larger). When the reference is zero
+/// the error is defined as zero if the measurement is also zero, and
+/// infinity with the sign of the deviation otherwise.
 ///
 /// # Examples
 ///
@@ -22,6 +26,7 @@ use std::fmt::Write as _;
 ///
 /// assert_eq!(percent_error(110.0, 100.0), 10.0);
 /// assert_eq!(percent_error(70.0, 100.0), -30.0);
+/// assert_eq!(percent_error(-90.0, -100.0), 10.0);
 /// assert_eq!(percent_error(0.0, 0.0), 0.0);
 /// ```
 pub fn percent_error(measured: f64, reference: f64) -> f64 {
@@ -29,10 +34,10 @@ pub fn percent_error(measured: f64, reference: f64) -> f64 {
         if measured == 0.0 {
             0.0
         } else {
-            f64::INFINITY
+            f64::INFINITY.copysign(measured)
         }
     } else {
-        100.0 * (measured - reference) / reference
+        100.0 * (measured - reference) / reference.abs()
     }
 }
 
@@ -297,6 +302,22 @@ mod tests {
         assert_eq!(percent_error(80.0, 100.0), -20.0);
         assert_eq!(abs_percent_error(80.0, 100.0), 20.0);
         assert!(percent_error(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn percent_error_negative_and_zero_references() {
+        // Positive must always mean measured > reference, even when the
+        // reference is negative.
+        assert_eq!(percent_error(-90.0, -100.0), 10.0);
+        assert_eq!(percent_error(-110.0, -100.0), -10.0);
+        assert_eq!(percent_error(50.0, -100.0), 150.0);
+        assert_eq!(abs_percent_error(-110.0, -100.0), 10.0);
+        // Zero reference: zero iff the measurement is zero too, otherwise
+        // infinity signed like the deviation.
+        assert_eq!(percent_error(0.0, 0.0), 0.0);
+        assert_eq!(percent_error(-0.0, 0.0), 0.0);
+        assert_eq!(percent_error(3.0, 0.0), f64::INFINITY);
+        assert_eq!(percent_error(-3.0, 0.0), f64::NEG_INFINITY);
     }
 
     #[test]

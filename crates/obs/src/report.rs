@@ -1,0 +1,170 @@
+//! End-of-run exporters: the metrics snapshot directory and the run
+//! manifest, plus the single [`finish`] entry point binaries call.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use crate::{chrome, json_escape, snapshot};
+
+fn out_dir() -> Option<&'static Path> {
+    static DIR: OnceLock<Option<PathBuf>> = OnceLock::new();
+    DIR.get_or_init(|| {
+        std::env::var_os(crate::OUT_ENV)
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+    })
+    .as_deref()
+}
+
+/// Renders the run manifest: git sha, argv, every `MESH_*` environment
+/// knob, the run labels and the workload fingerprint.
+pub fn manifest_json() -> String {
+    use std::fmt::Write as _;
+    let snap = snapshot();
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"git_sha\": \"{}\",", json_escape(&git_sha()));
+    let argv: Vec<String> = std::env::args().collect();
+    let _ = write!(out, "  \"argv\": [");
+    for (i, arg) in argv.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\"", json_escape(arg));
+    }
+    out.push_str("],\n");
+    let _ = writeln!(
+        out,
+        "  \"workload_fingerprint\": \"{:016x}\",",
+        snap.fingerprint
+    );
+    out.push_str("  \"labels\": {");
+    for (i, (k, v)) in snap.labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": \"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push_str("\n  },\n  \"env\": {");
+    let mut knobs: Vec<(String, String)> = std::env::vars()
+        .filter(|(k, _)| k.starts_with("MESH_"))
+        .collect();
+    knobs.sort();
+    for (i, (k, v)) in knobs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": \"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// `git rev-parse --short=12 HEAD`, or `"unknown"` outside a work tree.
+fn git_sha() -> String {
+    let in_dir = |dir: Option<&str>| {
+        let mut cmd = std::process::Command::new("git");
+        if let Some(dir) = dir {
+            cmd.args(["-C", dir]);
+        }
+        cmd.args(["rev-parse", "--short=12", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+    };
+    in_dir(Some(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")))
+        .or_else(|| in_dir(None))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Writes the metrics snapshot (`metrics.txt`, `metrics.json`,
+/// `manifest.json`) into `dir`.
+pub fn write_snapshot(dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let snap = snapshot();
+    std::fs::write(dir.join("metrics.txt"), snap.to_text())?;
+    std::fs::write(dir.join("metrics.json"), snap.to_json())?;
+    std::fs::write(dir.join("manifest.json"), manifest_json())
+}
+
+/// Flushes every requested exporter: the Chrome-trace file when
+/// [`crate::TRACE_ENV`] is set, the snapshot directory when
+/// [`crate::OUT_ENV`] is set. A no-op when observability is disabled.
+///
+/// Export failures are reported on stderr but never fail the run — a full
+/// disk must not turn a finished experiment into an error.
+///
+/// Every experiment binary calls this once, last thing before exiting.
+pub fn finish() {
+    if !crate::enabled() {
+        return;
+    }
+    if let Some(dir) = out_dir() {
+        if let Err(e) = write_snapshot(dir) {
+            eprintln!(
+                "mesh-obs: writing metrics snapshot to {} failed: {e}",
+                dir.display()
+            );
+        }
+    }
+    if let Some(path) = chrome::output_path() {
+        if let Err(e) = chrome::write_file(path) {
+            eprintln!(
+                "mesh-obs: writing timeline to {} failed: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mesh-obs-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn snapshot_directory_round_trip() {
+        let _gate = crate::tests::lock();
+        crate::set_enabled(true);
+        crate::counter("test.report_counter").add(2);
+        crate::set_label("suite", "report-test");
+        let dir = temp_dir("snapshot");
+        write_snapshot(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("metrics.txt")).unwrap();
+        assert!(text.contains("test.report_counter"));
+        let json = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
+        assert!(json.contains("\"test.report_counter\""));
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert!(manifest.contains("\"git_sha\""));
+        assert!(manifest.contains("\"argv\""));
+        assert!(manifest.contains("\"workload_fingerprint\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn manifest_lists_mesh_env_knobs() {
+        let _gate = crate::tests::lock();
+        crate::set_enabled(true);
+        // The test runner may or may not carry MESH_* vars; the section must
+        // exist either way and the JSON stay parseable by eye.
+        let manifest = manifest_json();
+        assert!(manifest.contains("\"env\""));
+        assert!(manifest.trim_end().ends_with('}'));
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn finish_is_silent_noop_when_disabled() {
+        let _gate = crate::tests::lock();
+        crate::set_enabled(false);
+        finish();
+    }
+}

@@ -4,7 +4,7 @@
 #   ./scripts/fault_smoke.sh
 #
 # Three checks against the fig5 binary (5-point grid, fully deterministic
-# stdout — no wall-clock columns):
+# stdout — no wall-clock columns), plus one against incident_smoke:
 #
 #   1. Crash isolation: with MESH_BENCH_FAIL_POINT injecting a panic at one
 #      grid point, the sweep still completes every other point, exits
@@ -15,6 +15,10 @@
 #      final stdout is byte-identical to an uninterrupted run.
 #   3. Checkpoint/resume after a real SIGKILL mid-run: same byte-identical
 #      guarantee, whatever subset of points the kill left on disk.
+#   4. Kernel fault incidents are observable: a ClampPenalty run with
+#      injected NaN penalties and MESH_OBS_OUT set must report nonzero
+#      kernel.incidents counters in the metrics snapshot
+#      (docs/OBSERVABILITY.md).
 #
 # The kernel-level fault-injection property tests live in
 # crates/faults/tests/properties.rs (`cargo test -p mesh-faults`); CI runs
@@ -55,14 +59,14 @@ grep -q "4 completed" "$WORK/crash.err" \
     || fail "sweep did not complete the other 4 points around the crash"
 [[ "$(wc -l < "$WORK/crash.ckpt")" -eq 4 ]] \
     || fail "checkpoint should hold exactly the 4 healthy points"
-echo "fault_smoke: [1/3] crash isolation ok (exit $status, 4/5 points checkpointed)"
+echo "fault_smoke: [1/4] crash isolation ok (exit $status, 4/5 points checkpointed)"
 
 # --- 2. Resume after the crash: byte-identical to the golden run ----------
 MESH_BENCH_CHECKPOINT="$WORK/crash.ckpt" \
     "$FIG5" > "$WORK/resumed.txt" 2>/dev/null
 cmp -s "$WORK/golden.txt" "$WORK/resumed.txt" \
     || fail "resumed output differs from the uninterrupted run"
-echo "fault_smoke: [2/3] crash-then-resume output byte-identical"
+echo "fault_smoke: [2/4] crash-then-resume output byte-identical"
 
 # --- 3. SIGKILL mid-run, then resume --------------------------------------
 set +e
@@ -79,6 +83,21 @@ MESH_BENCH_CHECKPOINT="$WORK/kill.ckpt" \
     "$FIG5" > "$WORK/killresumed.txt" 2>/dev/null
 cmp -s "$WORK/golden.txt" "$WORK/killresumed.txt" \
     || fail "output after SIGKILL + resume differs from the uninterrupted run"
-echo "fault_smoke: [3/3] kill-then-resume output byte-identical (${done_points} points survived the kill)"
+echo "fault_smoke: [3/4] kill-then-resume output byte-identical (${done_points} points survived the kill)"
+
+# --- 4. Kernel incidents land in the metrics snapshot ---------------------
+SMOKE=target/release/incident_smoke
+if [[ ! -x "$SMOKE" ]]; then
+    echo "fault_smoke: building incident_smoke (release)..." >&2
+    cargo build -p mesh-faults --bin incident_smoke --release --quiet
+fi
+MESH_OBS_OUT="$WORK/obs" "$SMOKE" > "$WORK/incidents.out"
+[[ -f "$WORK/obs/metrics.json" ]] \
+    || fail "MESH_OBS_OUT run left no metrics.json snapshot"
+grep -q '"kernel.incidents": ' "$WORK/obs/metrics.json" \
+    || fail "kernel.incidents missing from the metrics snapshot"
+! grep -q '"kernel.incidents": 0,' "$WORK/obs/metrics.json" \
+    || fail "metrics snapshot reports zero kernel incidents"
+echo "fault_smoke: [4/4] fault incidents present in the metrics snapshot"
 
 echo "fault_smoke: all checks passed"

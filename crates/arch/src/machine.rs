@@ -73,6 +73,14 @@ impl ProcConfig {
 }
 
 /// Bus arbitration policy of the cycle-accurate simulator.
+///
+/// [`RoundRobin`](Arbitration::RoundRobin) and
+/// [`FixedPriority`](Arbitration::FixedPriority) model real arbiters. The
+/// remaining variants are *adversarial schedules*: deterministic,
+/// work-conserving policies chosen to maximize some processor's queuing.
+/// They exist to validate the hybrid kernel's worst-case contention
+/// envelope — every `Report` envelope must dominate the queuing any of
+/// them produces (see `docs/MODELS.md`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Arbitration {
     /// Rotating grant among requesters (fair).
@@ -80,6 +88,14 @@ pub enum Arbitration {
     RoundRobin,
     /// Lowest processor index wins.
     FixedPriority,
+    /// Highest processor index wins — the mirror image of
+    /// [`FixedPriority`](Arbitration::FixedPriority), starving the lowest
+    /// indices instead.
+    ReversePriority,
+    /// Every other waiter is served before the victim processor; the victim
+    /// is granted only when it waits alone — the worst work-conserving
+    /// schedule for that processor.
+    VictimLast(usize),
 }
 
 /// The shared bus connecting all processors to memory.

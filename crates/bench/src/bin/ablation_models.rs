@@ -16,7 +16,8 @@ use mesh_bench::{fft_machine, FFT_BUS_DELAY};
 use mesh_core::model::ContentionModel;
 use mesh_metrics::{abs_percent_error, Table};
 use mesh_models::{
-    ChenLinBus, Md1Queue, Mm1Queue, MvaBus, PriorityBus, RoundRobinBus, ScaledModel, TableModel,
+    ChenLinBus, FairShare, Md1Queue, Mm1Queue, MvaBus, PriorityBus, PriorityNoc, RoundRobinBus,
+    ScaledModel, TableModel,
 };
 use mesh_workloads::fft::{build, FftConfig};
 
@@ -63,6 +64,8 @@ fn main() {
         "priority (equal priorities)",
         "measured table",
         "chen-lin x0.9 (calibrated)",
+        "priority-noc (1 hop, equal classes)",
+        "fair-share (processor sharing)",
     ];
     let results = mesh_bench::or_exit(
         "ablation_models",
@@ -92,6 +95,12 @@ fn main() {
                     &machine,
                     ScaledModel::new(ChenLinBus::new(), 0.9),
                 ),
+                "priority-noc (1 hop, equal classes)" => {
+                    run_model(&workload, &machine, PriorityNoc::new(1))
+                }
+                "fair-share (processor sharing)" => {
+                    run_model(&workload, &machine, FairShare::new())
+                }
                 other => unreachable!("unknown model {other}"),
             };
             pct

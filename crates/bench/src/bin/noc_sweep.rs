@@ -1,0 +1,136 @@
+//! **NoC / shared-throughput sweep**: exercises the two network-style
+//! contention models — the priority-class NoC of Mandal et al.
+//! ([`PriorityNoc`]) and the fair throughput-sharing discipline
+//! ([`FairShare`]) — across the Figure-4-style processor grid, and
+//! validates every point's worst-case envelope against the cycle-accurate
+//! simulator's adversarial arbitration schedules.
+//!
+//! Threads are assigned descending priority classes (thread 0 highest), so
+//! the priority-NoC rows show class differentiation. For each point the
+//! table reports the hybrid's mean queuing, its worst-case envelope, and
+//! the *maximum* queuing any adversarial ISS schedule produced; the final
+//! column checks that the envelope dominates the observation.
+//!
+//! Knobs: `MESH_NOC_HOPS` (route length, default 2), `MESH_NOC_OVERLAP`
+//! (fraction of competing traffic sharing each hop, default 1.0),
+//! `MESH_ADVERSARY` (`full`/`quick`/`off` adversarial-schedule set).
+//!
+//! ```bash
+//! cargo run -p mesh-bench --bin noc_sweep --release
+//! ```
+
+use mesh_bench::{fft_machine, run_envelope_point, EnvelopePoint, FFT_BUS_DELAY};
+use mesh_metrics::{series_to_csv, Series, Table};
+use mesh_models::{FairShare, PriorityNoc};
+use mesh_workloads::uniform::{build, UniformConfig};
+
+const PROC_SWEEP: [usize; 3] = [2, 4, 8];
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_point(model_key: &str, procs: usize) -> EnvelopePoint {
+    let workload = build(&UniformConfig::with_threads(procs));
+    // Small caches so the steady sweep keeps missing (as in
+    // validation_uniform): contention is the object of study here.
+    let machine = fft_machine(procs, 8 * 1024, FFT_BUS_DELAY);
+    // Descending priority classes: thread 0 is the most important flow.
+    let priorities: Vec<u32> = (0..procs).map(|i| (procs - i) as u32).collect();
+    let hops = env_f64("MESH_NOC_HOPS", 2.0).max(1.0) as u32;
+    let overlap = env_f64("MESH_NOC_OVERLAP", 1.0).clamp(0.0, 1.0);
+    match model_key {
+        "noc-1hop" => run_envelope_point(&workload, &machine, PriorityNoc::new(1), &priorities),
+        "noc-multihop" => run_envelope_point(
+            &workload,
+            &machine,
+            PriorityNoc::new(hops).with_overlap(overlap),
+            &priorities,
+        ),
+        "fair-share" => run_envelope_point(&workload, &machine, FairShare::new(), &priorities),
+        other => unreachable!("unknown model {other}"),
+    }
+}
+
+fn main() {
+    let hops = env_f64("MESH_NOC_HOPS", 2.0).max(1.0) as u32;
+    let overlap = env_f64("MESH_NOC_OVERLAP", 1.0).clamp(0.0, 1.0);
+    println!("NoC sweep — priority-class NoC and fair-shared throughput models");
+    println!(
+        "uniform workload, 8KB caches, bus delay = {FFT_BUS_DELAY} cycles, \
+         priority classes descending from thread 0"
+    );
+    println!("multi-hop row: hops = {hops}, overlap = {overlap}\n");
+
+    let models: [(&str, String); 3] = [
+        ("noc-1hop", "priority-noc (1 hop)".to_string()),
+        (
+            "noc-multihop",
+            format!("priority-noc ({hops} hops, w={overlap})"),
+        ),
+        ("fair-share", "fair-share".to_string()),
+    ];
+    let points: Vec<(&str, usize)> = models
+        .iter()
+        .flat_map(|&(key, _)| PROC_SWEEP.map(|procs| (key, procs)))
+        .collect();
+    let results = mesh_bench::or_exit(
+        "noc_sweep",
+        mesh_bench::sweep::try_sweep_labeled("noc_sweep", &points, |&(key, procs)| {
+            run_point(key, procs)
+        }),
+    );
+
+    let mut table = Table::new(vec![
+        "model",
+        "# of processors",
+        "MESH mean %",
+        "envelope %",
+        "adversarial ISS %",
+        "bound holds",
+    ]);
+    let mut all_hold = true;
+    let mut csv_series: Vec<Series> = Vec::new();
+    let mut rows = points.iter().zip(&results);
+    for (key, label) in &models {
+        let mut envelope = Series::new(format!("{label} envelope"));
+        let mut adversarial = Series::new(format!("{label} adversarial"));
+        for procs in PROC_SWEEP {
+            let (&point, p) = rows.next().expect("one result per grid point");
+            assert_eq!(point, (*key, procs));
+            let holds = p.envelope_holds();
+            all_hold &= holds;
+            table.row(vec![
+                label.clone(),
+                procs.to_string(),
+                format!("{:.4}", p.mean_pct),
+                format!("{:.4}", p.worst_pct),
+                format!("{:.4}", p.adversarial_pct),
+                if holds { "yes" } else { "VIOLATED" }.to_string(),
+            ]);
+            envelope.push(procs as f64, p.worst_pct);
+            adversarial.push(procs as f64, p.adversarial_pct);
+        }
+        csv_series.push(envelope);
+        csv_series.push(adversarial);
+    }
+    println!("{table}");
+    println!(
+        "envelope domination: {}",
+        if all_hold {
+            "holds at every point"
+        } else {
+            "VIOLATED — the worst-case bound failed to cover an adversarial schedule"
+        }
+    );
+    if std::env::args().any(|a| a == "--csv") {
+        println!("\n{}", series_to_csv("procs", &csv_series));
+    }
+    mesh_bench::obs_finish();
+    if !all_hold {
+        std::process::exit(1);
+    }
+}

@@ -24,7 +24,7 @@ pub mod perf;
 pub mod sweep;
 
 use mesh_annotate::{assemble, AnnotationPolicy, HybridSetup};
-use mesh_arch::{BusConfig, CacheConfig, MachineConfig, ProcConfig};
+use mesh_arch::{Arbitration, BusConfig, CacheConfig, MachineConfig, ProcConfig};
 use mesh_cyclesim::CycleReport;
 use mesh_metrics::abs_percent_error;
 use mesh_models::{AnalyticalEstimator, ChenLinBus, ThreadProfile};
@@ -287,6 +287,148 @@ pub fn run_phm_point(idle1: f64, bus_delay: u64, seed: u64) -> ComparisonPoint {
     });
     let machine = phm_machine(bus_delay);
     compare(&workload, &machine, HybridOptions::default())
+}
+
+/// Selects the adversarial-schedule set for envelope validation, honouring
+/// the `MESH_ADVERSARY` environment knob:
+///
+/// * `full` (default) — fixed priority, reverse priority, and victim-last
+///   for every processor: `2 + n` schedules;
+/// * `quick` — fixed and reverse priority only;
+/// * `off` — no adversarial schedules (validation is skipped).
+///
+/// Each is a deterministic work-conserving bus arbitration of the
+/// cycle-accurate simulator chosen to starve some processor; the hybrid
+/// kernel's worst-case [`Envelope`](mesh_core::Envelope) must dominate the
+/// queuing of all of them.
+pub fn adversarial_arbitrations(n_procs: usize) -> Vec<Arbitration> {
+    let mode = std::env::var("MESH_ADVERSARY").unwrap_or_default();
+    match mode.as_str() {
+        "off" => Vec::new(),
+        "quick" => vec![Arbitration::FixedPriority, Arbitration::ReversePriority],
+        _ => {
+            let mut all = vec![Arbitration::FixedPriority, Arbitration::ReversePriority];
+            all.extend((0..n_procs).map(Arbitration::VictimLast));
+            all
+        }
+    }
+}
+
+/// Runs the cycle-accurate simulator under every schedule of
+/// [`adversarial_arbitrations`] and returns the **maximum** observed bus
+/// queuing, in cycles — the adversarial ground truth a worst-case envelope
+/// must dominate. Returns zero when `MESH_ADVERSARY=off` empties the set.
+///
+/// # Panics
+///
+/// Panics if the workload is invalid for the machine.
+pub fn adversarial_bus_queuing_max(workload: &Workload, machine: &MachineConfig) -> u64 {
+    adversarial_arbitrations(machine.procs.len())
+        .into_iter()
+        .map(|arb| {
+            let mut m = machine.clone();
+            m.bus = m.bus.with_arbitration(arb);
+            mesh_cyclesim::simulate(workload, &m)
+                .expect("adversarial cycle-accurate simulation failed")
+                .bus_queuing_total()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// One envelope-validation point: the hybrid kernel's mean and worst-case
+/// queuing for a given model, against the adversarial ISS maximum.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnvelopePoint {
+    /// Hybrid mean queuing as a percentage of work cycles.
+    pub mean_pct: f64,
+    /// Hybrid worst-case envelope as a percentage of work cycles.
+    pub worst_pct: f64,
+    /// Maximum adversarial-schedule ISS queuing as a percentage of work
+    /// cycles (zero when `MESH_ADVERSARY=off`).
+    pub adversarial_pct: f64,
+    /// Contention-free work cycles (the percentage denominator).
+    pub work_cycles: u64,
+}
+
+impl EnvelopePoint {
+    /// Whether the envelope dominates the adversarial observation — the
+    /// property the `noc_sweep` binary and the proptests check.
+    pub fn envelope_holds(&self) -> bool {
+        self.worst_pct + 1e-9 >= self.adversarial_pct
+    }
+}
+
+impl crate::checkpoint::Checkpointable for EnvelopePoint {
+    fn encode(&self) -> String {
+        [
+            self.mean_pct.encode(),
+            self.worst_pct.encode(),
+            self.adversarial_pct.encode(),
+            self.work_cycles.encode(),
+        ]
+        .join(" ")
+    }
+
+    fn decode(s: &str) -> Option<EnvelopePoint> {
+        let mut it = s.split_whitespace();
+        let point = EnvelopePoint {
+            mean_pct: f64::decode(it.next()?)?,
+            worst_pct: f64::decode(it.next()?)?,
+            adversarial_pct: f64::decode(it.next()?)?,
+            work_cycles: u64::decode(it.next()?)?,
+        };
+        if it.next().is_some() {
+            return None;
+        }
+        Some(point)
+    }
+}
+
+/// Runs one envelope-validation point: the workload through the hybrid
+/// kernel with `model` on the shared bus (annotations at barriers), and the
+/// cycle-accurate simulator under every adversarial schedule.
+///
+/// `priorities` assigns arbitration priorities to the logical threads in
+/// task order (higher = more important, consumed by priority-class models);
+/// pass an empty slice to leave every thread at the default priority.
+///
+/// # Panics
+///
+/// Panics if the workload is invalid for the machine.
+pub fn run_envelope_point<M: mesh_core::model::ContentionModel + 'static>(
+    workload: &Workload,
+    machine: &MachineConfig,
+    model: M,
+    priorities: &[u32],
+) -> EnvelopePoint {
+    let mut setup = assemble(workload, machine, model, AnnotationPolicy::AtBarriers)
+        .expect("hybrid assembly failed");
+    for (&thread, &priority) in setup.threads.iter().zip(priorities) {
+        setup.builder.set_priority(thread, priority);
+    }
+    let work_cycles = setup.work_total();
+    let report = setup
+        .builder
+        .build()
+        .expect("hybrid build failed")
+        .run()
+        .expect("hybrid run failed")
+        .report;
+    let adversarial = adversarial_bus_queuing_max(workload, machine);
+    let pct = |cycles: f64| {
+        if work_cycles == 0 {
+            0.0
+        } else {
+            100.0 * cycles / work_cycles as f64
+        }
+    };
+    EnvelopePoint {
+        mean_pct: pct(report.envelope.mean.as_cycles()),
+        worst_pct: pct(report.envelope.worst.as_cycles()),
+        adversarial_pct: pct(adversarial as f64),
+        work_cycles,
+    }
 }
 
 /// The processor counts of the Figure 4 sweep.

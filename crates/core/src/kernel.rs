@@ -31,7 +31,7 @@ use crate::annotation::AccessSet;
 use crate::builder::{System, SystemBuilder};
 use crate::error::SimError;
 use crate::ids::{ProcId, SharedId, ThreadId};
-use crate::metrics::{ProcReport, Report, SharedReport, ThreadReport};
+use crate::metrics::{Envelope, ProcReport, Report, SharedReport, ThreadReport};
 use crate::model::{NoContention, Slice, SliceRequest};
 use crate::program::ProgramCtx;
 use crate::sched::SchedCtx;
@@ -158,6 +158,13 @@ struct KernelObs {
     /// Wall-clock nanoseconds per analytical-model evaluation
     /// (`kernel.model_eval_ns`).
     model_eval_ns: mesh_obs::Histogram,
+    /// Per-shared-resource evaluation timings, split by model name
+    /// (`kernel.model_eval_ns.<model>`), index-aligned with the spec's
+    /// shared resources.
+    model_eval_ns_by_model: Vec<mesh_obs::Histogram>,
+    /// Per-window slack between the worst-case bound and the assigned
+    /// penalties, in cycles (`kernel.envelope_gap_cycles`).
+    envelope_gap: mesh_obs::Histogram,
     /// Fault-policy incidents absorbed (`kernel.incidents`), plus the
     /// per-action split.
     incidents: mesh_obs::Counter,
@@ -168,7 +175,7 @@ struct KernelObs {
 }
 
 impl KernelObs {
-    fn new() -> KernelObs {
+    fn new(spec: &SystemBuilder) -> KernelObs {
         KernelObs {
             slices: mesh_obs::counter("kernel.slices_analyzed"),
             folds: mesh_obs::counter("kernel.penalties_folded"),
@@ -176,6 +183,12 @@ impl KernelObs {
             sched_decisions: mesh_obs::counter("kernel.sched_decisions"),
             queue_depth: mesh_obs::gauge("kernel.commit_queue_depth"),
             model_eval_ns: mesh_obs::histogram("kernel.model_eval_ns"),
+            model_eval_ns_by_model: spec
+                .shared
+                .iter()
+                .map(|s| mesh_obs::histogram(&format!("kernel.model_eval_ns.{}", s.model.name())))
+                .collect(),
+            envelope_gap: mesh_obs::histogram("kernel.envelope_gap_cycles"),
             incidents: mesh_obs::counter("kernel.incidents"),
             incidents_clamped: mesh_obs::counter("kernel.incidents.clamped"),
             incidents_fell_back: mesh_obs::counter("kernel.incidents.fell_back"),
@@ -207,6 +220,10 @@ pub(crate) struct Kernel {
     /// flattened as `resource * n_threads + thread`. One allocation for the
     /// whole run; windows reset it with a `fill(0.0)`.
     mass: Vec<f64>,
+    /// Whole-run access mass per shared resource per thread, same layout as
+    /// `mass` but never reset: the basis of the report-time
+    /// full-serialization envelope bound.
+    total_mass: Vec<f64>,
     /// Thread count, the row stride of `mass`.
     n_threads: usize,
     /// Arbitration priorities, index-aligned with threads. Priorities are
@@ -268,7 +285,7 @@ impl Kernel {
         // source; collecting it changes nothing about the simulation, only
         // what is reported afterwards.
         let trace = Trace::new(spec.trace || mesh_obs::chrome::timeline_enabled());
-        let obs = mesh_obs::enabled().then(KernelObs::new);
+        let obs = mesh_obs::enabled().then(|| KernelObs::new(&spec));
         if let Some(obs) = &obs {
             obs.runs.inc();
         }
@@ -317,6 +334,7 @@ impl Kernel {
             window_start: SimTime::ZERO,
             boundary: SimTime::ZERO,
             mass: vec![0.0; n_shared * n_threads],
+            total_mass: vec![0.0; n_shared * n_threads],
             n_threads,
             priorities,
             scratch_eligible: Vec::with_capacity(n_threads),
@@ -767,6 +785,7 @@ impl Kernel {
                     region.instant_mass_taken = true;
                     for (s, c) in region.accesses.iter() {
                         self.mass[s.index() * nt + ti] += c;
+                        self.total_mass[s.index() * nt + ti] += c;
                     }
                 }
                 continue;
@@ -779,6 +798,7 @@ impl Kernel {
             let frac = (hi - lo) / annotated;
             for (s, c) in region.accesses.iter() {
                 self.mass[s.index() * nt + ti] += c * frac;
+                self.total_mass[s.index() * nt + ti] += c * frac;
             }
         }
         // Defensive: the committing region must have been covered above.
@@ -834,6 +854,7 @@ impl Kernel {
             if let (Some(obs), Some(start)) = (&self.obs, eval_start) {
                 let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 obs.model_eval_ns.record(ns);
+                obs.model_eval_ns_by_model[s].record(ns);
             }
             if let Some(detail) = contract_violation(&penalties, &requests) {
                 match self.spec.supervisor.fault_policy {
@@ -895,6 +916,28 @@ impl Kernel {
             if !total_penalty.is_zero() {
                 self.shared_report_mut(s).queuing += total_penalty;
                 self.shared_report_mut(s).contended_slices += 1;
+            }
+            // Worst-case envelope accumulation (statistical only — bounds
+            // never shift the timeline). Each contender's per-window bound
+            // is floored at its assigned penalty, so the accumulated worst
+            // dominates the accumulated mean even for models whose
+            // saturated formulas exceed full serialization.
+            let mut worst = self.spec.shared[s].model.worst_case(&slice, &requests);
+            sanitize_penalties(&mut worst, requests.len(), dur);
+            let mut worst_total = SimTime::ZERO;
+            for ((req, &p), w) in requests.iter().zip(&penalties).zip(worst.iter_mut()) {
+                if *w < p {
+                    *w = p;
+                }
+                worst_total += *w;
+                self.threads[req.thread.index()].report.queuing_worst += *w;
+            }
+            if !worst_total.is_zero() {
+                self.shared_report_mut(s).queuing_worst += worst_total;
+            }
+            if let Some(obs) = &self.obs {
+                let gap = (worst_total - total_penalty).as_cycles();
+                obs.envelope_gap.record(gap as u64);
             }
             self.trace.push(Event::SliceAnalyzed {
                 shared,
@@ -1094,13 +1137,46 @@ impl Kernel {
         }
     }
 
-    fn into_report(self, wall: std::time::Duration) -> SimOutcome {
+    fn into_report(mut self, wall: std::time::Duration) -> SimOutcome {
         self.export_timeline();
+        // Floor every worst-case accumulator at the whole-run
+        // full-serialization bound: thread `i`'s queuing at resource `r`
+        // cannot exceed the time `r` spends serving the *other* threads,
+        // `s_r · (A_r − a_ri)`, under any work-conserving schedule. The
+        // per-window accumulation can fall below this when a thread's mass
+        // lands in windows where it faces no contender, so the max of the
+        // two is what provably dominates the cycle-accurate simulator's
+        // adversarial arbitration modes.
+        let nt = self.n_threads;
+        let mut global = vec![SimTime::ZERO; nt];
+        for s in 0..self.spec.shared.len() {
+            let row = &self.total_mass[s * nt..(s + 1) * nt];
+            let total: f64 = row.iter().sum();
+            let svc = self.spec.shared[s].service_time;
+            let mut resource_bound = SimTime::ZERO;
+            for (t, &a) in row.iter().enumerate() {
+                if a > MASS_EPS {
+                    let bound = svc * (total - a).max(0.0);
+                    global[t] += bound;
+                    resource_bound += bound;
+                }
+            }
+            let sr = &mut self.shared_reports[s];
+            sr.queuing_worst = sr.queuing_worst.max(resource_bound);
+        }
+        for (rt, g) in self.threads.iter_mut().zip(global) {
+            rt.report.queuing_worst = rt.report.queuing_worst.max(g);
+        }
+        let threads: Vec<ThreadReport> = self.threads.into_iter().map(|t| t.report).collect();
+        let envelope = Envelope {
+            mean: threads.iter().map(|t| t.queuing).sum(),
+            worst: threads.iter().map(|t| t.queuing_worst).sum(),
+        };
         let shared_reports = self.shared_reports;
         SimOutcome {
             report: Report {
                 total_time: self.now,
-                threads: self.threads.into_iter().map(|t| t.report).collect(),
+                threads,
                 procs: self.procs.into_iter().map(|p| p.report).collect(),
                 shared: shared_reports,
                 commits: self.commits,
@@ -1108,6 +1184,7 @@ impl Kernel {
                 kernel_steps: self.kernel_steps,
                 wall_clock: wall,
                 incidents: self.incidents,
+                envelope,
             },
             trace: self.trace,
         }
@@ -1206,6 +1283,63 @@ mod tests {
         assert_eq!(r.total_time.as_cycles(), 100.0);
         // Accesses are still accounted at the shared resource.
         assert!((r.shared[bus.index()].accesses - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn envelope_carries_full_serialization_bound() {
+        // Two threads, 10 accesses each on a 2-cycle bus, fully overlapping.
+        // NoContention assigns zero penalty, yet the envelope must carry the
+        // serialization bound: each thread waits at most for the other's
+        // 10 × 2 cycles.
+        let (mut b, p0, p1) = two_proc_builder();
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(2.0), NoContention);
+        let t0 = b.add_thread(
+            "a",
+            VecProgram::new(vec![Annotation::compute(100.0).with_accesses(bus, 10.0)]),
+        );
+        let t1 = b.add_thread(
+            "b",
+            VecProgram::new(vec![Annotation::compute(100.0).with_accesses(bus, 10.0)]),
+        );
+        b.pin_thread(t0, &[p0]);
+        b.pin_thread(t1, &[p1]);
+        let r = b.build().unwrap().run().unwrap().report;
+        assert_eq!(r.queuing_total(), SimTime::ZERO);
+        assert_eq!(r.envelope.mean, SimTime::ZERO);
+        assert_eq!(r.envelope.worst.as_cycles(), 40.0);
+        assert_eq!(r.threads[0].queuing_worst.as_cycles(), 20.0);
+        assert_eq!(r.threads[1].queuing_worst.as_cycles(), 20.0);
+        assert_eq!(r.shared[bus.index()].queuing_worst.as_cycles(), 40.0);
+    }
+
+    #[test]
+    fn envelope_worst_never_below_mean() {
+        // A flat 10-cycle penalty per contender per contended window can
+        // exceed the window's serialization bound; the envelope must still
+        // dominate the mean because each per-window bound is floored at the
+        // assigned penalty.
+        let (mut b, p0, p1) = two_proc_builder();
+        let bus = b.add_shared_resource("bus", SimTime::from_cycles(0.1), FlatPenalty(10.0));
+        let t0 = b.add_thread(
+            "a",
+            VecProgram::new(vec![Annotation::compute(100.0).with_accesses(bus, 5.0)]),
+        );
+        let t1 = b.add_thread(
+            "b",
+            VecProgram::new(vec![Annotation::compute(100.0).with_accesses(bus, 5.0)]),
+        );
+        b.pin_thread(t0, &[p0]);
+        b.pin_thread(t1, &[p1]);
+        let r = b.build().unwrap().run().unwrap().report;
+        assert!(r.queuing_total() > SimTime::ZERO);
+        assert!(r.envelope.worst >= r.envelope.mean);
+        assert_eq!(r.envelope.mean, r.queuing_total());
+        for t in &r.threads {
+            assert!(t.queuing_worst >= t.queuing);
+        }
+        for s in &r.shared {
+            assert!(s.queuing_worst >= s.queuing);
+        }
     }
 
     /// The Figure-3-style walkthrough hand-simulated in the design notes:

@@ -119,7 +119,7 @@ pub use builder::{System, SystemBuilder};
 pub use error::{BuildError, SimError};
 pub use ids::{ProcId, SharedId, SyncId, ThreadId};
 pub use kernel::{SimOutcome, WakePolicy};
-pub use metrics::{ProcReport, Report, SharedReport, ThreadReport};
+pub use metrics::{Envelope, ProcReport, Report, SharedReport, ThreadReport};
 pub use program::{FnProgram, ProgramCtx, ThreadProgram, VecProgram};
 pub use supervisor::{FaultAction, FaultPolicy, Incident};
 pub use sync::SyncOp;

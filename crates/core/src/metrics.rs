@@ -20,6 +20,12 @@ pub struct ThreadReport {
     pub busy: SimTime,
     /// Total contention penalty assigned to the thread — its queuing time.
     pub queuing: SimTime,
+    /// Worst-case queuing bound for the thread: the sum of the per-window
+    /// [`worst_case`](crate::model::ContentionModel::worst_case) bounds
+    /// (each floored at the window's mean penalty), itself floored at the
+    /// whole-run full-serialization bound. Always `>= queuing`; purely
+    /// statistical — it never shifts the simulated timeline.
+    pub queuing_worst: SimTime,
     /// Time spent blocked on synchronization primitives.
     pub blocked: SimTime,
     /// Time spent ready but waiting for a physical resource.
@@ -56,9 +62,61 @@ pub struct SharedReport {
     pub accesses: f64,
     /// Total penalty time the resource's model assigned.
     pub queuing: SimTime,
+    /// Worst-case queuing bound at this resource (see
+    /// [`ThreadReport::queuing_worst`]). Always `>= queuing`.
+    pub queuing_worst: SimTime,
     /// Timeslices in which the resource saw contention (two or more
     /// contenders).
     pub contended_slices: u64,
+}
+
+/// A mean + worst-case pair for the run's total queuing time.
+///
+/// The paper's hybrid kernel reports the *expected* contention penalty; for
+/// heterogeneous SoCs a mean alone is insufficient — schedulability
+/// arguments need a WCET-style bound as well. Every [`Report`] therefore
+/// carries an envelope: `mean` is the sum of the analytical models' assigned
+/// penalties, and `worst` sums per-thread bounds that provably dominate any
+/// work-conserving schedule of the same access counts (including the
+/// cycle-accurate simulator's adversarial arbitration modes).
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::metrics::Envelope;
+/// use mesh_core::SimTime;
+///
+/// let e = Envelope {
+///     mean: SimTime::from_cycles(40.0),
+///     worst: SimTime::from_cycles(100.0),
+/// };
+/// assert_eq!(e.gap().as_cycles(), 60.0);
+/// assert!((e.gap_percent() - 150.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Envelope {
+    /// Expected queuing time: the sum of all assigned penalties.
+    pub mean: SimTime,
+    /// Worst-case queuing bound. Invariant: `worst >= mean`.
+    pub worst: SimTime,
+}
+
+impl Envelope {
+    /// Absolute slack between the bound and the mean.
+    pub fn gap(&self) -> SimTime {
+        self.worst - self.mean
+    }
+
+    /// The gap as a percentage of the mean (zero for a contention-free
+    /// run): how pessimistic the bound is relative to the expectation.
+    pub fn gap_percent(&self) -> f64 {
+        let mean = self.mean.as_cycles();
+        if mean == 0.0 {
+            0.0
+        } else {
+            100.0 * self.gap().as_cycles() / mean
+        }
+    }
 }
 
 /// The complete result of a hybrid simulation run.
@@ -99,12 +157,33 @@ pub struct Report {
     /// [`FaultPolicy`](crate::supervisor::FaultPolicy), in occurrence order.
     /// Empty under the default abort policy and on healthy runs.
     pub incidents: Vec<crate::supervisor::Incident>,
+    /// Mean + worst-case envelope of the run's total queuing time.
+    pub envelope: Envelope,
 }
 
 impl Report {
     /// Sum of all penalties assigned — the run's total queuing time.
     pub fn queuing_total(&self) -> SimTime {
         self.threads.iter().map(|t| t.queuing).sum()
+    }
+
+    /// Sum of all threads' worst-case queuing bounds — the worst leg of the
+    /// run's [`Envelope`].
+    pub fn queuing_worst_total(&self) -> SimTime {
+        self.threads.iter().map(|t| t.queuing_worst).sum()
+    }
+
+    /// Worst-case queuing as a percentage of executed cycles — the
+    /// envelope's counterpart to [`queuing_percent`](Report::queuing_percent).
+    ///
+    /// Returns zero for an empty run.
+    pub fn queuing_worst_percent(&self) -> f64 {
+        let busy = self.busy_total().as_cycles();
+        if busy == 0.0 {
+            0.0
+        } else {
+            100.0 * self.envelope.worst.as_cycles() / busy
+        }
     }
 
     /// Sum of all threads' busy (annotated execution) time.
@@ -188,6 +267,30 @@ mod tests {
     fn proc_utilization_fraction() {
         let r = report_with(&[50.0], &[0.0]);
         assert!((r.proc_utilization(ProcId(0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn envelope_gap_and_percent() {
+        let e = Envelope {
+            mean: SimTime::from_cycles(20.0),
+            worst: SimTime::from_cycles(30.0),
+        };
+        assert_eq!(e.gap().as_cycles(), 10.0);
+        assert!((e.gap_percent() - 50.0).abs() < 1e-12);
+        assert_eq!(Envelope::default().gap_percent(), 0.0);
+    }
+
+    #[test]
+    fn worst_totals_sum_threads() {
+        let mut r = report_with(&[80.0, 20.0], &[8.0, 2.0]);
+        r.threads[0].queuing_worst = SimTime::from_cycles(16.0);
+        r.threads[1].queuing_worst = SimTime::from_cycles(4.0);
+        r.envelope = Envelope {
+            mean: r.queuing_total(),
+            worst: r.queuing_worst_total(),
+        };
+        assert_eq!(r.queuing_worst_total().as_cycles(), 20.0);
+        assert!((r.queuing_worst_percent() - 20.0).abs() < 1e-12);
     }
 
     #[test]

@@ -99,6 +99,55 @@ pub trait ContentionModel: std::fmt::Debug + Send {
     /// Computes the queueing-delay penalty for each contender in the slice.
     fn penalties(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime>;
 
+    /// Computes a worst-case (WCET-style) queueing bound for each contender
+    /// in the slice, under the same alignment and validity rules as
+    /// [`penalties`](ContentionModel::penalties).
+    ///
+    /// The default is the **full-serialization bound**: in the worst
+    /// interleaving a thread's accesses queue behind *every* access of every
+    /// other contender, so thread `i` waits at most
+    /// `s · (Σ_j a_j − a_i)`. No work-conserving arbiter can delay a thread
+    /// longer than the time the resource spends serving the others, so this
+    /// bound dominates any schedule the cycle-accurate simulator can
+    /// produce for the same access counts.
+    ///
+    /// The bound feeds the statistical [`Envelope`](crate::metrics::Envelope)
+    /// of the run's [`Report`](crate::metrics::Report); it never shifts the
+    /// simulated timeline. The kernel additionally floors each bound at the
+    /// model's own mean penalty, so implementations whose mean can exceed
+    /// full serialization (heavily saturated `1/(1−ρ)` formulas) need not
+    /// special-case that regime here.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mesh_core::model::{ContentionModel, NoContention, Slice, SliceRequest};
+    /// use mesh_core::{SharedId, SimTime, ThreadId};
+    ///
+    /// let slice = Slice {
+    ///     start: SimTime::ZERO,
+    ///     duration: SimTime::from_cycles(100.0),
+    ///     service_time: SimTime::from_cycles(2.0),
+    ///     shared: SharedId::from_index(0),
+    /// };
+    /// let reqs = vec![
+    ///     SliceRequest { thread: ThreadId::from_index(0), accesses: 10.0, priority: 0 },
+    ///     SliceRequest { thread: ThreadId::from_index(1), accesses: 30.0, priority: 0 },
+    /// ];
+    /// // Even the contention-free model admits the serialization bound:
+    /// // thread 0 can wait at most for thread 1's 30 accesses × 2 cycles.
+    /// let worst = NoContention.worst_case(&slice, &reqs);
+    /// assert_eq!(worst[0].as_cycles(), 60.0);
+    /// assert_eq!(worst[1].as_cycles(), 20.0);
+    /// ```
+    fn worst_case(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+        let total: f64 = requests.iter().map(|r| r.accesses).sum();
+        requests
+            .iter()
+            .map(|r| slice.service_time * (total - r.accesses).max(0.0))
+            .collect()
+    }
+
     /// A short human-readable name used in traces and reports.
     fn name(&self) -> &str {
         "unnamed"
@@ -108,6 +157,10 @@ pub trait ContentionModel: std::fmt::Debug + Send {
 impl<M: ContentionModel + ?Sized> ContentionModel for Box<M> {
     fn penalties(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
         (**self).penalties(slice, requests)
+    }
+
+    fn worst_case(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+        (**self).worst_case(slice, requests)
     }
 
     fn name(&self) -> &str {
@@ -202,5 +255,26 @@ mod tests {
         let boxed: Box<dyn ContentionModel> = Box::new(NoContention);
         assert_eq!(boxed.name(), "no-contention");
         assert!(boxed.penalties(&slice(), &[]).is_empty());
+        assert!(boxed.worst_case(&slice(), &[]).is_empty());
+    }
+
+    #[test]
+    fn default_worst_case_is_full_serialization() {
+        let reqs = vec![
+            SliceRequest {
+                thread: ThreadId(0),
+                accesses: 10.0,
+                priority: 0,
+            },
+            SliceRequest {
+                thread: ThreadId(1),
+                accesses: 20.0,
+                priority: 0,
+            },
+        ];
+        // service 2.0: thread 0 waits at most 2·20, thread 1 at most 2·10.
+        let w = NoContention.worst_case(&slice(), &reqs);
+        assert_eq!(w[0].as_cycles(), 40.0);
+        assert_eq!(w[1].as_cycles(), 20.0);
     }
 }

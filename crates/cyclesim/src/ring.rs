@@ -77,6 +77,34 @@ impl GrantRing {
         p
     }
 
+    /// Grants the highest waiting index (reverse-priority arbitration — an
+    /// adversarial schedule starving low indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty.
+    #[inline]
+    pub fn grant_max(&mut self) -> usize {
+        debug_assert!(!self.is_empty());
+        self.waiting.pop().expect("empty ring")
+    }
+
+    /// Grants the lowest waiting index that is not `victim`, falling back to
+    /// the victim only when it waits alone (victim-last arbitration — the
+    /// worst work-conserving schedule for that processor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty.
+    #[inline]
+    pub fn grant_victim_last(&mut self, victim: usize) -> usize {
+        if self.waiting[self.head] == victim && self.len() > 1 {
+            self.waiting.remove(self.head + 1)
+        } else {
+            self.grant_min()
+        }
+    }
+
     /// Grants the lowest waiting index at or after `cursor`, wrapping to the
     /// lowest waiting index (round-robin arbitration). The caller advances
     /// its cursor to `winner + 1` modulo the processor count.
@@ -166,6 +194,39 @@ mod tests {
                 assert!(ring.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn reverse_priority_always_grants_highest() {
+        let mut ring = GrantRing::with_capacity(4);
+        for p in [2, 0, 3] {
+            ring.push(p);
+        }
+        assert_eq!(ring.grant_max(), 3);
+        assert_eq!(ring.grant_max(), 2);
+        ring.push(1);
+        assert_eq!(ring.grant_max(), 1);
+        assert_eq!(ring.grant_max(), 0);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn victim_is_served_last() {
+        let mut ring = GrantRing::with_capacity(4);
+        for p in [0, 2, 3] {
+            ring.push(p);
+        }
+        // Victim 0 waits while 2 and 3 are served, then goes alone.
+        assert_eq!(ring.grant_victim_last(0), 2);
+        assert_eq!(ring.grant_victim_last(0), 3);
+        assert_eq!(ring.grant_victim_last(0), 0);
+        assert!(ring.is_empty());
+        // A non-waiting victim leaves plain fixed-priority order.
+        for p in [1, 3] {
+            ring.push(p);
+        }
+        assert_eq!(ring.grant_victim_last(0), 1);
+        assert_eq!(ring.grant_victim_last(0), 3);
     }
 
     #[test]

@@ -613,6 +613,8 @@ fn run_ticked(
         if bus_left == 0 && !wait_queue.is_empty() {
             let chosen = match machine.bus.arbitration {
                 Arbitration::FixedPriority => wait_queue.grant_min(),
+                Arbitration::ReversePriority => wait_queue.grant_max(),
+                Arbitration::VictimLast(victim) => wait_queue.grant_victim_last(victim),
                 Arbitration::RoundRobin => {
                     let p = wait_queue.grant_round_robin(rr_next);
                     rr_next = (p + 1) % n;
@@ -1066,6 +1068,8 @@ fn run_event_skip(
         if cycle >= e.bus_busy_until && !e.bus_ring.is_empty() {
             let chosen = match machine.bus.arbitration {
                 Arbitration::FixedPriority => e.bus_ring.grant_min(),
+                Arbitration::ReversePriority => e.bus_ring.grant_max(),
+                Arbitration::VictimLast(victim) => e.bus_ring.grant_victim_last(victim),
                 Arbitration::RoundRobin => {
                     let p = e.bus_ring.grant_round_robin(e.rr_next);
                     e.rr_next = (p + 1) % n;

@@ -10,7 +10,7 @@
 //! `(segments, ProcConfig, pacing)` and lets it run once, at *compile*
 //! time, instead of once per reference per run:
 //!
-//! * a [`TraceStep`] is one run-length-encoded event — the fused busy span
+//! * a `TraceStep` is one run-length-encoded event — the fused busy span
 //!   (compute plus cache hits) followed by the blocking event it runs into
 //!   (miss, I/O, idle gap, barrier, or task end);
 //! * a `TaskTrace` stores the steps in fixed-size chunks, so compiling

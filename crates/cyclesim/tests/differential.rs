@@ -196,6 +196,28 @@ proptest! {
         prop_assert_eq!(skip, tick);
     }
 
+    /// The adversarial arbitration policies (reverse priority and
+    /// victim-last, used to validate the hybrid kernel's worst-case
+    /// envelope) run through the same engine × feed matrix.
+    #[test]
+    fn engines_agree_under_adversarial_arbitration(
+        tasks in prop::collection::vec(arb_task(), 1..5),
+        seed in any::<u64>(),
+        bus_delay in 1u64..9,
+        adversary in (any::<bool>(), 0usize..4),
+    ) {
+        let w = build_workload(&tasks, false);
+        let mut m = machine(tasks.len(), bus_delay, true, 1, 6, false);
+        let (reverse, victim) = adversary;
+        m.bus = m.bus.with_arbitration(if reverse {
+            Arbitration::ReversePriority
+        } else {
+            Arbitration::VictimLast(victim % tasks.len())
+        });
+        let (skip, tick) = run_both(&w, &m, Pacing::Poisson(seed), u64::MAX);
+        prop_assert_eq!(skip, tick);
+    }
+
     /// Tight cycle limits: the event skipper clamps its jumps so the limit
     /// violation is reported at exactly the same cycle as the ticker —
     /// and runs that just fit still agree in full.

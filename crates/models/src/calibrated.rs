@@ -193,6 +193,12 @@ impl<M: ContentionModel> ContentionModel for ScaledModel<M> {
             .collect()
     }
 
+    fn worst_case(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+        // The calibration factor corrects the *mean*; a guaranteed bound
+        // must pass through unscaled or a factor below one would shrink it.
+        self.inner.worst_case(slice, requests)
+    }
+
     fn name(&self) -> &str {
         "scaled"
     }
@@ -266,5 +272,18 @@ mod tests {
     #[should_panic(expected = "calibration factor")]
     fn scaled_model_rejects_nan() {
         let _ = ScaledModel::new(ChenLinBus::new(), f64::NAN);
+    }
+
+    #[test]
+    fn scaled_model_does_not_scale_worst_case() {
+        let s = slice(100.0, 1.0);
+        let reqs = [req(0, 20.0), req(1, 20.0)];
+        let inner = crate::PriorityNoc::new(3);
+        let bound = inner.worst_case(&s, &reqs);
+        let scaled = ScaledModel::new(inner, 0.5).worst_case(&s, &reqs);
+        assert_eq!(
+            bound, scaled,
+            "a calibration factor must not shrink a bound"
+        );
     }
 }

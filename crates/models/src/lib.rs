@@ -13,33 +13,46 @@
 //! | [`Mm1Queue`] | M/M/1 | variable-latency resources |
 //! | [`RoundRobinBus`] | linear interference | round-robin arbiters |
 //! | [`PriorityBus`] | Cobham priority queue | fixed-priority arbiters |
+//! | [`PriorityNoc`] | multi-hop Cobham composition (Mandal et al.) | priority-class networks-on-chip |
+//! | [`FairShare`] | egalitarian processor sharing (dslab-style) | network links, storage devices |
 //! | [`MvaBus`] | closed-network MVA (finite population) | blocking masters, any load |
 //! | [`TableModel`] | measured-delay lookup | arbiters too baroque for theory |
 //! | [`ScaledModel`] | calibration wrapper | constant-factor correction |
 //!
-//! All models share the saturation treatment of [`saturation`]: utilizations
-//! are clamped below a stability cap inside `1/(1−ρ)` formulas, and
-//! oversubscribed windows incur a deterministic, proportionally shared
-//! overflow delay.
+//! The queueing-family models share the saturation treatment of
+//! [`saturation`]: utilizations are clamped below a stability cap inside
+//! `1/(1−ρ)` formulas, and oversubscribed windows incur a deterministic,
+//! proportionally shared overflow delay. ([`FairShare`] needs neither — the
+//! sharing discipline extends past an oversubscribed window natively.)
+//!
+//! Every model additionally answers
+//! [`worst_case`](mesh_core::model::ContentionModel::worst_case) queries,
+//! which the kernel folds into the per-run worst-case
+//! [`Envelope`](mesh_core::Envelope); see `docs/MODELS.md` for the catalog
+//! of equations, assumptions and validation status.
 //!
 //! [`ContentionModel`]: mesh_core::model::ContentionModel
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod arbitration;
 pub mod calibrated;
 pub mod chen_lin;
 pub mod mva;
+pub mod noc;
 pub mod queueing;
 pub mod saturation;
+pub mod sharing;
 pub mod whole_program;
 
 pub use arbitration::{PriorityBus, RoundRobinBus};
 pub use calibrated::{ScaledModel, TableModel, TableModelError};
 pub use chen_lin::ChenLinBus;
 pub use mva::MvaBus;
+pub use noc::PriorityNoc;
 pub use queueing::{Md1Queue, Mm1Queue};
+pub use sharing::FairShare;
 pub use whole_program::{
     profiles_from_report, AnalyticalEstimate, AnalyticalEstimator, ThreadProfile,
 };

@@ -1,0 +1,289 @@
+//! Priority-class network-on-chip contention model.
+//!
+//! Following the analytical performance models for priority-aware NoCs of
+//! Mandal et al. (arXiv:1908.02408), traffic classes carry arbitration
+//! priorities and a flow's route traverses several links — so one request
+//! occupies multiple shared stations, and a class's wait compounds along its
+//! route. The model composes the per-link non-preemptive priority queue
+//! (Cobham's formula, as in [`crate::PriorityBus`]) across a configurable
+//! hop count, with a *hop overlap* factor describing how much of the
+//! competing traffic shares each link of the route.
+
+use crate::saturation::{
+    add_penalties, clamp_utilization, overflow_penalties, DEFAULT_UTILIZATION_CAP,
+};
+use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+use mesh_core::SimTime;
+
+/// Priority-class NoC with multi-hop routes (Mandal et al. style).
+///
+/// Each contender is a traffic class whose
+/// [`priority`](SliceRequest::priority) orders link arbitration (higher is
+/// served first) and whose route crosses `hops` links of service time `s`
+/// each. On every link, a class-`k` packet waits per Cobham's
+/// non-preemptive priority formula:
+///
+/// ```text
+/// W_k = W₀ / ((1 − σ_{>k}) · (1 − σ_{≥k}))        with W₀ = (s/2)·σ_others
+/// ```
+///
+/// where the interfering utilizations `σ` are scaled by the **hop overlap**
+/// `ω ∈ [0, 1]` — the fraction of competing traffic whose route shares a
+/// given link (`ω = 1`: every flow crosses every link, a shared ring;
+/// `ω → 0`: disjoint routes, no interference). The per-access wait
+/// compounds over the route, so the class's penalty is `hops · W_k · a_k`,
+/// plus the standard [`crate::saturation`] overflow treatment of the
+/// bottleneck link.
+///
+/// The [`worst_case`](ContentionModel::worst_case) bound is the pessimistic
+/// route serialization `hops · s · Σ_{j≠k} a_j`: in the worst interleaving
+/// every competing packet blocks the class once per hop, with no pipelining
+/// credit. (When the saturated Cobham mean exceeds this bound the kernel's
+/// envelope floors the bound at the mean.)
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+/// use mesh_core::{SharedId, SimTime, ThreadId};
+/// use mesh_models::PriorityNoc;
+///
+/// let slice = Slice {
+///     start: SimTime::ZERO,
+///     duration: SimTime::from_cycles(100.0),
+///     service_time: SimTime::from_cycles(1.0),
+///     shared: SharedId::from_index(0),
+/// };
+/// let reqs = vec![
+///     SliceRequest { thread: ThreadId::from_index(0), accesses: 20.0, priority: 2 },
+///     SliceRequest { thread: ThreadId::from_index(1), accesses: 20.0, priority: 1 },
+/// ];
+/// // A two-hop route doubles the single-link Cobham waits (2.0 and 3.125).
+/// let p = PriorityNoc::new(2).penalties(&slice, &reqs);
+/// assert!((p[0].as_cycles() - 4.0).abs() < 1e-9);
+/// assert!((p[1].as_cycles() - 6.25).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PriorityNoc {
+    hops: u32,
+    overlap: f64,
+    cap: f64,
+}
+
+impl PriorityNoc {
+    /// Creates the model for routes of `hops` links, with full traffic
+    /// overlap (`ω = 1`) and the default stability cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` is zero (a flow must cross at least one link).
+    pub fn new(hops: u32) -> PriorityNoc {
+        assert!(hops > 0, "a route must cross at least one hop");
+        PriorityNoc {
+            hops,
+            overlap: 1.0,
+            cap: DEFAULT_UTILIZATION_CAP,
+        }
+    }
+
+    /// Sets the hop-overlap factor `ω` (builder style): the fraction of
+    /// competing traffic sharing each link of a route.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ overlap ≤ 1`.
+    #[must_use]
+    pub fn with_overlap(mut self, overlap: f64) -> PriorityNoc {
+        assert!((0.0..=1.0).contains(&overlap), "overlap must lie in [0, 1]");
+        self.overlap = overlap;
+        self
+    }
+
+    /// Sets a custom stability cap in `(0, 1)` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < cap < 1`.
+    #[must_use]
+    pub fn with_cap(mut self, cap: f64) -> PriorityNoc {
+        assert!(cap > 0.0 && cap < 1.0, "cap must lie in (0, 1)");
+        self.cap = cap;
+        self
+    }
+
+    /// The configured route length in links.
+    pub fn hops(&self) -> u32 {
+        self.hops
+    }
+}
+
+impl ContentionModel for PriorityNoc {
+    fn penalties(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+        let rho: Vec<f64> = requests
+            .iter()
+            .map(|r| slice.utilization(r.accesses))
+            .collect();
+        let rho_total: f64 = rho.iter().sum();
+        let hops = self.hops as f64;
+        let base: Vec<SimTime> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                // Interference a link of this class's route actually sees:
+                // the other classes' utilization, scaled by the overlap.
+                let w0 = 0.5
+                    * slice.service_time.as_cycles()
+                    * self.overlap
+                    * (rho_total - rho[i]).max(0.0);
+                let mut sigma_above = 0.0;
+                let mut sigma_at_least = 0.0;
+                for (j, other) in requests.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    if other.priority > r.priority {
+                        sigma_above += self.overlap * rho[j];
+                    }
+                    if other.priority >= r.priority {
+                        sigma_at_least += self.overlap * rho[j];
+                    }
+                }
+                let d1 = 1.0 - clamp_utilization(sigma_above, self.cap);
+                let d2 = 1.0 - clamp_utilization(sigma_at_least, self.cap);
+                SimTime::from_cycles(hops * w0 / (d1 * d2) * r.accesses)
+            })
+            .collect();
+        // Saturation of the bottleneck link: the route pipelines, so
+        // capacity is per-link, but the overlapping share of the excess
+        // demand still has to serialize there.
+        let overflow: Vec<SimTime> = overflow_penalties(slice, requests)
+            .into_iter()
+            .map(|p| p * self.overlap)
+            .collect();
+        add_penalties(base, &overflow)
+    }
+
+    fn worst_case(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+        let total: f64 = requests.iter().map(|r| r.accesses).sum();
+        requests
+            .iter()
+            .map(|r| slice.service_time * (self.hops as f64) * (total - r.accesses).max(0.0))
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "priority-noc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PriorityBus;
+    use mesh_core::{SharedId, ThreadId};
+
+    fn slice(duration: f64, service: f64) -> Slice {
+        Slice {
+            start: SimTime::ZERO,
+            duration: SimTime::from_cycles(duration),
+            service_time: SimTime::from_cycles(service),
+            shared: SharedId::from_index(0),
+        }
+    }
+
+    fn req(t: usize, a: f64, prio: u32) -> SliceRequest {
+        SliceRequest {
+            thread: ThreadId::from_index(t),
+            accesses: a,
+            priority: prio,
+        }
+    }
+
+    #[test]
+    fn one_hop_full_overlap_reduces_to_priority_bus() {
+        let s = slice(100.0, 1.0);
+        let reqs = [req(0, 20.0, 2), req(1, 20.0, 1), req(2, 10.0, 3)];
+        let noc = PriorityNoc::new(1).penalties(&s, &reqs);
+        let bus = PriorityBus::new().penalties(&s, &reqs);
+        for (a, b) in noc.iter().zip(&bus) {
+            assert!((a.as_cycles() - b.as_cycles()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn penalties_scale_linearly_with_hops() {
+        let s = slice(100.0, 1.0);
+        let reqs = [req(0, 20.0, 2), req(1, 20.0, 1)];
+        let one = PriorityNoc::new(1).penalties(&s, &reqs);
+        let four = PriorityNoc::new(4).penalties(&s, &reqs);
+        for (a, b) in one.iter().zip(&four) {
+            assert!((4.0 * a.as_cycles() - b.as_cycles()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cobham_closed_form_two_hops() {
+        // Single-link Cobham fixture (see PriorityBus tests) gives waits
+        // 2.0 and 3.125; a two-hop route doubles both.
+        let p =
+            PriorityNoc::new(2).penalties(&slice(100.0, 1.0), &[req(0, 20.0, 2), req(1, 20.0, 1)]);
+        assert!((p[0].as_cycles() - 4.0).abs() < 1e-9);
+        assert!((p[1].as_cycles() - 6.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_overlap_means_disjoint_routes() {
+        let p = PriorityNoc::new(3)
+            .with_overlap(0.0)
+            .penalties(&slice(100.0, 1.0), &[req(0, 30.0, 1), req(1, 30.0, 2)]);
+        assert!(p.iter().all(|x| x.is_zero()));
+    }
+
+    #[test]
+    fn overlap_scales_interference_down() {
+        let s = slice(100.0, 1.0);
+        let reqs = [req(0, 20.0, 1), req(1, 20.0, 2)];
+        let full = PriorityNoc::new(2).penalties(&s, &reqs);
+        let half = PriorityNoc::new(2).with_overlap(0.5).penalties(&s, &reqs);
+        assert!(half[0] < full[0]);
+        assert!(half[1] < full[1]);
+    }
+
+    #[test]
+    fn high_priority_class_waits_less() {
+        let p = PriorityNoc::new(4).penalties(
+            &slice(100.0, 1.0),
+            &[req(0, 15.0, 3), req(1, 15.0, 2), req(2, 15.0, 1)],
+        );
+        assert!(p[0] < p[1]);
+        assert!(p[1] < p[2]);
+    }
+
+    #[test]
+    fn worst_case_scales_with_hops() {
+        let s = slice(100.0, 2.0);
+        let reqs = [req(0, 10.0, 1), req(1, 30.0, 2)];
+        let w = PriorityNoc::new(3).worst_case(&s, &reqs);
+        // 3 hops × 2 cycles × the others' accesses.
+        assert_eq!(w[0].as_cycles(), 180.0);
+        assert_eq!(w[1].as_cycles(), 60.0);
+    }
+
+    #[test]
+    fn builders_validate() {
+        assert_eq!(PriorityNoc::new(2).hops(), 2);
+        let m = PriorityNoc::new(2).with_overlap(0.25).with_cap(0.5);
+        assert_eq!(m, PriorityNoc::new(2).with_overlap(0.25).with_cap(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "hop")]
+    fn zero_hops_rejected() {
+        let _ = PriorityNoc::new(0);
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(PriorityNoc::new(1).name(), "priority-noc");
+    }
+}

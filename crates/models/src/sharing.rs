@@ -1,0 +1,177 @@
+//! Fair throughput-sharing model for network/storage-style resources.
+//!
+//! Buses arbitrate per transaction; network links and storage devices are
+//! better described by *throughput sharing*: whenever `N` transfers are in
+//! flight, each receives `throughput / N`, and the allocation re-resolves
+//! every time a transfer completes. This is the classic egalitarian
+//! processor-sharing discipline, and the model here computes its completion
+//! times with the dslab-models "fast" algorithm — one sorted pass instead of
+//! event-by-event re-resolution.
+
+use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+use mesh_core::SimTime;
+
+/// Fair (egalitarian) throughput-sharing resource model.
+///
+/// Each contender `i` brings a demand `d_i = a_i · s` of resource busy time
+/// (its accesses at the configured service time). All in-flight demands
+/// progress at rate `1/N` while `N` of them remain; when the smallest
+/// finishes, the rate re-resolves to `1/(N−1)`, and so on. Sorting demands
+/// ascending (`d_1 ≤ d_2 ≤ …`) gives the closed completion-time recurrence
+/// of the fast sharing algorithm:
+///
+/// ```text
+/// c_k = c_{k−1} + (d_k − d_{k−1}) · (N − k + 1),    c_0 = d_0 = 0
+/// ```
+///
+/// and the contention penalty is the slowdown `c_k − d_k`, which equals
+/// `Σ_{j≠k} min(d_j, d_k)`. The penalty is therefore always bounded by the
+/// full-serialization envelope `s · (Σ_j a_j − a_k)`.
+///
+/// Unlike the `1/(1−ρ)` queueing family, the sharing discipline handles
+/// oversubscribed windows natively — completions simply extend past the
+/// window — so this model needs neither a stability cap nor the overflow
+/// treatment of [`crate::saturation`], and it has no tuning parameters.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::model::{ContentionModel, Slice, SliceRequest};
+/// use mesh_core::{SharedId, SimTime, ThreadId};
+/// use mesh_models::FairShare;
+///
+/// let slice = Slice {
+///     start: SimTime::ZERO,
+///     duration: SimTime::from_cycles(100.0),
+///     service_time: SimTime::from_cycles(1.0),
+///     shared: SharedId::from_index(0),
+/// };
+/// let reqs = vec![
+///     SliceRequest { thread: ThreadId::from_index(0), accesses: 10.0, priority: 0 },
+///     SliceRequest { thread: ThreadId::from_index(1), accesses: 30.0, priority: 0 },
+/// ];
+/// let p = FairShare::new().penalties(&slice, &reqs);
+/// // Demands 10 and 30 share the link: both run at rate 1/2 until the
+/// // small transfer completes at t=20 (slowdown 10); the large one then
+/// // runs alone and completes at t=40 (slowdown 10).
+/// assert_eq!(p[0].as_cycles(), 10.0);
+/// assert_eq!(p[1].as_cycles(), 10.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FairShare;
+
+impl FairShare {
+    /// Creates the model. Fair sharing has no tuning parameters.
+    pub fn new() -> FairShare {
+        FairShare
+    }
+}
+
+impl ContentionModel for FairShare {
+    fn penalties(&self, slice: &Slice, requests: &[SliceRequest]) -> Vec<SimTime> {
+        let s = slice.service_time.as_cycles();
+        let n = requests.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            requests[a]
+                .accesses
+                .partial_cmp(&requests[b].accesses)
+                .expect("kernel guarantees finite access counts")
+        });
+        let mut penalties = vec![SimTime::ZERO; n];
+        let mut clock = 0.0;
+        let mut prev_demand = 0.0;
+        for (k, &i) in order.iter().enumerate() {
+            let demand = requests[i].accesses * s;
+            clock += (demand - prev_demand) * (n - k) as f64;
+            prev_demand = demand;
+            penalties[i] = SimTime::from_cycles((clock - demand).max(0.0));
+        }
+        penalties
+    }
+
+    fn name(&self) -> &str {
+        "fair-share"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_core::{SharedId, ThreadId};
+
+    fn slice(duration: f64, service: f64) -> Slice {
+        Slice {
+            start: SimTime::ZERO,
+            duration: SimTime::from_cycles(duration),
+            service_time: SimTime::from_cycles(service),
+            shared: SharedId::from_index(0),
+        }
+    }
+
+    fn req(t: usize, a: f64) -> SliceRequest {
+        SliceRequest {
+            thread: ThreadId::from_index(t),
+            accesses: a,
+            priority: 0,
+        }
+    }
+
+    #[test]
+    fn equal_demands_each_wait_for_the_other() {
+        // Two transfers of 10 cycles each at rate 1/2: both complete at 20,
+        // slowdown 10 apiece.
+        let p = FairShare::new().penalties(&slice(100.0, 1.0), &[req(0, 10.0), req(1, 10.0)]);
+        assert_eq!(p[0].as_cycles(), 10.0);
+        assert_eq!(p[1].as_cycles(), 10.0);
+    }
+
+    #[test]
+    fn penalty_is_sum_of_min_demands() {
+        // penalty_i = Σ_{j≠i} min(d_j, d_i); demands 5, 10, 20.
+        let p = FairShare::new().penalties(
+            &slice(100.0, 1.0),
+            &[req(0, 5.0), req(1, 10.0), req(2, 20.0)],
+        );
+        assert_eq!(p[0].as_cycles(), 10.0); // 5 + 5
+        assert_eq!(p[1].as_cycles(), 15.0); // 5 + 10
+        assert_eq!(p[2].as_cycles(), 15.0); // 5 + 10
+    }
+
+    #[test]
+    fn result_is_order_independent() {
+        let m = FairShare::new();
+        let s = slice(50.0, 2.0);
+        let a = m.penalties(&s, &[req(0, 3.0), req(1, 7.0), req(2, 1.0)]);
+        let b = m.penalties(&s, &[req(2, 1.0), req(1, 7.0), req(0, 3.0)]);
+        assert_eq!(a[0], b[2]);
+        assert_eq!(a[1], b[1]);
+        assert_eq!(a[2], b[0]);
+    }
+
+    #[test]
+    fn oversubscription_needs_no_special_case() {
+        // Demand 40 in a 10-cycle window: completions extend past the
+        // window without any cap or overflow correction.
+        let p = FairShare::new().penalties(&slice(10.0, 1.0), &[req(0, 20.0), req(1, 20.0)]);
+        assert_eq!(p[0].as_cycles(), 20.0);
+        assert_eq!(p[1].as_cycles(), 20.0);
+    }
+
+    #[test]
+    fn dominated_by_default_worst_case() {
+        let m = FairShare::new();
+        let s = slice(100.0, 1.5);
+        let reqs = [req(0, 4.0), req(1, 9.0), req(2, 25.0)];
+        let p = m.penalties(&s, &reqs);
+        let w = m.worst_case(&s, &reqs);
+        for (pi, wi) in p.iter().zip(&w) {
+            assert!(wi >= pi);
+        }
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(FairShare::new().name(), "fair-share");
+    }
+}

@@ -5,7 +5,8 @@
 use mesh_core::model::{ContentionModel, Slice, SliceRequest};
 use mesh_core::{SharedId, SimTime, ThreadId};
 use mesh_models::{
-    ChenLinBus, Md1Queue, Mm1Queue, MvaBus, PriorityBus, RoundRobinBus, ScaledModel, TableModel,
+    ChenLinBus, FairShare, Md1Queue, Mm1Queue, MvaBus, PriorityBus, PriorityNoc, RoundRobinBus,
+    ScaledModel, TableModel,
 };
 use proptest::prelude::*;
 
@@ -22,6 +23,8 @@ fn all_models() -> Vec<Box<dyn ContentionModel>> {
         ),
         Box::new(ScaledModel::new(ChenLinBus::new(), 0.85)),
         Box::new(MvaBus::new()),
+        Box::new(PriorityNoc::new(2).with_overlap(0.7)),
+        Box::new(FairShare::new()),
     ]
 }
 
@@ -132,6 +135,47 @@ proptest! {
         ];
         let p = PriorityBus::new().penalties(&s, &reqs);
         prop_assert!(p[0] <= p[1]);
+    }
+
+    /// The worst-case envelope is well-formed for every model: right
+    /// length, finite, non-negative — for any demand, including
+    /// oversubscription.
+    #[test]
+    fn worst_case_well_formed(
+        accs in prop::collection::vec(0.01f64..500.0, 2..8),
+        duration in 1.0f64..10_000.0,
+        service in 0.1f64..16.0,
+    ) {
+        let s = slice(duration, service);
+        let reqs = requests(&accs);
+        for model in all_models() {
+            let w = model.worst_case(&s, &reqs);
+            prop_assert_eq!(w.len(), reqs.len(), "model {}", model.name());
+            for x in &w {
+                prop_assert!(x.as_cycles().is_finite());
+                prop_assert!(x.as_cycles() >= 0.0);
+            }
+        }
+    }
+
+    /// Processor sharing never waits longer than full serialization: the
+    /// fair-share mean is dominated by its own worst-case bound outright.
+    /// (Saturating queueing models rely on the kernel's per-window floor
+    /// instead, which is covered by the kernel's envelope tests.)
+    #[test]
+    fn fair_share_mean_below_worst_case(
+        accs in prop::collection::vec(0.01f64..500.0, 2..8),
+        duration in 1.0f64..10_000.0,
+        service in 0.1f64..16.0,
+    ) {
+        let s = slice(duration, service);
+        let reqs = requests(&accs);
+        let model = FairShare::new();
+        let p = model.penalties(&s, &reqs);
+        let w = model.worst_case(&s, &reqs);
+        for (mean, worst) in p.iter().zip(&w) {
+            prop_assert!(mean.as_cycles() <= worst.as_cycles() + 1e-9);
+        }
     }
 
     /// The M/M/1 wait dominates the M/D/1 wait (service-time variance).

@@ -42,4 +42,5 @@ run() {
     run ablation_models
     run ablation_wake
     run multi_resource
+    run noc_sweep
 } | tee "$OUT"

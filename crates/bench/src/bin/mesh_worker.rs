@@ -1,0 +1,136 @@
+//! The fabric's reference worker binary and chaos-testing target.
+//!
+//! Runs two deterministic synthetic sweeps — a small `warmup` grid and the
+//! main `demo` grid — through the exact entry point the experiment binaries
+//! use ([`mesh_bench::sweep::try_sweep_labeled`]), so every fabric behavior
+//! can be exercised end to end without paying for kernel simulations:
+//!
+//! * `MESH_BENCH_SHARDS=n` shards the sweeps across supervised re-execs of
+//!   this binary (the `mesh-worker` entrypoint named by the fabric docs);
+//!   the two-sweep structure makes workers for the second sweep resolve the
+//!   first from the parent's session store.
+//! * Chaos knobs inject real process-level faults *inside point
+//!   evaluation*, which in fabric mode happens in a worker process:
+//!
+//!   | Variable | Effect while evaluating `demo` point `<idx>` |
+//!   |---|---|
+//!   | `MESH_CHAOS_ABORT=<idx>[:always]` | `std::process::abort()` — a signal death, beyond `catch_unwind` |
+//!   | `MESH_CHAOS_HANG=<idx>[:always]` | sleep ~1 h — a livelock, killable only via `MESH_BENCH_TIMEOUT` |
+//!   | `MESH_CHAOS_DIR=<dir>` | marker directory giving the knobs once-only semantics across worker restarts |
+//!
+//!   Without the `:always` suffix a knob fires **once**: the marker file is
+//!   created in `MESH_CHAOS_DIR` *before* triggering, so the restarted
+//!   worker sees it and completes the point — the recovery path. With
+//!   `:always` (or with no `MESH_CHAOS_DIR`) the fault repeats until the
+//!   point is poisoned — the strike-budget path. Stdout stays byte-identical
+//!   to a fault-free run whenever the sweep ultimately completes.
+//!
+//! * `MESH_WORKER_DEMO_POINTS` sizes the demo grid (default 24) and
+//!   `MESH_WORKER_DEMO_DELAY_MS` adds per-point wall-clock (default 0), to
+//!   widen race windows for kill-resume tests.
+//!
+//! ```bash
+//! # Supervised 3-way sharding with one injected abort, recovered:
+//! MESH_BENCH_SHARDS=3 MESH_CHAOS_ABORT=5 MESH_CHAOS_DIR=$(mktemp -d) \
+//!     cargo run -p mesh-bench --bin mesh_worker
+//! ```
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Parses `<idx>` or `<idx>:always` from a chaos variable.
+fn chaos_spec(var: &str) -> Option<(u64, bool)> {
+    let value = std::env::var(var).ok()?;
+    let value = value.trim();
+    if value.is_empty() {
+        return None;
+    }
+    let (idx, always) = match value.split_once(':') {
+        Some((idx, "always")) => (idx, true),
+        Some(_) | None => (value, false),
+    };
+    match idx.parse() {
+        Ok(idx) => Some((idx, always)),
+        Err(_) => {
+            eprintln!("mesh-worker: ignoring invalid {var}={value:?} (want INDEX[:always])");
+            None
+        }
+    }
+}
+
+/// Fires `action` if `var` targets point `point`; once-only unless `:always`
+/// (the marker lands on disk *before* the fault, so a restarted worker
+/// skips it).
+fn chaos(var: &str, point: u64, action: impl FnOnce()) {
+    let Some((idx, always)) = chaos_spec(var) else {
+        return;
+    };
+    if idx != point {
+        return;
+    }
+    if !always {
+        if let Some(dir) = std::env::var_os("MESH_CHAOS_DIR").filter(|v| !v.is_empty()) {
+            let marker = PathBuf::from(dir).join(format!("{var}-{point}"));
+            if marker.exists() {
+                return; // already fired once; complete the point this time
+            }
+            let _ = std::fs::write(&marker, b"fired\n");
+        }
+    }
+    action();
+}
+
+/// Deterministic synthetic point evaluation: a few thousand LCG steps, so a
+/// point costs real (but tiny) CPU and produces a full-precision f64 that
+/// exercises the bit-exact checkpoint encoding.
+fn eval_point(salt: u64, k: u64) -> f64 {
+    let mut acc = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+    for _ in 0..2000 {
+        acc = acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+    }
+    k as f64 + (acc >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn env_u64(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n = env_u64("MESH_WORKER_DEMO_POINTS", 24);
+    let delay = env_u64("MESH_WORKER_DEMO_DELAY_MS", 0);
+    println!("mesh-worker demo: warmup + {n}-point sweep");
+
+    let warmup_points: Vec<u64> = (0..6).collect();
+    let warmup = mesh_bench::or_exit(
+        "warmup",
+        mesh_bench::sweep::try_sweep_labeled("warmup", &warmup_points, |&k| eval_point(0xAA, k)),
+    );
+    println!("warmup checksum: {:.12}", warmup.iter().sum::<f64>());
+
+    let points: Vec<u64> = (0..n).collect();
+    let results = mesh_bench::or_exit(
+        "demo",
+        mesh_bench::sweep::try_sweep_labeled("demo", &points, |&k| {
+            chaos("MESH_CHAOS_ABORT", k, || std::process::abort());
+            chaos("MESH_CHAOS_HANG", k, || {
+                std::thread::sleep(Duration::from_secs(3600));
+            });
+            if delay > 0 {
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            eval_point(0xBB, k)
+        }),
+    );
+
+    println!("point value");
+    for (k, v) in points.iter().zip(&results) {
+        println!("{k:5} {v:.12}");
+    }
+    println!("demo checksum: {:.12}", results.iter().sum::<f64>());
+    mesh_bench::obs_finish();
+}

@@ -338,6 +338,10 @@ fn main() {
     let file = BenchFile {
         git_sha: sha.clone(),
         quick: args.quick,
+        // Recorded so the perf gate can refuse to compare medians across
+        // different parallelism configurations (threads or fabric shards).
+        jobs: mesh_bench::sweep::jobs_from_env(),
+        shards: mesh_bench::fabric::shards_from_env().unwrap_or(0),
         benchmarks: suite.records,
     };
 
@@ -395,6 +399,12 @@ fn main() {
             eprintln!("error: malformed baseline {baseline_path}: {e}");
             std::process::exit(1);
         });
+        if baseline.jobs == 0 {
+            println!(
+                "note: baseline {baseline_path} predates jobs/shards recording; \
+                 parallelism-configuration compatibility not checked"
+            );
+        }
         // The obs/ prefix gates the instrumentation overhead the same way
         // (a no-op against baselines that predate the obs section, since
         // only benchmarks present in both files are compared).

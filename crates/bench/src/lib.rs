@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod fabric;
 pub mod perf;
 pub mod sweep;
 

@@ -15,11 +15,20 @@
 //! {
 //!   "git_sha": "443d550",
 //!   "quick": false,
+//!   "jobs": 4,
+//!   "shards": 0,
 //!   "benchmarks": [
 //!     { "name": "cyclesim/smoke_fft_skip", "median_ns": 1234567.0 }
 //!   ]
 //! }
 //! ```
+//!
+//! `jobs` records `MESH_BENCH_JOBS` and `shards` records
+//! `MESH_BENCH_SHARDS` (0 = in-process), because medians from runs with
+//! different parallelism configurations are not comparable;
+//! [`check_regression`] refuses to compare two files whose configurations
+//! differ. Files written before these fields existed parse with `jobs: 0`,
+//! which marks the configuration unrecorded and skips that refusal.
 //!
 //! Benchmark names contain only `[A-Za-z0-9_/.-]`, so no string escaping is
 //! needed; [`BenchFile::from_json`] rejects anything else.
@@ -44,6 +53,13 @@ pub struct BenchFile {
     pub git_sha: String,
     /// Whether the run used `--quick` (CI smoke) sizing.
     pub quick: bool,
+    /// Sweep worker-thread count the run used (`MESH_BENCH_JOBS`
+    /// resolution); 0 in files written before the field existed, marking
+    /// the configuration unrecorded.
+    pub jobs: usize,
+    /// Fabric shard count (`MESH_BENCH_SHARDS`); 0 means the run was
+    /// in-process (or predates the field, when `jobs` is also 0).
+    pub shards: usize,
     /// The measurements, in execution order.
     pub benchmarks: Vec<BenchRecord>,
 }
@@ -63,6 +79,8 @@ impl BenchFile {
         out.push_str("{\n");
         out.push_str(&format!("  \"git_sha\": \"{}\",\n", self.git_sha));
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("  \"shards\": {},\n", self.shards));
         out.push_str("  \"benchmarks\": [\n");
         for (i, b) in self.benchmarks.iter().enumerate() {
             let comma = if i + 1 == self.benchmarks.len() {
@@ -118,6 +136,23 @@ impl BenchFile {
                 return Err("quick is not a boolean".to_string());
             }
         };
+        // Absent in files from before the fabric: parse as 0 (unrecorded).
+        // Benchmark names cannot contain quotes or colons, so a whole-text
+        // key search cannot be shadowed by a name.
+        fn usize_field(text: &str, key: &str) -> Result<usize, String> {
+            let tag = format!("\"{key}\":");
+            let Some(at) = text.find(&tag) else {
+                return Ok(0);
+            };
+            let num: String = text[at + tag.len()..]
+                .chars()
+                .skip_while(|c| c.is_whitespace())
+                .take_while(char::is_ascii_digit)
+                .collect();
+            num.parse().map_err(|e| format!("bad {key}: {e}"))
+        }
+        let jobs = usize_field(text, "jobs")?;
+        let shards = usize_field(text, "shards")?;
         let mut benchmarks = Vec::new();
         let body = &text[text.find("\"benchmarks\"").ok_or("missing benchmarks")?..];
         let mut rest = body;
@@ -145,6 +180,8 @@ impl BenchFile {
         Ok(BenchFile {
             git_sha,
             quick,
+            jobs,
+            shards,
             benchmarks,
         })
     }
@@ -225,15 +262,42 @@ pub fn time_median_batched_ns<I, O>(
 /// starts with `prefix` and exists in both files; a benchmark regresses when
 /// its median exceeds `factor` times the baseline median.
 ///
+/// When both files record their parallelism configuration (`jobs != 0`),
+/// differing `jobs` or `shards` is itself an error: medians from a sharded
+/// run and an in-process run (or from different worker counts) must never
+/// be compared silently. Files predating the fields (`jobs == 0`) skip this
+/// guard, so committed baselines stay usable.
+///
 /// # Errors
 ///
-/// Returns one message per regressed benchmark.
+/// Returns one message per regressed benchmark, or one per configuration
+/// mismatch (in which case no medians are compared at all).
 pub fn check_regression(
     current: &BenchFile,
     baseline: &BenchFile,
     prefix: &str,
     factor: f64,
 ) -> Result<usize, Vec<String>> {
+    if current.jobs != 0 && baseline.jobs != 0 {
+        let mut mismatches = Vec::new();
+        if current.jobs != baseline.jobs {
+            mismatches.push(format!(
+                "configuration mismatch: current ran with jobs={} but baseline with jobs={} \
+                 — medians are not comparable",
+                current.jobs, baseline.jobs
+            ));
+        }
+        if current.shards != baseline.shards {
+            mismatches.push(format!(
+                "configuration mismatch: current ran with shards={} but baseline with shards={} \
+                 (0 = in-process) — medians are not comparable",
+                current.shards, baseline.shards
+            ));
+        }
+        if !mismatches.is_empty() {
+            return Err(mismatches);
+        }
+    }
     let mut checked = 0;
     let mut failures = Vec::new();
     for base in baseline
@@ -270,6 +334,8 @@ mod tests {
         BenchFile {
             git_sha: "abc123def456".to_string(),
             quick: true,
+            jobs: 4,
+            shards: 0,
             benchmarks: vec![
                 BenchRecord {
                     name: "cyclesim/smoke_fft_skip".to_string(),
@@ -314,6 +380,35 @@ mod tests {
             check_regression(&current, &baseline, "cyclesim/", 2.0),
             Ok(1)
         );
+    }
+
+    #[test]
+    fn config_mismatch_refuses_comparison() {
+        let baseline = sample_file();
+        // Differing shards (sharded current vs in-process baseline) is an
+        // error even with identical medians.
+        let mut current = sample_file();
+        current.shards = 3;
+        let err = check_regression(&current, &baseline, "cyclesim/", 2.0).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].contains("shards=3"), "{err:?}");
+        // Differing jobs too.
+        let mut current = sample_file();
+        current.jobs = 16;
+        let err = check_regression(&current, &baseline, "cyclesim/", 2.0).unwrap_err();
+        assert!(err[0].contains("jobs=16"), "{err:?}");
+        // An old baseline with unrecorded configuration is still usable.
+        let mut old = sample_file();
+        old.jobs = 0;
+        old.shards = 0;
+        assert_eq!(check_regression(&current, &old, "cyclesim/", 2.0), Ok(1));
+        // And an old file parses with the sentinel zeros.
+        let text = sample_file()
+            .to_json()
+            .replace("  \"jobs\": 4,\n", "")
+            .replace("  \"shards\": 0,\n", "");
+        let parsed = BenchFile::from_json(&text).expect("pre-fabric file parses");
+        assert_eq!((parsed.jobs, parsed.shards), (0, 0));
     }
 
     #[test]

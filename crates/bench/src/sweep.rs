@@ -48,6 +48,7 @@
 //! | `MESH_BENCH_CHECKPOINT` | checkpoint file path enabling resume |
 //! | `MESH_BENCH_RETRIES` | extra attempts per panicking point (default 1) |
 //! | `MESH_BENCH_FAIL_POINT` | inject a panic at `index` or `label:index` |
+//! | `MESH_BENCH_SHARDS` | run on the multi-process [`crate::fabric`] instead |
 //!
 //! ```bash
 //! MESH_BENCH_JOBS=8 cargo run -p mesh-bench --bin fig6 --release
@@ -164,6 +165,17 @@ pub fn retries_from_env() -> u32 {
             }
         },
         Err(_) => 1,
+    }
+}
+
+/// The input index [`FAIL_POINT_ENV`] targets in the sweep named `label`,
+/// if any — shared by the in-process engine and fabric workers, so fault
+/// injection behaves identically whether or not the sweep is sharded.
+pub(crate) fn fail_point_for(label: &str) -> Option<usize> {
+    match fail_point_from_env() {
+        Some((None, index)) => Some(index),
+        Some((Some(l), index)) if l == label => Some(index),
+        _ => None,
     }
 }
 
@@ -657,8 +669,14 @@ where
 }
 
 /// Evaluates one point inside `catch_unwind`, retrying with linear backoff
-/// up to the budget. A free function so workers don't have to capture the
-/// whole engine (whose cache would demand `K: Send`).
+/// plus deterministic jitter up to the budget. A free function so workers
+/// don't have to capture the whole engine (whose cache would demand
+/// `K: Send`).
+///
+/// The jitter ([`mesh_core::Backoff`]) is seeded by the sweep label and the
+/// point's input index, so each point's retry schedule is deterministic
+/// across runs while distinct points retrying concurrently (a systemic
+/// transient knocking out many points at once) do not stampede in lockstep.
 fn eval_isolated<K, V, F>(
     label: &str,
     index: usize,
@@ -673,6 +691,8 @@ where
     F: Fn(&K) -> V + Sync,
 {
     let attempts = retries + 1;
+    let delays = mesh_core::Backoff::linear(backoff, backoff.saturating_mul(attempts))
+        .with_seed(stable_key_hash(label) ^ index as u64);
     let mut payload = String::new();
     for attempt in 1..=attempts {
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -686,10 +706,19 @@ where
             Err(p) => {
                 payload = payload_text(p.as_ref());
                 if attempt < attempts {
+                    if attempt == 1 {
+                        // One warning per point, however many retries follow
+                        // — per-attempt lines turned retry storms into
+                        // unreadable stderr.
+                        eprintln!(
+                            "mesh-bench: point #{index} {key:?} of sweep '{label}' panicked \
+                             ({payload}); retrying up to {retries} time(s)"
+                        );
+                    }
                     if mesh_obs::enabled() {
                         mesh_obs::counter("sweep.retries").inc();
                     }
-                    std::thread::sleep(backoff * attempt);
+                    std::thread::sleep(delays.delay(attempt));
                 }
             }
         }
@@ -754,13 +783,27 @@ where
 /// persisted there and a re-run resumes from it. On failure, every healthy
 /// point has still been evaluated (and checkpointed), and the error lists
 /// each failed point's grid coordinates.
+///
+/// With [`crate::fabric::SHARDS_ENV`] (`MESH_BENCH_SHARDS`) set, the sweep
+/// runs on the multi-process [`crate::fabric`] instead of the in-process
+/// engine — supervised worker processes with heartbeats, timeouts and
+/// poison-point recovery — with output byte-identical to the in-process
+/// path at any shard count. Inside a fabric worker process this same
+/// function *is* the worker entrypoint: it evaluates the worker's assigned
+/// shard and exits.
 pub fn try_sweep_labeled<K, V, F>(label: &str, points: &[K], eval: F) -> Result<Vec<V>, SweepError>
 where
     K: Hash + Eq + Clone + Sync + fmt::Debug,
     V: Clone + Send + Checkpointable,
     F: Fn(&K) -> V + Sync,
 {
+    if let Some(cfg) = crate::fabric::worker_config() {
+        return crate::fabric::worker_sweep(&cfg, label, points, eval);
+    }
     let checkpoint = checkpoint_from_env()?;
+    if let Some(shards) = crate::fabric::shards_from_env() {
+        return crate::fabric::run_sharded(label, points, checkpoint.as_ref(), shards, eval);
+    }
     SweepEngine::<K, V>::from_env().try_run_resumable(label, points, checkpoint.as_ref(), eval)
 }
 

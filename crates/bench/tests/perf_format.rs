@@ -35,11 +35,15 @@ fn arb_file() -> impl Strategy<Value = BenchFile> {
     (
         arb_token(16),
         any::<bool>(),
+        0usize..64,
+        0usize..64,
         prop::collection::vec((arb_token(32), arb_median()), 0..8),
     )
-        .prop_map(|(git_sha, quick, benchmarks)| BenchFile {
+        .prop_map(|(git_sha, quick, jobs, shards, benchmarks)| BenchFile {
             git_sha,
             quick,
+            jobs,
+            shards,
             benchmarks: benchmarks
                 .into_iter()
                 .map(|(name, median_ns)| BenchRecord { name, median_ns })
@@ -74,6 +78,8 @@ fn every_prefix_of_a_valid_file_is_handled() {
     let file = BenchFile {
         git_sha: "443d5509dd26".to_string(),
         quick: true,
+        jobs: 8,
+        shards: 2,
         benchmarks: vec![
             BenchRecord {
                 name: "cyclesim/fig4_p8_8KB_skip".to_string(),
@@ -98,6 +104,8 @@ fn malformed_fields_are_errors_not_panics() {
     let valid = BenchFile {
         git_sha: "abc123".to_string(),
         quick: false,
+        jobs: 4,
+        shards: 0,
         benchmarks: vec![BenchRecord {
             name: "cyclesim/x".to_string(),
             median_ns: 10.0,
@@ -115,6 +123,8 @@ fn malformed_fields_are_errors_not_panics() {
         ("\"quick\": false", "\"quick\": maybe"),       // non-boolean quick
         ("\"median_ns\": 10.0", "\"median_ns\": fast"), // non-numeric median
         ("\"name\": \"cyclesim/x\"", "\"label\": \"cyclesim/x\""), // missing name
+        ("\"jobs\": 4", "\"jobs\": plenty"),            // non-numeric jobs
+        ("\"shards\": 0", "\"shards\": -2"),            // negative shards
     ];
     for (from, to) in cases {
         let text = valid.replace(from, to);
@@ -133,6 +143,8 @@ fn quick_flag_survives_a_confusing_sha() {
         let file = BenchFile {
             git_sha: "quick".to_string(),
             quick,
+            jobs: 1,
+            shards: 0,
             benchmarks: Vec::new(),
         };
         let parsed = BenchFile::from_json(&file.to_json()).expect("parse");

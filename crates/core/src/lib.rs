@@ -121,6 +121,6 @@ pub use ids::{ProcId, SharedId, SyncId, ThreadId};
 pub use kernel::{SimOutcome, WakePolicy};
 pub use metrics::{Envelope, ProcReport, Report, SharedReport, ThreadReport};
 pub use program::{FnProgram, ProgramCtx, ThreadProgram, VecProgram};
-pub use supervisor::{FaultAction, FaultPolicy, Incident};
+pub use supervisor::{Backoff, FaultAction, FaultPolicy, Incident};
 pub use sync::SyncOp;
 pub use time::{Complexity, Power, SimTime};

@@ -117,6 +117,108 @@ impl fmt::Display for Incident {
     }
 }
 
+/// Retry pacing shared by every supervision layer in the workspace: the
+/// in-process sweep retry loop and the multi-process fabric supervisor both
+/// derive their sleeps from a `Backoff`.
+///
+/// Two growth laws are supported — **linear** (`base * attempt`, the
+/// classic per-point retry pace) and **exponential** (`base * 2^(attempt-1)`,
+/// for respawning crashed workers) — both capped at a configurable maximum
+/// and both with *deterministic, seeded jitter*: a given `(seed, attempt)`
+/// pair always produces the same delay, so supervised runs stay
+/// reproducible, while different seeds (different grid points, different
+/// worker shards) decorrelate their retries instead of thundering-herding a
+/// shared resource.
+///
+/// Jitter adds up to 50% of the un-jittered delay.
+///
+/// # Examples
+///
+/// ```
+/// use mesh_core::Backoff;
+/// use std::time::Duration;
+///
+/// let b = Backoff::exponential(Duration::from_millis(50), Duration::from_secs(2)).with_seed(7);
+/// let first = b.delay(1);
+/// assert!(first >= Duration::from_millis(50) && first <= Duration::from_millis(75));
+/// // Deterministic: the same (seed, attempt) always yields the same delay.
+/// assert_eq!(first, b.delay(1));
+/// // Capped: far-out attempts never exceed cap * 1.5 (cap + max jitter).
+/// assert!(b.delay(30) <= Duration::from_secs(3));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+    exponential: bool,
+}
+
+impl Backoff {
+    /// Linear growth: attempt `n` waits about `base * n`, capped at `cap`.
+    pub fn linear(base: Duration, cap: Duration) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            seed: 0,
+            exponential: false,
+        }
+    }
+
+    /// Exponential growth: attempt `n` waits about `base * 2^(n-1)`, capped
+    /// at `cap`.
+    pub fn exponential(base: Duration, cap: Duration) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            seed: 0,
+            exponential: true,
+        }
+    }
+
+    /// Sets the jitter seed (builder style). Use something stable that
+    /// identifies the retrying party — a grid point's key hash, a worker's
+    /// shard index — so delays are reproducible yet decorrelated.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Backoff {
+        self.seed = seed;
+        self
+    }
+
+    /// The delay before retry `attempt` (1-based). Attempt 0 is treated as 1.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let attempt = attempt.max(1);
+        let raw = if self.exponential {
+            let factor = 1u32.checked_shl(attempt - 1);
+            factor
+                .and_then(|f| self.base.checked_mul(f))
+                .unwrap_or(self.cap)
+        } else {
+            self.base.checked_mul(attempt).unwrap_or(self.cap)
+        };
+        let capped = raw.min(self.cap);
+        // Deterministic jitter in [0, capped/2]: splitmix64 over (seed,
+        // attempt) gives a stable, well-mixed fraction.
+        let mix = splitmix64(self.seed ^ (u64::from(attempt) << 32 | u64::from(attempt)));
+        let jitter_nanos = (capped.as_nanos() / 2) as u64;
+        let jitter = if jitter_nanos == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(mix % (jitter_nanos + 1))
+        };
+        capped + jitter
+    }
+}
+
+/// The splitmix64 finalizer: a cheap, high-quality 64-bit mix used only for
+/// jitter derivation (never for simulation randomness).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Supervisor configuration carried by the
 /// [`SystemBuilder`](crate::SystemBuilder). All limits default to "off".
 #[derive(Clone, Debug, PartialEq)]
@@ -153,6 +255,40 @@ mod tests {
         assert_eq!(s.sim_time_budget, None);
         assert_eq!(s.livelock_window, None);
         assert_eq!(s.fault_policy, FaultPolicy::Abort);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_seed_sensitive() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(100);
+        let lin = Backoff::linear(base, cap).with_seed(1);
+        let exp = Backoff::exponential(base, cap).with_seed(1);
+        for attempt in 1..=12 {
+            // Deterministic per (seed, attempt).
+            assert_eq!(lin.delay(attempt), lin.delay(attempt));
+            assert_eq!(exp.delay(attempt), exp.delay(attempt));
+            // Bounded below by the un-jittered delay, above by cap * 1.5.
+            let lin_raw = (base * attempt).min(cap);
+            assert!(lin.delay(attempt) >= lin_raw);
+            assert!(lin.delay(attempt) <= cap + cap / 2);
+            assert!(exp.delay(attempt) <= cap + cap / 2);
+        }
+        // Exponential growth reaches the cap quickly and stays there
+        // (modulo jitter).
+        assert!(exp.delay(20) >= cap);
+        // Different seeds decorrelate: at least one attempt differs.
+        let other = Backoff::linear(base, cap).with_seed(2);
+        assert!((1..=12).any(|a| lin.delay(a) != other.delay(a)));
+        // Attempt 0 is clamped to 1, and huge attempts do not overflow.
+        assert_eq!(lin.delay(0), lin.delay(1));
+        assert!(exp.delay(u32::MAX) <= cap + cap / 2);
+    }
+
+    #[test]
+    fn zero_base_backoff_is_zero() {
+        let b = Backoff::linear(Duration::ZERO, Duration::ZERO).with_seed(9);
+        assert_eq!(b.delay(1), Duration::ZERO);
+        assert_eq!(b.delay(7), Duration::ZERO);
     }
 
     #[test]

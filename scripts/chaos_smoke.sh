@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Chaos smoke test: exercises the multi-process sweep fabric end to end.
+#
+#   ./scripts/chaos_smoke.sh
+#
+# Extends scripts/fault_smoke.sh (in-process crash isolation) to the fabric
+# layer (crates/bench/src/fabric.rs, docs/ROBUSTNESS.md). Five checks:
+#
+#   1. Determinism: a sharded fig4 run (MESH_BENCH_SHARDS=3) is
+#      byte-identical to the single-process golden run.
+#   2. SIGKILL storm: the same sharded fig4 run while a background loop
+#      SIGKILLs random worker processes; the supervisor restarts them from
+#      their own checkpoints and the output is still byte-identical.
+#   3. Hang + timeout: a mesh_worker demo sweep with one injected hang
+#      (MESH_CHAOS_HANG, once-only via a marker dir) under
+#      MESH_BENCH_TIMEOUT; the heartbeat timeout kills the worker, the
+#      retry completes the point, output byte-identical.
+#   4. Poison point: a point that aborts its worker on every attempt
+#      (MESH_CHAOS_ABORT=idx:always) exhausts its strike budget, exits
+#      nonzero, and the report names the point's grid coordinates — and
+#      does all that promptly instead of restarting forever.
+#   5. Degradation: with MESH_FABRIC_EXE pointing nowhere, spawning fails
+#      and the sweep completes on the in-process engine, byte-identical,
+#      exit 0.
+#
+# The deterministic (non-racy) versions of these properties are pinned by
+# `cargo test -p mesh-bench --test fabric`; this script adds real binaries,
+# real signals and real wall clocks on top.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIG4=target/release/fig4
+WORKER=target/release/mesh_worker
+if [[ ! -x "$FIG4" || ! -x "$WORKER" ]]; then
+    echo "chaos_smoke: building fig4 + mesh_worker (release)..." >&2
+    cargo build -p mesh-bench --bin fig4 --bin mesh_worker --release --quiet
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+    echo "chaos_smoke: FAIL — $1" >&2
+    exit 1
+}
+
+# Golden references: clean single-process runs.
+"$FIG4" > "$WORK/fig4.golden.txt" 2>/dev/null
+"$WORKER" > "$WORK/worker.golden.txt" 2>/dev/null
+
+# --- 1. Sharded fig4 is byte-identical ------------------------------------
+MESH_BENCH_SHARDS=3 "$FIG4" > "$WORK/fig4.sharded.txt" 2>/dev/null
+cmp -s "$WORK/fig4.golden.txt" "$WORK/fig4.sharded.txt" \
+    || fail "sharded fig4 output differs from the single-process run"
+echo "chaos_smoke: [1/5] sharded fig4 byte-identical (3 shards)"
+
+# --- 2. Sharded fig4 under a random worker-SIGKILL storm ------------------
+# The killer loop SIGKILLs a random direct child of the sweep parent every
+# 50ms; the strike budget is generous so kills never exhaust a point. Kills
+# that land between sweeps (or after completion) are harmless no-ops, so
+# the check stays green on machines fast enough to outrun the killer.
+set +e
+MESH_BENCH_SHARDS=3 MESH_BENCH_RETRIES=10 \
+    "$FIG4" > "$WORK/fig4.chaos.txt" 2> "$WORK/fig4.chaos.err" &
+pid=$!
+for _ in $(seq 1 40); do
+    sleep 0.05
+    mapfile -t kids < <(pgrep -P "$pid" 2>/dev/null)
+    if (( ${#kids[@]} > 0 )); then
+        kill -9 "${kids[RANDOM % ${#kids[@]}]}" 2>/dev/null
+    fi
+    kill -0 "$pid" 2>/dev/null || break
+done
+wait "$pid"
+status=$?
+set -e
+[[ $status -eq 0 ]] || fail "fig4 under SIGKILL storm exited $status (stderr: $(cat "$WORK/fig4.chaos.err"))"
+cmp -s "$WORK/fig4.golden.txt" "$WORK/fig4.chaos.txt" \
+    || fail "fig4 output under SIGKILL storm differs from the golden run"
+restarts="$(grep -c 'retrying on a fresh worker' "$WORK/fig4.chaos.err" || true)"
+echo "chaos_smoke: [2/5] sharded fig4 survived the SIGKILL storm byte-identical (${restarts} struck point(s) retried)"
+
+# --- 3. Injected hang, killed by the heartbeat timeout --------------------
+mkdir -p "$WORK/chaos-markers"
+set +e
+MESH_BENCH_SHARDS=2 MESH_BENCH_TIMEOUT=1 \
+MESH_CHAOS_HANG=4 MESH_CHAOS_DIR="$WORK/chaos-markers" \
+    timeout 120 "$WORKER" > "$WORK/worker.hang.txt" 2> "$WORK/worker.hang.err"
+status=$?
+set -e
+[[ $status -eq 0 ]] || fail "hung-point run exited $status (stderr: $(cat "$WORK/worker.hang.err"))"
+grep -q "no heartbeat" "$WORK/worker.hang.err" \
+    || fail "timeout kill was not reported on stderr"
+cmp -s "$WORK/worker.golden.txt" "$WORK/worker.hang.txt" \
+    || fail "output after a timed-out point differs from the golden run"
+echo "chaos_smoke: [3/5] hung point killed by MESH_BENCH_TIMEOUT and recovered byte-identical"
+
+# --- 4. Permanently crashing point is poisoned, with coordinates ----------
+set +e
+MESH_BENCH_SHARDS=2 MESH_BENCH_RETRIES=1 MESH_CHAOS_ABORT=3:always \
+    timeout 120 "$WORKER" > /dev/null 2> "$WORK/worker.poison.err"
+status=$?
+set -e
+[[ $status -ne 0 && $status -ne 124 ]] \
+    || fail "poisoned point did not produce a prompt nonzero exit (got $status)"
+grep -q "poisoning point #3 3 of sweep 'demo'" "$WORK/worker.poison.err" \
+    || fail "poison report does not name the point's index and coordinates"
+grep -q "23 completed" "$WORK/worker.poison.err" \
+    || fail "healthy points did not complete around the poisoned one"
+echo "chaos_smoke: [4/5] crash-every-time point poisoned after its strike budget (exit $status)"
+
+# --- 5. Spawn failure degrades to the in-process engine -------------------
+MESH_BENCH_SHARDS=3 MESH_FABRIC_EXE="$WORK/no-such-exe" \
+    "$FIG4" > "$WORK/fig4.fallback.txt" 2> "$WORK/fig4.fallback.err"
+grep -q "falling back to the in-process engine" "$WORK/fig4.fallback.err" \
+    || fail "spawn failure was not reported as a fallback"
+cmp -s "$WORK/fig4.golden.txt" "$WORK/fig4.fallback.txt" \
+    || fail "in-process fallback output differs from the golden run"
+echo "chaos_smoke: [5/5] spawn failure degraded gracefully to the in-process engine"
+
+echo "chaos_smoke: all checks passed"

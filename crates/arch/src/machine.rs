@@ -129,6 +129,20 @@ impl BusConfig {
         self.arbitration = arbitration;
         self
     }
+
+    /// Everything that determines the bus's timing behaviour, as fixed
+    /// words for stable content hashing (the scenario fingerprints of
+    /// `mesh-bench`'s result cache): the delay plus an arbitration
+    /// discriminant (with the victim index folded in).
+    pub fn digest_words(&self) -> [u64; 2] {
+        let arb = match self.arbitration {
+            Arbitration::RoundRobin => 0,
+            Arbitration::FixedPriority => 1,
+            Arbitration::ReversePriority => 2,
+            Arbitration::VictimLast(v) => 3 + v as u64,
+        };
+        [self.delay_cycles, arb]
+    }
 }
 
 /// A shared I/O device (DMA engine, peripheral port, accelerator queue):
@@ -202,6 +216,28 @@ impl MachineConfig {
     pub fn with_io(mut self, io: IoConfig) -> MachineConfig {
         self.io = Some(io);
         self
+    }
+
+    /// Everything that determines the whole machine's timing behaviour, as
+    /// a variable-length word sequence for stable content hashing: the
+    /// processor count, each processor's timing digest, the bus digest, and
+    /// the I/O device's presence and delay. Two machines that simulate
+    /// identically produce identical words.
+    pub fn digest_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(4 + 5 * self.procs.len());
+        words.push(self.procs.len() as u64);
+        for p in &self.procs {
+            words.extend_from_slice(&p.digest_words());
+        }
+        words.extend_from_slice(&self.bus.digest_words());
+        match self.io {
+            None => words.push(0),
+            Some(io) => {
+                words.push(1);
+                words.push(io.delay_cycles);
+            }
+        }
+        words
     }
 }
 

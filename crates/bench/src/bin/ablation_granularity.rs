@@ -39,19 +39,24 @@ fn main() {
         .collect();
     let results = mesh_bench::or_exit(
         "ablation_granularity",
-        mesh_bench::sweep::try_sweep_labeled("ablation_granularity", &sweep, |&spacing| {
-            compare(
-                &workload,
-                &machine,
-                HybridOptions {
-                    policy: match spacing {
-                        Some(n) => AnnotationPolicy::EverySegments(n),
-                        None => AnnotationPolicy::AtBarriers,
+        mesh_bench::sweep::try_sweep_labeled_prewarmed(
+            "ablation_granularity",
+            &sweep,
+            |_| mesh_cyclesim::ensure_stored(&workload, &machine, mesh_cyclesim::Pacing::default()),
+            |&spacing| {
+                compare(
+                    &workload,
+                    &machine,
+                    HybridOptions {
+                        policy: match spacing {
+                            Some(n) => AnnotationPolicy::EverySegments(n),
+                            None => AnnotationPolicy::AtBarriers,
+                        },
+                        min_timeslice: 0.0,
                     },
-                    min_timeslice: 0.0,
-                },
-            )
-        }),
+                )
+            },
+        ),
     );
     for (spacing, p) in sweep.iter().zip(results) {
         table.row(vec![

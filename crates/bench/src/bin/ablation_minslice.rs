@@ -44,16 +44,21 @@ fn main() {
     .to_vec();
     let results = mesh_bench::or_exit(
         "ablation_minslice",
-        mesh_bench::sweep::try_sweep_labeled("ablation_minslice", &sweep, |&min| {
-            compare(
-                &workload,
-                &machine,
-                HybridOptions {
-                    policy: AnnotationPolicy::AtBarriers,
-                    min_timeslice: min.get(),
-                },
-            )
-        }),
+        mesh_bench::sweep::try_sweep_labeled_prewarmed(
+            "ablation_minslice",
+            &sweep,
+            |_| mesh_cyclesim::ensure_stored(&workload, &machine, mesh_cyclesim::Pacing::default()),
+            |&min| {
+                compare(
+                    &workload,
+                    &machine,
+                    HybridOptions {
+                        policy: AnnotationPolicy::AtBarriers,
+                        min_timeslice: min.get(),
+                    },
+                )
+            },
+        ),
     );
     for (min, p) in sweep.iter().map(|m| m.get()).zip(results) {
         table.row(vec![

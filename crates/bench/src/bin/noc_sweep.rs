@@ -79,9 +79,16 @@ fn main() {
         .collect();
     let results = mesh_bench::or_exit(
         "noc_sweep",
-        mesh_bench::sweep::try_sweep_labeled("noc_sweep", &points, |&(key, procs)| {
-            run_point(key, procs)
-        }),
+        mesh_bench::sweep::try_sweep_labeled_prewarmed(
+            "noc_sweep",
+            &points,
+            |&(_, procs)| {
+                let workload = build(&UniformConfig::with_threads(procs));
+                let machine = fft_machine(procs, 8 * 1024, FFT_BUS_DELAY);
+                mesh_cyclesim::ensure_stored(&workload, &machine, mesh_cyclesim::Pacing::default());
+            },
+            |&(key, procs)| run_point(key, procs),
+        ),
     );
 
     let mut table = Table::new(vec![

@@ -18,12 +18,26 @@
 //! trace-compile cost, cache bypassed) — the compile/consume split of the
 //! trace pipeline.
 //!
-//! `--check FILE` exits nonzero if any `cyclesim/` benchmark present in both
-//! runs regressed by more than `--factor` times (default 2x;
-//! `--max-regression` is an alias). After a run the suite prints a speedup
-//! summary — tick/skip per workload, trace-vs-cursor, and the compile cost —
-//! so BENCH deltas are readable without hand-diffing JSON. See
-//! `docs/PERFORMANCE.md`.
+//! The `store/` section prices the persistent trace store and the result
+//! memo cache against throwaway directories: `store/cold_compile` (compile
+//! plus publish into an empty store), `store/warm_load` (reload from a
+//! populated store with the in-memory cache cleared) and `store/memo_hit`
+//! (a full comparison point served from the result cache). The section
+//! restores the process-wide cache configuration afterwards, so the other
+//! benchmarks are unaffected by it.
+//!
+//! `--filter SUBSTR` runs only the benchmarks whose name contains SUBSTR —
+//! the skipped ones are neither timed nor recorded, so a filtered file is
+//! a partial artifact (`--check` still works: only benchmarks present in
+//! both files are compared).
+//!
+//! `--check FILE` exits nonzero if any `cyclesim/`, `obs/` or `store/`
+//! benchmark present in both runs regressed by more than `--factor` times
+//! (default 2x; `--max-regression` is an alias), and refuses outright when
+//! the two files recorded different parallelism or cache configurations.
+//! After a run the suite prints a speedup summary — tick/skip per workload,
+//! trace-vs-cursor, and the compile cost — so BENCH deltas are readable
+//! without hand-diffing JSON. See `docs/PERFORMANCE.md`.
 
 use mesh_annotate::{assemble, AnnotationPolicy};
 use mesh_arch::MachineConfig;
@@ -44,6 +58,7 @@ struct Args {
     quick: bool,
     out: Option<String>,
     check: Option<String>,
+    filter: Option<String>,
     max_regression: f64,
 }
 
@@ -52,6 +67,7 @@ fn parse_args() -> Args {
         quick: false,
         out: None,
         check: None,
+        filter: None,
         max_regression: 2.0,
     };
     let mut it = std::env::args().skip(1);
@@ -60,6 +76,7 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--out" => args.out = it.next(),
             "--check" => args.check = it.next(),
+            "--filter" => args.filter = it.next(),
             // `--factor` is the documented name (what the CI perf-smoke job
             // passes); `--max-regression` is kept as a compatible alias.
             "--factor" | "--max-regression" => {
@@ -79,16 +96,27 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
-    eprintln!("usage: perfsuite [--quick] [--out FILE] [--check BASELINE] [--factor FACTOR]");
+    eprintln!(
+        "usage: perfsuite [--quick] [--filter SUBSTR] [--out FILE] [--check BASELINE] \
+         [--factor FACTOR]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
-/// Collects measurements while echoing each one as it lands.
+/// Collects measurements while echoing each one as it lands; `--filter`
+/// lives here so every section can skip unwanted benchmarks before paying
+/// for them.
 struct Suite {
+    filter: Option<String>,
     records: Vec<BenchRecord>,
 }
 
 impl Suite {
+    /// Whether `--filter` selects this benchmark name (no filter = all).
+    fn wants(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
     fn record(&mut self, name: &str, median_ns: f64) {
         println!("{name:<44} median {:>14.1} ns/iter", median_ns);
         self.records.push(BenchRecord {
@@ -115,21 +143,31 @@ fn bench_cyclesim(
     machine: &MachineConfig,
     samples: usize,
 ) {
-    // Warm the trace cache so the `_skip`/`_tick` medians below price
-    // consumption only; `_compile` prices the compile side separately. The
-    // modes are explicit so the suite measures the same thing regardless of
-    // any MESH_CYCLESIM_TRACE setting in the caller's environment.
-    let warmup = SimOptions {
-        trace: TraceMode::Compiled,
-        ..SimOptions::default()
-    };
-    simulate_with_options(workload, machine, warmup).expect("cyclesim warmup");
     let variants = [
         ("skip", false, TraceMode::Compiled),
         ("tick", true, TraceMode::Compiled),
         ("skip_cursor", false, TraceMode::OnTheFly),
     ];
+    let any_sim = variants
+        .iter()
+        .any(|(suffix, ..)| suite.wants(&format!("{name}_{suffix}")));
+    if any_sim {
+        // Warm the trace cache so the `_skip`/`_tick` medians below price
+        // consumption only; `_compile` prices the compile side separately.
+        // The modes are explicit so the suite measures the same thing
+        // regardless of any MESH_CYCLESIM_TRACE setting in the caller's
+        // environment.
+        let warmup = SimOptions {
+            trace: TraceMode::Compiled,
+            ..SimOptions::default()
+        };
+        simulate_with_options(workload, machine, warmup).expect("cyclesim warmup");
+    }
     for (suffix, reference_ticker, trace) in variants {
+        let full = format!("{name}_{suffix}");
+        if !suite.wants(&full) {
+            continue;
+        }
         let options = SimOptions {
             reference_ticker,
             trace,
@@ -138,12 +176,15 @@ fn bench_cyclesim(
         let median = time_median_ns(samples, 1, || {
             simulate_with_options(workload, machine, options).expect("cyclesim run")
         });
-        suite.record(&format!("{name}_{suffix}"), median);
+        suite.record(&full, median);
     }
-    let median = time_median_ns(samples, 1, || {
-        mesh_cyclesim::trace::compile_uncached(workload, machine, Pacing::default())
-    });
-    suite.record(&format!("{name}_compile"), median);
+    let compile_name = format!("{name}_compile");
+    if suite.wants(&compile_name) {
+        let median = time_median_ns(samples, 1, || {
+            mesh_cyclesim::trace::compile_uncached(workload, machine, Pacing::default())
+        });
+        suite.record(&compile_name, median);
+    }
 }
 
 /// Times the observability layer itself: the same cyclesim smoke workload
@@ -151,6 +192,9 @@ fn bench_cyclesim(
 /// force-enabled, so the BENCH file records the instrumentation overhead
 /// commit over commit and `--check` can gate it like any other benchmark.
 fn bench_obs(suite: &mut Suite, workload: &Workload, machine: &MachineConfig, samples: usize) {
+    if !suite.wants("obs/smoke_fft_disabled") && !suite.wants("obs/smoke_fft_enabled") {
+        return;
+    }
     let options = SimOptions {
         trace: TraceMode::Compiled,
         ..SimOptions::default()
@@ -172,55 +216,60 @@ fn bench_obs(suite: &mut Suite, workload: &Workload, machine: &MachineConfig, sa
 }
 
 fn bench_kernel(suite: &mut Suite, samples: usize) {
-    // A Figure-4 FFT point: barrier-grained annotations, few large slices.
-    let fft_w = fft::build(&FftConfig {
-        points: 16_384,
-        threads: 4,
-        ..FftConfig::default()
-    });
-    let fft_m = fft_machine(4, 8 * 1024, FFT_BUS_DELAY);
-    let median = time_median_batched_ns(
-        samples,
-        || {
-            assemble(
-                &fft_w,
-                &fft_m,
-                ChenLinBus::new(),
-                AnnotationPolicy::AtBarriers,
-            )
-            .expect("assemble")
-            .builder
-            .build()
-            .expect("build")
-        },
-        |system| system.run().expect("hybrid run"),
-    );
-    suite.record("kernel/fig4_fft", median);
+    if suite.wants("kernel/fig4_fft") {
+        // A Figure-4 FFT point: barrier-grained annotations, few large
+        // slices.
+        let fft_w = fft::build(&FftConfig {
+            points: 16_384,
+            threads: 4,
+            ..FftConfig::default()
+        });
+        let fft_m = fft_machine(4, 8 * 1024, FFT_BUS_DELAY);
+        let median = time_median_batched_ns(
+            samples,
+            || {
+                assemble(
+                    &fft_w,
+                    &fft_m,
+                    ChenLinBus::new(),
+                    AnnotationPolicy::AtBarriers,
+                )
+                .expect("assemble")
+                .builder
+                .build()
+                .expect("build")
+            },
+            |system| system.run().expect("hybrid run"),
+        );
+        suite.record("kernel/fig4_fft", median);
+    }
 
-    // A Figure-6 PHM point: per-segment annotations, many small slices —
-    // the commit-rate stress case.
-    let phm_w = scenario::build(&PhmConfig {
-        target_ops: 300_000,
-        ..PhmConfig::with_second_idle(0.45)
-    });
-    let phm_m = phm_machine(8);
-    let median = time_median_batched_ns(
-        samples,
-        || {
-            assemble(
-                &phm_w,
-                &phm_m,
-                ChenLinBus::new(),
-                AnnotationPolicy::PerSegment,
-            )
-            .expect("assemble")
-            .builder
-            .build()
-            .expect("build")
-        },
-        |system| system.run().expect("hybrid run"),
-    );
-    suite.record("kernel/fig6_phm", median);
+    if suite.wants("kernel/fig6_phm") {
+        // A Figure-6 PHM point: per-segment annotations, many small slices —
+        // the commit-rate stress case.
+        let phm_w = scenario::build(&PhmConfig {
+            target_ops: 300_000,
+            ..PhmConfig::with_second_idle(0.45)
+        });
+        let phm_m = phm_machine(8);
+        let median = time_median_batched_ns(
+            samples,
+            || {
+                assemble(
+                    &phm_w,
+                    &phm_m,
+                    ChenLinBus::new(),
+                    AnnotationPolicy::PerSegment,
+                )
+                .expect("assemble")
+                .builder
+                .build()
+                .expect("build")
+            },
+            |system| system.run().expect("hybrid run"),
+        );
+        suite.record("kernel/fig6_phm", median);
+    }
 }
 
 fn bench_models(suite: &mut Suite, samples: usize) {
@@ -246,9 +295,93 @@ fn bench_models(suite: &mut Suite, samples: usize) {
         ("priority", Box::new(PriorityBus::new())),
     ];
     for (name, model) in &models {
+        let full = format!("model/{name}");
+        if !suite.wants(&full) {
+            continue;
+        }
         let median = time_median_ns(samples, 512, || model.penalties(&slice, &requests));
-        suite.record(&format!("model/{name}"), median);
+        suite.record(&full, median);
     }
+}
+
+/// Prices the persistent-cache tiers on the smoke FFT workload against
+/// throwaway directories:
+///
+/// * `store/cold_compile` — trace compile plus publish into an emptied
+///   store (the first process ever to see a workload);
+/// * `store/warm_load` — reload from a populated store with only the
+///   in-memory cache cleared (every later process);
+/// * `store/memo_hit` — a full `run_fft_point` served from a warm result
+///   cache (a repeated sweep point).
+///
+/// Runs last and restores the environment-driven cache configuration
+/// afterwards, so no other section sees the temporary directories.
+fn bench_store(suite: &mut Suite, samples: usize) {
+    let wants_cold = suite.wants("store/cold_compile");
+    let wants_warm = suite.wants("store/warm_load");
+    let wants_memo = suite.wants("store/memo_hit");
+    if !wants_cold && !wants_warm && !wants_memo {
+        return;
+    }
+    let unique = format!("mesh-perfsuite-{}", std::process::id());
+    let store_dir = std::env::temp_dir().join(format!("{unique}-store"));
+    let memo_dir = std::env::temp_dir().join(format!("{unique}-memo"));
+    let workload = fft::build(&FftConfig {
+        points: 16_384,
+        threads: 4,
+        ..FftConfig::default()
+    });
+    let machine = fft_machine(4, 8 * 1024, FFT_BUS_DELAY);
+
+    mesh_cyclesim::set_store(Some(&store_dir), None);
+    if wants_cold {
+        let median = time_median_batched_ns(
+            samples,
+            || {
+                let _ = std::fs::remove_dir_all(&store_dir);
+                std::fs::create_dir_all(&store_dir).expect("recreate store dir");
+                mesh_cyclesim::trace::clear_cache();
+            },
+            |()| mesh_cyclesim::prewarm(&workload, &machine, Pacing::default()),
+        );
+        suite.record("store/cold_compile", median);
+    }
+    if wants_warm {
+        // One populating pass, then each sample drops only the in-memory
+        // cache so the prewarm must read the published files back.
+        mesh_cyclesim::prewarm(&workload, &machine, Pacing::default());
+        let median = time_median_batched_ns(samples, mesh_cyclesim::trace::clear_cache, |()| {
+            mesh_cyclesim::prewarm(&workload, &machine, Pacing::default())
+        });
+        suite.record("store/warm_load", median);
+    }
+    if wants_memo {
+        mesh_bench::memo::set_result_cache(Some(&memo_dir));
+        let populate = mesh_bench::run_fft_point(4, 8 * 1024, FFT_BUS_DELAY);
+        let median = time_median_ns(samples, 1, || {
+            let hit = mesh_bench::run_fft_point(4, 8 * 1024, FFT_BUS_DELAY);
+            assert_eq!(hit.iss_pct, populate.iss_pct, "memo must replay the point");
+            hit
+        });
+        suite.record("store/memo_hit", median);
+    }
+
+    // Back to whatever the environment configured, then drop the tempdirs.
+    match std::env::var_os(mesh_cyclesim::store::STORE_ENV) {
+        Some(dir) if !dir.is_empty() => {
+            mesh_cyclesim::set_store(Some(std::path::Path::new(&dir)), None)
+        }
+        _ => mesh_cyclesim::set_store(None, None),
+    }
+    match std::env::var_os(mesh_bench::memo::RESULT_CACHE_ENV) {
+        Some(dir) if !dir.is_empty() => {
+            mesh_bench::memo::set_result_cache(Some(std::path::Path::new(&dir)))
+        }
+        _ => mesh_bench::memo::set_result_cache(None),
+    }
+    mesh_cyclesim::trace::clear_cache();
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let _ = std::fs::remove_dir_all(&memo_dir);
 }
 
 fn main() {
@@ -256,7 +389,13 @@ fn main() {
     let sha = git_sha();
     let mode = if args.quick { "quick" } else { "full" };
     println!("perfsuite ({mode}) at {sha}\n");
+    // The environment-driven cache configuration, captured before the
+    // store/ section temporarily redirects it, is what the artifact
+    // records: it is what every *other* benchmark ran under.
+    let env_trace_store = mesh_cyclesim::store_enabled();
+    let env_result_cache = mesh_bench::memo::enabled();
     let mut suite = Suite {
+        filter: args.filter.clone(),
         records: Vec::new(),
     };
     // Sample counts: medians stabilize quickly; quick mode keeps CI short.
@@ -335,13 +474,20 @@ fn main() {
         }
     }
 
+    // The persistent-cache tiers, last so their store/config juggling and
+    // cache clearing cannot perturb any other section.
+    bench_store(&mut suite, s_sim);
+
     let file = BenchFile {
         git_sha: sha.clone(),
         quick: args.quick,
         // Recorded so the perf gate can refuse to compare medians across
-        // different parallelism configurations (threads or fabric shards).
+        // different parallelism or cache configurations (threads, fabric
+        // shards, persistent trace store, result memo cache).
         jobs: mesh_bench::sweep::jobs_from_env(),
         shards: mesh_bench::fabric::shards_from_env().unwrap_or(0),
+        trace_store: usize::from(env_trace_store),
+        result_cache: usize::from(env_result_cache),
         benchmarks: suite.records,
     };
 
@@ -405,10 +551,11 @@ fn main() {
                  parallelism-configuration compatibility not checked"
             );
         }
-        // The obs/ prefix gates the instrumentation overhead the same way
-        // (a no-op against baselines that predate the obs section, since
-        // only benchmarks present in both files are compared).
-        for prefix in ["cyclesim/", "obs/"] {
+        // The obs/ and store/ prefixes gate the instrumentation overhead
+        // and the persistent-cache tiers the same way (a no-op against
+        // baselines that predate those sections, since only benchmarks
+        // present in both files are compared).
+        for prefix in ["cyclesim/", "obs/", "store/"] {
             match check_regression(&file, &baseline, prefix, args.max_regression) {
                 Ok(checked) => {
                     println!(

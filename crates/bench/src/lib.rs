@@ -21,11 +21,13 @@
 
 pub mod checkpoint;
 pub mod fabric;
+pub mod memo;
 pub mod perf;
 pub mod sweep;
 
 use mesh_annotate::{assemble, AnnotationPolicy, HybridSetup};
 use mesh_arch::{Arbitration, BusConfig, CacheConfig, MachineConfig, ProcConfig};
+use mesh_core::model::ContentionModel;
 use mesh_cyclesim::CycleReport;
 use mesh_metrics::abs_percent_error;
 use mesh_models::{AnalyticalEstimator, ChenLinBus, ThreadProfile};
@@ -93,9 +95,24 @@ pub fn obs_finish() {
         let s = mesh_cyclesim::cache_stats();
         eprintln!(
             "mesh-bench trace-cache: {} hits, {} misses, {} evictions, {} fallbacks \
-             ({} entries, {} steps resident)",
-            s.hits, s.misses, s.evictions, s.fallbacks, s.entries, s.resident_steps
+             ({} entries, {} steps resident, {} compiles)",
+            s.hits, s.misses, s.evictions, s.fallbacks, s.entries, s.resident_steps, s.compiles
         );
+        if mesh_cyclesim::store_enabled() {
+            let s = mesh_cyclesim::store_stats();
+            eprintln!(
+                "mesh-bench trace-store: {} hits, {} misses, {} publishes, {} quarantined, \
+                 {} gc-removed, {} claim-waits",
+                s.hits, s.misses, s.publishes, s.quarantined, s.gc_removed, s.claim_waits
+            );
+        }
+        if memo::enabled() {
+            let s = memo::stats();
+            eprintln!(
+                "mesh-bench result-cache: {} hits, {} misses, {} stores, {} quarantined",
+                s.hits, s.misses, s.stores, s.quarantined
+            );
+        }
     }
     mesh_obs::finish();
 }
@@ -178,13 +195,68 @@ impl Default for HybridOptions {
     }
 }
 
+/// Starts a scenario fingerprint covering everything a workload/machine
+/// pair contributes to an evaluation: the trace layer's 128-bit workload
+/// fingerprint (segment content, per-processor timing, pacing) plus the
+/// machine's own digest (bus arbitration and the I/O device are not part of
+/// the trace key, so they are folded in here). Evaluation-specific knobs
+/// are appended by the caller before
+/// [`finish`](memo::ScenarioFp::finish)ing.
+///
+/// # Panics
+///
+/// Panics if the workload is invalid for the machine.
+pub fn scenario_fp(domain: &str, workload: &Workload, machine: &MachineConfig) -> memo::ScenarioFp {
+    memo::ScenarioFp::new(domain)
+        .wide(mesh_cyclesim::workload_fingerprint(
+            workload,
+            machine,
+            mesh_cyclesim::Pacing::default(),
+        ))
+        .words(&machine.digest_words())
+}
+
+fn policy_words(policy: AnnotationPolicy) -> [u64; 2] {
+    match policy {
+        AnnotationPolicy::AtBarriers => [0, 0],
+        AnnotationPolicy::PerSegment => [1, 0],
+        AnnotationPolicy::EverySegments(n) => [2, n as u64],
+    }
+}
+
 /// Runs all three estimators on a workload/machine pair.
+///
+/// With `MESH_RESULT_CACHE` set, the complete point is memoized under a
+/// fingerprint of the scenario (workload content, machine timing, annotation
+/// policy, minimum timeslice, contention model); a warm hit returns the
+/// previously computed point — including its *recorded* wall-clock times —
+/// so cached output is byte-identical to the run that populated the cache.
 ///
 /// # Panics
 ///
 /// Panics if the workload is invalid for the machine (the experiment
 /// definitions in this crate always produce matching pairs).
 pub fn compare(
+    workload: &Workload,
+    machine: &MachineConfig,
+    options: HybridOptions,
+) -> ComparisonPoint {
+    if !memo::enabled() {
+        return compare_uncached(workload, machine, options);
+    }
+    let model = ChenLinBus::new();
+    let [ptag, parg] = policy_words(options.policy);
+    let fp = scenario_fp("compare", workload, machine)
+        .word(ptag)
+        .word(parg)
+        .word(options.min_timeslice.to_bits())
+        .text(model.name())
+        .words(&model.digest_words())
+        .finish();
+    memo::memoize(fp, || compare_uncached(workload, machine, options))
+}
+
+fn compare_uncached(
     workload: &Workload,
     machine: &MachineConfig,
     options: HybridOptions,
@@ -290,6 +362,31 @@ pub fn run_phm_point(idle1: f64, bus_delay: u64, seed: u64) -> ComparisonPoint {
     compare(&workload, &machine, HybridOptions::default())
 }
 
+/// Pre-warms the persistent trace store for one Figure-4/Table-1 point:
+/// compiles (or claims) every trace the point's cycle-accurate runs will
+/// need and publishes it, without running any simulation or keeping the
+/// traces in this process's memory (already-published traces are skipped
+/// outright). A no-op unless `MESH_TRACE_STORE` is configured. The sweep
+/// fabric calls this in the *parent* before spawning shard workers, so N
+/// workers load shared traces instead of compiling the same workload N
+/// times.
+pub fn prewarm_fft_point(procs: usize, cache_bytes: u64, bus_delay: u64) {
+    let workload = fft::build(&FftConfig::with_threads(procs));
+    let machine = fft_machine(procs, cache_bytes, bus_delay);
+    mesh_cyclesim::ensure_stored(&workload, &machine, mesh_cyclesim::Pacing::default());
+}
+
+/// Pre-warms the persistent trace store for one Figure-5/6 point; see
+/// [`prewarm_fft_point`].
+pub fn prewarm_phm_point(idle1: f64, bus_delay: u64, seed: u64) {
+    let workload = scenario::build(&PhmConfig {
+        seed,
+        ..PhmConfig::with_second_idle(idle1)
+    });
+    let machine = phm_machine(bus_delay);
+    mesh_cyclesim::ensure_stored(&workload, &machine, mesh_cyclesim::Pacing::default());
+}
+
 /// Selects the adversarial-schedule set for envelope validation, honouring
 /// the `MESH_ADVERSARY` environment knob:
 ///
@@ -320,10 +417,27 @@ pub fn adversarial_arbitrations(n_procs: usize) -> Vec<Arbitration> {
 /// queuing, in cycles — the adversarial ground truth a worst-case envelope
 /// must dominate. Returns zero when `MESH_ADVERSARY=off` empties the set.
 ///
+/// With `MESH_RESULT_CACHE` set, the maximum is memoized per scenario; the
+/// raw `MESH_ADVERSARY` value is part of the key, so changing the schedule
+/// set never serves a stale maximum.
+///
 /// # Panics
 ///
 /// Panics if the workload is invalid for the machine.
 pub fn adversarial_bus_queuing_max(workload: &Workload, machine: &MachineConfig) -> u64 {
+    if !memo::enabled() {
+        return adversarial_bus_queuing_max_uncached(workload, machine);
+    }
+    let mode = std::env::var("MESH_ADVERSARY").unwrap_or_default();
+    let fp = scenario_fp("adversarial-max", workload, machine)
+        .text(&mode)
+        .finish();
+    memo::memoize(fp, || {
+        adversarial_bus_queuing_max_uncached(workload, machine)
+    })
+}
+
+fn adversarial_bus_queuing_max_uncached(workload: &Workload, machine: &MachineConfig) -> u64 {
     adversarial_arbitrations(machine.procs.len())
         .into_iter()
         .map(|arb| {
@@ -386,23 +500,34 @@ impl crate::checkpoint::Checkpointable for EnvelopePoint {
     }
 }
 
-/// Runs one envelope-validation point: the workload through the hybrid
-/// kernel with `model` on the shared bus (annotations at barriers), and the
-/// cycle-accurate simulator under every adversarial schedule.
-///
-/// `priorities` assigns arbitration priorities to the logical threads in
-/// task order (higher = more important, consumed by priority-class models);
-/// pass an empty slice to leave every thread at the default priority.
-///
-/// # Panics
-///
-/// Panics if the workload is invalid for the machine.
-pub fn run_envelope_point<M: mesh_core::model::ContentionModel + 'static>(
+/// The memoizable product of one hybrid envelope run: the work-cycle
+/// denominator plus the kernel's full [`Report`](mesh_core::Report),
+/// round-tripped losslessly through the report's record encoding.
+struct HybridRun {
+    work_cycles: u64,
+    report: mesh_core::Report,
+}
+
+impl crate::checkpoint::Checkpointable for HybridRun {
+    fn encode(&self) -> String {
+        format!("{} {}", self.work_cycles, self.report.to_record())
+    }
+
+    fn decode(s: &str) -> Option<HybridRun> {
+        let (work, report) = s.split_once(' ')?;
+        Some(HybridRun {
+            work_cycles: work.parse().ok()?,
+            report: mesh_core::Report::decode(report)?,
+        })
+    }
+}
+
+fn hybrid_envelope_run<M: ContentionModel + 'static>(
     workload: &Workload,
     machine: &MachineConfig,
     model: M,
     priorities: &[u32],
-) -> EnvelopePoint {
+) -> HybridRun {
     let mut setup = assemble(workload, machine, model, AnnotationPolicy::AtBarriers)
         .expect("hybrid assembly failed");
     for (&thread, &priority) in setup.threads.iter().zip(priorities) {
@@ -416,6 +541,56 @@ pub fn run_envelope_point<M: mesh_core::model::ContentionModel + 'static>(
         .run()
         .expect("hybrid run failed")
         .report;
+    HybridRun {
+        work_cycles,
+        report,
+    }
+}
+
+/// Runs one envelope-validation point: the workload through the hybrid
+/// kernel with `model` on the shared bus (annotations at barriers), and the
+/// cycle-accurate simulator under every adversarial schedule.
+///
+/// `priorities` assigns arbitration priorities to the logical threads in
+/// task order (higher = more important, consumed by priority-class models);
+/// pass an empty slice to leave every thread at the default priority.
+///
+/// With `MESH_RESULT_CACHE` set, the hybrid leg is memoized under the
+/// scenario plus the model's name,
+/// [`digest_words`](ContentionModel::digest_words) and the priority
+/// assignment; the adversarial leg is memoized separately (see
+/// [`adversarial_bus_queuing_max`]), so changing `MESH_ADVERSARY` reuses
+/// the hybrid result.
+///
+/// # Panics
+///
+/// Panics if the workload is invalid for the machine.
+pub fn run_envelope_point<M: ContentionModel + 'static>(
+    workload: &Workload,
+    machine: &MachineConfig,
+    model: M,
+    priorities: &[u32],
+) -> EnvelopePoint {
+    let run = if memo::enabled() {
+        // Read identity off the model before it moves into the closure.
+        let fp = scenario_fp("envelope-hybrid", workload, machine)
+            .text(model.name())
+            .words(&model.digest_words())
+            .words(
+                &priorities
+                    .iter()
+                    .map(|&p| u64::from(p))
+                    .collect::<Vec<u64>>(),
+            )
+            .finish();
+        memo::memoize(fp, || {
+            hybrid_envelope_run(workload, machine, model, priorities)
+        })
+    } else {
+        hybrid_envelope_run(workload, machine, model, priorities)
+    };
+    let work_cycles = run.work_cycles;
+    let report = run.report;
     let adversarial = adversarial_bus_queuing_max(workload, machine);
     let pct = |cycles: f64| {
         if work_cycles == 0 {

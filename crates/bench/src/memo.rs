@@ -1,0 +1,419 @@
+//! Tier-2 persistent cache: scenario-fingerprint → result memoization.
+//!
+//! Where the trace store (`mesh_cyclesim::store`) amortizes *compilation*,
+//! this module amortizes whole evaluations: with `MESH_RESULT_CACHE=<dir>`
+//! set, an experiment point whose complete scenario — workload content,
+//! machine timing, contention model and parameters, hybrid knobs,
+//! adversary mode — fingerprints identically to an earlier run is answered
+//! from disk in microseconds, without entering either simulator. This is
+//! the memo table a future `mesh-serve` daemon answers repeated scenario
+//! queries from (see ROADMAP).
+//!
+//! **Keys.** A [`ScenarioFp`] is a 128-bit FNV-1a fold seeded with a format
+//! version and a domain tag (e.g. `"compare"`), extended with the trace
+//! layer's [`workload_fingerprint`](mesh_cyclesim::workload_fingerprint)
+//! (everything that determines the micro-event streams), the machine's
+//! [`digest_words`](mesh_arch::MachineConfig::digest_words), the model's
+//! name and [`digest_words`](mesh_core::model::ContentionModel::digest_words),
+//! and every knob the evaluation reads. Anything that can change a result
+//! must be folded in; the version constant is bumped whenever evaluation
+//! semantics change, so stale caches read as misses rather than serving
+//! outdated results.
+//!
+//! **Entries** are one file per fingerprint: a header line
+//! `mesh-result v1 <fp> <checksum>` followed by the value's
+//! [`Checkpointable`] encoding (the same lossless token format the sweep
+//! checkpoints use — floats travel as bit patterns, so a memoized result is
+//! *byte-identical* to the computed one). Files are published with the
+//! temp + rename pattern; a corrupt or mismatched entry is quarantined
+//! (renamed to `<fp>.quarantined`) and recomputed. Entries are a few
+//! hundred bytes, so there is no GC tier — wipe the directory to reset.
+
+use crate::checkpoint::Checkpointable;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable enabling result memoization: a directory path
+/// (created if absent). Unset or empty disables the cache.
+pub const RESULT_CACHE_ENV: &str = "MESH_RESULT_CACHE";
+
+/// Bumped whenever the meaning of a memoized value changes (new estimator
+/// semantics, changed percentage definitions, …): entries written by other
+/// versions read as misses.
+const MEMO_VERSION: u64 = 1;
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+// ---------------------------------------------------------------------------
+// Scenario fingerprints.
+// ---------------------------------------------------------------------------
+
+/// A 128-bit scenario fingerprint under construction. Builder-style: fold
+/// in every input the evaluation depends on, then [`finish`](ScenarioFp::finish).
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioFp(u128);
+
+impl ScenarioFp {
+    /// Starts a fingerprint for one evaluation domain (e.g. `"compare"`,
+    /// `"envelope"`). Distinct domains never collide even on identical
+    /// scenarios — they memoize different value types.
+    pub fn new(domain: &str) -> ScenarioFp {
+        ScenarioFp(FNV128_OFFSET).word(MEMO_VERSION).text(domain)
+    }
+
+    fn byte(mut self, b: u8) -> ScenarioFp {
+        self.0 ^= u128::from(b);
+        self.0 = self.0.wrapping_mul(FNV128_PRIME);
+        self
+    }
+
+    /// Folds in one 64-bit word (counts, discriminants, float bit
+    /// patterns).
+    #[must_use]
+    pub fn word(mut self, w: u64) -> ScenarioFp {
+        for b in w.to_le_bytes() {
+            self = self.byte(b);
+        }
+        self
+    }
+
+    /// Folds in a 128-bit word (nested fingerprints such as
+    /// [`mesh_cyclesim::workload_fingerprint`]).
+    #[must_use]
+    pub fn wide(mut self, w: u128) -> ScenarioFp {
+        for b in w.to_le_bytes() {
+            self = self.byte(b);
+        }
+        self
+    }
+
+    /// Folds in a word sequence, length-prefixed so adjacent variable-width
+    /// sequences cannot alias each other.
+    #[must_use]
+    pub fn words(mut self, ws: &[u64]) -> ScenarioFp {
+        self = self.word(ws.len() as u64);
+        for &w in ws {
+            self = self.word(w);
+        }
+        self
+    }
+
+    /// Folds in a string, length-prefixed.
+    #[must_use]
+    pub fn text(mut self, s: &str) -> ScenarioFp {
+        self = self.word(s.len() as u64);
+        for b in s.bytes() {
+            self = self.byte(b);
+        }
+        self
+    }
+
+    /// The finished 128-bit fingerprint.
+    pub fn finish(self) -> u128 {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration.
+// ---------------------------------------------------------------------------
+
+/// `None` = unresolved; `Some(None)` = disabled; `Some(Some(dir))` = on.
+fn config_cell() -> &'static Mutex<Option<Option<PathBuf>>> {
+    static CELL: OnceLock<Mutex<Option<Option<PathBuf>>>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(None))
+}
+
+fn dir() -> Option<PathBuf> {
+    let mut cell = config_cell().lock().expect("memo config poisoned");
+    if cell.is_none() {
+        *cell = Some(dir_from_env());
+    }
+    cell.as_ref().expect("just resolved").clone()
+}
+
+fn dir_from_env() -> Option<PathBuf> {
+    let dir = std::env::var_os(RESULT_CACHE_ENV)?;
+    if dir.is_empty() {
+        return None;
+    }
+    let dir = PathBuf::from(dir);
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!(
+            "mesh-bench: {RESULT_CACHE_ENV}={} is unusable ({e}); result cache disabled",
+            dir.display()
+        );
+        return None;
+    }
+    Some(dir)
+}
+
+/// Points the result cache at `dir` (created if needed) for the rest of the
+/// process, overriding [`RESULT_CACHE_ENV`]; `None` disables it. Used by
+/// perfsuite's memo-hit section and tests.
+pub fn set_result_cache(dir: Option<&Path>) {
+    let resolved = match dir {
+        None => None,
+        Some(d) => {
+            if let Err(e) = fs::create_dir_all(d) {
+                eprintln!(
+                    "mesh-bench: result cache {} is unusable ({e}); disabled",
+                    d.display()
+                );
+                None
+            } else {
+                Some(d.to_path_buf())
+            }
+        }
+    };
+    *config_cell().lock().expect("memo config poisoned") = Some(resolved);
+}
+
+/// Whether result memoization is active (via [`RESULT_CACHE_ENV`] or
+/// [`set_result_cache`]).
+pub fn enabled() -> bool {
+    dir().is_some()
+}
+
+// ---------------------------------------------------------------------------
+// Statistics.
+// ---------------------------------------------------------------------------
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static STORES: AtomicU64 = AtomicU64::new(0);
+static QUARANTINED: AtomicU64 = AtomicU64::new(0);
+
+fn bump(counter: &AtomicU64, obs_name: &str) {
+    counter.fetch_add(1, Ordering::Relaxed);
+    if mesh_obs::enabled() {
+        mesh_obs::counter(obs_name).inc();
+    }
+}
+
+/// Counters of the result-memoization cache since process start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Evaluations answered from a valid cached entry.
+    pub hits: u64,
+    /// Lookups that found no (valid) entry and computed the value.
+    pub misses: u64,
+    /// Freshly computed values published to the cache.
+    pub stores: u64,
+    /// Corrupt entries renamed aside and recomputed.
+    pub quarantined: u64,
+}
+
+/// Snapshot of the result cache's counters.
+pub fn stats() -> ResultCacheStats {
+    ResultCacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        stores: STORES.load(Ordering::Relaxed),
+        quarantined: QUARANTINED.load(Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry I/O.
+// ---------------------------------------------------------------------------
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn entry_path(dir: &Path, fp: u128) -> PathBuf {
+    dir.join(format!("{fp:032x}.res"))
+}
+
+fn read_entry<V: Checkpointable>(dir: &Path, fp: u128) -> Option<V> {
+    let path = entry_path(dir, fp);
+    let text = fs::read_to_string(&path).ok()?;
+    let parsed = (|| {
+        let (header, value) = text.split_once('\n')?;
+        let mut h = header.split_whitespace();
+        if h.next()? != "mesh-result" || h.next()? != "v1" {
+            return None;
+        }
+        if u128::from_str_radix(h.next()?, 16).ok()? != fp {
+            return None;
+        }
+        let sum = u64::from_str_radix(h.next()?, 16).ok()?;
+        if h.next().is_some() {
+            return None;
+        }
+        let value = value.strip_suffix('\n').unwrap_or(value);
+        if fnv64(value.as_bytes()) != sum {
+            return None;
+        }
+        V::decode(value)
+    })();
+    if parsed.is_none() {
+        // Keep the bad entry for post-mortems, out of the lookup path.
+        if fs::rename(&path, dir.join(format!("{fp:032x}.quarantined"))).is_err() {
+            let _ = fs::remove_file(&path);
+        }
+        bump(&QUARANTINED, "bench.result_cache.quarantined");
+    }
+    parsed
+}
+
+fn write_entry(dir: &Path, fp: u128, encoded: &str) {
+    let dest = entry_path(dir, fp);
+    if dest.exists() {
+        return; // First writer wins; entries for one fp are identical.
+    }
+    let tmp = dir.join(format!(".tmp-{}-{fp:032x}", std::process::id()));
+    let body = format!(
+        "mesh-result v1 {fp:032x} {:016x}\n{encoded}\n",
+        fnv64(encoded.as_bytes())
+    );
+    let written = (|| -> std::io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(body.as_bytes())?;
+        f.flush()
+    })();
+    if written.is_err() || dest.exists() || fs::rename(&tmp, &dest).is_err() {
+        let _ = fs::remove_file(&tmp);
+        return;
+    }
+    bump(&STORES, "bench.result_cache.stores");
+}
+
+/// Returns the memoized value for `fp`, or computes it with `f` and
+/// publishes the result. With the cache disabled this is exactly `f()`.
+/// The encoding round-trips losslessly ([`Checkpointable`] floats travel as
+/// bit patterns), so a cache hit is byte-identical to a fresh computation.
+pub fn memoize<V: Checkpointable>(fp: u128, f: impl FnOnce() -> V) -> V {
+    let Some(dir) = dir() else {
+        return f();
+    };
+    {
+        let _span = mesh_obs::span("bench.result_cache.lookup_ns");
+        if let Some(v) = read_entry::<V>(&dir, fp) {
+            bump(&HITS, "bench.result_cache.hits");
+            return v;
+        }
+    }
+    bump(&MISSES, "bench.result_cache.misses");
+    let value = f();
+    write_entry(&dir, fp, &value.encode());
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mesh-memo-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp cache");
+        dir
+    }
+
+    /// memoize() against an explicit directory, bypassing the process-global
+    /// configuration (tests run in parallel within one process).
+    fn memoize_in<V: Checkpointable>(dir: &Path, fp: u128, f: impl FnOnce() -> V) -> V {
+        if let Some(v) = read_entry::<V>(dir, fp) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        let value = f();
+        write_entry(dir, fp, &value.encode());
+        value
+    }
+
+    #[test]
+    fn fingerprints_separate_every_ingredient() {
+        let base = ScenarioFp::new("compare").word(1).text("chen-lin").finish();
+        assert_eq!(
+            base,
+            ScenarioFp::new("compare").word(1).text("chen-lin").finish(),
+            "fingerprints are deterministic"
+        );
+        assert_ne!(
+            base,
+            ScenarioFp::new("envelope")
+                .word(1)
+                .text("chen-lin")
+                .finish()
+        );
+        assert_ne!(
+            base,
+            ScenarioFp::new("compare").word(2).text("chen-lin").finish()
+        );
+        assert_ne!(
+            base,
+            ScenarioFp::new("compare").word(1).text("mm1").finish()
+        );
+        // Length prefixing: shifting a byte between adjacent fields moves
+        // the boundary but must not alias.
+        assert_ne!(
+            ScenarioFp::new("x").text("ab").text("c").finish(),
+            ScenarioFp::new("x").text("a").text("bc").finish()
+        );
+        assert_ne!(
+            ScenarioFp::new("x").words(&[1, 2]).words(&[]).finish(),
+            ScenarioFp::new("x").words(&[1]).words(&[2]).finish()
+        );
+    }
+
+    #[test]
+    fn memoize_round_trips_and_counts() {
+        let dir = temp_cache("roundtrip");
+        let value = (42u64, 2.5f64, 7usize);
+        let first = memoize_in(&dir, 0xAB, || value);
+        assert_eq!(first, value);
+        let second =
+            memoize_in::<(u64, f64, usize)>(&dir, 0xAB, || panic!("must be served from cache"));
+        assert_eq!(second, value);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_quarantine_and_recompute() {
+        let dir = temp_cache("corrupt");
+        let _ = memoize_in(&dir, 0xCD, || 1234u64);
+        let path = entry_path(&dir, 0xCD);
+        // Flip a byte of the value line: the checksum must catch it.
+        let mut text = fs::read_to_string(&path).unwrap();
+        let flip = text.len() - 2;
+        text.replace_range(flip..flip + 1, "X");
+        fs::write(&path, text).unwrap();
+        let before = stats().quarantined;
+        let recomputed = memoize_in(&dir, 0xCD, || 1234u64);
+        assert_eq!(recomputed, 1234);
+        assert_eq!(stats().quarantined, before + 1);
+        assert!(dir.join(format!("{:032x}.quarantined", 0xCD)).exists());
+        // The recompute re-published a valid entry.
+        assert_eq!(memoize_in::<u64>(&dir, 0xCD, || panic!("cached")), 1234);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_fingerprint_and_version_reject() {
+        let dir = temp_cache("foreign");
+        let _ = memoize_in(&dir, 0xEF, || 5u64);
+        // Copy the entry under a different fingerprint: key check rejects.
+        fs::copy(entry_path(&dir, 0xEF), entry_path(&dir, 0xFF)).unwrap();
+        assert_eq!(memoize_in(&dir, 0xFF, || 6u64), 6, "foreign key recomputes");
+        // An entry from a future format version reads as corrupt.
+        fs::write(
+            entry_path(&dir, 0xAA),
+            "mesh-result v9 000000000000000000000000000000aa 0000000000000000\n5\n",
+        )
+        .unwrap();
+        assert_eq!(memoize_in(&dir, 0xAA, || 7u64), 7);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -29,6 +29,11 @@
 //! [`check_regression`] refuses to compare two files whose configurations
 //! differ. Files written before these fields existed parse with `jobs: 0`,
 //! which marks the configuration unrecorded and skips that refusal.
+//! `trace_store` and `result_cache` (0 = off, 1 = on) record whether the
+//! persistent trace store (`MESH_TRACE_STORE`) and the result memo cache
+//! (`MESH_RESULT_CACHE`) were active, since a warm store turns compile
+//! benchmarks into page-cache reads; the same refusal applies to them when
+//! the parallelism configuration is recorded.
 //!
 //! Benchmark names contain only `[A-Za-z0-9_/.-]`, so no string escaping is
 //! needed; [`BenchFile::from_json`] rejects anything else.
@@ -60,6 +65,12 @@ pub struct BenchFile {
     /// Fabric shard count (`MESH_BENCH_SHARDS`); 0 means the run was
     /// in-process (or predates the field, when `jobs` is also 0).
     pub shards: usize,
+    /// 1 when the persistent trace store (`MESH_TRACE_STORE`) was active,
+    /// 0 when off or unrecorded (files predating the field).
+    pub trace_store: usize,
+    /// 1 when the result memo cache (`MESH_RESULT_CACHE`) was active,
+    /// 0 when off or unrecorded (files predating the field).
+    pub result_cache: usize,
     /// The measurements, in execution order.
     pub benchmarks: Vec<BenchRecord>,
 }
@@ -81,6 +92,8 @@ impl BenchFile {
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         out.push_str(&format!("  \"shards\": {},\n", self.shards));
+        out.push_str(&format!("  \"trace_store\": {},\n", self.trace_store));
+        out.push_str(&format!("  \"result_cache\": {},\n", self.result_cache));
         out.push_str("  \"benchmarks\": [\n");
         for (i, b) in self.benchmarks.iter().enumerate() {
             let comma = if i + 1 == self.benchmarks.len() {
@@ -153,6 +166,8 @@ impl BenchFile {
         }
         let jobs = usize_field(text, "jobs")?;
         let shards = usize_field(text, "shards")?;
+        let trace_store = usize_field(text, "trace_store")?;
+        let result_cache = usize_field(text, "result_cache")?;
         let mut benchmarks = Vec::new();
         let body = &text[text.find("\"benchmarks\"").ok_or("missing benchmarks")?..];
         let mut rest = body;
@@ -182,6 +197,8 @@ impl BenchFile {
             quick,
             jobs,
             shards,
+            trace_store,
+            result_cache,
             benchmarks,
         })
     }
@@ -265,8 +282,12 @@ pub fn time_median_batched_ns<I, O>(
 /// When both files record their parallelism configuration (`jobs != 0`),
 /// differing `jobs` or `shards` is itself an error: medians from a sharded
 /// run and an in-process run (or from different worker counts) must never
-/// be compared silently. Files predating the fields (`jobs == 0`) skip this
-/// guard, so committed baselines stay usable.
+/// be compared silently. The same guard covers the cache configuration —
+/// a run against a warm trace store or result cache measures page-cache
+/// reads where a cold run measures compiles, so differing `trace_store` or
+/// `result_cache` flags also refuse the comparison. Files predating the
+/// fields (`jobs == 0`) skip this guard, so committed baselines stay
+/// usable.
 ///
 /// # Errors
 ///
@@ -292,6 +313,22 @@ pub fn check_regression(
                 "configuration mismatch: current ran with shards={} but baseline with shards={} \
                  (0 = in-process) — medians are not comparable",
                 current.shards, baseline.shards
+            ));
+        }
+        if current.trace_store != baseline.trace_store {
+            mismatches.push(format!(
+                "configuration mismatch: current ran with trace_store={} but baseline with \
+                 trace_store={} (1 = persistent store active) — a warm store turns compiles \
+                 into reads, so medians are not comparable",
+                current.trace_store, baseline.trace_store
+            ));
+        }
+        if current.result_cache != baseline.result_cache {
+            mismatches.push(format!(
+                "configuration mismatch: current ran with result_cache={} but baseline with \
+                 result_cache={} (1 = memo cache active) — memoized points skip simulation, \
+                 so medians are not comparable",
+                current.result_cache, baseline.result_cache
             ));
         }
         if !mismatches.is_empty() {
@@ -336,6 +373,8 @@ mod tests {
             quick: true,
             jobs: 4,
             shards: 0,
+            trace_store: 0,
+            result_cache: 0,
             benchmarks: vec![
                 BenchRecord {
                     name: "cyclesim/smoke_fft_skip".to_string(),
@@ -406,9 +445,36 @@ mod tests {
         let text = sample_file()
             .to_json()
             .replace("  \"jobs\": 4,\n", "")
-            .replace("  \"shards\": 0,\n", "");
+            .replace("  \"shards\": 0,\n", "")
+            .replace("  \"trace_store\": 0,\n", "")
+            .replace("  \"result_cache\": 0,\n", "");
         let parsed = BenchFile::from_json(&text).expect("pre-fabric file parses");
         assert_eq!((parsed.jobs, parsed.shards), (0, 0));
+        assert_eq!((parsed.trace_store, parsed.result_cache), (0, 0));
+    }
+
+    #[test]
+    fn cache_config_mismatch_refuses_comparison() {
+        // A run against a warm trace store is not comparable with a cold
+        // baseline even with identical parallelism.
+        let baseline = sample_file();
+        let mut current = sample_file();
+        current.trace_store = 1;
+        let err = check_regression(&current, &baseline, "cyclesim/", 2.0).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].contains("trace_store=1"), "{err:?}");
+        // Same for the result memo cache; both differing reports both.
+        let mut current = sample_file();
+        current.trace_store = 1;
+        current.result_cache = 1;
+        let err = check_regression(&current, &baseline, "cyclesim/", 2.0).unwrap_err();
+        assert_eq!(err.len(), 2);
+        assert!(err[1].contains("result_cache=1"), "{err:?}");
+        // Baselines that predate the fields (jobs unrecorded) skip the
+        // guard entirely, like the jobs/shards rule.
+        let mut old = sample_file();
+        old.jobs = 0;
+        assert_eq!(check_regression(&current, &old, "cyclesim/", 2.0), Ok(1));
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! End-to-end identity check for the persistent caches: a comparison point
+//! must produce the same simulated numbers with the trace store off, cold,
+//! and warm, and a result-memo replay must reproduce the populating point
+//! *exactly* (recorded wall clocks included).
+//!
+//! One test function: the store and memo configurations are process-global,
+//! so the legs must run in sequence, not in parallel test threads.
+
+use mesh_bench::{compare, fft_machine, memo, ComparisonPoint, HybridOptions};
+use mesh_workloads::fft::{self, FftConfig};
+
+/// The simulation-determined fields — everything except the two measured
+/// wall clocks, which legitimately differ run to run. Floats are compared
+/// as bit patterns: the caches must be bit-exact, not merely close.
+fn deterministic_fields(p: &ComparisonPoint) -> [u64; 9] {
+    [
+        p.iss_pct.to_bits(),
+        p.mesh_pct.to_bits(),
+        p.analytical_pct.to_bits(),
+        p.iss_cycles,
+        p.mesh_cycles.to_bits(),
+        p.mesh_regions,
+        p.mesh_slices,
+        p.work_cycles,
+        p.misses,
+    ]
+}
+
+fn point() -> ComparisonPoint {
+    let workload = fft::build(&FftConfig::with_threads(2));
+    let machine = fft_machine(2, 8 * 1024, 4);
+    compare(&workload, &machine, HybridOptions::default())
+}
+
+#[test]
+fn results_identical_across_cache_configurations() {
+    let unique = format!("mesh-cache-identity-{}", std::process::id());
+    let store_dir = std::env::temp_dir().join(format!("{unique}-store"));
+    let memo_dir = std::env::temp_dir().join(format!("{unique}-memo"));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let _ = std::fs::remove_dir_all(&memo_dir);
+
+    // Leg 1: no store, no memo — the plain in-process baseline.
+    mesh_cyclesim::set_store(None, None);
+    memo::set_result_cache(None);
+    mesh_cyclesim::trace::clear_cache();
+    let baseline = point();
+
+    // Leg 2: cold store — first process to see the workload compiles and
+    // publishes.
+    mesh_cyclesim::set_store(Some(&store_dir), None);
+    mesh_cyclesim::trace::clear_cache();
+    let before = mesh_cyclesim::store_stats();
+    let cold = point();
+    let after_cold = mesh_cyclesim::store_stats();
+    assert!(
+        after_cold.publishes > before.publishes,
+        "cold run must publish traces: {before:?} -> {after_cold:?}"
+    );
+    assert_eq!(
+        deterministic_fields(&cold),
+        deterministic_fields(&baseline),
+        "cold-store run diverged from the storeless baseline"
+    );
+
+    // Leg 3: warm store — a fresh process (simulated by dropping the
+    // in-memory cache) loads the published traces instead of compiling.
+    mesh_cyclesim::trace::clear_cache();
+    let warm = point();
+    let after_warm = mesh_cyclesim::store_stats();
+    assert!(
+        after_warm.hits > after_cold.hits,
+        "warm run must load from the store: {after_cold:?} -> {after_warm:?}"
+    );
+    assert_eq!(
+        deterministic_fields(&warm),
+        deterministic_fields(&baseline),
+        "warm-store run diverged from the storeless baseline"
+    );
+
+    // Leg 4: result memo — the populating run computes and stores, the
+    // replay must be the recorded point verbatim, wall clocks included.
+    memo::set_result_cache(Some(&memo_dir));
+    let populate = point();
+    let hits_before = memo::stats().hits;
+    let replay = point();
+    assert!(
+        memo::stats().hits > hits_before,
+        "second memo run must hit the result cache"
+    );
+    assert_eq!(replay, populate, "memo replay must be the recorded point");
+    assert_eq!(
+        deterministic_fields(&populate),
+        deterministic_fields(&baseline),
+        "memoized run diverged from the storeless baseline"
+    );
+
+    memo::set_result_cache(None);
+    mesh_cyclesim::set_store(None, None);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let _ = std::fs::remove_dir_all(&memo_dir);
+}

@@ -35,20 +35,24 @@ fn arb_file() -> impl Strategy<Value = BenchFile> {
     (
         arb_token(16),
         any::<bool>(),
-        0usize..64,
-        0usize..64,
+        (0usize..64, 0usize..64),
+        (0usize..2, 0usize..2),
         prop::collection::vec((arb_token(32), arb_median()), 0..8),
     )
-        .prop_map(|(git_sha, quick, jobs, shards, benchmarks)| BenchFile {
-            git_sha,
-            quick,
-            jobs,
-            shards,
-            benchmarks: benchmarks
-                .into_iter()
-                .map(|(name, median_ns)| BenchRecord { name, median_ns })
-                .collect(),
-        })
+        .prop_map(
+            |(git_sha, quick, (jobs, shards), (trace_store, result_cache), benchmarks)| BenchFile {
+                git_sha,
+                quick,
+                jobs,
+                shards,
+                trace_store,
+                result_cache,
+                benchmarks: benchmarks
+                    .into_iter()
+                    .map(|(name, median_ns)| BenchRecord { name, median_ns })
+                    .collect(),
+            },
+        )
 }
 
 proptest! {
@@ -80,6 +84,8 @@ fn every_prefix_of_a_valid_file_is_handled() {
         quick: true,
         jobs: 8,
         shards: 2,
+        trace_store: 1,
+        result_cache: 0,
         benchmarks: vec![
             BenchRecord {
                 name: "cyclesim/fig4_p8_8KB_skip".to_string(),
@@ -106,6 +112,8 @@ fn malformed_fields_are_errors_not_panics() {
         quick: false,
         jobs: 4,
         shards: 0,
+        trace_store: 0,
+        result_cache: 1,
         benchmarks: vec![BenchRecord {
             name: "cyclesim/x".to_string(),
             median_ns: 10.0,
@@ -145,6 +153,8 @@ fn quick_flag_survives_a_confusing_sha() {
             quick,
             jobs: 1,
             shards: 0,
+            trace_store: 0,
+            result_cache: 0,
             benchmarks: Vec::new(),
         };
         let parsed = BenchFile::from_json(&file.to_json()).expect("parse");

@@ -152,6 +152,17 @@ pub trait ContentionModel: std::fmt::Debug + Send {
     fn name(&self) -> &str {
         "unnamed"
     }
+
+    /// Everything that determines this model's numerical behaviour beyond
+    /// its [`name`](ContentionModel::name), as stable words for content
+    /// hashing — floats by their IEEE-754 bit patterns. Result-memoization
+    /// keys (`mesh-bench`'s `MESH_RESULT_CACHE`) combine the name with
+    /// these words, so two differently-tuned instances of one model type
+    /// must produce different words. The default is empty: correct only
+    /// for parameter-free models.
+    fn digest_words(&self) -> Vec<u64> {
+        Vec::new()
+    }
 }
 
 impl<M: ContentionModel + ?Sized> ContentionModel for Box<M> {
@@ -165,6 +176,10 @@ impl<M: ContentionModel + ?Sized> ContentionModel for Box<M> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn digest_words(&self) -> Vec<u64> {
+        (**self).digest_words()
     }
 }
 

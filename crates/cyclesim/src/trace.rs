@@ -43,7 +43,7 @@ use mesh_workloads::{Segment, Workload};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// Environment variable selecting the default feed for
@@ -193,6 +193,32 @@ pub(crate) struct TaskTrace {
 impl TaskTrace {
     pub(crate) fn steps(&self) -> usize {
         self.steps
+    }
+
+    /// Rebuilds a trace from a flat step sequence — the persistent store's
+    /// load path. Chunking matches [`compile`], so a loaded trace is
+    /// field-identical (including [`PartialEq`]) to a fresh compile.
+    pub(crate) fn from_steps(steps: Vec<TraceStep>) -> TaskTrace {
+        let count = steps.len();
+        let mut chunks: Vec<Box<[TraceStep]>> = Vec::with_capacity(count.div_ceil(CHUNK_STEPS));
+        let mut iter = steps.into_iter();
+        loop {
+            let chunk: Vec<TraceStep> = iter.by_ref().take(CHUNK_STEPS).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk.into_boxed_slice());
+        }
+        TaskTrace {
+            chunks,
+            steps: count,
+        }
+    }
+
+    /// All steps in order, across chunk boundaries — the persistent store's
+    /// serialization path.
+    pub(crate) fn iter_steps(&self) -> impl Iterator<Item = &TraceStep> {
+        self.chunks.iter().flat_map(|c| c.iter())
     }
 }
 
@@ -482,7 +508,7 @@ pub(crate) fn compiled_for(
     let max_steps = env_steps(MAX_STEPS_ENV, DEFAULT_MAX_STEPS);
     let compiled = {
         let _span = mesh_obs::span("cyclesim.compile_ns");
-        compile_parallel(&missing, workload, machine, pacing, max_steps)
+        compile_parallel(&missing, &keys, workload, machine, pacing, max_steps)
     };
 
     let budget = env_steps(CACHE_STEPS_ENV, DEFAULT_CACHE_STEPS);
@@ -534,23 +560,37 @@ fn flush_cache_obs(hits: u64, misses: u64, fallbacks: u64, evictions: u64) {
     mesh_obs::counter("cyclesim.trace_cache.evictions").add(evictions);
 }
 
-/// Compiles the given task indices, spreading distinct tasks over scoped
-/// worker threads claiming from a shared atomic index.
+/// Actual trace compiles performed by [`compiled_for`] since process start
+/// (store loads and in-memory hits don't count). Mirrored into the
+/// `cyclesim.trace.compiles` obs counter: a store-warm sweep reads zero.
+static COMPILES: AtomicU64 = AtomicU64::new(0);
+
+/// Resolves the given task indices (in-memory misses), spreading distinct
+/// tasks over scoped worker threads claiming from a shared atomic index.
+/// Each task goes through the persistent store when one is configured —
+/// load if published, else claim + compile + publish ([`crate::store`]).
 fn compile_parallel(
     missing: &[usize],
+    keys: &[u128],
     workload: &Workload,
     machine: &MachineConfig,
     pacing: Pacing,
     max_steps: usize,
 ) -> Vec<Option<Arc<TaskTrace>>> {
     let compile_one = |i: usize| {
-        compile(
-            &workload.tasks[i].segments,
-            machine.procs[i],
-            derived_pacing(pacing, i),
-            max_steps,
-        )
-        .map(Arc::new)
+        crate::store::get_or_compile(keys[i], max_steps, &|| {
+            COMPILES.fetch_add(1, Ordering::Relaxed);
+            if mesh_obs::enabled() {
+                mesh_obs::counter("cyclesim.trace.compiles").inc();
+            }
+            compile(
+                &workload.tasks[i].segments,
+                machine.procs[i],
+                derived_pacing(pacing, i),
+                max_steps,
+            )
+            .map(Arc::new)
+        })
     };
     let jobs = jobs_from_env().min(missing.len());
     if jobs <= 1 {
@@ -601,6 +641,9 @@ pub struct TraceCacheStats {
     /// Lookups (or fresh compiles) that resolved to a too-large verdict,
     /// sending the engines to the on-the-fly cursor fallback.
     pub fallbacks: u64,
+    /// Actual compiles performed. Always ≤ `misses`: with the persistent
+    /// store warm, misses resolve by loading and this stays at zero.
+    pub compiles: u64,
 }
 
 /// Snapshot of the cross-sweep cache's counters.
@@ -613,6 +656,7 @@ pub fn cache_stats() -> TraceCacheStats {
         misses: cache.misses,
         evictions: cache.evictions,
         fallbacks: cache.fallbacks,
+        compiles: COMPILES.load(Ordering::Relaxed),
     }
 }
 
@@ -623,6 +667,85 @@ pub fn clear_cache() {
     cache.map.clear();
     cache.order.clear();
     cache.resident_steps = 0;
+}
+
+/// A stable 128-bit fingerprint of everything trace compilation reads for
+/// this workload/machine/pacing triple: the FNV-1a fold of every task's
+/// content key (segments + processor timing digest + derived per-task
+/// pacing). This is the base ingredient of `mesh-bench`'s scenario
+/// fingerprints (`MESH_RESULT_CACHE`): two scenarios with equal workload
+/// fingerprints feed the kernel identical micro-event streams.
+///
+/// # Panics
+///
+/// Panics if the workload has more tasks than the machine has processors.
+pub fn workload_fingerprint(workload: &Workload, machine: &MachineConfig, pacing: Pacing) -> u128 {
+    assert!(
+        workload.tasks.len() <= machine.procs.len(),
+        "workload does not fit the machine"
+    );
+    let mut h = Fnv128::default();
+    for i in 0..workload.tasks.len() {
+        h.write_u128(trace_key(
+            &workload.tasks[i].segments,
+            machine.procs[i],
+            derived_pacing(pacing, i),
+        ));
+    }
+    h.finish128()
+}
+
+/// Resolves every task trace of the workload — in-memory cache, persistent
+/// store, or fresh compile (published to the store when one is configured)
+/// — without running a simulation. The sweep fabric's parent calls this
+/// before spawning shard workers so each distinct workload is compiled once
+/// machine-wide instead of once per worker; perfsuite uses it to price
+/// cold-compile vs warm-load.
+///
+/// A workload/machine pair the simulator would reject (more tasks than
+/// processors) is skipped silently — the real run reports the error.
+pub fn prewarm(workload: &Workload, machine: &MachineConfig, pacing: Pacing) {
+    if workload.tasks.len() > machine.procs.len() {
+        return;
+    }
+    let _ = compiled_for(workload, machine, pacing);
+}
+
+/// Ensures every task trace of the workload is published in the persistent
+/// store **without** retaining any of them in this process's memory:
+/// already-published traces are left untouched (worker processes read them
+/// directly), absent ones are compiled in parallel and published. This is
+/// what a fabric parent wants before spawning shards — [`prewarm`] would
+/// additionally load every published trace into the parent's own cache,
+/// memory and time its workers cannot benefit from. A no-op without a
+/// configured store or for workload/machine pairings the simulator rejects.
+pub fn ensure_stored(workload: &Workload, machine: &MachineConfig, pacing: Pacing) {
+    if !crate::store::store_enabled() || workload.tasks.len() > machine.procs.len() {
+        return;
+    }
+    let n = workload.tasks.len();
+    let keys: Vec<u128> = (0..n)
+        .map(|i| {
+            trace_key(
+                &workload.tasks[i].segments,
+                machine.procs[i],
+                derived_pacing(pacing, i),
+            )
+        })
+        .collect();
+    let mut missing: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if !crate::store::is_published(keys[i]) && !missing.iter().any(|&j| keys[j] == keys[i]) {
+            missing.push(i);
+        }
+    }
+    if missing.is_empty() {
+        return;
+    }
+    let max_steps = env_steps(MAX_STEPS_ENV, DEFAULT_MAX_STEPS);
+    // Results deliberately dropped: get_or_compile published them, which is
+    // all a pre-warming parent needs.
+    let _ = compile_parallel(&missing, &keys, workload, machine, pacing, max_steps);
 }
 
 /// Compiles every task of the workload from scratch — bypassing the

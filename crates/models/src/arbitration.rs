@@ -159,6 +159,10 @@ impl ContentionModel for PriorityBus {
     fn name(&self) -> &str {
         "priority-bus"
     }
+
+    fn digest_words(&self) -> Vec<u64> {
+        vec![self.cap.to_bits()]
+    }
 }
 
 #[cfg(test)]

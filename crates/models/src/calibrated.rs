@@ -138,6 +138,16 @@ impl ContentionModel for TableModel {
     fn name(&self) -> &str {
         "table"
     }
+
+    fn digest_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(1 + 2 * self.points.len());
+        words.push(self.points.len() as u64);
+        for &(rho, wait) in &self.points {
+            words.push(rho.to_bits());
+            words.push(wait.to_bits());
+        }
+        words
+    }
 }
 
 /// Wraps any model, multiplying every penalty by a constant calibration
@@ -201,6 +211,15 @@ impl<M: ContentionModel> ContentionModel for ScaledModel<M> {
 
     fn name(&self) -> &str {
         "scaled"
+    }
+
+    fn digest_words(&self) -> Vec<u64> {
+        let mut words = vec![self.factor.to_bits()];
+        // Fold the wrapped model in (name bytes then parameters) so scaling
+        // two different inner models never collides.
+        words.extend(self.inner.name().bytes().map(u64::from));
+        words.extend(self.inner.digest_words());
+        words
     }
 }
 

@@ -137,6 +137,10 @@ impl ContentionModel for ChenLinBus {
     fn name(&self) -> &str {
         "chen-lin"
     }
+
+    fn digest_words(&self) -> Vec<u64> {
+        vec![self.cap.to_bits()]
+    }
 }
 
 #[cfg(test)]

@@ -174,6 +174,14 @@ impl ContentionModel for PriorityNoc {
     fn name(&self) -> &str {
         "priority-noc"
     }
+
+    fn digest_words(&self) -> Vec<u64> {
+        vec![
+            u64::from(self.hops),
+            self.overlap.to_bits(),
+            self.cap.to_bits(),
+        ]
+    }
 }
 
 #[cfg(test)]

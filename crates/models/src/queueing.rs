@@ -92,6 +92,10 @@ impl ContentionModel for Mm1Queue {
     fn name(&self) -> &str {
         "mm1"
     }
+
+    fn digest_words(&self) -> Vec<u64> {
+        vec![self.cap.to_bits()]
+    }
 }
 
 /// M/D/1 queueing model: Poisson arrivals, deterministic service — the
@@ -145,6 +149,10 @@ impl ContentionModel for Md1Queue {
 
     fn name(&self) -> &str {
         "md1"
+    }
+
+    fn digest_words(&self) -> Vec<u64> {
+        vec![self.cap.to_bits()]
     }
 }
 

@@ -4,7 +4,7 @@
 #   ./scripts/chaos_smoke.sh
 #
 # Extends scripts/fault_smoke.sh (in-process crash isolation) to the fabric
-# layer (crates/bench/src/fabric.rs, docs/ROBUSTNESS.md). Five checks:
+# layer (crates/bench/src/fabric.rs, docs/ROBUSTNESS.md). Six checks:
 #
 #   1. Determinism: a sharded fig4 run (MESH_BENCH_SHARDS=3) is
 #      byte-identical to the single-process golden run.
@@ -22,6 +22,11 @@
 #   5. Degradation: with MESH_FABRIC_EXE pointing nowhere, spawning fails
 #      and the sweep completes on the in-process engine, byte-identical,
 #      exit 0.
+#   6. Trace store: a sharded fig4 run with MESH_TRACE_STORE populates the
+#      store and stays byte-identical; a published .trace file is then
+#      truncated (the torn write a crash mid-publish would leave if rename
+#      were not atomic) and the warm rerun — under another SIGKILL storm —
+#      quarantines it, recompiles, and is still byte-identical.
 #
 # The deterministic (non-racy) versions of these properties are pinned by
 # `cargo test -p mesh-bench --test fabric`; this script adds real binaries,
@@ -53,7 +58,7 @@ fail() {
 MESH_BENCH_SHARDS=3 "$FIG4" > "$WORK/fig4.sharded.txt" 2>/dev/null
 cmp -s "$WORK/fig4.golden.txt" "$WORK/fig4.sharded.txt" \
     || fail "sharded fig4 output differs from the single-process run"
-echo "chaos_smoke: [1/5] sharded fig4 byte-identical (3 shards)"
+echo "chaos_smoke: [1/6] sharded fig4 byte-identical (3 shards)"
 
 # --- 2. Sharded fig4 under a random worker-SIGKILL storm ------------------
 # The killer loop SIGKILLs a random direct child of the sweep parent every
@@ -79,7 +84,7 @@ set -e
 cmp -s "$WORK/fig4.golden.txt" "$WORK/fig4.chaos.txt" \
     || fail "fig4 output under SIGKILL storm differs from the golden run"
 restarts="$(grep -c 'retrying on a fresh worker' "$WORK/fig4.chaos.err" || true)"
-echo "chaos_smoke: [2/5] sharded fig4 survived the SIGKILL storm byte-identical (${restarts} struck point(s) retried)"
+echo "chaos_smoke: [2/6] sharded fig4 survived the SIGKILL storm byte-identical (${restarts} struck point(s) retried)"
 
 # --- 3. Injected hang, killed by the heartbeat timeout --------------------
 mkdir -p "$WORK/chaos-markers"
@@ -94,7 +99,7 @@ grep -q "no heartbeat" "$WORK/worker.hang.err" \
     || fail "timeout kill was not reported on stderr"
 cmp -s "$WORK/worker.golden.txt" "$WORK/worker.hang.txt" \
     || fail "output after a timed-out point differs from the golden run"
-echo "chaos_smoke: [3/5] hung point killed by MESH_BENCH_TIMEOUT and recovered byte-identical"
+echo "chaos_smoke: [3/6] hung point killed by MESH_BENCH_TIMEOUT and recovered byte-identical"
 
 # --- 4. Permanently crashing point is poisoned, with coordinates ----------
 set +e
@@ -108,7 +113,7 @@ grep -q "poisoning point #3 3 of sweep 'demo'" "$WORK/worker.poison.err" \
     || fail "poison report does not name the point's index and coordinates"
 grep -q "23 completed" "$WORK/worker.poison.err" \
     || fail "healthy points did not complete around the poisoned one"
-echo "chaos_smoke: [4/5] crash-every-time point poisoned after its strike budget (exit $status)"
+echo "chaos_smoke: [4/6] crash-every-time point poisoned after its strike budget (exit $status)"
 
 # --- 5. Spawn failure degrades to the in-process engine -------------------
 MESH_BENCH_SHARDS=3 MESH_FABRIC_EXE="$WORK/no-such-exe" \
@@ -117,6 +122,42 @@ grep -q "falling back to the in-process engine" "$WORK/fig4.fallback.err" \
     || fail "spawn failure was not reported as a fallback"
 cmp -s "$WORK/fig4.golden.txt" "$WORK/fig4.fallback.txt" \
     || fail "in-process fallback output differs from the golden run"
-echo "chaos_smoke: [5/5] spawn failure degraded gracefully to the in-process engine"
+echo "chaos_smoke: [5/6] spawn failure degraded gracefully to the in-process engine"
+
+# --- 6. Persistent trace store: torn file quarantined, output identical ---
+STORE="$WORK/trace-store"
+MESH_BENCH_SHARDS=3 MESH_TRACE_STORE="$STORE" \
+    "$FIG4" > "$WORK/fig4.store-cold.txt" 2>/dev/null
+cmp -s "$WORK/fig4.golden.txt" "$WORK/fig4.store-cold.txt" \
+    || fail "cold trace-store fig4 output differs from the golden run"
+mapfile -t traces < <(ls "$STORE"/*.trace 2>/dev/null)
+(( ${#traces[@]} > 0 )) || fail "cold run published no .trace files into $STORE"
+# Tear one published trace in half: exactly what a non-atomic publish
+# interrupted by SIGKILL would leave behind. The warm run must detect it,
+# rename it aside and recompile that workload.
+torn="${traces[RANDOM % ${#traces[@]}]}"
+size="$(stat -c %s "$torn")"
+truncate -s "$((size / 2))" "$torn"
+set +e
+MESH_BENCH_SHARDS=3 MESH_BENCH_RETRIES=10 MESH_TRACE_STORE="$STORE" \
+    "$FIG4" > "$WORK/fig4.store-warm.txt" 2> "$WORK/fig4.store-warm.err" &
+pid=$!
+for _ in $(seq 1 40); do
+    sleep 0.05
+    mapfile -t kids < <(pgrep -P "$pid" 2>/dev/null)
+    if (( ${#kids[@]} > 0 )); then
+        kill -9 "${kids[RANDOM % ${#kids[@]}]}" 2>/dev/null
+    fi
+    kill -0 "$pid" 2>/dev/null || break
+done
+wait "$pid"
+status=$?
+set -e
+[[ $status -eq 0 ]] || fail "warm trace-store fig4 exited $status (stderr: $(cat "$WORK/fig4.store-warm.err"))"
+cmp -s "$WORK/fig4.golden.txt" "$WORK/fig4.store-warm.txt" \
+    || fail "warm trace-store fig4 output differs from the golden run"
+ls "$STORE"/*.quarantined >/dev/null 2>&1 \
+    || fail "the torn .trace file was not quarantined"
+echo "chaos_smoke: [6/6] torn store file quarantined; warm sharded run byte-identical under SIGKILL storm"
 
 echo "chaos_smoke: all checks passed"

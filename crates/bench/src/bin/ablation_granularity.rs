@@ -39,9 +39,13 @@ fn main() {
         .collect();
     let results = mesh_bench::or_exit(
         "ablation_granularity",
-        mesh_bench::sweep::try_sweep_labeled_prewarmed(
+        mesh_bench::eval::sweep_with_references(
             "ablation_granularity",
             &sweep,
+            |_| mesh_bench::iss_reference_fp(&workload, &machine),
+            |_| {
+                mesh_bench::iss_reference(&workload, &machine);
+            },
             |_| mesh_cyclesim::ensure_stored(&workload, &machine, mesh_cyclesim::Pacing::default()),
             |&spacing| {
                 compare(
@@ -58,6 +62,7 @@ fn main() {
             },
         ),
     );
+    mesh_bench::note_replayed("ablation_granularity", &results);
     for (spacing, p) in sweep.iter().zip(results) {
         table.row(vec![
             match spacing {

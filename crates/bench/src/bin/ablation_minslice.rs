@@ -44,9 +44,13 @@ fn main() {
     .to_vec();
     let results = mesh_bench::or_exit(
         "ablation_minslice",
-        mesh_bench::sweep::try_sweep_labeled_prewarmed(
+        mesh_bench::eval::sweep_with_references(
             "ablation_minslice",
             &sweep,
+            |_| mesh_bench::iss_reference_fp(&workload, &machine),
+            |_| {
+                mesh_bench::iss_reference(&workload, &machine);
+            },
             |_| mesh_cyclesim::ensure_stored(&workload, &machine, mesh_cyclesim::Pacing::default()),
             |&min| {
                 compare(
@@ -60,6 +64,7 @@ fn main() {
             },
         ),
     );
+    mesh_bench::note_replayed("ablation_minslice", &results);
     for (min, p) in sweep.iter().map(|m| m.get()).zip(results) {
         table.row(vec![
             format!("{min}"),

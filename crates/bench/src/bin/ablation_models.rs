@@ -41,11 +41,6 @@ fn main() {
 
     let workload = build(&FftConfig::with_threads(8));
     let machine = fft_machine(8, 512 * 1024, FFT_BUS_DELAY);
-    let iss = mesh_bench::or_exit(
-        "ablation_models: cycle-accurate reference",
-        mesh_cyclesim::simulate(&workload, &machine),
-    );
-    let reference = iss.queuing_percent();
 
     let mut table = Table::new(vec![
         "model",
@@ -67,45 +62,60 @@ fn main() {
         "priority-noc (1 hop, equal classes)",
         "fair-share (processor sharing)",
     ];
+    // One planner group: every model row scores against the same
+    // cycle-accurate reference, which the split-phase planner runs (and the
+    // sub-evaluation cache shares) exactly once.
     let results = mesh_bench::or_exit(
         "ablation_models",
-        mesh_bench::sweep::try_sweep_labeled("ablation_models", &models, |&name| {
-            let (pct, _) = match name {
-                "chen-lin (M/D/1 + blocking bound)" => {
-                    run_model(&workload, &machine, ChenLinBus::new())
-                }
-                "m/d/1" => run_model(&workload, &machine, Md1Queue::new()),
-                "m/m/1" => run_model(&workload, &machine, Mm1Queue::new()),
-                "round-robin (linear)" => run_model(&workload, &machine, RoundRobinBus::new()),
-                "mva (finite population)" => run_model(&workload, &machine, MvaBus::new()),
-                "priority (equal priorities)" => run_model(&workload, &machine, PriorityBus::new()),
-                "measured table" => {
-                    // A table measured to mimic M/D/1 at a few breakpoints.
-                    let table_model = TableModel::new(vec![
-                        (0.25, 0.17),
-                        (0.50, 0.50),
-                        (0.75, 1.50),
-                        (0.95, 3.00),
-                    ])
-                    .expect("valid table");
-                    run_model(&workload, &machine, table_model)
-                }
-                "chen-lin x0.9 (calibrated)" => run_model(
-                    &workload,
-                    &machine,
-                    ScaledModel::new(ChenLinBus::new(), 0.9),
-                ),
-                "priority-noc (1 hop, equal classes)" => {
-                    run_model(&workload, &machine, PriorityNoc::new(1))
-                }
-                "fair-share (processor sharing)" => {
-                    run_model(&workload, &machine, FairShare::new())
-                }
-                other => unreachable!("unknown model {other}"),
-            };
-            pct
-        }),
+        mesh_bench::eval::sweep_with_references(
+            "ablation_models",
+            &models,
+            |_| mesh_bench::iss_reference_fp(&workload, &machine),
+            |_| {
+                mesh_bench::iss_reference(&workload, &machine);
+            },
+            |_| mesh_cyclesim::ensure_stored(&workload, &machine, mesh_cyclesim::Pacing::default()),
+            |&name| {
+                let (pct, _) = match name {
+                    "chen-lin (M/D/1 + blocking bound)" => {
+                        run_model(&workload, &machine, ChenLinBus::new())
+                    }
+                    "m/d/1" => run_model(&workload, &machine, Md1Queue::new()),
+                    "m/m/1" => run_model(&workload, &machine, Mm1Queue::new()),
+                    "round-robin (linear)" => run_model(&workload, &machine, RoundRobinBus::new()),
+                    "mva (finite population)" => run_model(&workload, &machine, MvaBus::new()),
+                    "priority (equal priorities)" => {
+                        run_model(&workload, &machine, PriorityBus::new())
+                    }
+                    "measured table" => {
+                        // A table measured to mimic M/D/1 at a few breakpoints.
+                        let table_model = TableModel::new(vec![
+                            (0.25, 0.17),
+                            (0.50, 0.50),
+                            (0.75, 1.50),
+                            (0.95, 3.00),
+                        ])
+                        .expect("valid table");
+                        run_model(&workload, &machine, table_model)
+                    }
+                    "chen-lin x0.9 (calibrated)" => run_model(
+                        &workload,
+                        &machine,
+                        ScaledModel::new(ChenLinBus::new(), 0.9),
+                    ),
+                    "priority-noc (1 hop, equal classes)" => {
+                        run_model(&workload, &machine, PriorityNoc::new(1))
+                    }
+                    "fair-share (processor sharing)" => {
+                        run_model(&workload, &machine, FairShare::new())
+                    }
+                    other => unreachable!("unknown model {other}"),
+                };
+                pct
+            },
+        ),
     );
+    let reference = mesh_bench::iss_reference(&workload, &machine).pct;
     for (name, pct) in models.iter().zip(results) {
         table.row(vec![
             name.to_string(),

@@ -26,13 +26,20 @@
 //! restores the process-wide cache configuration afterwards, so the other
 //! benchmarks are unaffected by it.
 //!
+//! The `sweep/` section times an end-to-end ablation grid through the
+//! split-phase evaluation tiers: `sweep/grid_cold` (sub-evaluation LRU
+//! disabled — every point pays its own reference), `sweep/grid_shared`
+//! (LRU on — the grid shares one reference) and `sweep/grid_memo_warm`
+//! (persistent result cache replay). The printed cold/shared ratio is the
+//! headline reference-sharing win.
+//!
 //! `--filter SUBSTR` runs only the benchmarks whose name contains SUBSTR —
 //! the skipped ones are neither timed nor recorded, so a filtered file is
 //! a partial artifact (`--check` still works: only benchmarks present in
 //! both files are compared).
 //!
-//! `--check FILE` exits nonzero if any `cyclesim/`, `obs/` or `store/`
-//! benchmark present in both runs regressed by more than `--factor` times
+//! `--check FILE` exits nonzero if any `cyclesim/`, `obs/`, `store/` or
+//! `sweep/` benchmark present in both runs regressed by more than `--factor` times
 //! (default 2x; `--max-regression` is an alias), and refuses outright when
 //! the two files recorded different parallelism or cache configurations.
 //! After a run the suite prints a speedup summary — tick/skip per workload,
@@ -384,6 +391,97 @@ fn bench_store(suite: &mut Suite, samples: usize) {
     let _ = std::fs::remove_dir_all(&memo_dir);
 }
 
+/// Prices the split-phase evaluation tiers on an end-to-end ablation grid
+/// (a min-timeslice sweep over one FFT scenario, the `ablation_minslice`
+/// shape at smoke size):
+///
+/// * `sweep/grid_cold` — sub-evaluation LRU disabled: every grid point pays
+///   its own cycle-accurate reference (the pre-split-phase behaviour);
+/// * `sweep/grid_shared` — LRU on, cleared per sample: the whole grid
+///   shares one reference through the in-process tier;
+/// * `sweep/grid_memo_warm` — persistent result cache populated, LRU
+///   cleared per sample: every point replays from disk.
+///
+/// Prints the cold/shared ratio — the headline split-phase win (the ≥ 2x
+/// figure tracked in docs/PERFORMANCE.md). Runs alongside `store/` at the
+/// end of the suite and restores the environment-driven configuration.
+fn bench_sweep(suite: &mut Suite, samples: usize) {
+    let wants_cold = suite.wants("sweep/grid_cold");
+    let wants_shared = suite.wants("sweep/grid_shared");
+    let wants_memo = suite.wants("sweep/grid_memo_warm");
+    if !wants_cold && !wants_shared && !wants_memo {
+        return;
+    }
+    let memo_dir =
+        std::env::temp_dir().join(format!("mesh-perfsuite-{}-sweep", std::process::id()));
+    let workload = fft::build(&FftConfig {
+        points: 16_384,
+        threads: 4,
+        ..FftConfig::default()
+    });
+    let machine = fft_machine(4, 8 * 1024, FFT_BUS_DELAY);
+    let grid = [0.0, 50.0, 200.0, 1_000.0, 5_000.0];
+    let run_grid = || {
+        for ts in grid {
+            mesh_bench::compare(
+                &workload,
+                &machine,
+                mesh_bench::HybridOptions {
+                    policy: AnnotationPolicy::AtBarriers,
+                    min_timeslice: ts,
+                },
+            );
+        }
+    };
+
+    let cap_before = mesh_bench::memo::subeval_lru_capacity();
+    mesh_bench::memo::set_result_cache(None);
+    let mut cold = None;
+    if wants_cold {
+        mesh_bench::memo::set_subeval_lru_capacity(0);
+        let median = time_median_batched_ns(samples, mesh_bench::memo::clear_subeval_lru, |()| {
+            run_grid()
+        });
+        suite.record("sweep/grid_cold", median);
+        cold = Some(median);
+    }
+    let mut shared = None;
+    if wants_shared {
+        mesh_bench::memo::set_subeval_lru_capacity(cap_before.max(1));
+        let median = time_median_batched_ns(samples, mesh_bench::memo::clear_subeval_lru, |()| {
+            run_grid()
+        });
+        suite.record("sweep/grid_shared", median);
+        shared = Some(median);
+    }
+    if let (Some(cold), Some(shared)) = (cold, shared) {
+        println!(
+            "split-phase reference sharing (cold/shared): {:.2}x",
+            cold / shared
+        );
+    }
+    if wants_memo {
+        mesh_bench::memo::set_subeval_lru_capacity(cap_before.max(1));
+        mesh_bench::memo::set_result_cache(Some(&memo_dir));
+        run_grid(); // populate the persistent tier once
+        let median = time_median_batched_ns(samples, mesh_bench::memo::clear_subeval_lru, |()| {
+            run_grid()
+        });
+        suite.record("sweep/grid_memo_warm", median);
+    }
+
+    // Back to whatever the environment configured, then drop the tempdir.
+    mesh_bench::memo::set_subeval_lru_capacity(cap_before);
+    mesh_bench::memo::clear_subeval_lru();
+    match std::env::var_os(mesh_bench::memo::RESULT_CACHE_ENV) {
+        Some(dir) if !dir.is_empty() => {
+            mesh_bench::memo::set_result_cache(Some(std::path::Path::new(&dir)))
+        }
+        _ => mesh_bench::memo::set_result_cache(None),
+    }
+    let _ = std::fs::remove_dir_all(&memo_dir);
+}
+
 fn main() {
     let args = parse_args();
     let sha = git_sha();
@@ -394,6 +492,7 @@ fn main() {
     // records: it is what every *other* benchmark ran under.
     let env_trace_store = mesh_cyclesim::store_enabled();
     let env_result_cache = mesh_bench::memo::enabled();
+    let env_subeval_lru = mesh_bench::memo::subeval_lru_capacity() > 0;
     let mut suite = Suite {
         filter: args.filter.clone(),
         records: Vec::new(),
@@ -474,9 +573,11 @@ fn main() {
         }
     }
 
-    // The persistent-cache tiers, last so their store/config juggling and
-    // cache clearing cannot perturb any other section.
+    // The persistent-cache tiers and the split-phase sweep grid, last so
+    // their store/config juggling and cache clearing cannot perturb any
+    // other section.
     bench_store(&mut suite, s_sim);
+    bench_sweep(&mut suite, s_sim);
 
     let file = BenchFile {
         git_sha: sha.clone(),
@@ -488,6 +589,12 @@ fn main() {
         shards: mesh_bench::fabric::shards_from_env().unwrap_or(0),
         trace_store: usize::from(env_trace_store),
         result_cache: usize::from(env_result_cache),
+        planner: if mesh_bench::eval::planner_enabled() {
+            1
+        } else {
+            2
+        },
+        subeval_lru: if env_subeval_lru { 1 } else { 2 },
         benchmarks: suite.records,
     };
 
@@ -555,7 +662,7 @@ fn main() {
         // and the persistent-cache tiers the same way (a no-op against
         // baselines that predate those sections, since only benchmarks
         // present in both files are compared).
-        for prefix in ["cyclesim/", "obs/", "store/"] {
+        for prefix in ["cyclesim/", "obs/", "store/", "sweep/"] {
             match check_regression(&file, &baseline, prefix, args.max_regression) {
                 Ok(checked) => {
                     println!(

@@ -1,0 +1,69 @@
+//! Miniature split-phase ablation sweep — the byte-identity test target.
+//!
+//! Runs a small min-timeslice grid (FFT-4096 on 2 processors, 8 KB caches)
+//! through the exact planner entry point the real ablation binaries use
+//! ([`mesh_bench::eval::sweep_with_references`] feeding
+//! [`mesh_bench::compare`]), printing a table with wall-clock columns. The
+//! `cache_identity` integration test spawns this binary under every cache /
+//! planner / sharding configuration and asserts the stdout bytes never
+//! change: cached legs replay their *recorded* wall clocks, so even the
+//! timing columns are reproduced exactly.
+
+use mesh_annotate::AnnotationPolicy;
+use mesh_bench::sweep::FBits;
+use mesh_bench::{compare, eval, fft_machine, HybridOptions};
+use mesh_workloads::fft::{self, FftConfig};
+
+fn main() {
+    let cfg = FftConfig {
+        points: 4096,
+        threads: 2,
+        ..FftConfig::default()
+    };
+    let workload = fft::build(&cfg);
+    let machine = fft_machine(2, 8 * 1024, 4);
+    let grid: Vec<FBits> = [0.0, 50.0, 200.0, 1000.0, 5000.0]
+        .into_iter()
+        .map(FBits::new)
+        .collect();
+
+    println!("subeval-demo: min-timeslice ablation (FFT-4096, 2 procs, 8KB)");
+    let results = mesh_bench::or_exit(
+        "subeval-demo",
+        eval::sweep_with_references(
+            "subeval-demo",
+            &grid,
+            |_| mesh_bench::iss_reference_fp(&workload, &machine),
+            |_| {
+                mesh_bench::iss_reference(&workload, &machine);
+            },
+            |_| mesh_cyclesim::ensure_stored(&workload, &machine, mesh_cyclesim::Pacing::default()),
+            |m| {
+                compare(
+                    &workload,
+                    &machine,
+                    HybridOptions {
+                        policy: AnnotationPolicy::AtBarriers,
+                        min_timeslice: m.get(),
+                    },
+                )
+            },
+        ),
+    );
+
+    println!("min_ts slices mesh% iss% err% hybrid_us iss_us");
+    for (m, p) in grid.iter().zip(&results) {
+        println!(
+            "{:7.0} {:6} {:9.4} {:9.4} {:8.3} {:11.3} {:11.3}",
+            m.get(),
+            p.mesh_slices,
+            p.mesh_pct,
+            p.iss_pct,
+            p.mesh_error(),
+            p.mesh_wall.as_secs_f64() * 1e6,
+            p.iss_wall.as_secs_f64() * 1e6,
+        );
+    }
+    mesh_bench::note_replayed("subeval-demo", &results);
+    mesh_bench::obs_finish();
+}

@@ -43,6 +43,9 @@ fn main() {
             |&(procs, cache_bytes)| run_fft_point(procs, cache_bytes, FFT_BUS_DELAY),
         ),
     );
+    // Timing table: flag rows whose wall clocks were replayed from the
+    // result cache rather than measured by this process.
+    mesh_bench::note_replayed("table1", &results);
     let mut rows = points.iter().zip(results);
     for procs in FFT_PROC_SWEEP {
         let mut row = vec![procs.to_string()];

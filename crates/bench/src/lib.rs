@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod eval;
 pub mod fabric;
 pub mod memo;
 pub mod perf;
@@ -37,7 +38,7 @@ use mesh_workloads::Workload;
 use std::time::Duration;
 
 /// One comparison of the three estimators on one workload/machine point.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct ComparisonPoint {
     /// Queuing percentage measured by the cycle-accurate reference.
     pub iss_pct: f64,
@@ -61,6 +62,30 @@ pub struct ComparisonPoint {
     pub work_cycles: u64,
     /// Shared bus accesses (cache misses).
     pub misses: u64,
+    /// Whether either timed leg (ISS reference or hybrid run) was replayed
+    /// from a cache, in which case `iss_wall`/`mesh_wall` are *recorded*
+    /// timings from the run that populated it, not this process's clock.
+    /// Provenance only — excluded from equality, checkpoints decode its
+    /// absence as `false`.
+    pub replayed: bool,
+}
+
+/// Equality over the measured fields; `replayed` is provenance, not a
+/// result, so a cached replay compares equal to the run that populated it.
+impl PartialEq for ComparisonPoint {
+    fn eq(&self, other: &ComparisonPoint) -> bool {
+        self.iss_pct == other.iss_pct
+            && self.mesh_pct == other.mesh_pct
+            && self.analytical_pct == other.analytical_pct
+            && self.iss_wall == other.iss_wall
+            && self.mesh_wall == other.mesh_wall
+            && self.iss_cycles == other.iss_cycles
+            && self.mesh_cycles == other.mesh_cycles
+            && self.mesh_regions == other.mesh_regions
+            && self.mesh_slices == other.mesh_slices
+            && self.work_cycles == other.work_cycles
+            && self.misses == other.misses
+    }
 }
 
 /// Unwraps a result in an experiment binary's main path.
@@ -106,11 +131,12 @@ pub fn obs_finish() {
                 s.hits, s.misses, s.publishes, s.quarantined, s.gc_removed, s.claim_waits
             );
         }
-        if memo::enabled() {
-            let s = memo::stats();
+        let s = memo::stats();
+        if memo::enabled() || s.lru_hits > 0 {
             eprintln!(
-                "mesh-bench result-cache: {} hits, {} misses, {} stores, {} quarantined",
-                s.hits, s.misses, s.stores, s.quarantined
+                "mesh-bench result-cache: {} hits, {} misses, {} stores, {} quarantined, \
+                 {} lru-hits",
+                s.hits, s.misses, s.stores, s.quarantined, s.lru_hits
             );
         }
     }
@@ -131,13 +157,14 @@ impl crate::checkpoint::Checkpointable for ComparisonPoint {
             self.mesh_slices.encode(),
             self.work_cycles.encode(),
             self.misses.encode(),
+            u64::from(self.replayed).encode(),
         ]
         .join(" ")
     }
 
     fn decode(s: &str) -> Option<ComparisonPoint> {
         let mut it = s.split_whitespace();
-        let point = ComparisonPoint {
+        let mut point = ComparisonPoint {
             iss_pct: f64::decode(it.next()?)?,
             mesh_pct: f64::decode(it.next()?)?,
             analytical_pct: f64::decode(it.next()?)?,
@@ -149,7 +176,17 @@ impl crate::checkpoint::Checkpointable for ComparisonPoint {
             mesh_slices: u64::decode(it.next()?)?,
             work_cycles: u64::decode(it.next()?)?,
             misses: u64::decode(it.next()?)?,
+            replayed: false,
         };
+        // The replay flag is a later addition: records written before it
+        // carry 11 tokens and decode as not-replayed.
+        if let Some(flag) = it.next() {
+            point.replayed = match u64::decode(flag)? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+        }
         if it.next().is_some() {
             return None;
         }
@@ -224,13 +261,245 @@ fn policy_words(policy: AnnotationPolicy) -> [u64; 2] {
     }
 }
 
-/// Runs all three estimators on a workload/machine pair.
+fn bump_subeval(name: &str) {
+    if mesh_obs::enabled() {
+        mesh_obs::counter(name).inc();
+    }
+}
+
+/// The memoized product of the cycle-accurate reference sub-evaluation: the
+/// ground-truth queuing percentage plus the recorded wall clock and
+/// simulated-cycle count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IssRef {
+    /// Queuing percentage measured by the reference.
+    pub pct: f64,
+    /// Wall-clock time of the run that populated this value.
+    pub wall: Duration,
+    /// Simulated cycles of the reference run.
+    pub cycles: u64,
+}
+
+impl crate::checkpoint::Checkpointable for IssRef {
+    fn encode(&self) -> String {
+        [self.pct.encode(), self.wall.encode(), self.cycles.encode()].join(" ")
+    }
+
+    fn decode(s: &str) -> Option<IssRef> {
+        let mut it = s.split_whitespace();
+        let v = IssRef {
+            pct: f64::decode(it.next()?)?,
+            wall: Duration::decode(it.next()?)?,
+            cycles: u64::decode(it.next()?)?,
+        };
+        if it.next().is_some() {
+            return None;
+        }
+        Some(v)
+    }
+}
+
+/// The memoized product of the hybrid sub-evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct HybridLeg {
+    pct: f64,
+    wall: Duration,
+    cycles: f64,
+    regions: u64,
+    slices: u64,
+    work_cycles: u64,
+    misses: u64,
+}
+
+impl crate::checkpoint::Checkpointable for HybridLeg {
+    fn encode(&self) -> String {
+        [
+            self.pct.encode(),
+            self.wall.encode(),
+            self.cycles.encode(),
+            self.regions.encode(),
+            self.slices.encode(),
+            self.work_cycles.encode(),
+            self.misses.encode(),
+        ]
+        .join(" ")
+    }
+
+    fn decode(s: &str) -> Option<HybridLeg> {
+        let mut it = s.split_whitespace();
+        let v = HybridLeg {
+            pct: f64::decode(it.next()?)?,
+            wall: Duration::decode(it.next()?)?,
+            cycles: f64::decode(it.next()?)?,
+            regions: u64::decode(it.next()?)?,
+            slices: u64::decode(it.next()?)?,
+            work_cycles: u64::decode(it.next()?)?,
+            misses: u64::decode(it.next()?)?,
+        };
+        if it.next().is_some() {
+            return None;
+        }
+        Some(v)
+    }
+}
+
+/// The sub-evaluation fingerprint of the cycle-accurate reference for a
+/// workload/machine pair: the key [`iss_reference`] memoizes under, and the
+/// grouping key the [`eval`] planner co-locates sweep points by. Depends
+/// only on the scenario — never on hybrid knobs — so every point of an
+/// ablation grid over one machine shares it.
 ///
-/// With `MESH_RESULT_CACHE` set, the complete point is memoized under a
-/// fingerprint of the scenario (workload content, machine timing, annotation
-/// policy, minimum timeslice, contention model); a warm hit returns the
-/// previously computed point — including its *recorded* wall-clock times —
-/// so cached output is byte-identical to the run that populated the cache.
+/// # Panics
+///
+/// Panics if the workload is invalid for the machine.
+pub fn iss_reference_fp(workload: &Workload, machine: &MachineConfig) -> u128 {
+    scenario_fp("subeval-iss", workload, machine).finish()
+}
+
+/// Runs (or replays) the cycle-accurate reference for a workload/machine
+/// pair, memoized under [`iss_reference_fp`] in the in-process
+/// sub-evaluation LRU and — with `MESH_RESULT_CACHE` set — the persistent
+/// result cache. Every sweep point sharing the scenario shares one
+/// simulation; concurrent callers are single-flighted.
+///
+/// # Panics
+///
+/// Panics if the workload is invalid for the machine.
+pub fn iss_reference(workload: &Workload, machine: &MachineConfig) -> IssRef {
+    iss_reference_flagged(workload, machine).0
+}
+
+fn iss_reference_flagged(workload: &Workload, machine: &MachineConfig) -> (IssRef, bool) {
+    let fp = iss_reference_fp(workload, machine);
+    let (iss, shared) = memo::memoize_flagged(fp, || {
+        let iss: CycleReport =
+            mesh_cyclesim::simulate(workload, machine).expect("cycle-accurate simulation failed");
+        IssRef {
+            pct: iss.queuing_percent(),
+            wall: iss.wall_clock,
+            cycles: iss.total_cycles,
+        }
+    });
+    if shared {
+        bump_subeval("bench.subeval.reference_shared");
+    }
+    (iss, shared)
+}
+
+/// The sub-evaluation fingerprint of the hybrid leg for a scenario and knob
+/// setting: scenario plus annotation policy, minimum timeslice and the
+/// contention model's identity. Exposed so the cache-identity tests can
+/// prove distinct knob settings never collide within the domain.
+///
+/// # Panics
+///
+/// Panics if the workload is invalid for the machine.
+pub fn hybrid_subeval_fp(
+    workload: &Workload,
+    machine: &MachineConfig,
+    options: HybridOptions,
+) -> u128 {
+    let model = ChenLinBus::new();
+    let [ptag, parg] = policy_words(options.policy);
+    scenario_fp("subeval-hybrid", workload, machine)
+        .word(ptag)
+        .word(parg)
+        .word(options.min_timeslice.to_bits())
+        .text(model.name())
+        .words(&model.digest_words())
+        .finish()
+}
+
+fn hybrid_leg_flagged(
+    workload: &Workload,
+    machine: &MachineConfig,
+    options: HybridOptions,
+) -> (HybridLeg, bool) {
+    let fp = hybrid_subeval_fp(workload, machine, options);
+    let (leg, shared) = memo::memoize_flagged(fp, || {
+        let setup: HybridSetup = assemble(workload, machine, ChenLinBus::new(), options.policy)
+            .expect("hybrid assembly failed");
+        let work_cycles = setup.work_total();
+        let misses = setup.misses_total();
+        let mut builder = setup.builder;
+        builder.set_min_timeslice(mesh_core::SimTime::from_cycles(options.min_timeslice));
+        let outcome = builder
+            .build()
+            .expect("hybrid build failed")
+            .run()
+            .expect("hybrid run failed");
+        let queuing = outcome.report.queuing_total().as_cycles();
+        let pct = if work_cycles == 0 {
+            0.0
+        } else {
+            100.0 * queuing / work_cycles as f64
+        };
+        HybridLeg {
+            pct,
+            wall: outcome.report.wall_clock,
+            cycles: outcome.report.total_time.as_cycles(),
+            regions: outcome.report.commits,
+            slices: outcome.report.slices_analyzed,
+            work_cycles,
+            misses,
+        }
+    });
+    if shared {
+        bump_subeval("bench.subeval.hybrid_shared");
+    }
+    (leg, shared)
+}
+
+fn analytical_leg(workload: &Workload, machine: &MachineConfig, policy: AnnotationPolicy) -> f64 {
+    let model = ChenLinBus::new();
+    let [ptag, parg] = policy_words(policy);
+    // The whole-program estimator ignores the minimum timeslice, so it is
+    // *not* part of this key — but the annotation policy is: regions
+    // accumulate operations before cycle conversion, so with non-unit
+    // processor powers the rounded work totals can differ per policy.
+    let fp = scenario_fp("subeval-analytical", workload, machine)
+        .word(ptag)
+        .word(parg)
+        .text(model.name())
+        .words(&model.digest_words())
+        .finish();
+    let (pct, shared) = memo::memoize_flagged(fp, || {
+        let setup: HybridSetup =
+            assemble(workload, machine, ChenLinBus::new(), policy).expect("hybrid assembly failed");
+        let profiles: Vec<ThreadProfile> = setup
+            .tasks
+            .iter()
+            .map(|t| {
+                ThreadProfile::new(
+                    mesh_core::SimTime::from_cycles(t.work_cycles as f64),
+                    t.misses as f64,
+                )
+            })
+            .collect();
+        let estimator = AnalyticalEstimator::new(
+            ChenLinBus::new(),
+            mesh_core::SimTime::from_cycles(machine.bus.delay_cycles as f64),
+        );
+        estimator.estimate(&profiles).queuing_percent()
+    });
+    if shared {
+        bump_subeval("bench.subeval.analytical_shared");
+    }
+    pct
+}
+
+/// Runs all three estimators on a workload/machine pair as independently
+/// memoized **sub-evaluations** — cycle-accurate reference, hybrid run, and
+/// whole-program analytical estimate — each cached in the in-process
+/// sub-evaluation LRU and (with `MESH_RESULT_CACHE` set) the persistent
+/// result cache under its own fingerprint domain. A sweep that varies only
+/// hybrid knobs therefore runs the expensive reference **once per distinct
+/// (workload, machine)** instead of once per point.
+///
+/// Cached legs replay their *recorded* wall-clock times, so replayed output
+/// is byte-identical to the run that populated the cache; the returned
+/// point's [`replayed`](ComparisonPoint::replayed) flag reports whether
+/// either timed leg came from a cache (see [`note_replayed`]).
 ///
 /// # Panics
 ///
@@ -241,79 +510,52 @@ pub fn compare(
     machine: &MachineConfig,
     options: HybridOptions,
 ) -> ComparisonPoint {
-    if !memo::enabled() {
-        return compare_uncached(workload, machine, options);
-    }
-    let model = ChenLinBus::new();
-    let [ptag, parg] = policy_words(options.policy);
-    let fp = scenario_fp("compare", workload, machine)
-        .word(ptag)
-        .word(parg)
-        .word(options.min_timeslice.to_bits())
-        .text(model.name())
-        .words(&model.digest_words())
-        .finish();
-    memo::memoize(fp, || compare_uncached(workload, machine, options))
-}
-
-fn compare_uncached(
-    workload: &Workload,
-    machine: &MachineConfig,
-    options: HybridOptions,
-) -> ComparisonPoint {
-    // Ground truth.
-    let iss: CycleReport =
-        mesh_cyclesim::simulate(workload, machine).expect("cycle-accurate simulation failed");
-
-    // Hybrid (piecewise Chen-Lin).
-    let setup: HybridSetup = assemble(workload, machine, ChenLinBus::new(), options.policy)
-        .expect("hybrid assembly failed");
-    let work_cycles = setup.work_total();
-    let misses = setup.misses_total();
-    let profiles: Vec<ThreadProfile> = setup
-        .tasks
-        .iter()
-        .map(|t| {
-            ThreadProfile::new(
-                mesh_core::SimTime::from_cycles(t.work_cycles as f64),
-                t.misses as f64,
-            )
-        })
-        .collect();
-    let mut builder = setup.builder;
-    builder.set_min_timeslice(mesh_core::SimTime::from_cycles(options.min_timeslice));
-    let outcome = builder
-        .build()
-        .expect("hybrid build failed")
-        .run()
-        .expect("hybrid run failed");
-    let mesh_queuing = outcome.report.queuing_total().as_cycles();
-    let mesh_pct = if work_cycles == 0 {
-        0.0
-    } else {
-        100.0 * mesh_queuing / work_cycles as f64
-    };
-
-    // Whole-program analytical baseline (identical model, one step).
-    let estimator = AnalyticalEstimator::new(
-        ChenLinBus::new(),
-        mesh_core::SimTime::from_cycles(machine.bus.delay_cycles as f64),
-    );
-    let analytical_pct = estimator.estimate(&profiles).queuing_percent();
+    let (iss, iss_shared) = iss_reference_flagged(workload, machine);
+    let (hybrid, hybrid_shared) = hybrid_leg_flagged(workload, machine, options);
+    let analytical_pct = analytical_leg(workload, machine, options.policy);
 
     ComparisonPoint {
-        iss_pct: iss.queuing_percent(),
-        mesh_pct,
+        iss_pct: iss.pct,
+        mesh_pct: hybrid.pct,
         analytical_pct,
-        iss_wall: iss.wall_clock,
-        mesh_wall: outcome.report.wall_clock,
-        iss_cycles: iss.total_cycles,
-        mesh_cycles: outcome.report.total_time.as_cycles(),
-        mesh_regions: outcome.report.commits,
-        mesh_slices: outcome.report.slices_analyzed,
-        work_cycles,
-        misses,
+        iss_wall: iss.wall,
+        mesh_wall: hybrid.wall,
+        iss_cycles: iss.cycles,
+        mesh_cycles: hybrid.cycles,
+        mesh_regions: hybrid.regions,
+        mesh_slices: hybrid.slices,
+        work_cycles: hybrid.work_cycles,
+        misses: hybrid.misses,
+        replayed: iss_shared || hybrid_shared,
     }
+}
+
+/// Prints a stderr provenance note when any point of a finished sweep was
+/// replayed from a cache: its wall-clock and speedup columns reflect the
+/// *recorded* timings of the runs that populated the cache, not this
+/// process. Stdout is never touched, so replayed output stays byte-identical
+/// to the populating run.
+pub fn note_replayed(label: &str, points: &[ComparisonPoint]) {
+    let rows: Vec<usize> = points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.replayed)
+        .map(|(i, _)| i)
+        .collect();
+    if rows.is_empty() {
+        return;
+    }
+    let rows_text = rows
+        .iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    eprintln!(
+        "{label}: {}/{} rows replayed from the result cache (rows {rows_text}); \
+         wall-clock and speedup columns are recorded timings",
+        rows.len(),
+        points.len(),
+    );
 }
 
 /// The machine of the §5.1 FFT experiment: `n` unit-power processors with
@@ -417,24 +659,38 @@ pub fn adversarial_arbitrations(n_procs: usize) -> Vec<Arbitration> {
 /// queuing, in cycles — the adversarial ground truth a worst-case envelope
 /// must dominate. Returns zero when `MESH_ADVERSARY=off` empties the set.
 ///
-/// With `MESH_RESULT_CACHE` set, the maximum is memoized per scenario; the
-/// raw `MESH_ADVERSARY` value is part of the key, so changing the schedule
-/// set never serves a stale maximum.
+/// The maximum is memoized per scenario in the in-process sub-evaluation
+/// LRU and — with `MESH_RESULT_CACHE` set — on disk; the raw
+/// `MESH_ADVERSARY` value is part of the key, so changing the schedule set
+/// never serves a stale maximum.
 ///
 /// # Panics
 ///
 /// Panics if the workload is invalid for the machine.
 pub fn adversarial_bus_queuing_max(workload: &Workload, machine: &MachineConfig) -> u64 {
-    if !memo::enabled() {
-        return adversarial_bus_queuing_max_uncached(workload, machine);
-    }
-    let mode = std::env::var("MESH_ADVERSARY").unwrap_or_default();
-    let fp = scenario_fp("adversarial-max", workload, machine)
-        .text(&mode)
-        .finish();
-    memo::memoize(fp, || {
+    let fp = adversarial_max_fp(workload, machine);
+    let (max, shared) = memo::memoize_flagged(fp, || {
         adversarial_bus_queuing_max_uncached(workload, machine)
-    })
+    });
+    if shared {
+        bump_subeval("bench.subeval.reference_shared");
+    }
+    max
+}
+
+/// The sub-evaluation fingerprint of the adversarial-schedule maximum for a
+/// workload/machine pair — the grouping key `noc_sweep` hands the [`eval`]
+/// planner, so envelope points differing only in contention model share one
+/// adversarial ISS sweep.
+///
+/// # Panics
+///
+/// Panics if the workload is invalid for the machine.
+pub fn adversarial_max_fp(workload: &Workload, machine: &MachineConfig) -> u128 {
+    let mode = std::env::var("MESH_ADVERSARY").unwrap_or_default();
+    scenario_fp("adversarial-max", workload, machine)
+        .text(&mode)
+        .finish()
 }
 
 fn adversarial_bus_queuing_max_uncached(workload: &Workload, machine: &MachineConfig) -> u64 {
@@ -571,24 +827,20 @@ pub fn run_envelope_point<M: ContentionModel + 'static>(
     model: M,
     priorities: &[u32],
 ) -> EnvelopePoint {
-    let run = if memo::enabled() {
-        // Read identity off the model before it moves into the closure.
-        let fp = scenario_fp("envelope-hybrid", workload, machine)
-            .text(model.name())
-            .words(&model.digest_words())
-            .words(
-                &priorities
-                    .iter()
-                    .map(|&p| u64::from(p))
-                    .collect::<Vec<u64>>(),
-            )
-            .finish();
-        memo::memoize(fp, || {
-            hybrid_envelope_run(workload, machine, model, priorities)
-        })
-    } else {
+    // Read identity off the model before it moves into the closure.
+    let fp = scenario_fp("envelope-hybrid", workload, machine)
+        .text(model.name())
+        .words(&model.digest_words())
+        .words(
+            &priorities
+                .iter()
+                .map(|&p| u64::from(p))
+                .collect::<Vec<u64>>(),
+        )
+        .finish();
+    let (run, _) = memo::memoize_flagged(fp, || {
         hybrid_envelope_run(workload, machine, model, priorities)
-    };
+    });
     let work_cycles = run.work_cycles;
     let report = run.report;
     let adversarial = adversarial_bus_queuing_max(workload, machine);
@@ -636,6 +888,7 @@ mod tests {
             mesh_slices: 9,
             work_cycles: 900,
             misses: 100,
+            replayed: false,
         };
         assert!((p.mesh_error() - 10.0).abs() < 1e-9);
         assert!((p.analytical_error() - 70.0).abs() < 1e-9);

@@ -30,15 +30,24 @@
 //! hundred bytes, so there is no GC tier — wipe the directory to reset.
 
 use crate::checkpoint::Checkpointable;
+use std::collections::HashMap;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Environment variable enabling result memoization: a directory path
 /// (created if absent). Unset or empty disables the cache.
 pub const RESULT_CACHE_ENV: &str = "MESH_RESULT_CACHE";
+
+/// Environment variable sizing the in-process sub-evaluation LRU (entry
+/// count, split over shards). `0` disables the tier; unset uses
+/// [`DEFAULT_SUBEVAL_LRU`].
+pub const SUBEVAL_LRU_ENV: &str = "MESH_SUBEVAL_LRU";
+
+/// Default capacity (entries) of the in-process sub-evaluation LRU.
+pub const DEFAULT_SUBEVAL_LRU: usize = 4096;
 
 /// Bumped whenever the meaning of a memoized value changes (new estimator
 /// semantics, changed percentage definitions, …): entries written by other
@@ -180,6 +189,135 @@ pub fn enabled() -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// Tier-1 in-process sub-evaluation LRU.
+// ---------------------------------------------------------------------------
+
+const LRU_SHARD_COUNT: usize = 16;
+
+/// Sentinel meaning "capacity not resolved yet" in [`LRU_CAPACITY`].
+const LRU_UNRESOLVED: usize = usize::MAX;
+
+static LRU_CAPACITY: AtomicUsize = AtomicUsize::new(LRU_UNRESOLVED);
+
+struct LruShard {
+    /// fp → (last-touch stamp, encoded value).
+    entries: HashMap<u128, (u64, String)>,
+    clock: u64,
+}
+
+fn lru_shards() -> &'static [Mutex<LruShard>; LRU_SHARD_COUNT] {
+    static SHARDS: OnceLock<[Mutex<LruShard>; LRU_SHARD_COUNT]> = OnceLock::new();
+    SHARDS.get_or_init(|| {
+        std::array::from_fn(|_| {
+            Mutex::new(LruShard {
+                entries: HashMap::new(),
+                clock: 0,
+            })
+        })
+    })
+}
+
+fn lru_capacity() -> usize {
+    let cap = LRU_CAPACITY.load(Ordering::Relaxed);
+    if cap != LRU_UNRESOLVED {
+        return cap;
+    }
+    let resolved = std::env::var(SUBEVAL_LRU_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_SUBEVAL_LRU)
+        .min(LRU_UNRESOLVED - 1);
+    LRU_CAPACITY.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Sets the in-process sub-evaluation LRU capacity (entries; `0` disables
+/// the tier), overriding [`SUBEVAL_LRU_ENV`]. Used by perfsuite's sweep
+/// section and tests.
+pub fn set_subeval_lru_capacity(entries: usize) {
+    LRU_CAPACITY.store(entries.min(LRU_UNRESOLVED - 1), Ordering::Relaxed);
+}
+
+/// The in-process sub-evaluation LRU's current capacity in entries (`0` =
+/// tier disabled), resolving [`SUBEVAL_LRU_ENV`] on first use.
+pub fn subeval_lru_capacity() -> usize {
+    lru_capacity()
+}
+
+/// Drops every entry of the in-process sub-evaluation LRU (capacity is
+/// unchanged). Used to stage cold-start measurements.
+pub fn clear_subeval_lru() {
+    for shard in lru_shards() {
+        let mut shard = shard.lock().expect("subeval LRU poisoned");
+        shard.entries.clear();
+        shard.clock = 0;
+    }
+}
+
+fn lru_shard_index(fp: u128) -> usize {
+    // The fingerprint is already a well-mixed FNV fold; the low bits shard.
+    (fp as usize) % LRU_SHARD_COUNT
+}
+
+fn lru_get<V: Checkpointable>(fp: u128) -> Option<V> {
+    if lru_capacity() == 0 {
+        return None;
+    }
+    let mut shard = lru_shards()[lru_shard_index(fp)]
+        .lock()
+        .expect("subeval LRU poisoned");
+    shard.clock += 1;
+    let stamp = shard.clock;
+    let entry = shard.entries.get_mut(&fp)?;
+    entry.0 = stamp;
+    let decoded = V::decode(&entry.1);
+    if decoded.is_none() {
+        // A decode failure means the slot was populated under a different
+        // value type; drop it rather than serving it again.
+        shard.entries.remove(&fp);
+    }
+    decoded
+}
+
+fn lru_put(fp: u128, encoded: String) {
+    let capacity = lru_capacity();
+    if capacity == 0 {
+        return;
+    }
+    let per_shard = (capacity / LRU_SHARD_COUNT).max(1);
+    let mut shard = lru_shards()[lru_shard_index(fp)]
+        .lock()
+        .expect("subeval LRU poisoned");
+    shard.clock += 1;
+    let stamp = shard.clock;
+    if shard.entries.len() >= per_shard && !shard.entries.contains_key(&fp) {
+        if let Some((&oldest, _)) = shard.entries.iter().min_by_key(|(_, (s, _))| *s) {
+            shard.entries.remove(&oldest);
+        }
+    }
+    shard.entries.insert(fp, (stamp, encoded));
+}
+
+// ---------------------------------------------------------------------------
+// Single-flight: concurrent callers of one fingerprint compute once.
+// ---------------------------------------------------------------------------
+
+fn inflight() -> &'static Mutex<HashMap<u128, Arc<Mutex<()>>>> {
+    static CELL: OnceLock<Mutex<HashMap<u128, Arc<Mutex<()>>>>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn inflight_gate(fp: u128) -> Arc<Mutex<()>> {
+    let mut map = inflight().lock().expect("singleflight map poisoned");
+    map.entry(fp).or_default().clone()
+}
+
+fn inflight_done(fp: u128) {
+    let mut map = inflight().lock().expect("singleflight map poisoned");
+    map.remove(&fp);
+}
+
+// ---------------------------------------------------------------------------
 // Statistics.
 // ---------------------------------------------------------------------------
 
@@ -187,6 +325,7 @@ static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static STORES: AtomicU64 = AtomicU64::new(0);
 static QUARANTINED: AtomicU64 = AtomicU64::new(0);
+static LRU_HITS: AtomicU64 = AtomicU64::new(0);
 
 fn bump(counter: &AtomicU64, obs_name: &str) {
     counter.fetch_add(1, Ordering::Relaxed);
@@ -206,6 +345,9 @@ pub struct ResultCacheStats {
     pub stores: u64,
     /// Corrupt entries renamed aside and recomputed.
     pub quarantined: u64,
+    /// Sub-evaluations answered from the in-process LRU without touching
+    /// disk.
+    pub lru_hits: u64,
 }
 
 /// Snapshot of the result cache's counters.
@@ -215,6 +357,7 @@ pub fn stats() -> ResultCacheStats {
         misses: MISSES.load(Ordering::Relaxed),
         stores: STORES.load(Ordering::Relaxed),
         quarantined: QUARANTINED.load(Ordering::Relaxed),
+        lru_hits: LRU_HITS.load(Ordering::Relaxed),
     }
 }
 
@@ -308,6 +451,50 @@ pub fn memoize<V: Checkpointable>(fp: u128, f: impl FnOnce() -> V) -> V {
     let value = f();
     write_entry(&dir, fp, &value.encode());
     value
+}
+
+/// Like [`memoize`], but layered over the in-process sub-evaluation LRU
+/// (always on unless [`SUBEVAL_LRU_ENV`] is `0`) *and* the persistent tier
+/// (when enabled), and reporting provenance: the second element is `true`
+/// when the value was served from either cache rather than computed.
+///
+/// Concurrent callers of one fingerprint are single-flighted — losers block
+/// on the winner's computation and then read it from the cache — so a
+/// parallel sweep whose points share a sub-evaluation computes it exactly
+/// once per process.
+pub fn memoize_flagged<V: Checkpointable>(fp: u128, f: impl FnOnce() -> V) -> (V, bool) {
+    if let Some(v) = lru_get::<V>(fp) {
+        bump(&LRU_HITS, "bench.subeval.lru_hits");
+        return (v, true);
+    }
+    let gate = inflight_gate(fp);
+    let guard = gate.lock().expect("singleflight gate poisoned");
+    // A loser arriving here finds the winner's freshly published value.
+    if let Some(v) = lru_get::<V>(fp) {
+        bump(&LRU_HITS, "bench.subeval.lru_hits");
+        drop(guard);
+        return (v, true);
+    }
+    if let Some(dir) = dir() {
+        let _span = mesh_obs::span("bench.result_cache.lookup_ns");
+        if let Some(v) = read_entry::<V>(&dir, fp) {
+            bump(&HITS, "bench.result_cache.hits");
+            lru_put(fp, v.encode());
+            drop(guard);
+            inflight_done(fp);
+            return (v, true);
+        }
+    }
+    bump(&MISSES, "bench.result_cache.misses");
+    let value = f();
+    let encoded = value.encode();
+    lru_put(fp, encoded.clone());
+    if let Some(dir) = dir() {
+        write_entry(&dir, fp, &encoded);
+    }
+    drop(guard);
+    inflight_done(fp);
+    (value, false)
 }
 
 #[cfg(test)]

@@ -1,0 +1,104 @@
+//! Proves the split-phase acceptance criterion with observability counters:
+//! an ablation-style sweep varying only hybrid knobs invokes
+//! `mesh_cyclesim::simulate` **exactly once** per distinct (workload,
+//! machine), with every other point sharing the memoized reference.
+//!
+//! This is the only test in this file on purpose — it reads process-global
+//! counters, and a sibling test running `compare` in parallel would race
+//! the deltas.
+
+use mesh_annotate::AnnotationPolicy;
+use mesh_bench::{compare, eval, fft_machine, memo, HybridOptions};
+use mesh_obs as obs;
+use mesh_workloads::fft::{self, FftConfig};
+
+#[test]
+fn knob_sweep_runs_cyclesim_once_per_scenario() {
+    obs::set_enabled(true);
+    memo::set_result_cache(None);
+    memo::clear_subeval_lru();
+
+    let workload = fft::build(&FftConfig {
+        points: 1024,
+        threads: 2,
+        ..FftConfig::default()
+    });
+    let machine = fft_machine(2, 8 * 1024, 4);
+    let grid = [0.0, 10.0, 100.0, 500.0, 2000.0];
+
+    let runs_before = obs::counter("cyclesim.sim.runs").value();
+    let shared_before = obs::counter("bench.subeval.reference_shared").value();
+
+    let points: Vec<_> = grid
+        .iter()
+        .map(|&min_timeslice| {
+            compare(
+                &workload,
+                &machine,
+                HybridOptions {
+                    policy: AnnotationPolicy::AtBarriers,
+                    min_timeslice,
+                },
+            )
+        })
+        .collect();
+
+    let runs = obs::counter("cyclesim.sim.runs").value() - runs_before;
+    let shared = obs::counter("bench.subeval.reference_shared").value() - shared_before;
+
+    assert_eq!(
+        runs,
+        1,
+        "one scenario, {} knob settings: cyclesim must run exactly once",
+        grid.len()
+    );
+    assert_eq!(
+        shared,
+        grid.len() as u64 - 1,
+        "every point after the first shares the memoized reference"
+    );
+    assert!(
+        !points[0].replayed && points[1..].iter().all(|p| p.replayed),
+        "shared-reference points carry the replay flag"
+    );
+    // All points agree on the reference-side numbers, computed once.
+    assert!(points.iter().all(|p| p.iss_cycles == points[0].iss_cycles
+        && p.iss_pct.to_bits() == points[0].iss_pct.to_bits()));
+
+    // The planner path must not change the count: a second distinct machine
+    // swept through `sweep_with_references` pays exactly one more simulate.
+    memo::clear_subeval_lru();
+    let machine_b = fft_machine(2, 16 * 1024, 4);
+    let runs_before = obs::counter("cyclesim.sim.runs").value();
+    let grid_bits: Vec<mesh_bench::sweep::FBits> = grid
+        .iter()
+        .copied()
+        .map(mesh_bench::sweep::FBits::new)
+        .collect();
+    let planned = eval::sweep_with_references(
+        "subeval-once",
+        &grid_bits,
+        |_| mesh_bench::iss_reference_fp(&workload, &machine_b),
+        |_| {
+            mesh_bench::iss_reference(&workload, &machine_b);
+        },
+        |_| {},
+        |m| {
+            compare(
+                &workload,
+                &machine_b,
+                HybridOptions {
+                    policy: AnnotationPolicy::AtBarriers,
+                    min_timeslice: m.get(),
+                },
+            )
+        },
+    )
+    .expect("planned sweep succeeds");
+    assert_eq!(planned.len(), grid.len());
+    assert_eq!(
+        obs::counter("cyclesim.sim.runs").value() - runs_before,
+        1,
+        "planner dispatch still runs cyclesim once per scenario"
+    );
+}

@@ -24,11 +24,12 @@
 //!   cycle — the earliest completion of any busy/idle occupancy, pending
 //!   barrier release, or grant opportunity on a contended resource — and
 //!   jumps straight to it, accounting busy/queue statistics in closed form
-//!   over the skipped interval. Consecutive compute chunks and cache hits
-//!   are fused into one occupancy, because neither interacts with shared
-//!   state; a granted bus/I-O service is further fused with the winner's
-//!   next busy span, its side effects deferred to the fused completion.
-//!   Work is O(events), not O(cycles);
+//!   over the skipped interval. Consecutive compute chunks, cache hits and
+//!   idle gaps are fused into one occupancy (super-step fusion), because
+//!   none of them interacts with shared state; a granted bus/I-O service is
+//!   further fused with the winner's next span, its side effects deferred
+//!   to the fused completion. Work is O(shared-state events), not
+//!   O(cycles);
 //! * the **reference ticker** ([`SimOptions::reference_ticker`]) advances
 //!   the whole machine one cycle at a time, exactly like the original
 //!   implementation. It exists as the differential-testing oracle
@@ -384,6 +385,12 @@ pub fn simulate_with_options(
             "workload issues I/O operations but the machine has no I/O device".to_string(),
         ));
     }
+    // Counted here (after validation, before either engine) so callers can
+    // assert how many full simulations a sweep actually paid for — the
+    // bench layer's reference-sharing tests key off this.
+    if mesh_obs::enabled() {
+        mesh_obs::counter("cyclesim.sim.runs").inc();
+    }
     if options.reference_ticker {
         run_ticked(workload, machine, options)
     } else {
@@ -435,9 +442,10 @@ fn run_ticked(
     let n = workload.tasks.len();
     let mut feeds = make_feeds(workload, machine, options);
     let _consume_span = mesh_obs::span("cyclesim.consume_ns");
-    // Trace feeds only: the blocking event of a busy span in flight, applied
-    // when the span's Compute state completes.
-    let mut pending: Vec<Option<StepEvent>> = vec![None; n];
+    // Trace feeds only: the remainder of a macro-step in flight — the idle
+    // span still to serve and the blocking event — applied as the busy and
+    // idle phases complete.
+    let mut pending: Vec<Option<(u64, StepEvent)>> = vec![None; n];
     let mut states = vec![PState::Fetch; n];
     let mut stats = vec![ProcCycleStats::default(); n];
 
@@ -463,14 +471,15 @@ fn run_ticked(
     // Resolve Fetch states (zero-width transitions) for processor `p`.
     // Returns the new state after consuming as many zero-cycle items as
     // needed. The cursor arm is the original per-item loop, kept verbatim;
-    // the trace arm splits each pre-fused step into the busy span (reusing
-    // `PState::Compute` — compute, hits and their order within the span are
-    // timing-equivalent) and its pending blocking event.
+    // the trace arm splits each pre-fused macro-step into the busy span
+    // (reusing `PState::Compute` — compute, hits and their order within the
+    // span are timing-equivalent), the idle span, and the pending blocking
+    // event.
     #[allow(clippy::too_many_arguments)]
     fn resolve_fetch(
         p: usize,
         feeds: &mut [Feed<'_>],
-        pending: &mut [Option<StepEvent>],
+        pending: &mut [Option<(u64, StepEvent)>],
         stats: &mut [ProcCycleStats],
         wait_queue: &mut GrantRing,
         io_wait_queue: &mut GrantRing,
@@ -519,18 +528,22 @@ fn run_ticked(
                 }
             },
             Feed::Trace(reader) => {
-                let event = match pending[p].take() {
-                    Some(event) => event,
+                let (idle, event) = match pending[p].take() {
+                    Some(rest) => rest,
                     None => {
                         let step = reader.next_step();
                         stats[p].hits += step.hits;
                         if step.busy > 0 {
-                            pending[p] = Some(step.event);
+                            pending[p] = Some((step.idle, step.event));
                             return PState::Compute { left: step.busy };
                         }
-                        step.event
+                        (step.idle, step.event)
                     }
                 };
+                if idle > 0 {
+                    pending[p] = Some((0, event));
+                    return PState::Idle { left: idle };
+                }
                 match event {
                     StepEvent::Finish => {
                         stats[p].finished_at = cycle;
@@ -546,7 +559,6 @@ fn run_ticked(
                         io_wait_queue.push(p);
                         PState::WaitIo
                     }
-                    StepEvent::Idle(c) => PState::Idle { left: c },
                     StepEvent::Barrier(id) => {
                         arrived[id].push(p);
                         PState::Barrier { id }
@@ -759,26 +771,24 @@ fn run_ticked(
 // Event-skipping engine.
 // ---------------------------------------------------------------------------
 
-/// Processor state of the event-skipping engine. Compute chunks and cache
-/// hits are fused into a single [`EvState::Busy`] occupancy: neither
-/// interacts with shared state, and both accrue `work_cycles`, so the
-/// fusion is observationally identical to ticking them apart. The fusion
-/// itself lives in the feed ([`Feed::next_step`]): per-call for the cursor
-/// path, pre-resolved for compiled traces — the engine consumes identical
-/// [`TraceStep`]s either way, its completion carrying the step's blocking
-/// [`StepEvent`].
+/// Processor state of the event-skipping engine. Compute chunks, cache hits
+/// and idle gaps are fused into a single [`EvState::Busy`] occupancy: none
+/// of them interacts with shared state, and their statistics are accrued
+/// eagerly as closed-form totals, so the fusion is observationally
+/// identical to ticking them apart. The fusion itself lives in the feed
+/// ([`Feed::next_step`]): per-call for the cursor path, pre-resolved for
+/// compiled traces — the engine consumes identical [`TraceStep`]s either
+/// way, its completion carrying the step's blocking [`StepEvent`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EvState {
-    /// Occupied until the given cycle: compute and/or cache hits, possibly
-    /// fused with a preceding bus/I-O occupancy (see
+    /// Occupied until the given cycle: compute, cache hits and/or idle
+    /// gaps, possibly fused with a preceding bus/I-O occupancy (see
     /// [`SkipEngine::resolve_after_grant`]). A shared-resource occupancy
     /// never needs its own state here: the bus frees at
     /// [`SkipEngine::bus_busy_until`] regardless, and the occupant's next
     /// step is drawn eagerly at the grant — only its *side effects* wait,
     /// parked in `then`, executed when this fused span completes.
     Busy { until: u64, then: StepEvent },
-    /// In an idle segment until the given cycle.
-    Idle { until: u64 },
     /// Waiting for the bus grant since the given cycle.
     WaitBus { since: u64 },
     /// Waiting for the I/O device grant since the given cycle.
@@ -794,7 +804,7 @@ impl EvState {
     #[inline]
     fn deadline(&self) -> Option<u64> {
         match *self {
-            EvState::Busy { until, .. } | EvState::Idle { until } => Some(until),
+            EvState::Busy { until, .. } => Some(until),
             _ => None,
         }
     }
@@ -896,10 +906,10 @@ impl<'w> SkipEngine<'w> {
         self.states[p] = state;
     }
 
-    /// Draws processor `p`'s next fused step from its feed at `cycle` —
-    /// compute chunks and cache hits already merged into one busy span,
-    /// whether by the live cursor feed or at trace-compile time — and turns
-    /// it into the corresponding engine state.
+    /// Draws processor `p`'s next fused macro-step from its feed at `cycle`
+    /// — compute chunks, cache hits and idle gaps already merged into one
+    /// span, whether by the live cursor feed or at trace-compile time — and
+    /// turns it into the corresponding engine state.
     ///
     /// Statistics whose final value does not depend on *when* they are
     /// counted (work/idle cycle totals, hit/miss/io counters) are accrued
@@ -915,10 +925,12 @@ impl<'w> SkipEngine<'w> {
                 StepEvent::Io => stats.io_ops += 1,
                 _ => {}
             }
-            if step.busy > 0 {
+            let span = step.busy + step.idle;
+            if span > 0 {
                 stats.work_cycles += step.busy;
+                stats.idle_cycles += step.idle;
                 return EvState::Busy {
-                    until: cycle + step.busy,
+                    until: cycle + span,
                     then: step.event,
                 };
             }
@@ -935,10 +947,6 @@ impl<'w> SkipEngine<'w> {
             StepEvent::Io => {
                 self.io_ring.push(p);
                 EvState::WaitIo { since: cycle }
-            }
-            StepEvent::Idle(c) => {
-                self.stats[p].idle_cycles += c;
-                EvState::Idle { until: cycle + c }
             }
             StepEvent::Barrier(id) => {
                 self.arrive(id, p);
@@ -976,8 +984,9 @@ impl<'w> SkipEngine<'w> {
             _ => {}
         }
         stats.work_cycles += step.busy;
+        stats.idle_cycles += step.idle;
         EvState::Busy {
-            until: freed + step.busy,
+            until: freed + step.busy + step.idle,
             then: step.event,
         }
     }
@@ -1171,18 +1180,11 @@ fn run_event_skip(
                         e.io_ring.push(p);
                         e.install(p, EvState::WaitIo { since: next });
                     }
-                    StepEvent::Idle(c) => {
-                        e.stats[p].idle_cycles += c;
-                        e.install(p, EvState::Idle { until: next + c });
-                    }
                     StepEvent::Barrier(id) => {
                         e.arrive(id, p);
                         e.install(p, EvState::Barrier { id, since: next });
                     }
                 },
-                EvState::Idle { .. } => {
-                    e.resolve_into(p, next);
-                }
                 _ => unreachable!("only occupancy states carry deadlines"),
             }
         }

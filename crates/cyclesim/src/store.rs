@@ -5,7 +5,7 @@
 //! every fresh sweep run still pays the full compile again. Setting
 //! `MESH_TRACE_STORE=<dir>` adds a content-addressed on-disk tier under it:
 //!
-//! * **Content addressing.** A compiled [`TaskTrace`] is stored at
+//! * **Content addressing.** A compiled `TaskTrace` is stored at
 //!   `<dir>/<key>.trace` where `key` is the same 128-bit content
 //!   fingerprint the in-memory cache uses — everything the compiler reads
 //!   (segments, processor timing digest, derived pacing). Identical
@@ -13,7 +13,7 @@
 //!   or sweep produced them.
 //! * **Versioned binary format.** Each file is a fixed 40-byte header
 //!   (magic `MTRS`, format version, key, step count, FNV-1a 64 payload
-//!   checksum) followed by fixed-width 25-byte step records. Any mismatch —
+//!   checksum) followed by fixed-width 33-byte step records. Any mismatch —
 //!   bad magic, other version, foreign key, short payload, checksum or
 //!   field-validity failure — quarantines the file (renamed to
 //!   `<key>.quarantined`) and recompiles. A reader never panics on, and
@@ -59,10 +59,12 @@ const MAGIC: [u8; 4] = *b"MTRS";
 /// Bump on any semantic change to trace compilation or this encoding:
 /// version-mismatched files read as misses (they are never quarantined, so
 /// old and new binaries can share a directory during a transition).
-const FORMAT_VERSION: u32 = 1;
+/// Version 2: super-step fusion — idle gaps fold into the macro-step as a
+/// dedicated field instead of being standalone events.
+const FORMAT_VERSION: u32 = 2;
 const HEADER_LEN: usize = 40;
-/// busy (8) + hits (8) + event tag (1) + event argument (8).
-const STEP_LEN: usize = 25;
+/// busy (8) + idle (8) + hits (8) + event tag (1) + event argument (8).
+const STEP_LEN: usize = 33;
 const DEFAULT_STORE_BYTES: u64 = 2 << 30;
 
 /// A claim lock older than this is presumed abandoned (holder killed
@@ -242,9 +244,8 @@ fn event_encode(event: StepEvent) -> (u8, u64) {
     match event {
         StepEvent::Miss => (0, 0),
         StepEvent::Io => (1, 0),
-        StepEvent::Idle(c) => (2, c),
-        StepEvent::Barrier(b) => (3, b as u64),
-        StepEvent::Finish => (4, 0),
+        StepEvent::Barrier(b) => (2, b as u64),
+        StepEvent::Finish => (3, 0),
     }
 }
 
@@ -252,10 +253,8 @@ fn event_decode(tag: u8, arg: u64) -> Option<StepEvent> {
     match (tag, arg) {
         (0, 0) => Some(StepEvent::Miss),
         (1, 0) => Some(StepEvent::Io),
-        // Compilation skips zero-length idles, so a stored zero is corrupt.
-        (2, c) if c > 0 => Some(StepEvent::Idle(c)),
-        (3, b) => Some(StepEvent::Barrier(usize::try_from(b).ok()?)),
-        (4, 0) => Some(StepEvent::Finish),
+        (2, b) => Some(StepEvent::Barrier(usize::try_from(b).ok()?)),
+        (3, 0) => Some(StepEvent::Finish),
         _ => None,
     }
 }
@@ -265,6 +264,7 @@ pub(crate) fn encode_trace(key: u128, trace: &TaskTrace) -> Vec<u8> {
     let mut payload = Vec::with_capacity(steps * STEP_LEN);
     for s in trace.iter_steps() {
         payload.extend_from_slice(&s.busy.to_le_bytes());
+        payload.extend_from_slice(&s.idle.to_le_bytes());
         payload.extend_from_slice(&s.hits.to_le_bytes());
         let (tag, arg) = event_encode(s.event);
         payload.push(tag);
@@ -318,10 +318,11 @@ fn try_decode(key: u128, bytes: &[u8]) -> Result<TaskTrace, DecodeError> {
     }
     let mut out: Vec<TraceStep> = Vec::with_capacity(steps);
     for rec in payload.chunks_exact(STEP_LEN) {
-        let event = event_decode(rec[16], le8(&rec[17..25])).ok_or(DecodeError::Corrupt)?;
+        let event = event_decode(rec[24], le8(&rec[25..33])).ok_or(DecodeError::Corrupt)?;
         out.push(TraceStep {
             busy: le8(&rec[0..8]),
-            hits: le8(&rec[8..16]),
+            idle: le8(&rec[8..16]),
+            hits: le8(&rec[16..24]),
             event,
         });
     }
@@ -591,20 +592,26 @@ mod tests {
         (
             any::<u64>(),
             any::<u64>(),
+            any::<u64>(),
             prop_oneof![
                 Just(StepEvent::Miss),
                 Just(StepEvent::Io),
-                (1u64..u64::MAX).prop_map(StepEvent::Idle),
                 (0usize..1 << 40).prop_map(StepEvent::Barrier),
             ],
         )
-            .prop_map(|(busy, hits, event)| TraceStep { busy, hits, event })
+            .prop_map(|(busy, idle, hits, event)| TraceStep {
+                busy,
+                idle,
+                hits,
+                event,
+            })
     }
 
     fn arb_trace() -> impl Strategy<Value = TaskTrace> {
         prop::collection::vec(arb_step(), 0..64).prop_map(|mut steps| {
             steps.push(TraceStep {
                 busy: 0,
+                idle: 0,
                 hits: 0,
                 event: StepEvent::Finish,
             });

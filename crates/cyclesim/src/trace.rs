@@ -10,9 +10,14 @@
 //! `(segments, ProcConfig, pacing)` and lets it run once, at *compile*
 //! time, instead of once per reference per run:
 //!
-//! * a `TraceStep` is one run-length-encoded event — the fused busy span
-//!   (compute plus cache hits) followed by the blocking event it runs into
-//!   (miss, I/O, idle gap, barrier, or task end);
+//! * a `TraceStep` is one run-length-encoded **macro-step**: the maximal
+//!   contention-free run of compute chunks, cache hits and idle gaps —
+//!   fused into closed-form busy/idle aggregates — followed by the
+//!   shared-state event it runs into (miss, I/O, barrier, or task end).
+//!   Idle gaps never interact with shared resources, so folding them into
+//!   the span (super-step fusion) is observationally identical to stepping
+//!   them apart, and halves the engines' event traffic on idle-heavy
+//!   workloads on top of the compute/hit fusion;
 //! * a `TaskTrace` stores the steps in fixed-size chunks, so compiling
 //!   never needs one giant contiguous allocation and consuming streams
 //!   through memory chunk by chunk;
@@ -100,29 +105,34 @@ impl TraceMode {
     }
 }
 
-/// The blocking event a busy span runs into — what the processor does once
-/// its fused compute/hit occupancy completes.
+/// The shared-state event a macro-step runs into — what the processor does
+/// once its fused compute/hit/idle occupancy completes. Every variant
+/// touches state another processor can observe (a shared resource, a
+/// barrier, or run termination); anything private fuses into the step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum StepEvent {
     /// A cache miss: request the shared bus.
     Miss,
     /// A shared-I/O operation: request the device.
     Io,
-    /// An idle gap of this many cycles (> 0).
-    Idle(u64),
     /// Arrive at this barrier.
     Barrier(usize),
     /// The task is complete.
     Finish,
 }
 
-/// One run-length-encoded step of a task: occupy the processor for `busy`
-/// cycles (compute fused with `hits` cache hits), then block on `event`.
-/// `busy` may be zero (e.g. back-to-back misses); `hits` counts the hits
-/// fused into the span so statistics can be accrued without replay.
+/// One run-length-encoded macro-step of a task: occupy the processor for
+/// `busy` work cycles (compute fused with `hits` cache hits), sit idle for
+/// `idle` cycles, then block on `event`. Both spans may be zero (e.g.
+/// back-to-back misses); `hits` counts the hits fused into the span so
+/// statistics can be accrued without replay. Interleavings of compute and
+/// idle inside one contention-free run collapse to busy-then-idle: no
+/// shared state is touched mid-span, so only the totals and the end cycle
+/// are observable — all preserved exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct TraceStep {
     pub(crate) busy: u64,
+    pub(crate) idle: u64,
     pub(crate) hits: u64,
     pub(crate) event: StepEvent,
 }
@@ -146,12 +156,14 @@ impl<'w> CursorFeed<'w> {
         }
     }
 
-    /// Produces the next step: consumes items, accumulating compute chunks
-    /// and hit costs into the busy span, until a blocking event (or the end
-    /// of the task). Zero-length compute and idle items are skipped, as the
-    /// engines always have.
+    /// Produces the next macro-step: consumes items, accumulating compute
+    /// chunks and hit costs into the busy span and idle gaps into the idle
+    /// span, until a shared-state event (or the end of the task).
+    /// Zero-length compute and idle items vanish, as the engines always
+    /// have them.
     pub(crate) fn next_step(&mut self) -> TraceStep {
         let mut busy: u64 = 0;
+        let mut idle: u64 = 0;
         let mut hits: u64 = 0;
         loop {
             let event = match self.cursor.next_item() {
@@ -161,10 +173,8 @@ impl<'w> CursorFeed<'w> {
                     continue;
                 }
                 Some(Item::Idle(c)) => {
-                    if c == 0 {
-                        continue;
-                    }
-                    StepEvent::Idle(c)
+                    idle += c;
+                    continue;
                 }
                 Some(Item::Ref(addr)) => {
                     if self.cache.access(addr).is_miss() {
@@ -178,7 +188,12 @@ impl<'w> CursorFeed<'w> {
                 Some(Item::Io) => StepEvent::Io,
                 Some(Item::Barrier(id)) => StepEvent::Barrier(id),
             };
-            return TraceStep { busy, hits, event };
+            return TraceStep {
+                busy,
+                idle,
+                hits,
+                event,
+            };
         }
     }
 }
@@ -265,10 +280,14 @@ pub(crate) fn compile(
     let mut chunks: Vec<Box<[TraceStep]>> = Vec::new();
     let mut current: Vec<TraceStep> = Vec::with_capacity(CHUNK_STEPS.min(max_steps.max(1)));
     let mut steps: usize = 0;
+    let mut fused_idle: u64 = 0;
     loop {
         let step = feed.next_step();
         if steps >= max_steps {
             return None;
+        }
+        if step.idle > 0 {
+            fused_idle += 1;
         }
         current.push(step);
         steps += 1;
@@ -287,6 +306,9 @@ pub(crate) fn compile(
         // Compiled feeds replay hit/miss verdicts without a cache, so the
         // private cache's evictions are only observable here, at compile.
         mesh_obs::counter("cyclesim.cache.evictions").add(feed.cache.stats().evictions);
+        // Macro-steps whose span absorbed an idle gap: each would have been
+        // (at least) one extra engine event before super-step fusion.
+        mesh_obs::counter("cyclesim.trace.fused_idle_spans").add(fused_idle);
     }
     Some(TaskTrace { chunks, steps })
 }

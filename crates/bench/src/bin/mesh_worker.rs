@@ -123,6 +123,12 @@ fn main() {
             if delay > 0 {
                 std::thread::sleep(Duration::from_millis(delay));
             }
+            // Counted per *evaluation*, so the merged sharded snapshot must
+            // sum to exactly the single-process value — the telemetry-merge
+            // equality tests key off this counter.
+            if mesh_obs::enabled() {
+                mesh_obs::counter("demo.evals").inc();
+            }
             eval_point(0xBB, k)
         }),
     );

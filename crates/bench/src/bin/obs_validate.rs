@@ -6,17 +6,32 @@
 //! exits nonzero on any violation — so the perf-smoke job can gate the
 //! artifact it uploads.
 //!
+//! With `--procs N` the merged-timeline invariants are checked too (via
+//! [`mesh_obs::chrome::validate_processes`]): every process track has a
+//! unique pid and a `process_name`, and at least `N` distinct pids carry
+//! events — the shape a fabric parent produces after absorbing per-shard
+//! worker traces.
+//!
 //! ```bash
 //! cargo run -p mesh-bench --release --bin obs_validate -- trace.json
+//! # merged 3-shard run: parent + 3 worker tracks
+//! cargo run -p mesh-bench --release --bin obs_validate -- --procs 4 trace.json
 //! ```
 
+fn usage() -> ! {
+    eprintln!("usage: obs_validate [--procs N] <trace.json>");
+    std::process::exit(2);
+}
+
 fn main() {
-    let path = match std::env::args().nth(1) {
-        Some(p) => p,
-        None => {
-            eprintln!("usage: obs_validate <trace.json>");
-            std::process::exit(2);
-        }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (min_procs, path) = match args.as_slice() {
+        [path] => (None, path.clone()),
+        [flag, n, path] if flag == "--procs" => match n.parse::<usize>() {
+            Ok(n) => (Some(n), path.clone()),
+            Err(_) => usage(),
+        },
+        _ => usage(),
     };
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
@@ -25,11 +40,15 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match mesh_obs::chrome::validate(&text) {
+    let validated = match min_procs {
+        Some(n) => mesh_obs::chrome::validate_processes(&text, n),
+        None => mesh_obs::chrome::validate(&text),
+    };
+    match validated {
         Ok(summary) => {
             println!(
-                "obs_validate OK: {path}: {} slices, {} instants, {} tracks",
-                summary.slices, summary.instants, summary.tracks
+                "obs_validate OK: {path}: {} slices, {} instants, {} counters, {} tracks",
+                summary.slices, summary.instants, summary.counters, summary.tracks
             );
         }
         Err(e) => {

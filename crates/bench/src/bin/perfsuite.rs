@@ -198,8 +198,19 @@ fn bench_cyclesim(
 /// with the mesh-obs registry disabled (the default no-op path) and
 /// force-enabled, so the BENCH file records the instrumentation overhead
 /// commit over commit and `--check` can gate it like any other benchmark.
+///
+/// Also prices the cross-process merge machinery the fabric parent pays
+/// per shard: `obs/wire_roundtrip` (encode + checksum-verify + decode of a
+/// populated snapshot — one worker's embedded telemetry line) and
+/// `obs/shard_merge` (folding four worker snapshots into the unified
+/// report). Both sit under the `obs/` prefix, so `--check` gates them
+/// against the baseline automatically.
 fn bench_obs(suite: &mut Suite, workload: &Workload, machine: &MachineConfig, samples: usize) {
-    if !suite.wants("obs/smoke_fft_disabled") && !suite.wants("obs/smoke_fft_enabled") {
+    let wants_overhead =
+        suite.wants("obs/smoke_fft_disabled") || suite.wants("obs/smoke_fft_enabled");
+    let wants_wire = suite.wants("obs/wire_roundtrip");
+    let wants_merge = suite.wants("obs/shard_merge");
+    if !wants_overhead && !wants_wire && !wants_merge {
         return;
     }
     let options = SimOptions {
@@ -208,18 +219,43 @@ fn bench_obs(suite: &mut Suite, workload: &Workload, machine: &MachineConfig, sa
     };
     simulate_with_options(workload, machine, options).expect("obs warmup");
     let was_enabled = mesh_obs::enabled();
-    mesh_obs::set_enabled(false);
-    let off = time_median_ns(samples, 1, || {
-        simulate_with_options(workload, machine, options).expect("cyclesim run")
-    });
-    mesh_obs::set_enabled(true);
-    let on = time_median_ns(samples, 1, || {
-        simulate_with_options(workload, machine, options).expect("cyclesim run")
-    });
-    mesh_obs::set_enabled(was_enabled);
-    suite.record("obs/smoke_fft_disabled", off);
-    suite.record("obs/smoke_fft_enabled", on);
-    println!("obs overhead (enabled/disabled): {:.3}x", on / off);
+    if wants_overhead {
+        mesh_obs::set_enabled(false);
+        let off = time_median_ns(samples, 1, || {
+            simulate_with_options(workload, machine, options).expect("cyclesim run")
+        });
+        mesh_obs::set_enabled(true);
+        let on = time_median_ns(samples, 1, || {
+            simulate_with_options(workload, machine, options).expect("cyclesim run")
+        });
+        mesh_obs::set_enabled(was_enabled);
+        suite.record("obs/smoke_fft_disabled", off);
+        suite.record("obs/smoke_fft_enabled", on);
+        println!("obs overhead (enabled/disabled): {:.3}x", on / off);
+    }
+    if wants_wire || wants_merge {
+        // A realistic payload: whatever the warmup and overhead runs left
+        // in the registry (cyclesim counters, histograms, fingerprint).
+        let snap = mesh_obs::snapshot();
+        if wants_wire {
+            let median = time_median_ns(samples, 64, || {
+                let bytes = mesh_obs::wire::encode(&snap);
+                mesh_obs::wire::decode(&bytes).expect("wire round trip")
+            });
+            suite.record("obs/wire_roundtrip", median);
+        }
+        if wants_merge {
+            let workers: Vec<mesh_obs::Snapshot> = (0..4).map(|_| snap.clone()).collect();
+            let median = time_median_ns(samples, 64, || {
+                let mut merged = snap.clone();
+                for worker in &workers {
+                    merged.merge(worker);
+                }
+                merged
+            });
+            suite.record("obs/shard_merge", median);
+        }
+    }
 }
 
 fn bench_kernel(suite: &mut Suite, samples: usize) {

@@ -249,6 +249,15 @@ impl Checkpoint {
         self.entries.contains_key(&(sanitize(label), key_hash))
     }
 
+    /// The raw (still-encoded) value for (`label`, `key_hash`), if loaded —
+    /// for sidecar records whose payload is not a [`Checkpointable`] (a
+    /// worker's hex-encoded telemetry snapshot, say).
+    pub(crate) fn lookup_raw(&self, label: &str, key_hash: u64) -> Option<&str> {
+        self.entries
+            .get(&(sanitize(label), key_hash))
+            .map(String::as_str)
+    }
+
     /// Appends one finished point and flushes, so the record survives a
     /// kill immediately after; with the [`SYNC_ENV`] knob on, also fsyncs.
     pub fn record<V: Checkpointable>(
@@ -276,6 +285,40 @@ impl Checkpoint {
         }
         let mut w = self.writer.lock().expect("checkpoint writer poisoned");
         w.write_all(line.as_bytes())?;
+        w.flush()?;
+        if self.sync {
+            w.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Appends one finished point **and** a sidecar record in a single
+    /// `write_all`, so both lines commit or neither does even under SIGKILL.
+    ///
+    /// Sharded workers use this to ride their cumulative telemetry snapshot
+    /// on every point record: the parent's merged counters then account for
+    /// exactly the points whose records it accepted — a kill between two
+    /// writes can never leave a committed point with uncommitted telemetry.
+    pub(crate) fn record_with_sidecar(
+        &self,
+        label: &str,
+        key_hash: u64,
+        encoded: &str,
+        sidecar_label: &str,
+        sidecar_hash: u64,
+        sidecar_encoded: &str,
+    ) -> std::io::Result<()> {
+        let pair = format!(
+            "{} {key_hash:016x} {encoded}\n{} {sidecar_hash:016x} {sidecar_encoded}\n",
+            sanitize(label),
+            sanitize(sidecar_label)
+        );
+        if mesh_obs::enabled() {
+            mesh_obs::counter("sweep.checkpoint.records").add(2);
+            mesh_obs::counter("sweep.checkpoint.bytes_written").add(pair.len() as u64);
+        }
+        let mut w = self.writer.lock().expect("checkpoint writer poisoned");
+        w.write_all(pair.as_bytes())?;
         w.flush()?;
         if self.sync {
             w.sync_data()?;

@@ -44,6 +44,17 @@
 //!   forbids `fork`/`exec`, a missing executable — the fabric drains
 //!   whatever the workers already produced and finishes the sweep on the
 //!   in-process engine, with a warning instead of an error.
+//! * **Cross-process telemetry.** With observability on, each worker
+//!   embeds its cumulative [`mesh_obs`] snapshot (wire-encoded, see
+//!   [`mesh_obs::wire`]) in the *same atomic append* as every point record,
+//!   and the parent folds the latest embedded snapshot per shard into the
+//!   unified `MESH_OBS_OUT` report — merged counters account for exactly
+//!   the point records the parent accepted, even under SIGKILL. Workers
+//!   also write per-shard Chrome traces the parent merges into one
+//!   timeline (one process track per shard), and — with
+//!   `MESH_OBS_FLIGHTREC` — a flight-recorder ring whose latest dump is
+//!   salvaged and attached to the [`PointFailure`] when a point is
+//!   poisoned.
 //!
 //! The supervision state machine per worker shard:
 //!
@@ -158,6 +169,18 @@ const RESTART_BACKOFF_CAP: Duration = Duration::from_secs(2);
 /// Consecutive spawn failures on one shard before the fabric gives up and
 /// falls back to the in-process engine.
 const MAX_SPAWN_FAILURES: u32 = 3;
+
+/// Checkpoint-record label reserved for a worker's embedded telemetry
+/// snapshot (key hash = the shard index, payload = hex-encoded
+/// [`mesh_obs::wire`] bytes). Sweep labels are user strings, but a
+/// collision would require a sweep literally named like this — documented
+/// rather than defended against.
+const OBS_RECORD_LABEL: &str = "__mesh-obs__";
+
+/// Grace period a worker whose assignment is complete gets to flush its
+/// final telemetry snapshot and timeline and exit on its own before the
+/// parent kills it.
+const EXIT_GRACE: Duration = Duration::from_secs(2);
 
 /// Returns the configured shard count: `Some(n >= 1)` when [`SHARDS_ENV`]
 /// asks for the fabric, `None` to stay on the in-process engine.
@@ -321,6 +344,45 @@ where
             std::process::exit(1);
         }
     };
+    // ---- Telemetry plumbing -------------------------------------------
+    // The baseline is the cumulative snapshot a previous incarnation of
+    // this worker embedded in the checkpoint (empty on a first spawn).
+    // Every point record carries `baseline ⊕ live registry` in the same
+    // atomic append, so the parent's merge accounts for exactly the points
+    // whose records it accepts — a kill mid-point discards that point's
+    // partial counter bumps along with its missing record, and the restart
+    // re-evaluates it exactly once.
+    let obs_on = mesh_obs::enabled();
+    let flightrec_on = mesh_obs::flightrec::enabled();
+    let obs_baseline: mesh_obs::Snapshot = out
+        .lookup_raw(OBS_RECORD_LABEL, cfg.shard as u64)
+        .and_then(hex_decode)
+        .and_then(|bytes| mesh_obs::wire::decode(&bytes).ok())
+        .unwrap_or_default();
+    let obs_path = obs_sidecar_path(&cfg.out);
+    let flightrec_path = cfg
+        .out
+        .with_file_name(format!("flightrec-{}.json", cfg.shard));
+    if flightrec_on {
+        mesh_obs::flightrec::install_panic_dump(flightrec_path.clone());
+    }
+    let cadence = mesh_obs::flush_cadence();
+    let mut last_flush = Instant::now();
+    let flush_telemetry = |baseline: &mesh_obs::Snapshot| {
+        if obs_on {
+            let mut total = baseline.clone();
+            total.merge(&mesh_obs::snapshot());
+            if let Err(e) = mesh_obs::wire::write_file(&obs_path, &total) {
+                eprintln!(
+                    "mesh-worker: telemetry flush to {} failed: {e}",
+                    obs_path.display()
+                );
+            }
+        }
+        if flightrec_on {
+            let _ = mesh_obs::flightrec::write_file(&flightrec_path);
+        }
+    };
     // First occurrence of every distinct key, by stable hash — the same
     // dedupe rule the parent used to build the plan.
     let mut by_hash: HashMap<u64, (usize, &K)> = HashMap::new();
@@ -339,21 +401,62 @@ where
             );
             std::process::exit(PLAN_MISMATCH_EXIT);
         };
+        if flightrec_on {
+            mesh_obs::flightrec::event(
+                mesh_obs::flightrec::EventKind::Point,
+                label,
+                index as u64,
+                hash,
+            );
+            // Persist the ring *before* evaluating: a death inside the
+            // point (SIGKILL, abort — no panic hook runs) must leave a
+            // dump that already names the fatal point, or the supervisor
+            // would salvage a record that stops one point short.
+            let _ = mesh_obs::flightrec::write_file(&flightrec_path);
+        }
         if fail_index == Some(index) {
             panic!("injected failure ({FAIL_POINT_ENV})");
         }
-        let value = eval(key);
-        if let Err(e) = out.record(label, hash, &value) {
+        let value = {
+            let _point_span = obs_on
+                .then(|| mesh_obs::span_labeled("sweep.point_ns", format!("{label}[{index}]")));
+            eval(key)
+        };
+        let written = if obs_on {
+            let mut total = obs_baseline.clone();
+            total.merge(&mesh_obs::snapshot());
+            out.record_with_sidecar(
+                label,
+                hash,
+                &value.encode(),
+                OBS_RECORD_LABEL,
+                cfg.shard as u64,
+                &hex_encode(&mesh_obs::wire::encode(&total)),
+            )
+        } else {
+            out.record(label, hash, &value)
+        };
+        if let Err(e) = written {
             eprintln!(
                 "mesh-worker: checkpoint write to {} failed: {e}",
                 cfg.out.display()
             );
             std::process::exit(1);
         }
+        if (obs_on || flightrec_on) && last_flush.elapsed() >= cadence {
+            flush_telemetry(&obs_baseline);
+            last_flush = Instant::now();
+        }
     }
-    // Shard complete. Exiting here keeps the worker from replaying the rest
-    // of the binary (whose stdout is already nulled, but whose later sweeps
-    // would waste work).
+    // Shard complete: flush the standalone telemetry files one final time
+    // (the parent's fallback when a shard produced no point records) and
+    // the per-shard timeline, then exit. Exiting here keeps the worker
+    // from replaying the rest of the binary (whose stdout is already
+    // nulled, but whose later sweeps would waste work).
+    if obs_on || flightrec_on {
+        flush_telemetry(&obs_baseline);
+    }
+    mesh_obs::finish();
     std::process::exit(0);
 }
 
@@ -431,6 +534,46 @@ struct Shard {
     spawn_failures: u32,
     backoff_until: Option<Instant>,
     finished: bool,
+    /// Latest embedded telemetry snapshot (hex wire bytes) tailed from the
+    /// worker checkpoint; rides every point record, so it is exact for the
+    /// records the parent accepted.
+    obs_line: Option<String>,
+    /// Per-shard Chrome-trace file the worker writes on clean exit;
+    /// `None` when the parent's timeline exporter is off.
+    trace_path: Option<PathBuf>,
+    /// When the shard's assignment first became complete while its worker
+    /// was still running — starts the [`EXIT_GRACE`] clock.
+    done_since: Option<Instant>,
+}
+
+/// Lowercase-hex encodes arbitrary bytes for embedding in a single-line
+/// checkpoint record.
+fn hex_encode(bytes: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`]; `None` on odd length or non-hex input (a
+/// torn or foreign record).
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    s.as_bytes()
+        .chunks(2)
+        .map(|pair| u8::from_str_radix(std::str::from_utf8(pair).ok()?, 16).ok())
+        .collect()
+}
+
+/// The standalone telemetry-snapshot file a worker writes next to its
+/// checkpoint (`shard-0.ckpt` → `shard-0.obs`) at the flush cadence and on
+/// clean exit — the parent's fallback when a shard embedded no snapshot.
+fn obs_sidecar_path(out_path: &Path) -> PathBuf {
+    out_path.with_extension("obs")
 }
 
 /// Kills and reaps every still-running worker; called on every exit path
@@ -563,6 +706,7 @@ where
     }
 
     // ---- Supervision state --------------------------------------------
+    let timeline_on = mesh_obs::chrome::timeline_enabled();
     let mut worker_shards: Vec<Shard> = (0..shards)
         .map(|i| Shard {
             index: i,
@@ -581,6 +725,9 @@ where
             spawn_failures: 0,
             backoff_until: None,
             finished: false,
+            obs_line: None,
+            trace_path: timeline_on.then(|| sweep_dir.join(format!("trace-shard-{i}.json"))),
+            done_since: None,
         })
         .collect();
     let max_attempts = retries_from_env() + 1;
@@ -635,8 +782,22 @@ where
                 .copied()
                 .collect();
             if pending.is_empty() {
-                // Assignment complete: stop (and reap) the worker if it is
-                // still running — e.g. its last point was poisoned.
+                // Assignment complete. A still-running worker gets a short
+                // grace period to flush its final telemetry snapshot and
+                // per-shard timeline and exit on its own; only an
+                // overstaying worker (e.g. one whose last point was
+                // poisoned, so it never reaches its own exit) is killed.
+                let running = shard
+                    .child
+                    .as_mut()
+                    .is_some_and(|c| matches!(c.try_wait(), Ok(None)));
+                if running {
+                    let since = *shard.done_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() < EXIT_GRACE {
+                        all_finished = false;
+                        continue;
+                    }
+                }
                 if let Some(mut child) = shard.child.take() {
                     let _ = child.kill();
                     let _ = child.wait();
@@ -668,6 +829,7 @@ where
                         &plan_path,
                         &session_path,
                         &skip_csv,
+                        shard.trace_path.as_deref(),
                     ) {
                         Ok(child) => {
                             shard.child = Some(child);
@@ -686,6 +848,7 @@ where
                                      '{label}' ({e}); falling back to the in-process engine"
                                 );
                                 reap(&mut worker_shards);
+                                absorb_workers(&mut worker_shards, &slabel);
                                 return fallback(label, points, user_ck, merged, eval);
                             }
                             shard.backoff_until = Some(
@@ -709,6 +872,7 @@ where
                              '{label}'; falling back to the in-process engine"
                         );
                         reap(&mut worker_shards);
+                        absorb_workers(&mut worker_shards, &slabel);
                         return fallback(label, points, user_ck, merged, eval);
                     }
                     // A clean exit with points still pending means the
@@ -721,11 +885,13 @@ where
                     } else {
                         format!("worker died ({status})")
                     };
+                    let flight = salvage_flight_record(&sweep_dir, &slabel, seq, s);
                     strike(
                         label,
                         &todo[todo_idx],
                         hash,
                         reason,
+                        flight,
                         max_attempts,
                         &mut strikes,
                         &mut last_reason,
@@ -773,6 +939,7 @@ where
                                 if obs_on {
                                     mesh_obs::counter("fabric.points_timed_out").inc();
                                 }
+                                let flight = salvage_flight_record(&sweep_dir, &slabel, seq, s);
                                 strike(
                                     label,
                                     &todo[todo_idx],
@@ -782,6 +949,7 @@ where
                                         shard.last_beat.elapsed().as_secs_f64(),
                                         limit.as_secs_f64()
                                     ),
+                                    flight,
                                     max_attempts,
                                     &mut strikes,
                                     &mut last_reason,
@@ -834,6 +1002,7 @@ where
         std::thread::sleep(POLL_INTERVAL);
     }
     reap(&mut worker_shards);
+    absorb_workers(&mut worker_shards, &slabel);
     let _ = std::fs::remove_dir_all(&sweep_dir);
     assemble(label, points, &merged, failures)
 }
@@ -918,14 +1087,84 @@ fn accept_record<V: Checkpointable>(
     }
 }
 
+/// Folds every worker's telemetry into this process's exporters: the
+/// latest embedded snapshot per shard (or the standalone `.obs` sidecar
+/// file when a shard embedded none) into the merged `MESH_OBS_OUT` report,
+/// and each per-shard Chrome trace into the unified timeline as its own
+/// process track. Called on every exit path from the supervision loop,
+/// after reaping and before the scratch directory is removed. Best-effort
+/// throughout — a shard killed before its first flush simply contributes
+/// nothing.
+fn absorb_workers(shards: &mut [Shard], slabel: &str) {
+    let obs_on = mesh_obs::enabled();
+    let timeline_on = mesh_obs::chrome::timeline_enabled();
+    if !obs_on && !timeline_on {
+        return;
+    }
+    for shard in shards.iter_mut() {
+        // One last tail: a final flush may have landed between the loop's
+        // last poll and the reap.
+        let _ = drain_records(shard, slabel);
+        if obs_on {
+            let embedded = shard
+                .obs_line
+                .as_deref()
+                .and_then(hex_decode)
+                .and_then(|bytes| mesh_obs::wire::decode(&bytes).ok());
+            let absorbed = match embedded {
+                Some(snap) => Some((format!("shard {} (embedded)", shard.index), snap)),
+                None => mesh_obs::wire::read_file(&obs_sidecar_path(&shard.out_path))
+                    .ok()
+                    .map(|snap| (format!("shard {} (file)", shard.index), snap)),
+            };
+            if let Some((origin, snap)) = absorbed {
+                mesh_obs::report::absorb_worker(origin, snap);
+            }
+        }
+        if let Some(trace_path) = &shard.trace_path {
+            // Missing or torn traces (a worker killed before its exit
+            // flush) are expected; the merged timeline just lacks that
+            // shard's incarnation.
+            let _ = mesh_obs::chrome::absorb_file(&format!("shard {}", shard.index), trace_path);
+        }
+    }
+}
+
+/// Copies a dead worker's flight-recorder dump out of the (soon-deleted)
+/// sweep scratch directory, returning the preserved path: into the
+/// `MESH_OBS_OUT` directory when set, next to the scratch (the per-process
+/// fabric directory, which is never removed) otherwise. `None` when the
+/// worker never flushed a ring — e.g. the recorder is off.
+fn salvage_flight_record(
+    sweep_dir: &Path,
+    slabel: &str,
+    seq: usize,
+    shard: usize,
+) -> Option<String> {
+    let src = sweep_dir.join(format!("flightrec-{shard}.json"));
+    if !src.exists() {
+        return None;
+    }
+    let dest_dir = match mesh_obs::report::out_dir() {
+        Some(dir) => dir.to_path_buf(),
+        None => sweep_dir.parent()?.to_path_buf(),
+    };
+    std::fs::create_dir_all(&dest_dir).ok()?;
+    let dest = dest_dir.join(format!("flightrec-{slabel}-{seq}-shard{shard}.json"));
+    std::fs::copy(&src, &dest).ok()?;
+    Some(dest.display().to_string())
+}
+
 /// Registers one strike against a point; on budget exhaustion the point is
-/// poisoned and converted to a [`PointFailure`].
+/// poisoned and converted to a [`PointFailure`] carrying the salvaged
+/// flight-recorder dump, when one exists.
 #[allow(clippy::too_many_arguments)]
 fn strike<K: fmt::Debug>(
     label: &str,
     point: &(usize, &K, u64),
     hash: u64,
     reason: String,
+    flight_record: Option<String>,
     max_attempts: u32,
     strikes: &mut HashMap<u64, u32>,
     last_reason: &mut HashMap<u64, String>,
@@ -946,12 +1185,16 @@ fn strike<K: fmt::Debug>(
             "mesh-bench: poisoning point #{index} {key:?} of sweep '{label}' \
              after {count} attempt(s): {reason}"
         );
+        if let Some(rec) = &flight_record {
+            eprintln!("mesh-bench: flight record for point #{index}: {rec}");
+        }
         failures.push(PointFailure {
             label: label.to_string(),
             index,
             coordinates: format!("{key:?}"),
             payload: format!("poisoned: {reason}"),
             attempts: *count,
+            flight_record,
         });
     } else {
         eprintln!(
@@ -965,6 +1208,7 @@ fn strike<K: fmt::Debug>(
 /// Spawns one worker: a re-exec of the current binary (or [`EXE_ENV`]) with
 /// the same argv, stdout nulled (the parent owns the sweep's output), and
 /// the `MESH_WORKER_*` contract in the environment.
+#[allow(clippy::too_many_arguments)]
 fn spawn_worker(
     shard: usize,
     shards: usize,
@@ -973,6 +1217,7 @@ fn spawn_worker(
     plan_path: &Path,
     session_path: &Path,
     skip_csv: &str,
+    trace_path: Option<&Path>,
 ) -> std::io::Result<Child> {
     let exe = match std::env::var_os(EXE_ENV) {
         Some(exe) if !exe.is_empty() => PathBuf::from(exe),
@@ -991,12 +1236,30 @@ fn spawn_worker(
         // The worker must neither re-enter the fabric nor append to the
         // user's checkpoint: its own out-file is its checkpoint.
         .env_remove(SHARDS_ENV)
-        .env_remove(crate::sweep::CHECKPOINT_ENV);
+        .env_remove(crate::sweep::CHECKPOINT_ENV)
+        // The parent owns the unified metrics report; workers feed it
+        // through their checkpoint sidecars and `.obs` files instead.
+        .env_remove(mesh_obs::OUT_ENV);
+    if mesh_obs::enabled() {
+        cmd.env(mesh_obs::OBS_ENV, "1");
+    }
+    match trace_path {
+        // Per-shard timeline the parent merges; overrides any inherited
+        // parent trace path (all workers writing one file would race).
+        Some(path) => {
+            cmd.env(mesh_obs::TRACE_ENV, path);
+        }
+        None => {
+            cmd.env_remove(mesh_obs::TRACE_ENV);
+        }
+    }
     cmd.spawn()
 }
 
 /// Tails a worker checkpoint: returns every *complete* new line's record
 /// for `slabel`, keeping a trailing partial line for the next poll.
+/// Embedded telemetry-snapshot lines ([`OBS_RECORD_LABEL`]) are captured
+/// into the shard state (latest wins) rather than returned.
 fn drain_records(shard: &mut Shard, slabel: &str) -> Vec<(u64, String)> {
     let Ok(mut file) = std::fs::File::open(&shard.out_path) else {
         return Vec::new(); // not created yet
@@ -1016,6 +1279,8 @@ fn drain_records(shard: &mut Shard, slabel: &str) -> Vec<(u64, String)> {
         if let Some((label, hash, encoded)) = split_record(line.trim_end()) {
             if label == slabel {
                 records.push((hash, encoded.to_string()));
+            } else if label == OBS_RECORD_LABEL && hash == shard.index as u64 {
+                shard.obs_line = Some(encoded.to_string());
             }
         }
     }
@@ -1140,6 +1405,7 @@ mod tests {
             coordinates: "1".into(),
             payload: "poisoned: worker died".into(),
             attempts: 2,
+            flight_record: None,
         }];
         merged.remove(&stable_key_hash(&1u64));
         let err = assemble("t", &points, &merged, failures).unwrap_err();

@@ -432,6 +432,21 @@ fn write_entry(dir: &Path, fp: u128, encoded: &str) {
     bump(&STORES, "bench.result_cache.stores");
 }
 
+/// Notes one memoized replay in the flight recorder (`a` = the low 64
+/// fingerprint bits, `b` = 1 for an LRU hit, 0 for a disk hit), so a
+/// postmortem shows which results near the failure were served from cache
+/// rather than computed.
+fn flightrec_replay(fp: u128, lru: bool) {
+    if mesh_obs::flightrec::enabled() {
+        mesh_obs::flightrec::event(
+            mesh_obs::flightrec::EventKind::MemoReplay,
+            if lru { "lru" } else { "disk" },
+            fp as u64,
+            u64::from(lru),
+        );
+    }
+}
+
 /// Returns the memoized value for `fp`, or computes it with `f` and
 /// publishes the result. With the cache disabled this is exactly `f()`.
 /// The encoding round-trips losslessly ([`Checkpointable`] floats travel as
@@ -444,6 +459,7 @@ pub fn memoize<V: Checkpointable>(fp: u128, f: impl FnOnce() -> V) -> V {
         let _span = mesh_obs::span("bench.result_cache.lookup_ns");
         if let Some(v) = read_entry::<V>(&dir, fp) {
             bump(&HITS, "bench.result_cache.hits");
+            flightrec_replay(fp, false);
             return v;
         }
     }
@@ -465,6 +481,7 @@ pub fn memoize<V: Checkpointable>(fp: u128, f: impl FnOnce() -> V) -> V {
 pub fn memoize_flagged<V: Checkpointable>(fp: u128, f: impl FnOnce() -> V) -> (V, bool) {
     if let Some(v) = lru_get::<V>(fp) {
         bump(&LRU_HITS, "bench.subeval.lru_hits");
+        flightrec_replay(fp, true);
         return (v, true);
     }
     let gate = inflight_gate(fp);
@@ -472,6 +489,7 @@ pub fn memoize_flagged<V: Checkpointable>(fp: u128, f: impl FnOnce() -> V) -> (V
     // A loser arriving here finds the winner's freshly published value.
     if let Some(v) = lru_get::<V>(fp) {
         bump(&LRU_HITS, "bench.subeval.lru_hits");
+        flightrec_replay(fp, true);
         drop(guard);
         return (v, true);
     }
@@ -479,6 +497,7 @@ pub fn memoize_flagged<V: Checkpointable>(fp: u128, f: impl FnOnce() -> V) -> (V
         let _span = mesh_obs::span("bench.result_cache.lookup_ns");
         if let Some(v) = read_entry::<V>(&dir, fp) {
             bump(&HITS, "bench.result_cache.hits");
+            flightrec_replay(fp, false);
             lru_put(fp, v.encode());
             drop(guard);
             inflight_done(fp);

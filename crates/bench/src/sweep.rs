@@ -262,6 +262,12 @@ pub struct PointFailure {
     pub payload: String,
     /// Attempts made (1 + retries).
     pub attempts: u32,
+    /// Path of the flight-recorder dump covering the failure, when the
+    /// recorder was on (`MESH_OBS_FLIGHTREC`) — the black-box postmortem
+    /// for this point, written by the failing process itself (in-process
+    /// and panicking-worker failures) or salvaged by the fabric supervisor
+    /// (SIGKILLed workers).
+    pub flight_record: Option<String>,
 }
 
 impl fmt::Display for PointFailure {
@@ -270,7 +276,11 @@ impl fmt::Display for PointFailure {
             f,
             "point #{} {} of sweep '{}' panicked after {} attempt(s): {}",
             self.index, self.coordinates, self.label, self.attempts, self.payload
-        )
+        )?;
+        if let Some(rec) = &self.flight_record {
+            write!(f, " [flight record: {rec}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -718,6 +728,14 @@ where
                     if mesh_obs::enabled() {
                         mesh_obs::counter("sweep.retries").inc();
                     }
+                    if mesh_obs::flightrec::enabled() {
+                        mesh_obs::flightrec::event(
+                            mesh_obs::flightrec::EventKind::Retry,
+                            label,
+                            index as u64,
+                            u64::from(attempt),
+                        );
+                    }
                     std::thread::sleep(delays.delay(attempt));
                 }
             }
@@ -729,7 +747,31 @@ where
         coordinates: format!("{key:?}"),
         payload,
         attempts,
+        flight_record: dump_flight_record(label, index),
     })
+}
+
+/// Dumps the flight-recorder ring for an exhausted point, returning the
+/// file path for the [`PointFailure`] — the in-process analogue of the
+/// fabric salvaging a dead worker's `flightrec-<shard>` file. The dump
+/// lands in the `MESH_OBS_OUT` directory when set, in a stable per-process
+/// temp directory otherwise; `None` when the recorder is off or the write
+/// fails (a postmortem must never turn a reported failure into a panic).
+fn dump_flight_record(label: &str, index: usize) -> Option<String> {
+    if !mesh_obs::flightrec::enabled() {
+        return None;
+    }
+    let dir = match mesh_obs::report::out_dir() {
+        Some(d) => d.to_path_buf(),
+        None => std::env::temp_dir().join(format!("mesh-flightrec-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!(
+        "flightrec-inproc-{}-{index}.json",
+        crate::checkpoint::sanitize(label)
+    ));
+    mesh_obs::flightrec::write_file(&path).ok()?;
+    Some(path.display().to_string())
 }
 
 /// Renders a panic payload as text (panics carry `&str` or `String` in

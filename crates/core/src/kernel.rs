@@ -652,6 +652,14 @@ impl Kernel {
         if let Some(obs) = &self.obs {
             obs.commits.inc();
         }
+        if mesh_obs::flightrec::enabled() {
+            mesh_obs::flightrec::event(
+                mesh_obs::flightrec::EventKind::Commit,
+                &self.spec.threads[ti].name,
+                ti as u64,
+                end.as_cycles() as u64,
+            );
+        }
         self.trace.push(Event::RegionCommitted {
             thread,
             proc,
@@ -874,6 +882,14 @@ impl Kernel {
                             detail,
                             action: FaultAction::Clamped,
                         });
+                        if mesh_obs::flightrec::enabled() {
+                            mesh_obs::flightrec::event(
+                                mesh_obs::flightrec::EventKind::Incident,
+                                &self.spec.shared[s].name,
+                                s as u64,
+                                self.now.as_cycles() as u64,
+                            );
+                        }
                     }
                     FaultPolicy::FallbackModel => {
                         // Swap in the safe baseline permanently; later
@@ -890,6 +906,14 @@ impl Kernel {
                             detail,
                             action: FaultAction::FellBack,
                         });
+                        if mesh_obs::flightrec::enabled() {
+                            mesh_obs::flightrec::event(
+                                mesh_obs::flightrec::EventKind::Incident,
+                                &self.spec.shared[s].name,
+                                s as u64,
+                                self.now.as_cycles() as u64,
+                            );
+                        }
                     }
                 }
             }
@@ -931,6 +955,17 @@ impl Kernel {
                 }
                 worst_total += *w;
                 self.threads[req.thread.index()].report.queuing_worst += *w;
+                // Per-region attribution: how much of this window's envelope
+                // headroom belongs to each contender (zero gaps are elided —
+                // the bound was tight for that thread).
+                if *w > p {
+                    self.trace.push(Event::EnvelopeGap {
+                        shared,
+                        thread: req.thread,
+                        amount: *w - p,
+                        at: self.now,
+                    });
+                }
             }
             if !worst_total.is_zero() {
                 self.shared_report_mut(s).queuing_worst += worst_total;
@@ -1014,6 +1049,8 @@ impl Kernel {
         // Where each thread last ran, so penalty/lifecycle events (which only
         // carry a thread id) land on the right physical-resource track.
         let mut proc_of: Vec<usize> = vec![0; self.spec.threads.len()];
+        // Cumulative per-shared envelope gap, rendered as a counter track.
+        let mut gap_cum: Vec<f64> = vec![0.0; self.spec.shared.len()];
         // `PenaltyAssigned` events carry no timestamp and precede their
         // window's `SliceAnalyzed`; buffer them and flush at the window end.
         let mut pending: Vec<(usize, usize, f64)> = Vec::new();
@@ -1102,6 +1139,33 @@ impl Kernel {
                     amount,
                 } => {
                     pending.push((shared.index(), thread.index(), amount.as_cycles()));
+                }
+                Event::EnvelopeGap {
+                    shared,
+                    thread,
+                    amount,
+                    at,
+                } => {
+                    let tid = (nprocs + shared.index()) as u32;
+                    gap_cum[shared.index()] += amount.as_cycles();
+                    chrome::counter_value(
+                        pid,
+                        tid,
+                        format!(
+                            "envelope_gap_cycles {}",
+                            self.spec.shared[shared.index()].name
+                        ),
+                        at.as_cycles(),
+                        gap_cum[shared.index()],
+                    );
+                    chrome::instant(
+                        pid,
+                        tid,
+                        format!("gap {}", self.spec.threads[thread.index()].name),
+                        "envelope",
+                        at.as_cycles(),
+                        &[("gap_cycles", amount.as_cycles())],
+                    );
                 }
                 Event::ThreadBlocked { thread, at, .. } => {
                     chrome::instant(

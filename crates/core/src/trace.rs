@@ -64,6 +64,20 @@ pub enum Event {
         /// Penalty amount.
         amount: SimTime,
     },
+    /// Per-region worst-case attribution: how far a thread's worst-case
+    /// envelope bound sits above the penalty the model actually assigned in
+    /// one analysis window — the per-window slack between the analytical
+    /// envelope and the simulated contention.
+    EnvelopeGap {
+        /// The shared resource whose envelope was evaluated.
+        shared: SharedId,
+        /// The contending thread the gap is attributed to.
+        thread: ThreadId,
+        /// Envelope bound minus assigned penalty for this window (≥ 0).
+        amount: SimTime,
+        /// Window end time the attribution applies at.
+        at: SimTime,
+    },
     /// A thread blocked on a synchronization operation and its region was
     /// shelved.
     ThreadBlocked {
@@ -100,6 +114,7 @@ impl Event {
             Event::RegionCommitted { at, .. } => at,
             Event::SliceAnalyzed { end, .. } => end,
             Event::PenaltyAssigned { .. } => SimTime::ZERO,
+            Event::EnvelopeGap { at, .. } => at,
             Event::ThreadBlocked { at, .. } => at,
             Event::ThreadWoken { at, .. } => at,
             Event::ThreadFinished { at, .. } => at,

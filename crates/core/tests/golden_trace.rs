@@ -117,6 +117,18 @@ fn render(e: &Event) -> String {
             thread.index(),
             amount.as_cycles()
         ),
+        Event::EnvelopeGap {
+            shared,
+            thread,
+            amount,
+            at,
+        } => format!(
+            "gap     s{} t{} +{} @{}",
+            shared.index(),
+            thread.index(),
+            amount.as_cycles(),
+            at.as_cycles()
+        ),
         Event::ThreadBlocked { thread, at, .. } => {
             format!("blocked t{} @{}", thread.index(), at.as_cycles())
         }
@@ -164,6 +176,53 @@ fn figure3_event_stream_is_pinned() {
         "golden event stream changed:\n{}",
         actual.join("\n")
     );
+}
+
+/// Under `NoContention` the model assigns zero penalties while the default
+/// worst-case envelope still admits the serialization bound, so every
+/// analysis window attributes a nonzero `envelope_gap` per contender — the
+/// exporter must render those as counter samples on the shared track.
+#[test]
+fn envelope_gap_renders_as_counter_track() {
+    let _guard = TIMELINE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    mesh_obs::chrome::force_timeline(true);
+    let _ = mesh_obs::chrome::drain_json();
+    let mut b = SystemBuilder::new();
+    let p0 = b.add_proc("p0", Power::default());
+    let p1 = b.add_proc("p1", Power::default());
+    let bus = b.add_shared_resource(
+        "bus",
+        SimTime::from_cycles(1.0),
+        mesh_core::model::NoContention,
+    );
+    let a = b.add_thread(
+        "A",
+        VecProgram::new(vec![Annotation::compute(100.0).with_accesses(bus, 10.0)]),
+    );
+    let bt = b.add_thread(
+        "B",
+        VecProgram::new(vec![Annotation::compute(50.0).with_accesses(bus, 5.0)]),
+    );
+    b.pin_thread(a, &[p0]);
+    b.pin_thread(bt, &[p1]);
+    b.enable_trace();
+    let outcome = b.build().unwrap().run().unwrap();
+    mesh_obs::chrome::force_timeline(false);
+    let json = mesh_obs::chrome::drain_json();
+
+    let gaps: Vec<&Event> = outcome
+        .trace
+        .iter()
+        .filter(|e| matches!(e, Event::EnvelopeGap { .. }))
+        .collect();
+    assert!(!gaps.is_empty(), "no EnvelopeGap events in:\n{}", {
+        let lines: Vec<String> = outcome.trace.iter().map(render).collect();
+        lines.join("\n")
+    });
+    let summary = mesh_obs::chrome::validate(&json).expect("trace validates");
+    assert!(summary.counters > 0, "no counter samples in:\n{json}");
+    assert!(json.contains("envelope_gap_cycles bus"), "{json}");
+    assert!(json.contains("\"gap_cycles\""), "{json}");
 }
 
 #[test]

@@ -325,6 +325,14 @@ impl SkipObs {
             self.dist_count,
             self.dist_sum,
         );
+        if mesh_obs::flightrec::enabled() {
+            mesh_obs::flightrec::event(
+                mesh_obs::flightrec::EventKind::Grant,
+                "cyclesim.skip",
+                self.dispatched,
+                self.grant_fusions,
+            );
+        }
     }
 }
 

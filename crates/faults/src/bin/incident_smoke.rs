@@ -8,13 +8,17 @@
 //! `Report.incidents` lands in the metrics snapshot.
 //!
 //! Exits nonzero if the run produced no incidents (the smoke would be
-//! asserting on air).
+//! asserting on air), or if the incidents did not also land in the
+//! flight-recorder ring — the recorder is force-enabled here so the kernel's
+//! incident→flight-recorder hook is exercised end to end, and the ring is
+//! dumped next to the metrics snapshot when `MESH_OBS_OUT` is set.
 
 use mesh_core::model::NoContention;
 use mesh_core::{Annotation, FaultPolicy, Power, SimTime, SystemBuilder, VecProgram};
 use mesh_faults::{FaultKind, FaultyModel};
 
 fn main() {
+    mesh_obs::flightrec::set_enabled(true);
     let mut b = SystemBuilder::new();
     let p0 = b.add_proc("p0", Power::default());
     let p1 = b.add_proc("p1", Power::default());
@@ -36,9 +40,28 @@ fn main() {
         report.incidents.len(),
         report.total_time.as_cycles()
     );
+    let ring = mesh_obs::flightrec::dump();
+    let recorded = ring
+        .iter()
+        .filter(|e| e.kind == mesh_obs::flightrec::EventKind::Incident)
+        .count();
+    println!("incident_smoke: {recorded} incident event(s) in the flight-recorder ring");
+    if let Some(dir) = mesh_obs::report::out_dir() {
+        let path = dir.join("flightrec-incident-smoke.json");
+        if std::fs::create_dir_all(dir)
+            .and_then(|()| mesh_obs::flightrec::write_file(&path))
+            .is_err()
+        {
+            eprintln!("incident_smoke: could not write {}", path.display());
+        }
+    }
     mesh_obs::finish();
     if report.incidents.is_empty() {
         eprintln!("incident_smoke: expected injected faults to produce incidents");
+        std::process::exit(1);
+    }
+    if recorded == 0 {
+        eprintln!("incident_smoke: kernel incidents never reached the flight recorder");
         std::process::exit(1);
     }
 }

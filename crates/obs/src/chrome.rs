@@ -66,7 +66,7 @@ pub(crate) fn output_path() -> Option<&'static Path> {
 
 #[derive(Clone, Debug)]
 struct Ev {
-    /// 'X' (complete) or 'i' (instant).
+    /// 'X' (complete), 'i' (instant) or 'C' (counter sample).
     ph: char,
     pid: u32,
     tid: u32,
@@ -82,6 +82,10 @@ struct Sink {
     events: Vec<Ev>,
     process_names: Vec<(u32, String)>,
     thread_names: Vec<(u32, u32, String)>,
+    /// Pre-rendered event lines absorbed from other processes' trace files
+    /// ([`absorb_rendered`]), already pid-remapped; appended verbatim at
+    /// render time.
+    foreign: Vec<String>,
     dropped: u64,
 }
 
@@ -182,6 +186,25 @@ pub fn instant(
     });
 }
 
+/// Pushes a counter ('C') sample onto a track: viewers render the series
+/// of samples as a filled counter graph. Used for the kernel's per-region
+/// `envelope_gap_cycles` attribution.
+pub fn counter_value(pid: u32, tid: u32, name: impl Into<String>, ts: f64, value: f64) {
+    if !timeline_enabled() {
+        return;
+    }
+    push(Ev {
+        ph: 'C',
+        pid,
+        tid,
+        name: name.into(),
+        cat: "counter",
+        ts: clean(ts),
+        dur: 0.0,
+        args: vec![("value", clean(value))],
+    });
+}
+
 /// Pushes a wall-clock slice onto the calling thread's host track
 /// ([`HOST_PID`]); used by [`crate::Span`] on drop.
 pub fn host_slice(name: impl Into<String>, cat: &'static str, ts_us: f64, dur_us: f64) {
@@ -277,7 +300,7 @@ pub fn render_json() -> String {
         );
         if ev.ph == 'X' {
             line.push_str(&format!(",\"dur\":{}", fmt_num(ev.dur)));
-        } else {
+        } else if ev.ph == 'i' {
             line.push_str(",\"s\":\"t\"");
         }
         line.push_str(",\"args\":{");
@@ -289,6 +312,9 @@ pub fn render_json() -> String {
         }
         line.push_str("}}");
         emit(line, &mut out);
+    }
+    for line in &s.foreign {
+        emit(line.clone(), &mut out);
     }
     out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
     out
@@ -311,6 +337,77 @@ pub fn write_file(path: &Path) -> std::io::Result<()> {
     file.flush()
 }
 
+/// Absorbs another process's rendered trace (the text a sharded worker
+/// wrote via its own `MESH_OBS_TRACE`) into this process's sink, giving the
+/// merged file one process track per shard.
+///
+/// Every absorbed line gets its pid remapped through [`next_pid`] (one
+/// fresh pid per distinct foreign pid, per call), so shards can never
+/// collide with each other or with the parent's own tracks; `process_name`
+/// metadata is prefixed with `label` so the Perfetto track group reads
+/// e.g. `shard 2: host (wall clock, us)`. Timestamps are left untouched —
+/// per-track monotonicity is preserved because tracks move wholesale.
+///
+/// Returns the number of absorbed event (non-metadata) lines.
+///
+/// # Errors
+///
+/// Returns a human-readable reason if `text` is not a rendered mesh-obs
+/// trace. Lines beyond [`MAX_EVENTS`] are counted as dropped, like native
+/// pushes.
+pub fn absorb_rendered(label: &str, text: &str) -> Result<usize, String> {
+    if !text.trim_start().starts_with("{\"traceEvents\":[") {
+        return Err("not a traceEvents JSON object".to_string());
+    }
+    let mut map: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
+    let mut absorbed = Vec::new();
+    let mut events = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.ends_with('}') {
+            continue;
+        }
+        let old = field_num(line, "pid")
+            .ok_or_else(|| format!("line {}: missing pid", lineno + 1))? as u64;
+        let new = *map.entry(old).or_insert_with(next_pid);
+        let mut remapped = line.replacen(&format!("\"pid\":{old}"), &format!("\"pid\":{new}"), 1);
+        let is_meta = field_str(line, "ph") == Some("M");
+        if is_meta && line.contains("\"name\":\"process_name\"") {
+            // The args name is the *last* "name":" occurrence on the line;
+            // prefix it with the shard identity.
+            if let Some(at) = remapped.rfind("\"name\":\"") {
+                let insert = at + "\"name\":\"".len();
+                remapped.insert_str(insert, &format!("{}: ", json_escape(label)));
+            }
+        }
+        if !is_meta {
+            events += 1;
+        }
+        absorbed.push(remapped);
+    }
+    let mut s = sink().lock().unwrap_or_else(|e| e.into_inner());
+    for line in absorbed {
+        if s.events.len() + s.foreign.len() >= MAX_EVENTS {
+            s.dropped += 1;
+            continue;
+        }
+        s.foreign.push(line);
+    }
+    Ok(events)
+}
+
+/// Reads a worker's trace file and [`absorb_rendered`]s it.
+///
+/// # Errors
+///
+/// Returns a human-readable reason if the file cannot be read or is not a
+/// rendered mesh-obs trace.
+pub fn absorb_file(label: &str, path: &Path) -> Result<usize, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    absorb_rendered(label, &text)
+}
+
 /// Summary of a validated trace file.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceSummary {
@@ -318,6 +415,8 @@ pub struct TraceSummary {
     pub slices: usize,
     /// Instant ('i') events found.
     pub instants: usize,
+    /// Counter ('C') samples found.
+    pub counters: usize,
     /// Distinct `(pid, tid)` tracks carrying slices.
     pub tracks: usize,
 }
@@ -355,6 +454,7 @@ pub fn validate(text: &str) -> Result<TraceSummary, String> {
     }
     let mut slices = 0usize;
     let mut instants = 0usize;
+    let mut counters = 0usize;
     let mut last_ts: std::collections::BTreeMap<(u64, u64), f64> =
         std::collections::BTreeMap::new();
     for (lineno, raw) in text.lines().enumerate() {
@@ -396,6 +496,12 @@ pub fn validate(text: &str) -> Result<TraceSummary, String> {
                 slices += 1;
             }
             "i" => instants += 1,
+            "C" => {
+                if field_num(line, "value").is_none() {
+                    return Err(format!("line {}: counter without value", lineno + 1));
+                }
+                counters += 1;
+            }
             other => return Err(format!("line {}: unknown phase {other:?}", lineno + 1)),
         }
     }
@@ -405,8 +511,53 @@ pub fn validate(text: &str) -> Result<TraceSummary, String> {
     Ok(TraceSummary {
         slices,
         instants,
+        counters,
         tracks: last_ts.len(),
     })
+}
+
+/// Validates a *merged* multi-process trace on top of [`validate`]'s
+/// per-track checks: every `process_name` metadata pid must be unique (a
+/// pid collision would interleave two shards on one track), at least
+/// `min_procs` distinct pids must actually carry events (each shard's
+/// track is nonempty), and — inherited from [`validate`] — timestamps stay
+/// monotonic *within* each process's tracks.
+///
+/// # Errors
+///
+/// Returns a human-readable reason on the first violated invariant.
+pub fn validate_processes(text: &str, min_procs: usize) -> Result<TraceSummary, String> {
+    let summary = validate(text)?;
+    let mut named = std::collections::BTreeSet::new();
+    let mut with_events = std::collections::BTreeSet::new();
+    for (lineno, raw) in text.trim().lines().enumerate() {
+        let line = raw.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.ends_with('}') {
+            continue;
+        }
+        let Some(ph) = field_str(line, "ph") else {
+            continue;
+        };
+        let pid = field_num(line, "pid")
+            .ok_or_else(|| format!("line {}: missing pid", lineno + 1))? as u64;
+        if ph == "M" {
+            if line.contains("\"name\":\"process_name\"") && !named.insert(pid) {
+                return Err(format!(
+                    "line {}: duplicate process_name for pid {pid}",
+                    lineno + 1
+                ));
+            }
+        } else {
+            with_events.insert(pid);
+        }
+    }
+    if with_events.len() < min_procs {
+        return Err(format!(
+            "only {} process(es) carry events, expected at least {min_procs}",
+            with_events.len()
+        ));
+    }
+    Ok(summary)
 }
 
 #[cfg(test)]
@@ -484,6 +635,80 @@ mod tests {
             {\"ph\":\"X\",\"pid\":1,\"tid\":0,\"name\":\"a\",\"cat\":\"c\",\"ts\":-4,\"dur\":1,\"args\":{}}\n\
             ],\"displayTimeUnit\":\"ns\"}";
         assert!(validate(negative).is_err());
+    }
+
+    #[test]
+    fn counter_samples_render_and_validate() {
+        let _gate = crate::tests::lock();
+        force_timeline(true);
+        clear();
+        let pid = next_pid();
+        slice(pid, 0, "A", "region", 0.0, 100.0, &[]);
+        counter_value(pid, 2, "envelope_gap_cycles", 50.0, 12.0);
+        counter_value(pid, 2, "envelope_gap_cycles", 110.0, 30.0);
+        let json = drain_json();
+        force_timeline(false);
+        let summary = validate(&json).expect("valid trace");
+        assert_eq!(summary.counters, 2);
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"value\":12"));
+        // Counter lines carry neither a dur nor an instant scope.
+        for line in json.lines().filter(|l| l.contains("\"ph\":\"C\"")) {
+            assert!(!line.contains("\"dur\""), "{line}");
+            assert!(!line.contains("\"s\":"), "{line}");
+        }
+    }
+
+    #[test]
+    fn absorb_remaps_pids_and_prefixes_process_names() {
+        let _gate = crate::tests::lock();
+        force_timeline(true);
+        clear();
+        // "Worker" trace rendered in isolation.
+        let wpid = next_pid();
+        name_process(wpid, "kernel run");
+        slice(wpid, 0, "w", "region", 0.0, 10.0, &[]);
+        slice(HOST_PID, 7, "point", "span", 0.0, 5.0, &[]);
+        let worker_json = drain_json();
+
+        // Parent absorbs it next to its own events.
+        let own = next_pid();
+        name_process(own, "parent run");
+        slice(own, 0, "p", "region", 0.0, 20.0, &[]);
+        let absorbed = absorb_rendered("shard 1", &worker_json).expect("absorb");
+        assert_eq!(absorbed, 2);
+        let merged = drain_json();
+        force_timeline(false);
+
+        let summary = validate_processes(&merged, 2).expect("merged trace validates");
+        assert!(summary.slices >= 3);
+        assert!(merged.contains("shard 1: kernel run"));
+        assert!(merged.contains("shard 1: host (wall clock, us)"));
+        // The worker's host track must not collide with the parent's pid 0.
+        for line in merged.lines().filter(|l| l.contains("\"name\":\"point\"")) {
+            assert!(!line.contains("\"pid\":0,"), "{line}");
+        }
+    }
+
+    #[test]
+    fn absorb_rejects_garbage() {
+        assert!(absorb_rendered("s", "not a trace").is_err());
+    }
+
+    #[test]
+    fn validate_processes_rejects_too_few_and_duplicates() {
+        let one_proc = "{\"traceEvents\":[\n\
+            {\"ph\":\"X\",\"pid\":1,\"tid\":0,\"name\":\"a\",\"cat\":\"c\",\"ts\":0,\"dur\":1,\"args\":{}}\n\
+            ],\"displayTimeUnit\":\"ns\"}";
+        let err = validate_processes(one_proc, 2).unwrap_err();
+        assert!(err.contains("expected at least 2"), "{err}");
+        let dup = "{\"traceEvents\":[\n\
+            {\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"x\"}},\n\
+            {\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"y\"}},\n\
+            {\"ph\":\"X\",\"pid\":1,\"tid\":0,\"name\":\"a\",\"cat\":\"c\",\"ts\":0,\"dur\":1,\"args\":{}}\n\
+            ],\"displayTimeUnit\":\"ns\"}";
+        let err = validate_processes(dup, 1).unwrap_err();
+        assert!(err.contains("duplicate process_name"), "{err}");
     }
 
     #[test]

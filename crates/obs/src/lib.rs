@@ -52,7 +52,9 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod flightrec;
 pub mod report;
+pub mod wire;
 
 pub use report::finish;
 
@@ -76,6 +78,28 @@ pub const TRACE_ENV: &str = "MESH_OBS_TRACE";
 /// Setting it implies `MESH_OBS=on` (unless explicitly off); [`finish`]
 /// writes `metrics.txt`, `metrics.json` and `manifest.json` there.
 pub const OUT_ENV: &str = "MESH_OBS_OUT";
+
+/// Environment variable setting the periodic telemetry-flush cadence for
+/// sharded workers, in (fractional) seconds. Workers rewrite their
+/// standalone per-shard snapshot/flight-recorder files at most this often
+/// (the cumulative snapshot embedded in every checkpoint record is not
+/// throttled — it rides the record's own write). Default `1.0`; `0` flushes
+/// the files on every point.
+pub const FLUSH_ENV: &str = "MESH_OBS_FLUSH_SECS";
+
+/// The periodic-flush cadence from [`FLUSH_ENV`] (default one second;
+/// unparsable or negative values fall back to the default).
+#[must_use]
+pub fn flush_cadence() -> std::time::Duration {
+    let default = std::time::Duration::from_secs(1);
+    match std::env::var(FLUSH_ENV) {
+        Ok(v) => match v.trim().parse::<f64>() {
+            Ok(secs) if secs >= 0.0 && secs.is_finite() => std::time::Duration::from_secs_f64(secs),
+            _ => default,
+        },
+        Err(_) => default,
+    }
+}
 
 fn env_nonempty(name: &str) -> bool {
     std::env::var_os(name).is_some_and(|v| !v.is_empty())
@@ -328,6 +352,16 @@ pub struct HistogramSnapshot {
     pub buckets: [u64; HISTOGRAM_BUCKETS],
 }
 
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
 impl HistogramSnapshot {
     /// Mean recorded value; zero when empty.
     pub fn mean(&self) -> f64 {
@@ -456,7 +490,7 @@ pub fn reset() {
 // ---------------------------------------------------------------------------
 
 /// A point-in-time copy of every registered metric, sorted by name.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Snapshot {
     /// Run labels set via [`set_label`].
     pub labels: Vec<(String, String)>,
@@ -490,6 +524,54 @@ impl Snapshot {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, h)| h)
+    }
+
+    /// Folds `other` into `self` — the cross-process aggregation step.
+    ///
+    /// Counters **sum** (wrapping, like the underlying atomics), gauges
+    /// take the **max** (they are high-water marks), histograms fold
+    /// bucket-wise with count/sum added (the same semantics as
+    /// [`Histogram::merge`]), and fingerprints **xor** (order-independent,
+    /// so any merge order yields the same value). Labels union with `self`
+    /// winning on conflicts — per-shard provenance belongs in the manifest,
+    /// not in colliding label values. The result's entries stay sorted by
+    /// name, so merging is associative and commutative up to labels.
+    pub fn merge(&mut self, other: &Snapshot) {
+        let mut labels: BTreeMap<String, String> = other.labels.iter().cloned().collect();
+        for (k, v) in std::mem::take(&mut self.labels) {
+            labels.insert(k, v);
+        }
+        self.labels = labels.into_iter().collect();
+
+        let mut counters: BTreeMap<String, u64> =
+            std::mem::take(&mut self.counters).into_iter().collect();
+        for (k, v) in &other.counters {
+            let e = counters.entry(k.clone()).or_insert(0);
+            *e = e.wrapping_add(*v);
+        }
+        self.counters = counters.into_iter().collect();
+
+        let mut gauges: BTreeMap<String, u64> =
+            std::mem::take(&mut self.gauges).into_iter().collect();
+        for (k, v) in &other.gauges {
+            let e = gauges.entry(k.clone()).or_insert(0);
+            *e = (*e).max(*v);
+        }
+        self.gauges = gauges.into_iter().collect();
+
+        let mut histograms: BTreeMap<String, HistogramSnapshot> =
+            std::mem::take(&mut self.histograms).into_iter().collect();
+        for (k, h) in &other.histograms {
+            let e = histograms.entry(k.clone()).or_default();
+            e.count = e.count.wrapping_add(h.count);
+            e.sum = e.sum.wrapping_add(h.sum);
+            for (dst, src) in e.buckets.iter_mut().zip(h.buckets.iter()) {
+                *dst = dst.wrapping_add(*src);
+            }
+        }
+        self.histograms = histograms.into_iter().collect();
+
+        self.fingerprint ^= other.fingerprint;
     }
 
     /// Renders the snapshot as aligned plain text, one metric per line.
@@ -683,10 +765,14 @@ pub fn span_labeled(name: &str, label: impl Into<String>) -> Span {
     }
     // Pin the epoch before the start instant so offsets are never negative.
     process_epoch();
+    let label = label.into();
+    if flightrec::enabled() {
+        flightrec::event(flightrec::EventKind::SpanOpen, &label, 0, 0);
+    }
     Span {
         active: Some(SpanActive {
             histo: histogram(name),
-            label: label.into(),
+            label,
             start: Instant::now(),
         }),
     }
@@ -700,6 +786,9 @@ impl Drop for Span {
         let elapsed = active.start.elapsed();
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         active.histo.record(ns);
+        if flightrec::enabled() {
+            flightrec::event(flightrec::EventKind::SpanClose, &active.label, ns, 0);
+        }
         if chrome::timeline_enabled() {
             let ts_us = active.start.duration_since(process_epoch()).as_secs_f64() * 1e6;
             chrome::host_slice(active.label, "span", ts_us, elapsed.as_secs_f64() * 1e6);

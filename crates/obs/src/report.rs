@@ -2,11 +2,14 @@
 //! manifest, plus the single [`finish`] entry point binaries call.
 
 use std::path::{Path, PathBuf};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
-use crate::{chrome, json_escape, snapshot};
+use crate::{chrome, json_escape, snapshot, Snapshot};
 
-fn out_dir() -> Option<&'static Path> {
+/// The metrics-snapshot output directory from [`crate::OUT_ENV`], if set.
+/// Public so the fabric parent can park dead workers' flight-recorder files
+/// next to the merged metrics.
+pub fn out_dir() -> Option<&'static Path> {
     static DIR: OnceLock<Option<PathBuf>> = OnceLock::new();
     DIR.get_or_init(|| {
         std::env::var_os(crate::OUT_ENV)
@@ -16,11 +19,46 @@ fn out_dir() -> Option<&'static Path> {
     .as_deref()
 }
 
+/// Per-worker snapshots absorbed by the fabric parent, with their origin
+/// tags (e.g. `"shard 2 (embedded)"`), merged into the unified report.
+fn worker_snaps() -> &'static Mutex<Vec<(String, Snapshot)>> {
+    static SNAPS: OnceLock<Mutex<Vec<(String, Snapshot)>>> = OnceLock::new();
+    SNAPS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers one worker's decoded snapshot for the merged report; `origin`
+/// is recorded in the manifest's `shards` array as provenance.
+pub fn absorb_worker(origin: impl Into<String>, snap: Snapshot) {
+    let mut w = worker_snaps().lock().unwrap_or_else(|e| e.into_inner());
+    w.push((origin.into(), snap));
+}
+
+/// Drops all absorbed worker snapshots (tests only).
+pub fn clear_workers() {
+    worker_snaps()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
+/// The unified snapshot: this process's registry folded together with every
+/// absorbed worker snapshot (in absorption order — the merge is
+/// order-independent up to labels, with the parent's labels winning).
+#[must_use]
+pub fn merged_snapshot() -> Snapshot {
+    let mut merged = snapshot();
+    let w = worker_snaps().lock().unwrap_or_else(|e| e.into_inner());
+    for (_, snap) in w.iter() {
+        merged.merge(snap);
+    }
+    merged
+}
+
 /// Renders the run manifest: git sha, argv, every `MESH_*` environment
 /// knob, the run labels and the workload fingerprint.
 pub fn manifest_json() -> String {
     use std::fmt::Write as _;
-    let snap = snapshot();
+    let snap = merged_snapshot();
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"git_sha\": \"{}\",", json_escape(&git_sha()));
     let argv: Vec<String> = std::env::args().collect();
@@ -44,7 +82,26 @@ pub fn manifest_json() -> String {
         }
         let _ = write!(out, "\n    \"{}\": \"{}\"", json_escape(k), json_escape(v));
     }
-    out.push_str("\n  },\n  \"env\": {");
+    out.push_str("\n  },\n  \"shards\": [");
+    {
+        let w = worker_snaps().lock().unwrap_or_else(|e| e.into_inner());
+        for (i, (origin, shard)) in w.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"origin\": \"{}\", \"counters\": {}, \"fingerprint\": \"{:016x}\"}}",
+                json_escape(origin),
+                shard.counters.len(),
+                shard.fingerprint
+            );
+        }
+        if !w.is_empty() {
+            out.push_str("\n  ");
+        }
+    }
+    out.push_str("],\n  \"env\": {");
     let mut knobs: Vec<(String, String)> = std::env::vars()
         .filter(|(k, _)| k.starts_with("MESH_"))
         .collect();
@@ -80,10 +137,12 @@ fn git_sha() -> String {
 }
 
 /// Writes the metrics snapshot (`metrics.txt`, `metrics.json`,
-/// `manifest.json`) into `dir`.
+/// `manifest.json`) into `dir`. Under sharding the snapshot is the *merged*
+/// one — this process's registry folded with every absorbed worker
+/// snapshot — so `MESH_OBS_OUT` always yields one unified report.
 pub fn write_snapshot(dir: &Path) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
-    let snap = snapshot();
+    let snap = merged_snapshot();
     std::fs::write(dir.join("metrics.txt"), snap.to_text())?;
     std::fs::write(dir.join("metrics.json"), snap.to_json())?;
     std::fs::write(dir.join("manifest.json"), manifest_json())
@@ -166,5 +225,31 @@ mod tests {
         let _gate = crate::tests::lock();
         crate::set_enabled(false);
         finish();
+    }
+
+    #[test]
+    fn absorbed_workers_fold_into_report_and_manifest() {
+        let _gate = crate::tests::lock();
+        crate::set_enabled(true);
+        clear_workers();
+        crate::counter("test.merge_counter").add(5);
+        let mut worker = Snapshot::default();
+        worker.counters.push(("test.merge_counter".to_string(), 7));
+        worker.counters.push(("test.worker_only".to_string(), 3));
+        absorb_worker("shard 1 (embedded)", worker);
+        let merged = merged_snapshot();
+        assert_eq!(merged.counter("test.merge_counter"), Some(12));
+        assert_eq!(merged.counter("test.worker_only"), Some(3));
+        let manifest = manifest_json();
+        assert!(manifest.contains("\"shards\""));
+        assert!(manifest.contains("shard 1 (embedded)"));
+        let dir = temp_dir("merged");
+        write_snapshot(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("metrics.txt")).unwrap();
+        assert!(text.contains("test.merge_counter = 12"));
+        std::fs::remove_dir_all(&dir).unwrap();
+        clear_workers();
+        crate::reset();
+        crate::set_enabled(false);
     }
 }

@@ -1,0 +1,187 @@
+//! Property tests for the snapshot wire format and the merge algebra.
+//!
+//! The wire format's contract is absolute: `decode(encode(s)) == s` for
+//! every snapshot, and a truncated or corrupted buffer is always a typed
+//! `Err`, never a panic and never silently-wrong data. The merge contract
+//! is algebraic: folding per-shard snapshots must give one answer no
+//! matter how the fabric parent associates or orders the folds, and
+//! merging nothing must change nothing — or the unified report would skew
+//! with worker count and restart history.
+
+use std::collections::BTreeMap;
+
+use mesh_obs::wire::{decode, encode};
+use mesh_obs::{HistogramSnapshot, Snapshot, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+const WORDS: [&str; 8] = [
+    "sweep.points",
+    "kernel.incidents",
+    "sim.runs",
+    "queue",
+    "gap",
+    "retries",
+    "spans",
+    "grants",
+];
+
+fn name() -> impl Strategy<Value = String> {
+    (0usize..WORDS.len(), 0u32..40).prop_map(|(i, n)| format!("{}.{n}", WORDS[i]))
+}
+
+fn hist() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        prop::collection::vec((0usize..HISTOGRAM_BUCKETS, any::<u64>()), 0..6),
+    )
+        .prop_map(|(count, sum, pairs)| {
+            let mut h = HistogramSnapshot {
+                count,
+                sum,
+                ..HistogramSnapshot::default()
+            };
+            for (i, v) in pairs {
+                h.buckets[i] = v;
+            }
+            h
+        })
+}
+
+fn snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        prop::collection::vec((name(), name()), 0..4),
+        prop::collection::vec((name(), any::<u64>()), 0..6),
+        prop::collection::vec((name(), any::<u64>()), 0..6),
+        prop::collection::vec((name(), hist()), 0..4),
+        any::<u64>(),
+    )
+        .prop_map(|(labels, counters, gauges, histograms, fingerprint)| {
+            // Dedupe through BTreeMaps: real snapshots are sorted and
+            // duplicate-free (they come off a BTreeMap registry walk).
+            Snapshot {
+                labels: labels
+                    .into_iter()
+                    .collect::<BTreeMap<_, _>>()
+                    .into_iter()
+                    .collect(),
+                counters: counters
+                    .into_iter()
+                    .collect::<BTreeMap<_, _>>()
+                    .into_iter()
+                    .collect(),
+                gauges: gauges
+                    .into_iter()
+                    .collect::<BTreeMap<_, _>>()
+                    .into_iter()
+                    .collect(),
+                histograms: histograms
+                    .into_iter()
+                    .collect::<BTreeMap<_, _>>()
+                    .into_iter()
+                    .collect(),
+                fingerprint,
+            }
+        })
+}
+
+/// The algebraically merged fields — labels are excluded (their union is
+/// self-wins on conflicts, deliberately not commutative).
+type Algebra = (
+    Vec<(String, u64)>,
+    Vec<(String, u64)>,
+    Vec<(String, HistogramSnapshot)>,
+    u64,
+);
+
+fn algebra(s: &Snapshot) -> Algebra {
+    (
+        s.counters.clone(),
+        s.gauges.clone(),
+        s.histograms.clone(),
+        s.fingerprint,
+    )
+}
+
+proptest! {
+    #[test]
+    fn round_trip_preserves_every_field(snap in snapshot()) {
+        let decoded = decode(&encode(&snap)).expect("round trip");
+        prop_assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn truncation_is_always_an_error(snap in snapshot(), frac in 0.0f64..1.0) {
+        let bytes = encode(&snap);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assert!(cut < bytes.len());
+        prop_assert!(decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn corruption_is_always_an_error(
+        snap in snapshot(),
+        pos in any::<usize>(),
+        flip in 1u32..256,
+    ) {
+        let mut bytes = encode(&snap);
+        let i = pos % bytes.len();
+        bytes[i] ^= flip as u8;
+        prop_assert!(decode(&bytes).is_err(), "flipped byte {} decoded anyway", i);
+    }
+
+    #[test]
+    fn merge_is_commutative(a in snapshot(), b in snapshot()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(algebra(&ab), algebra(&ba));
+    }
+
+    #[test]
+    fn merge_is_associative(a in snapshot(), b in snapshot(), c in snapshot()) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(algebra(&left), algebra(&right));
+    }
+
+    #[test]
+    fn empty_is_the_merge_identity(snap in snapshot()) {
+        let mut merged = snap.clone();
+        merged.merge(&Snapshot::default());
+        prop_assert_eq!(algebra(&merged), algebra(&snap));
+        let mut other_way = Snapshot::default();
+        other_way.merge(&snap);
+        prop_assert_eq!(algebra(&other_way), algebra(&snap));
+    }
+
+    /// Folding 1..=5 synthetic shards in any grouping gives the same
+    /// unified snapshot as the left-to-right fold the fabric parent uses.
+    #[test]
+    fn shard_folds_agree_for_any_grouping(
+        shards in prop::collection::vec(snapshot(), 1..6),
+        split in any::<usize>(),
+    ) {
+        let mut linear = Snapshot::default();
+        for s in &shards {
+            linear.merge(s);
+        }
+        let mid = split % (shards.len() + 1);
+        let mut left = Snapshot::default();
+        for s in &shards[..mid] {
+            left.merge(s);
+        }
+        let mut right = Snapshot::default();
+        for s in &shards[mid..] {
+            right.merge(s);
+        }
+        left.merge(&right);
+        prop_assert_eq!(algebra(&left), algebra(&linear));
+    }
+}

@@ -17,8 +17,12 @@
 #      guarantee, whatever subset of points the kill left on disk.
 #   4. Kernel fault incidents are observable: a ClampPenalty run with
 #      injected NaN penalties and MESH_OBS_OUT set must report nonzero
-#      kernel.incidents counters in the metrics snapshot
-#      (docs/OBSERVABILITY.md).
+#      kernel.incidents counters in the metrics snapshot, land in the
+#      flight-recorder ring, and leave a recorder dump next to the
+#      snapshot (docs/OBSERVABILITY.md).
+#   5. Flight record on failure: with MESH_OBS_FLIGHTREC=1, a poisoned
+#      point's failure report references a flight-recorder dump, and the
+#      referenced file exists and is a complete recorder document.
 #
 # The kernel-level fault-injection property tests live in
 # crates/faults/tests/properties.rs (`cargo test -p mesh-faults`); CI runs
@@ -59,14 +63,14 @@ grep -q "4 completed" "$WORK/crash.err" \
     || fail "sweep did not complete the other 4 points around the crash"
 [[ "$(wc -l < "$WORK/crash.ckpt")" -eq 4 ]] \
     || fail "checkpoint should hold exactly the 4 healthy points"
-echo "fault_smoke: [1/4] crash isolation ok (exit $status, 4/5 points checkpointed)"
+echo "fault_smoke: [1/5] crash isolation ok (exit $status, 4/5 points checkpointed)"
 
 # --- 2. Resume after the crash: byte-identical to the golden run ----------
 MESH_BENCH_CHECKPOINT="$WORK/crash.ckpt" \
     "$FIG5" > "$WORK/resumed.txt" 2>/dev/null
 cmp -s "$WORK/golden.txt" "$WORK/resumed.txt" \
     || fail "resumed output differs from the uninterrupted run"
-echo "fault_smoke: [2/4] crash-then-resume output byte-identical"
+echo "fault_smoke: [2/5] crash-then-resume output byte-identical"
 
 # --- 3. SIGKILL mid-run, then resume --------------------------------------
 set +e
@@ -83,7 +87,7 @@ MESH_BENCH_CHECKPOINT="$WORK/kill.ckpt" \
     "$FIG5" > "$WORK/killresumed.txt" 2>/dev/null
 cmp -s "$WORK/golden.txt" "$WORK/killresumed.txt" \
     || fail "output after SIGKILL + resume differs from the uninterrupted run"
-echo "fault_smoke: [3/4] kill-then-resume output byte-identical (${done_points} points survived the kill)"
+echo "fault_smoke: [3/5] kill-then-resume output byte-identical (${done_points} points survived the kill)"
 
 # --- 4. Kernel incidents land in the metrics snapshot ---------------------
 SMOKE=target/release/incident_smoke
@@ -98,6 +102,30 @@ grep -q '"kernel.incidents": ' "$WORK/obs/metrics.json" \
     || fail "kernel.incidents missing from the metrics snapshot"
 ! grep -q '"kernel.incidents": 0,' "$WORK/obs/metrics.json" \
     || fail "metrics snapshot reports zero kernel incidents"
-echo "fault_smoke: [4/4] fault incidents present in the metrics snapshot"
+grep -q "incident event(s) in the flight-recorder ring" "$WORK/incidents.out" \
+    || fail "incident_smoke did not report its flight-recorder ring"
+! grep -q " 0 incident event(s)" "$WORK/incidents.out" \
+    || fail "kernel incidents never reached the flight-recorder ring"
+[[ -f "$WORK/obs/flightrec-incident-smoke.json" ]] \
+    || fail "incident_smoke left no flight-recorder dump next to the snapshot"
+echo "fault_smoke: [4/5] fault incidents present in the metrics snapshot and the flight-recorder ring"
+
+# --- 5. Poisoned point's flight record is attached to the failure ----------
+# The injected panic exhausts a zero-retry budget; with the recorder on,
+# the PointFailure report must reference a dump whose file really exists.
+set +e
+MESH_OBS_FLIGHTREC=1 MESH_OBS_OUT="$WORK/flightrec-obs" \
+MESH_BENCH_FAIL_POINT=fig5:2 \
+MESH_BENCH_RETRIES=0 \
+    "$FIG5" > /dev/null 2> "$WORK/flightrec.err"
+status=$?
+set -e
+[[ $status -ne 0 ]] || fail "injected fail point did not produce a nonzero exit"
+rec="$(sed -n 's/.*\[flight record: \([^]]*\)\].*/\1/p' "$WORK/flightrec.err" | head -n1)"
+[[ -n "$rec" ]] || fail "failure report does not reference a flight record"
+[[ -f "$rec" ]] || fail "referenced flight record $rec does not exist"
+grep -q '"events"' "$rec" \
+    || fail "flight record $rec is not a recorder dump"
+echo "fault_smoke: [5/5] poisoned point's flight record attached to its failure report"
 
 echo "fault_smoke: all checks passed"
